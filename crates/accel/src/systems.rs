@@ -1,0 +1,192 @@
+//! End-to-end system comparison (paper §6, §7.4: Fig. 11, Table 5, and the
+//! Fig. 9 GPU/CPU comparators).
+//!
+//! Comparator systems are evaluated the way the paper evaluates them: from
+//! their published area/power/throughput numbers (GenCache, GenDP,
+//! BWA-MEM-GPU) or from measured throughput plus published die
+//! characteristics (CPU). All constants are documented at their definition.
+
+/// One system's end-to-end characteristics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemPerf {
+    /// System name as in Fig. 11 / Table 5.
+    pub name: String,
+    /// End-to-end throughput in Mbp/s (mega-basepairs per second).
+    pub throughput_mbps: f64,
+    /// Die area in mm².
+    pub area_mm2: f64,
+    /// Power in watts.
+    pub power_w: f64,
+}
+
+impl SystemPerf {
+    /// Creates a system row.
+    pub fn new(name: impl Into<String>, throughput_mbps: f64, area_mm2: f64, power_w: f64) -> SystemPerf {
+        SystemPerf {
+            name: name.into(),
+            throughput_mbps,
+            area_mm2,
+            power_w,
+        }
+    }
+
+    /// Throughput per unit area (Fig. 11 left axis).
+    pub fn mbps_per_mm2(&self) -> f64 {
+        self.throughput_mbps / self.area_mm2
+    }
+
+    /// Throughput per unit power (Fig. 11 right axis).
+    pub fn mbps_per_w(&self) -> f64 {
+        self.throughput_mbps / self.power_w
+    }
+}
+
+/// GenCache (Table 5): 33.7 mm², 11.2 W, 2,172 Mbp/s — single-end 100 bp
+/// reads converted to Mbp/s as in the paper.
+pub fn gencache() -> SystemPerf {
+    SystemPerf::new("GenCache", 2_172.0, 33.7, 11.2)
+}
+
+/// GenDP running full Minimap2 (Table 5): 315.8 mm², 209.1 W, 24,300 Mbp/s.
+pub fn gendp_standalone() -> SystemPerf {
+    SystemPerf::new("GenDP", 24_300.0, 315.8, 209.1)
+}
+
+/// BWA-MEM on an NVIDIA A100 (§6/§7.4). Die area 826 mm², 300 W TDP;
+/// throughput back-derived from the paper's reported 3053×/1685× gaps to
+/// GenPairX+GenDP (≈42 Mbp/s).
+pub fn bwa_mem_gpu() -> SystemPerf {
+    SystemPerf::new("BWA-MEM (GPU)", 42.0, 826.0, 300.0)
+}
+
+/// The paper's CPU platform (Table 2): Xeon Gold 6238T, 300 mm² die. Power
+/// is the 125 W TDP (the paper measures RAPL; unavailable in this
+/// environment). Throughput is whatever the caller measured for the
+/// software mapper under test.
+pub fn cpu_system(name: impl Into<String>, measured_mbps: f64) -> SystemPerf {
+    SystemPerf::new(name, measured_mbps, 300.0, 125.0)
+}
+
+/// AXI interconnect + inter-accelerator FIFOs (paper §7.4): 1 mm² + 50 mW
+/// for the bus, 1.3 mm² + 500 mW for the burst FIFOs.
+pub const INTERCONNECT_AREA_MM2: f64 = 2.3;
+/// Interconnect power in watts.
+pub const INTERCONNECT_POWER_W: f64 = 0.55;
+
+/// Assembles the GenPairX+GenDP system row from its parts.
+///
+/// Throughput is `pair_rate × 2 × read_len` (both ends of each pair, as in
+/// Table 5 where 192.7 MPair/s × 300 bp = 57,810 Mbp/s).
+pub fn genpairx_gendp(
+    nmsl_mpairs: f64,
+    read_len: usize,
+    genpairx_area_mm2: f64,
+    genpairx_power_w: f64,
+    gendp_area_mm2: f64,
+    gendp_power_w: f64,
+) -> SystemPerf {
+    SystemPerf::new(
+        "GenPairX+GenDP",
+        nmsl_mpairs * (2 * read_len) as f64,
+        genpairx_area_mm2 + gendp_area_mm2 + INTERCONNECT_AREA_MM2,
+        genpairx_power_w + gendp_power_w + INTERCONNECT_POWER_W,
+    )
+}
+
+/// A set of systems with ratio reporting (Fig. 11 / Table 5).
+#[derive(Clone, Debug, Default)]
+pub struct SystemSet {
+    systems: Vec<SystemPerf>,
+}
+
+impl SystemSet {
+    /// Creates an empty set.
+    pub fn new() -> SystemSet {
+        SystemSet::default()
+    }
+
+    /// Adds a system.
+    pub fn push(&mut self, s: SystemPerf) {
+        self.systems.push(s);
+    }
+
+    /// The systems.
+    pub fn systems(&self) -> &[SystemPerf] {
+        &self.systems
+    }
+
+    /// Finds a system by name.
+    pub fn get(&self, name: &str) -> Option<&SystemPerf> {
+        self.systems.iter().find(|s| s.name == name)
+    }
+
+    /// Ratio of `a`'s to `b`'s throughput per area.
+    pub fn area_ratio(&self, a: &str, b: &str) -> Option<f64> {
+        Some(self.get(a)?.mbps_per_mm2() / self.get(b)?.mbps_per_mm2())
+    }
+
+    /// Ratio of `a`'s to `b`'s throughput per watt.
+    pub fn power_ratio(&self, a: &str, b: &str) -> Option<f64> {
+        Some(self.get(a)?.mbps_per_w() / self.get(b)?.mbps_per_w())
+    }
+
+    /// Renders the Fig. 11 / Table 5 text table.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{:<28} {:>12} {:>10} {:>9} {:>12} {:>12}\n",
+            "System", "Tput[Mbp/s]", "Area[mm2]", "Power[W]", "Mbp/s/mm2", "Mbp/s/W"
+        );
+        for sys in &self.systems {
+            s += &format!(
+                "{:<28} {:>12.1} {:>10.1} {:>9.2} {:>12.4} {:>12.4}\n",
+                sys.name,
+                sys.throughput_mbps,
+                sys.area_mm2,
+                sys.power_w,
+                sys.mbps_per_mm2(),
+                sys.mbps_per_w()
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_absolute_throughput() {
+        // 192.7 MPair/s x 300 bp = 57,810 Mbp/s, the paper's Table 5 row.
+        let s = genpairx_gendp(192.7, 150, 66.8, 0.881, 314.3, 208.1);
+        assert!((s.throughput_mbps - 57_810.0).abs() < 1.0);
+        assert!((s.area_mm2 - 383.4).abs() < 1.0);
+    }
+
+    #[test]
+    fn paper_ratios_hold_with_published_constants() {
+        let mut set = SystemSet::new();
+        set.push(genpairx_gendp(192.7, 150, 66.8, 0.881, 314.3, 208.1));
+        set.push(gencache());
+        set.push(gendp_standalone());
+        // GenPairX+GenDP vs GenCache: paper reports 2.35x area, 1.43x power.
+        let ar = set.area_ratio("GenPairX+GenDP", "GenCache").unwrap();
+        let pr = set.power_ratio("GenPairX+GenDP", "GenCache").unwrap();
+        assert!((ar - 2.34).abs() < 0.15, "area ratio {ar}");
+        assert!((pr - 1.43).abs() < 0.1, "power ratio {pr}");
+        // vs GenDP: 1.97x area, 2.38x power.
+        let ar = set.area_ratio("GenPairX+GenDP", "GenDP").unwrap();
+        let pr = set.power_ratio("GenPairX+GenDP", "GenDP").unwrap();
+        assert!((ar - 1.96).abs() < 0.1, "area ratio {ar}");
+        assert!((pr - 2.38).abs() < 0.15, "power ratio {pr}");
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let mut set = SystemSet::new();
+        set.push(gencache());
+        set.push(bwa_mem_gpu());
+        let table = set.render();
+        assert!(table.contains("GenCache") && table.contains("BWA-MEM (GPU)"));
+    }
+}

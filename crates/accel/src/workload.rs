@@ -1,0 +1,144 @@
+//! NMSL memory workload extraction.
+//!
+//! For each read pair, the Partitioned Seeding module emits six seed hashes
+//! (three per read in the pair's query orientation). Each seed costs one
+//! Seed Table read (8 B: the previous and current end offsets) and, when the
+//! bucket is non-empty, one contiguous Location Table read of
+//! `4 B x locations`. This module captures that workload from real reads or
+//! synthesizes it from the index's bucket-size distribution.
+
+use gx_genome::DnaSeq;
+use gx_seedmap::SeedMap;
+
+/// One seed's memory work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedFetch {
+    /// Seed hash (selects the channel and the Seed Table address).
+    pub hash: u32,
+    /// Location Table slice start (entry index).
+    pub loc_start: u64,
+    /// Number of locations to stream.
+    pub locations: u32,
+}
+
+/// The memory work of one read pair (up to six seeds).
+#[derive(Clone, Debug, Default)]
+pub struct PairWorkload {
+    /// Seed fetches of both reads.
+    pub seeds: Vec<SeedFetch>,
+}
+
+impl PairWorkload {
+    /// Total Location Table entries fetched.
+    pub fn total_locations(&self) -> u64 {
+        self.seeds.iter().map(|s| s.locations as u64).sum()
+    }
+
+    /// Total bytes moved (8 B per Seed Table read + 4 B per location).
+    pub fn total_bytes(&self) -> u64 {
+        self.seeds.len() as u64 * 8 + self.total_locations() * 4
+    }
+}
+
+/// Builds the workload of one pair from its reads (r2 is queried in reverse
+/// complement, the expected FR orientation).
+pub fn pair_workload(r1: &DnaSeq, r2: &DnaSeq, seedmap: &SeedMap) -> PairWorkload {
+    let mut seeds = Vec::with_capacity(6);
+    let r2rc = r2.revcomp();
+    for read in [r1, &r2rc] {
+        for seed in gx_core::seeding::partitioned_seeds(read, seedmap) {
+            let (_, start, end) = seedmap.bucket_range(seed.hash);
+            seeds.push(SeedFetch {
+                hash: seed.hash,
+                loc_start: start,
+                locations: (end - start) as u32,
+            });
+        }
+    }
+    PairWorkload { seeds }
+}
+
+/// Builds workloads for a whole read set.
+pub fn build_workloads(
+    pairs: &[(DnaSeq, DnaSeq)],
+    seedmap: &SeedMap,
+) -> Vec<PairWorkload> {
+    pairs
+        .iter()
+        .map(|(r1, r2)| pair_workload(r1, r2, seedmap))
+        .collect()
+}
+
+/// Synthesizes `n` pair workloads by sampling random in-genome seeds —
+/// useful for long NMSL simulations without simulating reads. The sampled
+/// distribution of locations-per-seed matches the index exactly, since the
+/// seeds are the genome's own.
+pub fn synthetic_workloads(
+    seedmap: &SeedMap,
+    genome: &gx_genome::ReferenceGenome,
+    n: usize,
+    seed: u64,
+) -> Vec<PairWorkload> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let seed_len = seedmap.config().seed_len;
+    let mut out = Vec::with_capacity(n);
+    let mut codes = Vec::with_capacity(seed_len);
+    for _ in 0..n {
+        let mut w = PairWorkload::default();
+        for _ in 0..6 {
+            // Sample a random reference window as the seed.
+            let chrom = genome.chromosome(rng.random_range(0..genome.num_chromosomes() as u32));
+            if chrom.len() <= seed_len {
+                continue;
+            }
+            let pos = rng.random_range(0..chrom.len() - seed_len);
+            chrom.seq().codes_into(pos..pos + seed_len, &mut codes);
+            let hash = seedmap.hash_seed_codes(&codes);
+            let (_, start, end) = seedmap.bucket_range(hash);
+            w.seeds.push(SeedFetch {
+                hash,
+                loc_start: start,
+                locations: (end - start) as u32,
+            });
+        }
+        out.push(w);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_genome::random::RandomGenomeBuilder;
+    use gx_seedmap::SeedMapConfig;
+
+    #[test]
+    fn workload_has_six_seeds_for_150bp_pairs() {
+        let genome = RandomGenomeBuilder::new(40_000).seed(1).build();
+        let map = SeedMap::build(&genome, &SeedMapConfig::default());
+        let seq = genome.chromosome(0).seq();
+        let w = pair_workload(
+            &seq.subseq(1000..1150),
+            &seq.subseq(1300..1450).revcomp(),
+            &map,
+        );
+        assert_eq!(w.seeds.len(), 6);
+        // Every in-genome seed hits at least its own position.
+        assert!(w.seeds.iter().all(|s| s.locations >= 1));
+        assert!(w.total_bytes() >= 6 * 8 + 6 * 4);
+    }
+
+    #[test]
+    fn synthetic_workloads_match_index_distribution() {
+        let genome = RandomGenomeBuilder::new(60_000).seed(2).humanlike_repeats().build();
+        let map = SeedMap::build(&genome, &SeedMapConfig::default());
+        let ws = synthetic_workloads(&map, &genome, 200, 3);
+        assert_eq!(ws.len(), 200);
+        let mean = ws.iter().map(|w| w.total_locations()).sum::<u64>() as f64
+            / (6.0 * ws.len() as f64);
+        // In-genome seeds have at least one location each.
+        assert!(mean >= 1.0, "mean locations/seed {mean}");
+    }
+}

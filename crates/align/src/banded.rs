@@ -1,0 +1,277 @@
+use crate::dp::{Alignment, AlignMode, NEG_INF};
+use crate::Scoring;
+use gx_genome::{Cigar, CigarOp, DnaSeq};
+
+const H_DIAG: u8 = 0;
+const H_E: u8 = 1;
+const H_F: u8 = 2;
+const H_STOP: u8 = 3;
+const E_EXT: u8 = 1 << 2;
+const F_EXT: u8 = 1 << 3;
+
+/// Banded affine-gap alignment (global or fit mode).
+///
+/// Only cells within `band` diagonals of the corridor spanned by the two
+/// sequence lengths are computed, bounding both time and traceback memory to
+/// `O(|q| * (|t| - |q| + 2 * band))`. This is the aligner the DP fallback and
+/// long-read paths use — GenDP accelerates exactly this banded
+/// Smith–Waterman shape.
+///
+/// Alignments whose optimal path leaves the band return the best in-band
+/// path, which is the same behaviour as minimap2's banded extension.
+///
+/// # Panics
+///
+/// Panics if either sequence is empty, `band == 0`, or `mode` is
+/// [`AlignMode::Local`] (local mode has no meaningful corridor).
+pub fn banded_align(
+    query: &DnaSeq,
+    target: &DnaSeq,
+    scoring: &Scoring,
+    band: usize,
+    mode: AlignMode,
+) -> Alignment {
+    assert!(!query.is_empty() && !target.is_empty(), "cannot align empty sequences");
+    assert!(band > 0, "band must be positive");
+    assert!(mode != AlignMode::Local, "banded alignment supports Global and Fit modes");
+    let n = query.len();
+    let m = target.len();
+    let open = scoring.gap_open + scoring.gap_ext;
+    let ext = scoring.gap_ext;
+
+    // Allowed shift (j - i) range: the natural corridor plus the band.
+    let lo_shift = (m as i64 - n as i64).min(0) - band as i64;
+    let hi_shift = (m as i64 - n as i64).max(0) + band as i64;
+    let width = (hi_shift - lo_shift + 1) as usize;
+
+    let jmin = |i: usize| -> usize { (i as i64 + lo_shift).max(0) as usize };
+    let jmax = |i: usize| -> usize { ((i as i64 + hi_shift) as usize).min(m) };
+
+    let mut tb = vec![H_STOP; (n + 1) * width];
+    let tb_idx = |i: usize, j: usize| -> usize {
+        let off = j as i64 - (i as i64 + lo_shift);
+        debug_assert!((0..width as i64).contains(&off), "traceback outside band");
+        i * width + off as usize
+    };
+
+    let mut h_prev = vec![NEG_INF; m + 2];
+    let mut h_cur = vec![NEG_INF; m + 2];
+    let mut f_col = vec![NEG_INF; m + 2];
+
+    // Row 0.
+    for j in jmin(0)..=jmax(0) {
+        h_prev[j] = match mode {
+            AlignMode::Global => -scoring.gap_cost(j as u32),
+            _ => 0,
+        };
+        tb[tb_idx(0, j)] = if mode == AlignMode::Global && j > 0 {
+            H_E | E_EXT
+        } else {
+            H_STOP
+        };
+    }
+
+    let qcodes = query.to_codes();
+    let tcodes = target.to_codes();
+    let mut cells = 0u64;
+
+    for i in 1..=n {
+        let (lo, hi) = (jmin(i), jmax(i));
+        let mut e_row = NEG_INF;
+        if lo == 0 {
+            h_cur[0] = -scoring.gap_cost(i as u32);
+            tb[tb_idx(i, 0)] = H_F | F_EXT;
+        }
+        let qi = qcodes[i - 1];
+        let start = lo.max(1);
+        for j in start..=hi {
+            cells += 1;
+            let mut flags = 0u8;
+
+            let h_left = if j > lo { h_cur[j - 1] } else { NEG_INF };
+            let e_open = h_left.saturating_add(-open);
+            let e_extend = e_row - ext;
+            e_row = if e_extend > e_open {
+                flags |= E_EXT;
+                e_extend
+            } else {
+                e_open
+            };
+
+            // h_prev[j] / f_col[j] are valid only if j was inside row i-1's band.
+            let in_prev = j >= jmin(i - 1) && j <= jmax(i - 1);
+            let h_up = if in_prev { h_prev[j] } else { NEG_INF };
+            let f_up = if in_prev { f_col[j] } else { NEG_INF };
+            let f_open = h_up.saturating_add(-open);
+            let f_extend = f_up - ext;
+            f_col[j] = if f_extend > f_open {
+                flags |= F_EXT;
+                f_extend
+            } else {
+                f_open
+            };
+
+            let in_prev_diag = j > jmin(i - 1) && j - 1 <= jmax(i - 1);
+            let h_diag = if in_prev_diag { h_prev[j - 1] } else { NEG_INF };
+            let diag = h_diag.saturating_add(scoring.substitution(qi, tcodes[j - 1]));
+
+            let (mut h, mut choice) = (diag, H_DIAG);
+            if e_row > h {
+                h = e_row;
+                choice = H_E;
+            }
+            if f_col[j] > h {
+                h = f_col[j];
+                choice = H_F;
+            }
+            h_cur[j] = h;
+            tb[tb_idx(i, j)] = flags | choice;
+        }
+        // Invalidate cells just outside the band so the next row cannot read
+        // stale values.
+        if hi < m + 1 {
+            h_cur[hi + 1] = NEG_INF;
+            f_col[hi + 1] = NEG_INF;
+        }
+        if start > 0 {
+            h_cur[start - 1] = if start > lo { h_cur[start - 1] } else { NEG_INF };
+        }
+        std::mem::swap(&mut h_prev, &mut h_cur);
+    }
+
+    let (score, end_j) = match mode {
+        AlignMode::Global => (h_prev[m], m),
+        _ => {
+            let (mut bj, mut bs) = (jmin(n), NEG_INF);
+            #[allow(clippy::needless_range_loop)] // j indexes two arrays in lockstep
+            for j in jmin(n)..=jmax(n) {
+                if h_prev[j] > bs {
+                    bs = h_prev[j];
+                    bj = j;
+                }
+            }
+            (bs, bj)
+        }
+    };
+
+    // Traceback within the band.
+    #[derive(PartialEq)]
+    enum State {
+        H,
+        E,
+        F,
+    }
+    let mut rev = Cigar::new();
+    let (mut i, mut j) = (n, end_j);
+    let mut state = State::H;
+    loop {
+        match state {
+            State::H => match tb[tb_idx(i, j)] & 3 {
+                H_DIAG => {
+                    let op = if qcodes[i - 1] == tcodes[j - 1] {
+                        CigarOp::Equal
+                    } else {
+                        CigarOp::Diff
+                    };
+                    rev.push(op, 1);
+                    i -= 1;
+                    j -= 1;
+                }
+                H_E => state = State::E,
+                H_F => state = State::F,
+                _ => break,
+            },
+            State::E => {
+                let extended = tb[tb_idx(i, j)] & E_EXT != 0;
+                rev.push(CigarOp::Del, 1);
+                j -= 1;
+                if !extended {
+                    state = State::H;
+                }
+                if j == 0 && state == State::E {
+                    break;
+                }
+            }
+            State::F => {
+                let extended = tb[tb_idx(i, j)] & F_EXT != 0;
+                rev.push(CigarOp::Ins, 1);
+                i -= 1;
+                if !extended {
+                    state = State::H;
+                }
+                if i == 0 && state == State::F {
+                    break;
+                }
+            }
+        }
+        if i == 0 && j == 0 {
+            break;
+        }
+        if i == 0 && matches!(state, State::H) && tb[tb_idx(0, j)] & 3 == H_STOP {
+            break;
+        }
+    }
+
+    Alignment {
+        score,
+        cigar: rev.reversed(),
+        query_start: i,
+        query_end: n,
+        target_start: j,
+        target_end: end_j,
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align;
+
+    fn seq(s: &str) -> DnaSeq {
+        DnaSeq::from_ascii(s.as_bytes()).unwrap()
+    }
+
+    #[test]
+    fn matches_full_dp_on_fit() {
+        let q = seq("ACGTACGTACGTTACG");
+        let t = seq("GGACGTACGTTACGTTACGGG");
+        let s = Scoring::short_read();
+        let full = align(&q, &t, &s, AlignMode::Fit);
+        let band = banded_align(&q, &t, &s, 8, AlignMode::Fit);
+        assert_eq!(full.score, band.score);
+        assert_eq!(full.cigar.query_len(), band.cigar.query_len());
+    }
+
+    #[test]
+    fn matches_full_dp_on_global() {
+        let q = seq("ACGTACGGGTACGTTACG");
+        let t = seq("ACGTACGTACGTTACG");
+        let s = Scoring::short_read();
+        let full = align(&q, &t, &s, AlignMode::Global);
+        let band = banded_align(&q, &t, &s, 8, AlignMode::Global);
+        assert_eq!(full.score, band.score);
+    }
+
+    #[test]
+    fn computes_fewer_cells() {
+        let q = seq(&"ACGT".repeat(50));
+        let t = seq(&"ACGT".repeat(60));
+        let s = Scoring::short_read();
+        let full = align(&q, &t, &s, AlignMode::Fit);
+        let band = banded_align(&q, &t, &s, 5, AlignMode::Fit);
+        assert!(band.cells < full.cells / 2, "band {} full {}", band.cells, full.cells);
+    }
+
+    #[test]
+    fn band_wide_enough_recovers_indel() {
+        let q = seq("ACGGTTACGGTAGACCAACGGTTAC");
+        // insert 3 bases in target mid-way
+        let t = seq("ACGGTTACGGTATTTGACCAACGGTTAC");
+        let s = Scoring::short_read();
+        let full = align(&q, &t, &s, AlignMode::Global);
+        let band = banded_align(&q, &t, &s, 6, AlignMode::Global);
+        assert_eq!(full.score, band.score);
+        assert_eq!(full.cigar.to_string(), band.cigar.to_string());
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks: the DRAM simulator and the NMSL model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gx_accel::workload::synthetic_workloads;
+use gx_accel::{NmslConfig, NmslSim};
+use gx_memsim::{DramConfig, DramSim, Request};
+use gx_readsim::dataset::standard_genome;
+use gx_seedmap::{SeedMap, SeedMapConfig};
+use std::hint::black_box;
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_sim");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("hbm2e_1000_random_reads", |b| {
+        b.iter(|| {
+            let mut sim = DramSim::new(DramConfig::hbm2e_32ch());
+            let mut out = Vec::new();
+            let mut submitted = 0u64;
+            let mut done = 0u64;
+            while done < 1_000 {
+                while submitted < 1_000 {
+                    let ch = (submitted % 32) as u32;
+                    if sim.try_submit(Request {
+                        addr: (submitted * 40_961) % (1 << 26),
+                        bytes: 64,
+                        channel: ch,
+                        tag: submitted,
+                    }) {
+                        submitted += 1;
+                    } else {
+                        break;
+                    }
+                }
+                sim.tick(&mut out);
+                done += out.len() as u64;
+                out.clear();
+            }
+            black_box(sim.cycle())
+        })
+    });
+    g.finish();
+}
+
+fn bench_nmsl(c: &mut Criterion) {
+    let genome = standard_genome(300_000, 0xAB);
+    let map = SeedMap::build(&genome, &SeedMapConfig::default());
+    let workloads = synthetic_workloads(&map, &genome, 256, 1);
+    let mut g = c.benchmark_group("nmsl");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(workloads.len() as u64));
+    g.bench_function("hbm2e_256_pairs", |b| {
+        b.iter(|| {
+            let mut sim = NmslSim::new(DramConfig::hbm2e_32ch(), NmslConfig::default());
+            black_box(sim.run(&workloads).mpairs_per_s)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dram, bench_nmsl);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Fig. 13: impact of the index filtering threshold on mapping precision,
+//! recall and F1 (paftools-substitute mapeval; GenPair without DP fallback,
+//! as in the paper).
+
+use gx_bench::{bench_genome, bench_pairs, render_table};
+use gx_core::{GenPairConfig, GenPairMapper};
+use gx_genome::variant::{generate_variants, DonorGenome, VariantProfile};
+use gx_genome::Locus;
+use gx_readsim::{ErrorModel, PairedEndSimulator};
+use gx_vcall::mapeval::{mapeval, MapevalRecord};
+
+fn main() {
+    let genome = bench_genome();
+    let n = bench_pairs();
+
+    // The paper simulates reads with SNP/INDEL variation (1e-3 / 2e-4) plus
+    // sequencing errors.
+    let variants = generate_variants(&genome, &VariantProfile::default(), 0xF13);
+    let donor = DonorGenome::apply(&genome, variants).expect("variants apply");
+    let pairs = PairedEndSimulator::new(donor.genome())
+        .seed(0xF13)
+        .error_model(ErrorModel::mason_default(0.001))
+        .simulate(n);
+
+    println!("=== Fig. 13: index filter threshold sweep ({} pairs) ===\n", n);
+    let thresholds = [100u32, 200, 500, 1000, 2000, 4000, 10_000];
+    let mut rows = Vec::new();
+    for &thr in &thresholds {
+        let cfg = GenPairConfig::default().with_filter_threshold(thr);
+        let mapper = GenPairMapper::build(&genome, &cfg);
+        let mut records = Vec::with_capacity(n * 2);
+        for p in &pairs {
+            // GenPair without DP fallback: only pairs it maps itself count.
+            let res = mapper.map_pair(&p.r1.seq, &p.r2.seq);
+            let mapping = res.mapping.filter(|_| res.fallback.is_none());
+            let truth1 = donor.donor_to_ref(Locus { chrom: p.truth.chrom, pos: p.truth.start1 });
+            let truth2 = donor.donor_to_ref(Locus { chrom: p.truth.chrom, pos: p.truth.start2 });
+            // r1 maps to pos1 in its own orientation; compare leftmost
+            // positions directly.
+            let (m1, m2) = match &mapping {
+                Some(m) => (
+                    Some((m.chrom, m.pos1)),
+                    Some((m.chrom, m.pos2)),
+                ),
+                None => (None, None),
+            };
+            records.push(MapevalRecord { mapped: m1, truth: (truth1.chrom, truth1.pos) });
+            records.push(MapevalRecord { mapped: m2, truth: (truth2.chrom, truth2.pos) });
+        }
+        let r = mapeval(&records, 40);
+        rows.push(vec![
+            thr.to_string(),
+            format!("{:.4}", r.precision()),
+            format!("{:.4}", r.recall()),
+            format!("{:.4}", r.f1()),
+            format!("{:.1}", 100.0 * r.mapped as f64 / r.total as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Filter threshold", "Precision", "Recall", "F1", "Mapped %"],
+            &rows
+        )
+    );
+    println!("paper: precision falls / recall rises with the threshold; both stabilize by ~4000;");
+    println!("500 is the chosen trade-off (also minimap2's default).");
+}

@@ -1,0 +1,25 @@
+//! Table 2: the evaluated CPU/GPU platform configurations (published
+//! constants used by the comparison models) plus this host's parameters.
+
+use gx_bench::render_table;
+
+fn main() {
+    println!("=== Table 2: platform configurations (model constants) ===\n");
+    let rows = vec![
+        vec!["Intel Xeon Gold 6238T".into(), "22 cores @ 1.9 GHz".into(), "300 mm2".into(), "125 W TDP".into()],
+        vec!["NVIDIA Quadro GV100".into(), "5120 cores @ 1.6 GHz".into(), "815 mm2".into(), "250 W TDP".into()],
+        vec!["NVIDIA A100 (BWA-MEM)".into(), "6912 cores @ 1.4 GHz".into(), "826 mm2".into(), "300 W TDP".into()],
+        vec![
+            "HBM2e".into(),
+            "4 stacks x 8 ch, 128-bit @ 2 Gb/s/pin".into(),
+            "32 GB".into(),
+            "1 TB/s peak".into(),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(&["Platform", "Compute", "Die/Capacity", "Power/BW"], &rows)
+    );
+    let host = std::thread::available_parallelism().map_or(0, |p| p.get());
+    println!("this host: {host} hardware threads (used for measured CPU bars).");
+}

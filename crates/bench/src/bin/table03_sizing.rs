@@ -1,0 +1,77 @@
+//! Table 3: module throughput/latency/instance sizing, from a measured
+//! workload profile (software GenPair run) and the simulated NMSL rate.
+
+use gx_accel::workload::build_workloads;
+use gx_accel::{NmslConfig, NmslSim, PipelineSizing, WorkloadProfile};
+use gx_bench::{bench_genome, bench_pairs, render_table};
+use gx_core::{GenPairConfig, GenPairMapper, PipelineStats};
+use gx_memsim::DramConfig;
+use gx_readsim::dataset::{simulate_variant_dataset, DATASETS};
+
+fn main() {
+    let genome = bench_genome();
+    let n = bench_pairs();
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+    let pairs = simulate_variant_dataset(&genome, &DATASETS[0], n).pairs;
+
+    // Profile the software pipeline.
+    let mut stats = PipelineStats::new();
+    for p in &pairs {
+        stats.record(&mapper.map_pair(&p.r1.seq, &p.r2.seq));
+    }
+    let profile = WorkloadProfile::from_stats(&stats, 150);
+
+    // Simulate NMSL to get the pipeline's driving rate.
+    let reads: Vec<_> = pairs
+        .iter()
+        .take(2_000)
+        .map(|p| (p.r1.seq.clone(), p.r2.seq.clone()))
+        .collect();
+    let workloads = build_workloads(&reads, mapper.seedmap());
+    let mut sim = NmslSim::new(DramConfig::hbm2e_32ch(), NmslConfig::default());
+    let nmsl = sim.run(&workloads);
+
+    let sizing = PipelineSizing::balance(nmsl.mpairs_per_s, &profile);
+    println!("=== Table 3: GenPairX module sizing ===\n");
+    println!(
+        "measured profile: {:.1} PA iterations/pair (paper 24.1), {:.1} light aligns/pair (paper 11.6)",
+        profile.mean_pa_iterations, profile.mean_light_aligns
+    );
+    println!("NMSL sustained rate: {:.1} MPair/s (paper 192.7)\n", nmsl.mpairs_per_s);
+    let rows: Vec<Vec<String>> = sizing
+        .modules
+        .iter()
+        .map(|m| {
+            vec![
+                m.spec.name.to_string(),
+                format!("{:.1}", m.mpairs_per_instance),
+                format!("{:.1}", m.spec.latency_cycles),
+                m.instances.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Module", "Tput/instance [MPair/s]", "Latency [cycles]", "# Instances"],
+            &rows
+        )
+    );
+    println!("paper Table 3: Partitioned Seeding 333/10/1; PA Filtering 83.0/24.1/3; Light Alignment 1.1/156/174.");
+
+    // Also the paper-profile sizing for direct comparison.
+    let paper = PipelineSizing::balance(192.7, &WorkloadProfile::paper());
+    let rows: Vec<Vec<String>> = paper
+        .modules
+        .iter()
+        .map(|m| {
+            vec![
+                m.spec.name.to_string(),
+                format!("{:.1}", m.mpairs_per_instance),
+                m.instances.to_string(),
+            ]
+        })
+        .collect();
+    println!("\nWith the paper's profile and 192.7 MPair/s:");
+    println!("{}", render_table(&["Module", "Tput/instance", "# Instances"], &rows));
+}

@@ -1,0 +1,62 @@
+//! Table 6: NMSL throughput and throughput-per-watt across DDR5, GDDR6 and
+//! HBM2 memory technologies.
+
+use gx_accel::workload::synthetic_workloads;
+use gx_accel::{NmslConfig, NmslSim};
+use gx_bench::{bench_genome, env_usize, render_table};
+use gx_memsim::DramConfig;
+use gx_seedmap::{SeedMap, SeedMapConfig};
+
+fn main() {
+    let genome = bench_genome();
+    let map = SeedMap::build(&genome, &SeedMapConfig::default());
+    let n = env_usize("GX_NMSL_PAIRS", 4_000);
+    let workloads = synthetic_workloads(&map, &genome, n, 0x7ab6);
+
+    // GenDP dominates system power (paper §7.5), so throughput-per-watt is
+    // computed against the full-system power with the paper's GenDP share.
+    const SYSTEM_BASE_POWER_W: f64 = 209.0;
+
+    println!("=== Table 6: memory technology comparison ({} pairs) ===\n", n);
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for cfg in [
+        DramConfig::ddr5_4ch(),
+        DramConfig::gddr6_8ch(),
+        DramConfig::hbm2e_32ch(),
+    ] {
+        let name = cfg.name;
+        let mut sim = NmslSim::new(cfg, NmslConfig::default());
+        let res = sim.run(&workloads);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", res.mpairs_per_s),
+            format!("{:.2}", res.gbs),
+            format!("{:.0}", res.dram_power_mw),
+            format!("{:.3}", res.mpairs_per_s / (SYSTEM_BASE_POWER_W + res.dram_power_mw / 1000.0)),
+        ]);
+        results.push((name, res.mpairs_per_s));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Memory Type",
+                "Tput[MPair/s]",
+                "BW[GB/s]",
+                "DRAM power[mW]",
+                "MPair/s/W (system)",
+            ],
+            &rows
+        )
+    );
+    let hbm = results.iter().find(|(n, _)| n.contains("HBM")).expect("hbm row").1;
+    let ddr = results.iter().find(|(n, _)| n.contains("DDR5")).expect("ddr row").1;
+    let gddr = results.iter().find(|(n, _)| n.contains("GDDR6")).expect("gddr row").1;
+    println!(
+        "HBM2 vs DDR5: {:.1}x (paper 11.4x); HBM2 vs GDDR6: {:.1}x (paper 9.8x)",
+        hbm / ddr,
+        hbm / gddr
+    );
+    println!("paper Table 6: DDR5 16.91, GDDR6 19.80, HBM2 192.7 MPair/s; per-watt 0.75/0.79/0.91.");
+}

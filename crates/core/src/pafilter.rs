@@ -1,0 +1,145 @@
+//! Paired-Adjacency Filtering (paper §4.5).
+//!
+//! Both reads of a proper pair map within a dataset-defined distance Δ of
+//! each other. The filter walks the two sorted candidate-start lists with
+//! two pointers — exactly what the hardware module does with two FIFOs and a
+//! comparator — and emits candidate pairs whose distance is at most Δ. The
+//! number of comparator iterations is recorded; it drives the module's
+//! throughput requirement in the paper's Table 3.
+
+use gx_genome::GlobalPos;
+
+/// A candidate placement of a read pair (global read-start coordinates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairCandidate {
+    /// Candidate start of read 1 (in its query orientation).
+    pub start1: GlobalPos,
+    /// Candidate start of read 2.
+    pub start2: GlobalPos,
+}
+
+/// Result of paired-adjacency filtering.
+#[derive(Clone, Debug, Default)]
+pub struct PaFilterResult {
+    /// Surviving candidate pairs, at most `max_candidates`.
+    pub candidates: Vec<PairCandidate>,
+    /// Comparator iterations performed (hardware cycle accounting).
+    pub iterations: u64,
+    /// Whether candidate emission was truncated at `max_candidates`.
+    pub truncated: bool,
+}
+
+/// Filters the sorted candidate lists of the two reads, keeping pairs with
+/// `|start2 - start1| <= delta`.
+pub fn paired_adjacency_filter(
+    list1: &[GlobalPos],
+    list2: &[GlobalPos],
+    delta: u32,
+    max_candidates: usize,
+) -> PaFilterResult {
+    let mut res = PaFilterResult::default();
+    let mut j0 = 0usize;
+    for &a in list1 {
+        // Advance j0 past candidates too far left of a.
+        while j0 < list2.len() && (list2[j0] as u64) + (delta as u64) < a as u64 {
+            j0 += 1;
+            res.iterations += 1;
+        }
+        let mut j = j0;
+        while j < list2.len() && (list2[j] as u64) <= (a as u64) + delta as u64 {
+            res.iterations += 1;
+            if res.candidates.len() >= max_candidates {
+                res.truncated = true;
+                return res;
+            }
+            res.candidates.push(PairCandidate {
+                start1: a,
+                start2: list2[j],
+            });
+            j += 1;
+        }
+        res.iterations += 1; // the comparison that terminated the scan
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacent_pairs_survive() {
+        let l1 = [1000u32, 50_000];
+        let l2 = [1200u32, 90_000];
+        let res = paired_adjacency_filter(&l1, &l2, 500, 64);
+        assert_eq!(
+            res.candidates,
+            vec![PairCandidate { start1: 1000, start2: 1200 }]
+        );
+        assert!(!res.truncated);
+    }
+
+    #[test]
+    fn distance_exactly_delta_survives() {
+        let res = paired_adjacency_filter(&[100], &[600], 500, 64);
+        assert_eq!(res.candidates.len(), 1);
+        let res = paired_adjacency_filter(&[100], &[601], 500, 64);
+        assert!(res.candidates.is_empty());
+    }
+
+    #[test]
+    fn reverse_order_within_delta_survives() {
+        // start2 slightly *before* start1 is still adjacent.
+        let res = paired_adjacency_filter(&[1000], &[900], 500, 64);
+        assert_eq!(res.candidates.len(), 1);
+    }
+
+    #[test]
+    fn matches_naive_cross_product() {
+        let l1: Vec<u32> = (0..60).map(|i| i * 137 % 5000).collect();
+        let l2: Vec<u32> = (0..60).map(|i| i * 211 % 5000).collect();
+        let mut l1s = l1.clone();
+        let mut l2s = l2.clone();
+        l1s.sort_unstable();
+        l2s.sort_unstable();
+        l1s.dedup();
+        l2s.dedup();
+        let delta = 300u32;
+        let res = paired_adjacency_filter(&l1s, &l2s, delta, usize::MAX);
+        let mut naive = Vec::new();
+        for &a in &l1s {
+            for &b in &l2s {
+                if (a as i64 - b as i64).abs() <= delta as i64 {
+                    naive.push(PairCandidate { start1: a, start2: b });
+                }
+            }
+        }
+        let mut got = res.candidates.clone();
+        got.sort_by_key(|c| (c.start1, c.start2));
+        naive.sort_by_key(|c| (c.start1, c.start2));
+        assert_eq!(got, naive);
+    }
+
+    #[test]
+    fn truncation_caps_output() {
+        let l1: Vec<u32> = (0..100).map(|i| 1000 + i).collect();
+        let l2 = l1.clone();
+        let res = paired_adjacency_filter(&l1, &l2, 600, 10);
+        assert_eq!(res.candidates.len(), 10);
+        assert!(res.truncated);
+    }
+
+    #[test]
+    fn empty_lists_yield_nothing() {
+        assert!(paired_adjacency_filter(&[], &[1], 100, 8).candidates.is_empty());
+        assert!(paired_adjacency_filter(&[1], &[], 100, 8).candidates.is_empty());
+    }
+
+    #[test]
+    fn iterations_are_counted() {
+        let l1: Vec<u32> = (0..50).map(|i| i * 1000).collect();
+        let l2: Vec<u32> = (0..50).map(|i| i * 1000 + 100_000).collect();
+        let res = paired_adjacency_filter(&l1, &l2, 100, 64);
+        assert!(res.iterations >= 50);
+    }
+}

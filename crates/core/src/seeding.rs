@@ -1,0 +1,144 @@
+//! Partitioned Seeding (paper §4.3) and SeedMap Query (§4.4).
+//!
+//! Three non-overlapping 50 bp seeds are extracted per read — first, middle
+//! and last — and hashed with xxh32. Querying SeedMap yields one sorted
+//! location slice per seed; normalizing each location by the seed's offset
+//! within the read and merging produces sorted candidate *read start*
+//! positions, the input to paired-adjacency filtering.
+
+use gx_genome::{DnaSeq, GlobalPos};
+use gx_seedmap::{merge_sorted_with_offsets, SeedMap};
+
+/// One extracted seed: offset within the read plus its hash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Seed {
+    /// Offset of the seed's first base within the read.
+    pub offset: u32,
+    /// xxh32 hash of the seed's 2-bit codes.
+    pub hash: u32,
+}
+
+/// Extracts the partitioned seeds of `read`: first, middle and last
+/// `seed_len` bases (non-overlapping for reads of at least `3 * seed_len`).
+/// Reads shorter than `seed_len` yield no seeds.
+pub fn partitioned_seeds(read: &DnaSeq, seedmap: &SeedMap) -> Vec<Seed> {
+    let seed_len = seedmap.config().seed_len;
+    if read.len() < seed_len {
+        return Vec::new();
+    }
+    let last = read.len() - seed_len;
+    let mut offsets = vec![0usize, last / 2, last];
+    offsets.dedup();
+    let mut codes = Vec::with_capacity(seed_len);
+    offsets
+        .into_iter()
+        .map(|off| {
+            read.codes_into(off..off + seed_len, &mut codes);
+            Seed {
+                offset: off as u32,
+                hash: seedmap.hash_seed_codes(&codes),
+            }
+        })
+        .collect()
+}
+
+/// Result of querying SeedMap for one read's seeds.
+#[derive(Clone, Debug, Default)]
+pub struct ReadCandidates {
+    /// Sorted, deduplicated candidate read-start positions (global
+    /// coordinates).
+    pub starts: Vec<GlobalPos>,
+    /// Total locations returned across the read's seeds (NMSL workload
+    /// accounting: Location Table traffic).
+    pub locations_fetched: u64,
+    /// Number of seeds that hit at least one location.
+    pub seeds_hit: u32,
+    /// Number of seeds extracted.
+    pub seeds_total: u32,
+}
+
+/// Queries SeedMap with a read's partitioned seeds and merges the location
+/// lists into candidate read starts (paper steps 1–2).
+pub fn query_read(read: &DnaSeq, seedmap: &SeedMap) -> ReadCandidates {
+    let seeds = partitioned_seeds(read, seedmap);
+    let lists: Vec<(&[GlobalPos], u32)> = seeds
+        .iter()
+        .map(|s| (seedmap.locations_for_hash(s.hash), s.offset))
+        .collect();
+    let locations_fetched: u64 = lists.iter().map(|(l, _)| l.len() as u64).sum();
+    let seeds_hit = lists.iter().filter(|(l, _)| !l.is_empty()).count() as u32;
+    let starts = merge_sorted_with_offsets(lists);
+    ReadCandidates {
+        starts,
+        locations_fetched,
+        seeds_hit,
+        seeds_total: seeds.len() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_genome::random::RandomGenomeBuilder;
+    use gx_seedmap::SeedMapConfig;
+
+    fn setup() -> (gx_genome::ReferenceGenome, SeedMap) {
+        let genome = RandomGenomeBuilder::new(30_000).seed(42).build();
+        let map = SeedMap::build(&genome, &SeedMapConfig::default());
+        (genome, map)
+    }
+
+    #[test]
+    fn three_nonoverlapping_seeds_for_150bp() {
+        let (genome, map) = setup();
+        let read = genome.chromosome(0).seq().subseq(1000..1150);
+        let seeds = partitioned_seeds(&read, &map);
+        assert_eq!(seeds.len(), 3);
+        assert_eq!(seeds[0].offset, 0);
+        assert_eq!(seeds[1].offset, 50);
+        assert_eq!(seeds[2].offset, 100);
+    }
+
+    #[test]
+    fn exact_read_finds_its_origin() {
+        let (genome, map) = setup();
+        for pos in [0usize, 777, 12_345, 29_000] {
+            let read = genome.chromosome(0).seq().subseq(pos..pos + 150);
+            let cands = query_read(&read, &map);
+            assert!(
+                cands.starts.contains(&(pos as u32)),
+                "origin {pos} missing: {:?}",
+                cands.starts
+            );
+            assert_eq!(cands.seeds_hit, 3);
+        }
+    }
+
+    #[test]
+    fn read_with_center_errors_still_found_via_flank_seeds() {
+        let (genome, map) = setup();
+        let mut read = genome.chromosome(0).seq().subseq(5000..5150);
+        // Corrupt the middle seed only.
+        for p in 60..90 {
+            read.set(p, read.get(p).complement());
+        }
+        let cands = query_read(&read, &map);
+        assert!(cands.starts.contains(&5000));
+    }
+
+    #[test]
+    fn short_read_yields_no_seeds() {
+        let (_, map) = setup();
+        let read = DnaSeq::from_ascii(b"ACGT").unwrap();
+        assert!(partitioned_seeds(&read, &map).is_empty());
+        assert_eq!(query_read(&read, &map).seeds_total, 0);
+    }
+
+    #[test]
+    fn exactly_seedlen_read_yields_one_seed() {
+        let (genome, map) = setup();
+        let read = genome.chromosome(0).seq().subseq(100..150);
+        let seeds = partitioned_seeds(&read, &map);
+        assert_eq!(seeds.len(), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Location Voting (paper §4.7, following the sparsified-genomics voting
+//! algorithm it cites): candidate mapping locations from many pseudo-pairs
+//! of one long read vote for a genomic region; the densest window wins.
+
+use gx_genome::GlobalPos;
+
+/// Result of a vote: the winning window start and its vote count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VoteResult {
+    /// Start of the winning window (smallest voted position in it).
+    pub position: GlobalPos,
+    /// Number of votes inside the window.
+    pub votes: u32,
+}
+
+/// Finds the window of width `window` containing the most candidate
+/// positions. `candidates` need not be sorted. Returns `None` for empty
+/// input.
+pub fn location_vote(candidates: &[GlobalPos], window: u32) -> Option<VoteResult> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let mut sorted = candidates.to_vec();
+    sorted.sort_unstable();
+    let mut best = VoteResult {
+        position: sorted[0],
+        votes: 0,
+    };
+    let mut lo = 0usize;
+    for hi in 0..sorted.len() {
+        while sorted[hi] - sorted[lo] > window {
+            lo += 1;
+        }
+        let votes = (hi - lo + 1) as u32;
+        if votes > best.votes {
+            best = VoteResult {
+                position: sorted[lo],
+                votes,
+            };
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densest_cluster_wins() {
+        let cands = [100u32, 105, 110, 5_000, 5_001, 5_002, 5_003, 90_000];
+        let v = location_vote(&cands, 50).unwrap();
+        assert_eq!(v.position, 5_000);
+        assert_eq!(v.votes, 4);
+    }
+
+    #[test]
+    fn single_candidate() {
+        let v = location_vote(&[42], 100).unwrap();
+        assert_eq!(v.position, 42);
+        assert_eq!(v.votes, 1);
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        assert!(location_vote(&[], 100).is_none());
+    }
+
+    #[test]
+    fn window_boundary_inclusive() {
+        let v = location_vote(&[0, 100], 100).unwrap();
+        assert_eq!(v.votes, 2);
+        let v = location_vote(&[0, 101], 100).unwrap();
+        assert_eq!(v.votes, 1);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let v = location_vote(&[500, 10, 505, 20, 510], 20).unwrap();
+        assert_eq!(v.position, 500);
+        assert_eq!(v.votes, 3);
+    }
+}

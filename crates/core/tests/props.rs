@@ -1,0 +1,110 @@
+//! Property-based tests for the GenPair pipeline stages.
+
+use gx_align::{align, AlignMode, Scoring};
+use gx_core::light::{light_align, LightConfig};
+use gx_core::pafilter::paired_adjacency_filter;
+use gx_genome::DnaSeq;
+use proptest::prelude::*;
+
+fn arb_dna(len: usize) -> impl Strategy<Value = DnaSeq> {
+    prop::collection::vec(0u8..4, len..=len).prop_map(|c| DnaSeq::from_codes(&c))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The PA filter equals a naive cross-product filter on arbitrary
+    /// sorted inputs.
+    #[test]
+    fn pa_filter_matches_naive(
+        mut l1 in prop::collection::vec(0u32..100_000, 0..60),
+        mut l2 in prop::collection::vec(0u32..100_000, 0..60),
+        delta in 1u32..2_000
+    ) {
+        l1.sort_unstable();
+        l1.dedup();
+        l2.sort_unstable();
+        l2.dedup();
+        let res = paired_adjacency_filter(&l1, &l2, delta, usize::MAX);
+        let mut naive = Vec::new();
+        for &a in &l1 {
+            for &b in &l2 {
+                if (a as i64 - b as i64).abs() <= delta as i64 {
+                    naive.push((a, b));
+                }
+            }
+        }
+        let got: Vec<(u32, u32)> = res.candidates.iter().map(|c| (c.start1, c.start2)).collect();
+        let mut got_sorted = got.clone();
+        got_sorted.sort_unstable();
+        naive.sort_unstable();
+        prop_assert_eq!(got_sorted, naive);
+    }
+
+    /// Light alignment is *sound*: whenever it returns an alignment, the
+    /// score never exceeds the DP optimum, and the CIGAR consumes the read.
+    #[test]
+    fn light_align_sound_on_arbitrary_windows(
+        window in arb_dna(170),
+        read in arb_dna(150),
+    ) {
+        let scoring = Scoring::short_read();
+        let cfg = LightConfig::default();
+        if let Some(light) = light_align(&read, &window, 5, &cfg, &scoring) {
+            prop_assert_eq!(light.cigar.query_len(), 150);
+            let dp = align(&read, &window, &scoring, AlignMode::Fit);
+            prop_assert!(light.score <= dp.score, "light {} > dp {}", light.score, dp.score);
+        }
+    }
+
+    /// Light alignment is *complete* on its promise class: a read equal to a
+    /// window slice with up to `max_mismatches` substitutions is always
+    /// accepted, scoring at least the planted-mismatch interpretation and at
+    /// most the DP optimum. (On low-complexity windows DP may beat any
+    /// single-edit-type alignment by mixing edit types, so equality with DP
+    /// is not guaranteed — only the sandwich.)
+    #[test]
+    fn light_align_complete_on_mismatch_class(
+        window in arb_dna(170),
+        positions in prop::collection::hash_set(0usize..150, 0..=8),
+    ) {
+        let scoring = Scoring::short_read();
+        let cfg = LightConfig::default();
+        let mut read = window.subseq(5..155);
+        for &p in &positions {
+            read.set(p, read.get(p).complement());
+        }
+        let light = light_align(&read, &window, 5, &cfg, &scoring)
+            .expect("mismatch-class read rejected");
+        let dp = align(&read, &window, &scoring, AlignMode::Fit);
+        prop_assert!(light.score >= scoring.ungapped(150, positions.len()));
+        prop_assert!(light.score <= dp.score);
+    }
+}
+
+mod voting_props {
+    use super::*;
+    use gx_core::voting::location_vote;
+
+    proptest! {
+        /// The vote winner's count is the true maximum over all windows.
+        #[test]
+        fn vote_finds_max_window(
+            cands in prop::collection::vec(0u32..50_000, 1..100),
+            window in 1u32..5_000
+        ) {
+            let v = location_vote(&cands, window).expect("non-empty");
+            let mut sorted = cands.clone();
+            sorted.sort_unstable();
+            let mut best = 0u32;
+            for i in 0..sorted.len() {
+                let count = sorted[i..]
+                    .iter()
+                    .take_while(|&&x| x - sorted[i] <= window)
+                    .count() as u32;
+                best = best.max(count);
+            }
+            prop_assert_eq!(v.votes, best);
+        }
+    }
+}

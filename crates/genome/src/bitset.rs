@@ -1,0 +1,140 @@
+/// A fixed-size bit set used for ambiguity (N) masks and visited-position
+/// tracking.
+///
+/// ```
+/// use gx_genome::Bitset;
+/// let mut bs = Bitset::new(100);
+/// bs.set(42);
+/// assert!(bs.get(42));
+/// assert!(!bs.get(41));
+/// assert_eq!(bs.count_ones(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// Creates a set of `len` bits, all clear.
+    pub fn new(len: usize) -> Bitset {
+        Bitset {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of bounds (len {})", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of bounds (len {})", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of bounds (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Whether any bit in `[start, end)` is set. Used to test whether a seed
+    /// window overlaps an ambiguous (N) region.
+    pub fn any_in_range(&self, start: usize, end: usize) -> bool {
+        assert!(start <= end && end <= self.len, "range out of bounds");
+        // Word-at-a-time scan: trim the first and last partial words.
+        let (mut w0, w1) = (start / 64, end.div_ceil(64));
+        if w0 == w1 {
+            return false;
+        }
+        let first_mask = !0u64 << (start % 64);
+        let last_mask = if end.is_multiple_of(64) { !0u64 } else { (1u64 << (end % 64)) - 1 };
+        if w1 - w0 == 1 {
+            return self.words[w0] & first_mask & last_mask != 0;
+        }
+        if self.words[w0] & first_mask != 0 {
+            return true;
+        }
+        w0 += 1;
+        for w in w0..w1 - 1 {
+            if self.words[w] != 0 {
+                return true;
+            }
+        }
+        self.words[w1 - 1] & last_mask != 0
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bs = Bitset::new(130);
+        bs.set(0);
+        bs.set(63);
+        bs.set(64);
+        bs.set(129);
+        assert!(bs.get(0) && bs.get(63) && bs.get(64) && bs.get(129));
+        assert!(!bs.get(1) && !bs.get(65));
+        bs.clear(64);
+        assert!(!bs.get(64));
+        assert_eq!(bs.count_ones(), 3);
+    }
+
+    #[test]
+    fn any_in_range_matches_naive() {
+        let mut bs = Bitset::new(300);
+        for i in [5usize, 70, 130, 131, 250] {
+            bs.set(i);
+        }
+        let naive = |s: usize, e: usize| (s..e).any(|i| bs.get(i));
+        for s in (0..300).step_by(7) {
+            for e in (s..=300).step_by(11) {
+                assert_eq!(bs.any_in_range(s, e), naive(s, e), "range {s}..{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_is_false() {
+        let mut bs = Bitset::new(64);
+        bs.set(10);
+        assert!(!bs.any_in_range(10, 10));
+    }
+}

@@ -1,0 +1,144 @@
+//! Minimal FASTQ reading and writing for simulated reads.
+
+use crate::{DnaSeq, GenomeError};
+use std::io::{BufRead, Write};
+
+/// A sequencing read: identifier, bases and per-base Phred+33 qualities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadRecord {
+    /// Read identifier (without the leading `@`).
+    pub id: String,
+    /// Read bases.
+    pub seq: DnaSeq,
+    /// Phred+33 quality bytes, one per base.
+    pub qual: Vec<u8>,
+}
+
+impl ReadRecord {
+    /// Creates a record with a flat quality of `q` (Phred score).
+    pub fn with_flat_quality(id: impl Into<String>, seq: DnaSeq, q: u8) -> ReadRecord {
+        let qual = vec![q.saturating_add(33).min(b'~'); seq.len()];
+        ReadRecord {
+            id: id.into(),
+            seq,
+            qual,
+        }
+    }
+
+    /// Read length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether the read has zero bases.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+/// Reads all records from a FASTQ stream.
+///
+/// Ambiguous bases (`N`) are not representable in [`DnaSeq`]; they are
+/// replaced with `A`, matching the common practice of mapping-oriented 2-bit
+/// encodings.
+///
+/// # Errors
+///
+/// Returns [`GenomeError::ParseFormat`] on truncated or malformed records.
+pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<ReadRecord>, GenomeError> {
+    let mut lines = reader.lines();
+    let mut out = Vec::new();
+    while let Some(header) = lines.next() {
+        let header = header.map_err(|e| GenomeError::ParseFormat(format!("io error: {e}")))?;
+        if header.trim().is_empty() {
+            continue;
+        }
+        let id = header
+            .strip_prefix('@')
+            .ok_or_else(|| GenomeError::ParseFormat(format!("expected @header, got {header}")))?
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_string();
+        let next = |lines: &mut std::io::Lines<R>| -> Result<String, GenomeError> {
+            lines
+                .next()
+                .ok_or_else(|| GenomeError::ParseFormat("truncated FASTQ record".into()))?
+                .map_err(|e| GenomeError::ParseFormat(format!("io error: {e}")))
+        };
+        let seq_line = next(&mut lines)?;
+        let plus = next(&mut lines)?;
+        if !plus.starts_with('+') {
+            return Err(GenomeError::ParseFormat("missing + separator".into()));
+        }
+        let qual_line = next(&mut lines)?;
+        if qual_line.len() != seq_line.len() {
+            return Err(GenomeError::ParseFormat(
+                "quality length differs from sequence length".into(),
+            ));
+        }
+        let mut seq = DnaSeq::with_capacity(seq_line.len());
+        for &ch in seq_line.as_bytes() {
+            match crate::Base::from_ascii(ch) {
+                Some(b) => seq.push(b),
+                None => seq.push(crate::Base::A),
+            }
+        }
+        out.push(ReadRecord {
+            id,
+            seq,
+            qual: qual_line.into_bytes(),
+        });
+    }
+    Ok(out)
+}
+
+/// Writes records as FASTQ.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_fastq<W: Write>(records: &[ReadRecord], mut writer: W) -> std::io::Result<()> {
+    for r in records {
+        writeln!(writer, "@{}", r.id)?;
+        writer.write_all(&r.seq.to_ascii())?;
+        writer.write_all(b"\n+\n")?;
+        writer.write_all(&r.qual)?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let records = vec![
+            ReadRecord::with_flat_quality("r1", DnaSeq::from_ascii(b"ACGT").unwrap(), 30),
+            ReadRecord::with_flat_quality("r2", DnaSeq::from_ascii(b"TTAA").unwrap(), 20),
+        ];
+        let mut buf = Vec::new();
+        write_fastq(&records, &mut buf).unwrap();
+        let back = read_fastq(buf.as_slice()).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(read_fastq(&b"@r1\nACGT\n+\n"[..]).is_err());
+        assert!(read_fastq(&b"@r1\nACGT\n"[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_quality_mismatch() {
+        assert!(read_fastq(&b"@r1\nACGT\n+\nII\n"[..]).is_err());
+    }
+
+    #[test]
+    fn n_replaced_with_a() {
+        let recs = read_fastq(&b"@r\nANGT\n+\nIIII\n"[..]).unwrap();
+        assert_eq!(recs[0].seq.to_string(), "AAGT");
+    }
+}

@@ -1,0 +1,159 @@
+use crate::{Cigar, DnaSeq};
+
+/// SAM-style flag bits for [`SamRecord::flags`].
+pub mod flags {
+    /// Template has multiple segments (paired).
+    pub const PAIRED: u16 = 0x1;
+    /// Each segment properly aligned according to the aligner.
+    pub const PROPER_PAIR: u16 = 0x2;
+    /// Segment unmapped.
+    pub const UNMAPPED: u16 = 0x4;
+    /// Next segment unmapped.
+    pub const MATE_UNMAPPED: u16 = 0x8;
+    /// Sequence reverse-complemented on the reference.
+    pub const REVERSE: u16 = 0x10;
+    /// Mate reverse-complemented.
+    pub const MATE_REVERSE: u16 = 0x20;
+    /// First segment in the template (read 1).
+    pub const FIRST_IN_PAIR: u16 = 0x40;
+    /// Last segment in the template (read 2).
+    pub const SECOND_IN_PAIR: u16 = 0x80;
+    /// Secondary alignment.
+    pub const SECONDARY: u16 = 0x100;
+}
+
+/// A minimal SAM-like alignment record.
+///
+/// Chromosomes are referenced by index into the genome that produced the
+/// alignment (names live in [`ReferenceGenome`](crate::ReferenceGenome)),
+/// which keeps pileup construction allocation-free.
+///
+/// ```
+/// use gx_genome::{Cigar, DnaSeq, SamRecord, flags};
+///
+/// # fn main() -> Result<(), gx_genome::GenomeError> {
+/// let rec = SamRecord {
+///     qname: "pair0/1".to_string(),
+///     flags: flags::PAIRED | flags::FIRST_IN_PAIR,
+///     chrom: 0,
+///     pos: 1234,
+///     mapq: 60,
+///     cigar: Cigar::parse("150M")?,
+///     seq: DnaSeq::from_ascii(b"ACGT")?,
+///     score: 300,
+/// };
+/// assert!(rec.is_mapped());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SamRecord {
+    /// Query (read) name.
+    pub qname: String,
+    /// Bitwise OR of [`flags`] values.
+    pub flags: u16,
+    /// Chromosome index (meaningless when unmapped).
+    pub chrom: u32,
+    /// 0-based leftmost mapping position.
+    pub pos: u64,
+    /// Mapping quality (0–60).
+    pub mapq: u8,
+    /// Alignment description. Empty when unmapped.
+    pub cigar: Cigar,
+    /// The read bases as aligned (already reverse-complemented when the
+    /// `REVERSE` flag is set, i.e. in reference orientation).
+    pub seq: DnaSeq,
+    /// Alignment score (mapper-specific; minimap2 `AS` tag equivalent).
+    pub score: i32,
+}
+
+impl SamRecord {
+    /// Creates an unmapped record for a read.
+    pub fn unmapped(qname: impl Into<String>, flags_in: u16, seq: DnaSeq) -> SamRecord {
+        SamRecord {
+            qname: qname.into(),
+            flags: flags_in | flags::UNMAPPED,
+            chrom: 0,
+            pos: 0,
+            mapq: 0,
+            cigar: Cigar::new(),
+            seq,
+            score: 0,
+        }
+    }
+
+    /// Whether the record represents a mapped read.
+    pub fn is_mapped(&self) -> bool {
+        self.flags & flags::UNMAPPED == 0
+    }
+
+    /// Whether the read aligned to the reverse strand.
+    pub fn is_reverse(&self) -> bool {
+        self.flags & flags::REVERSE != 0
+    }
+
+    /// End of the alignment on the reference (exclusive).
+    pub fn ref_end(&self) -> u64 {
+        self.pos + self.cigar.ref_len()
+    }
+
+    /// Renders a SAM text line (subset of columns; mate fields are left at
+    /// their null values).
+    pub fn to_sam_line(&self, chrom_name: &str) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t*\t0\t0\t{}\t*\tAS:i:{}",
+            self.qname,
+            self.flags,
+            if self.is_mapped() { chrom_name } else { "*" },
+            if self.is_mapped() { self.pos + 1 } else { 0 },
+            self.mapq,
+            self.cigar,
+            self.seq,
+            self.score,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_flags() {
+        let r = SamRecord::unmapped("q", flags::PAIRED, DnaSeq::new());
+        assert!(!r.is_mapped());
+        assert!(r.flags & flags::PAIRED != 0);
+    }
+
+    #[test]
+    fn ref_end_uses_cigar() {
+        let r = SamRecord {
+            qname: "q".into(),
+            flags: 0,
+            chrom: 0,
+            pos: 100,
+            mapq: 60,
+            cigar: Cigar::parse("10M2D5M").unwrap(),
+            seq: DnaSeq::new(),
+            score: 0,
+        };
+        assert_eq!(r.ref_end(), 117);
+    }
+
+    #[test]
+    fn sam_line_one_based() {
+        let r = SamRecord {
+            qname: "q".into(),
+            flags: 0,
+            chrom: 0,
+            pos: 0,
+            mapq: 60,
+            cigar: Cigar::parse("4M").unwrap(),
+            seq: DnaSeq::from_ascii(b"ACGT").unwrap(),
+            score: 8,
+        };
+        let line = r.to_sam_line("chr1");
+        assert!(line.contains("\tchr1\t1\t"), "line: {line}");
+        assert!(line.ends_with("AS:i:8"));
+    }
+}

@@ -1,0 +1,365 @@
+use crate::{Base, GenomeError};
+
+/// A DNA sequence packed two bits per base (32 bases per `u64` word).
+///
+/// `DnaSeq` is the workhorse sequence type of the workspace: reference
+/// chromosomes, reads and seeds are all `DnaSeq`s. Random access is O(1) and
+/// the packed words are exposed for bit-parallel algorithms (the light
+/// aligner's Hamming masks operate directly on 2-bit codes).
+///
+/// ```
+/// use gx_genome::{Base, DnaSeq};
+///
+/// # fn main() -> Result<(), gx_genome::GenomeError> {
+/// let s = DnaSeq::from_ascii(b"ACGTT")?;
+/// assert_eq!(s.len(), 5);
+/// assert_eq!(s.get(1), Base::C);
+/// assert_eq!(s.revcomp().to_string(), "AACGT");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct DnaSeq {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DnaSeq {
+    /// Creates an empty sequence.
+    pub fn new() -> DnaSeq {
+        DnaSeq::default()
+    }
+
+    /// Creates an empty sequence with room for `cap` bases.
+    pub fn with_capacity(cap: usize) -> DnaSeq {
+        DnaSeq {
+            words: Vec::with_capacity(cap.div_ceil(32)),
+            len: 0,
+        }
+    }
+
+    /// Parses an ASCII byte string of `ACGTacgt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::InvalidBase`] on any other byte (including `N`;
+    /// ambiguous reference positions are tracked separately by
+    /// [`Chromosome`](crate::Chromosome) masks).
+    pub fn from_ascii(ascii: &[u8]) -> Result<DnaSeq, GenomeError> {
+        let mut s = DnaSeq::with_capacity(ascii.len());
+        for &ch in ascii {
+            s.push(Base::from_ascii(ch).ok_or(GenomeError::InvalidBase(ch))?);
+        }
+        Ok(s)
+    }
+
+    /// Builds a sequence from raw 2-bit codes.
+    pub fn from_codes(codes: &[u8]) -> DnaSeq {
+        let mut s = DnaSeq::with_capacity(codes.len());
+        for &c in codes {
+            s.push(Base::from_code(c));
+        }
+        s
+    }
+
+    /// Number of bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence has no bases.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a base.
+    #[inline]
+    pub fn push(&mut self, base: Base) {
+        let (word, shift) = (self.len / 32, (self.len % 32) * 2);
+        if shift == 0 {
+            self.words.push(base.code() as u64);
+        } else {
+            self.words[word] |= (base.code() as u64) << shift;
+        }
+        self.len += 1;
+    }
+
+    /// The base at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= self.len()`.
+    #[inline]
+    pub fn get(&self, pos: usize) -> Base {
+        assert!(pos < self.len, "index {pos} out of bounds (len {})", self.len);
+        Base::from_code_unchecked(self.code_at(pos))
+    }
+
+    /// 2-bit code at `pos` (unchecked against `len` in release builds only
+    /// through the underlying slice indexing; the word access itself is
+    /// bounds-checked).
+    #[inline]
+    pub fn code_at(&self, pos: usize) -> u8 {
+        ((self.words[pos / 32] >> ((pos % 32) * 2)) & 3) as u8
+    }
+
+    /// Overwrites the base at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= self.len()`.
+    #[inline]
+    pub fn set(&mut self, pos: usize, base: Base) {
+        assert!(pos < self.len, "index {pos} out of bounds (len {})", self.len);
+        let (word, shift) = (pos / 32, (pos % 32) * 2);
+        self.words[word] = (self.words[word] & !(3u64 << shift)) | ((base.code() as u64) << shift);
+    }
+
+    /// Iterator over the bases.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { seq: self, pos: 0 }
+    }
+
+    /// Copies `range` into a new sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn subseq(&self, range: std::ops::Range<usize>) -> DnaSeq {
+        assert!(range.end <= self.len, "subseq range out of bounds");
+        let mut out = DnaSeq::with_capacity(range.len());
+        for pos in range {
+            out.push(Base::from_code_unchecked(self.code_at(pos)));
+        }
+        out
+    }
+
+    /// Appends all bases of `other`.
+    pub fn extend_from_seq(&mut self, other: &DnaSeq) {
+        for b in other.iter() {
+            self.push(b);
+        }
+    }
+
+    /// Reverse complement of the sequence.
+    pub fn revcomp(&self) -> DnaSeq {
+        let mut out = DnaSeq::with_capacity(self.len);
+        for pos in (0..self.len).rev() {
+            out.push(Base::from_code_unchecked(self.code_at(pos) ^ 3));
+        }
+        out
+    }
+
+    /// Packs bases `[pos, pos + k)` into the low `2k` bits of a `u64`
+    /// (base at `pos` in the lowest bits). Used for minimizer k-mers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 32` or the range is out of bounds.
+    #[inline]
+    pub fn kmer_u64(&self, pos: usize, k: usize) -> u64 {
+        assert!(k <= 32, "k-mer too wide for u64");
+        assert!(pos + k <= self.len, "k-mer range out of bounds");
+        let mut v = 0u64;
+        for i in 0..k {
+            v |= (self.code_at(pos + i) as u64) << (2 * i);
+        }
+        v
+    }
+
+    /// ASCII bytes (`ACGT`) of the whole sequence.
+    pub fn to_ascii(&self) -> Vec<u8> {
+        self.iter().map(Base::to_ascii).collect()
+    }
+
+    /// Raw 2-bit codes of the whole sequence, one per byte. This is the byte
+    /// stream the SeedMap hashes (xxh32 over codes).
+    pub fn to_codes(&self) -> Vec<u8> {
+        (0..self.len).map(|i| self.code_at(i)).collect()
+    }
+
+    /// Copies the 2-bit codes of `range` into `buf` (resizing it).
+    pub fn codes_into(&self, range: std::ops::Range<usize>, buf: &mut Vec<u8>) {
+        assert!(range.end <= self.len, "range out of bounds");
+        buf.clear();
+        buf.extend(range.map(|i| self.code_at(i)));
+    }
+
+    /// The packed 2-bit words backing the sequence (32 bases per word,
+    /// little-endian within the word). The final word's unused high bits are
+    /// zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl std::fmt::Display for DnaSeq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for b in self.iter() {
+            write!(f, "{b}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for DnaSeq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.len <= 64 {
+            write!(f, "DnaSeq(\"{self}\")")
+        } else {
+            write!(
+                f,
+                "DnaSeq(len={}, \"{}…\")",
+                self.len,
+                self.subseq(0..64)
+            )
+        }
+    }
+}
+
+impl FromIterator<Base> for DnaSeq {
+    fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> DnaSeq {
+        let mut s = DnaSeq::new();
+        for b in iter {
+            s.push(b);
+        }
+        s
+    }
+}
+
+impl Extend<Base> for DnaSeq {
+    fn extend<I: IntoIterator<Item = Base>>(&mut self, iter: I) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+impl std::str::FromStr for DnaSeq {
+    type Err = GenomeError;
+
+    fn from_str(s: &str) -> Result<DnaSeq, GenomeError> {
+        DnaSeq::from_ascii(s.as_bytes())
+    }
+}
+
+/// Iterator over the bases of a [`DnaSeq`], produced by [`DnaSeq::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    seq: &'a DnaSeq,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Base;
+
+    fn next(&mut self) -> Option<Base> {
+        if self.pos >= self.seq.len {
+            return None;
+        }
+        let b = Base::from_code_unchecked(self.seq.code_at(self.pos));
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.seq.len - self.pos;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a DnaSeq {
+    type Item = Base;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_roundtrip() {
+        let s = DnaSeq::from_ascii(b"ACGTACGTTGCA").unwrap();
+        assert_eq!(s.to_ascii(), b"ACGTACGTTGCA");
+        assert_eq!(s.to_string(), "ACGTACGTTGCA");
+    }
+
+    #[test]
+    fn push_get_across_word_boundary() {
+        let mut s = DnaSeq::new();
+        for i in 0..100 {
+            s.push(Base::from_code((i % 4) as u8));
+        }
+        for i in 0..100 {
+            assert_eq!(s.get(i).code(), (i % 4) as u8);
+        }
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut s = DnaSeq::from_ascii(b"AAAA").unwrap();
+        s.set(2, Base::T);
+        assert_eq!(s.to_string(), "AATA");
+        s.set(2, Base::C);
+        assert_eq!(s.to_string(), "AACA");
+    }
+
+    #[test]
+    fn revcomp_known() {
+        let s = DnaSeq::from_ascii(b"AACGT").unwrap();
+        assert_eq!(s.revcomp().to_string(), "ACGTT");
+    }
+
+    #[test]
+    fn revcomp_involution() {
+        let s = DnaSeq::from_ascii(b"ACGGGTTTACACGT").unwrap();
+        assert_eq!(s.revcomp().revcomp(), s);
+    }
+
+    #[test]
+    fn subseq_matches_slice() {
+        let s = DnaSeq::from_ascii(b"ACGTACGTAC").unwrap();
+        assert_eq!(s.subseq(2..7).to_string(), "GTACG");
+        assert_eq!(s.subseq(0..0).len(), 0);
+    }
+
+    #[test]
+    fn kmer_u64_packs_low_to_high() {
+        let s = DnaSeq::from_ascii(b"ACGT").unwrap();
+        // A=0, C=1, G=2, T=3 -> 0 | 1<<2 | 2<<4 | 3<<6
+        assert_eq!(s.kmer_u64(0, 4), 0b11_10_01_00);
+    }
+
+    #[test]
+    fn iterator_len() {
+        let s = DnaSeq::from_ascii(b"ACGTACG").unwrap();
+        assert_eq!(s.iter().len(), 7);
+        assert_eq!(s.iter().count(), 7);
+    }
+
+    #[test]
+    fn invalid_base_rejected() {
+        assert!(DnaSeq::from_ascii(b"ACNGT").is_err());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: DnaSeq = [Base::A, Base::C, Base::G].into_iter().collect();
+        assert_eq!(s.to_string(), "ACG");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let s = DnaSeq::from_ascii(b"ACGT").unwrap();
+        let _ = s.get(4);
+    }
+}

@@ -1,0 +1,395 @@
+//! Germline variant generation and donor-genome construction.
+//!
+//! Variant-calling experiments (paper Table 7) need a *donor* genome that
+//! differs from the reference by a known truth set of SNPs and INDELs. Reads
+//! are simulated from the donor; the mapper aligns them to the reference; the
+//! variant caller should recover the truth set. [`DonorGenome`] also keeps a
+//! donor→reference coordinate map so read simulators can emit ground-truth
+//! reference positions for mapping-accuracy evaluation (Fig. 13).
+
+use crate::{Base, Chromosome, DnaSeq, GenomeError, Locus, ReferenceGenome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The kind of a small variant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VariantKind {
+    /// Single-nucleotide polymorphism.
+    Snp,
+    /// Insertion of novel sequence before the anchor position.
+    Ins,
+    /// Deletion of reference bases starting at the anchor position.
+    Del,
+}
+
+/// A small germline variant against the reference.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Variant {
+    /// Chromosome index.
+    pub chrom: u32,
+    /// 0-based reference position: the substituted base (SNP), the base
+    /// *before which* sequence is inserted (INS), or the first deleted base
+    /// (DEL).
+    pub pos: u64,
+    /// Variant kind.
+    pub kind: VariantKind,
+    /// Inserted sequence (INS) or replacement base (SNP, length 1); empty
+    /// for DEL.
+    pub alt: DnaSeq,
+    /// Number of deleted reference bases (DEL); 0 otherwise.
+    pub del_len: u32,
+}
+
+impl Variant {
+    /// Creates a SNP.
+    pub fn snp(chrom: u32, pos: u64, alt: Base) -> Variant {
+        let mut s = DnaSeq::new();
+        s.push(alt);
+        Variant {
+            chrom,
+            pos,
+            kind: VariantKind::Snp,
+            alt: s,
+            del_len: 0,
+        }
+    }
+
+    /// Creates an insertion of `seq` before `pos`.
+    pub fn insertion(chrom: u32, pos: u64, seq: DnaSeq) -> Variant {
+        Variant {
+            chrom,
+            pos,
+            kind: VariantKind::Ins,
+            alt: seq,
+            del_len: 0,
+        }
+    }
+
+    /// Creates a deletion of `len` bases starting at `pos`.
+    pub fn deletion(chrom: u32, pos: u64, len: u32) -> Variant {
+        Variant {
+            chrom,
+            pos,
+            kind: VariantKind::Del,
+            alt: DnaSeq::new(),
+            del_len: len,
+        }
+    }
+
+    /// Reference footprint of the variant: the half-open interval of
+    /// reference positions it touches.
+    pub fn ref_span(&self) -> std::ops::Range<u64> {
+        match self.kind {
+            VariantKind::Snp => self.pos..self.pos + 1,
+            VariantKind::Ins => self.pos..self.pos,
+            VariantKind::Del => self.pos..self.pos + self.del_len as u64,
+        }
+    }
+}
+
+/// Configuration for random variant generation.
+#[derive(Clone, Copy, Debug)]
+pub struct VariantProfile {
+    /// Per-base SNP probability (paper §7.8 uses 1e-3).
+    pub snp_rate: f64,
+    /// Per-base INDEL probability (paper §7.8 uses 2e-4).
+    pub indel_rate: f64,
+    /// Maximum INDEL length; lengths are drawn uniformly in `1..=max`.
+    pub max_indel_len: u32,
+    /// Minimum spacing between consecutive variants, so truth comparison is
+    /// unambiguous.
+    pub min_spacing: u64,
+}
+
+impl Default for VariantProfile {
+    fn default() -> VariantProfile {
+        VariantProfile {
+            snp_rate: 1e-3,
+            indel_rate: 2e-4,
+            max_indel_len: 6,
+            min_spacing: 12,
+        }
+    }
+}
+
+/// Draws a sorted, non-overlapping variant set over the genome.
+pub fn generate_variants(
+    genome: &ReferenceGenome,
+    profile: &VariantProfile,
+    seed: u64,
+) -> Vec<Variant> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for (ci, chrom) in genome.chromosomes().iter().enumerate() {
+        let mut pos = 0u64;
+        let len = chrom.len() as u64;
+        while pos < len {
+            let r: f64 = rng.random();
+            if r < profile.snp_rate {
+                let cur = chrom.seq().get(pos as usize);
+                let alt = cur.substitutions()[rng.random_range(0..3)];
+                out.push(Variant::snp(ci as u32, pos, alt));
+                pos += profile.min_spacing;
+            } else if r < profile.snp_rate + profile.indel_rate {
+                let ilen = rng.random_range(1..=profile.max_indel_len);
+                if rng.random_bool(0.5) {
+                    let seq: DnaSeq = (0..ilen)
+                        .map(|_| Base::from_code(rng.random_range(0..4)))
+                        .collect();
+                    out.push(Variant::insertion(ci as u32, pos, seq));
+                } else if pos + ilen as u64 + profile.min_spacing < len {
+                    out.push(Variant::deletion(ci as u32, pos, ilen));
+                }
+                pos += profile.min_spacing + profile.max_indel_len as u64;
+            } else {
+                pos += 1;
+            }
+        }
+    }
+    out
+}
+
+/// One contiguous block of the donor↔reference coordinate correspondence.
+#[derive(Clone, Copy, Debug)]
+struct MapSegment {
+    donor_start: u64,
+    ref_start: u64,
+    len: u64,
+}
+
+/// Donor→reference coordinate map for one chromosome.
+#[derive(Clone, Debug, Default)]
+pub struct CoordMap {
+    segments: Vec<MapSegment>,
+    donor_len: u64,
+}
+
+impl CoordMap {
+    /// Maps a donor position to the corresponding reference position.
+    /// Positions inside insertions map to the insertion anchor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `donor_pos` is beyond the donor chromosome.
+    pub fn donor_to_ref(&self, donor_pos: u64) -> u64 {
+        assert!(donor_pos < self.donor_len, "donor position out of bounds");
+        // Find last segment with donor_start <= donor_pos.
+        let idx = self
+            .segments
+            .partition_point(|s| s.donor_start <= donor_pos)
+            .saturating_sub(1);
+        let seg = &self.segments[idx];
+        let off = donor_pos - seg.donor_start;
+        if off < seg.len {
+            seg.ref_start + off
+        } else {
+            // Inside inserted sequence that follows this segment: anchor to
+            // the segment end.
+            seg.ref_start + seg.len
+        }
+    }
+
+    /// Donor chromosome length.
+    pub fn donor_len(&self) -> u64 {
+        self.donor_len
+    }
+}
+
+/// A donor genome: the mutated sequence, the truth variant set, and
+/// per-chromosome coordinate maps.
+#[derive(Clone, Debug)]
+pub struct DonorGenome {
+    genome: ReferenceGenome,
+    maps: Vec<CoordMap>,
+    variants: Vec<Variant>,
+}
+
+impl DonorGenome {
+    /// Applies `variants` (must be sorted by (chrom, pos) and
+    /// non-overlapping) to the reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::InvalidVariant`] if variants are unsorted,
+    /// overlapping or out of range.
+    pub fn apply(reference: &ReferenceGenome, variants: Vec<Variant>) -> Result<DonorGenome, GenomeError> {
+        let mut chroms = Vec::with_capacity(reference.num_chromosomes());
+        let mut maps = Vec::with_capacity(reference.num_chromosomes());
+        for (ci, chrom) in reference.chromosomes().iter().enumerate() {
+            let vars: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| v.chrom == ci as u32)
+                .collect();
+            for w in vars.windows(2) {
+                if w[1].pos < w[0].ref_span().end || w[1].pos <= w[0].pos {
+                    return Err(GenomeError::InvalidVariant(format!(
+                        "variants unsorted or overlapping at chr{} pos {} / {}",
+                        ci, w[0].pos, w[1].pos
+                    )));
+                }
+            }
+            let src = chrom.seq();
+            let src_len = src.len() as u64;
+            let mut donor = DnaSeq::with_capacity(src.len() + src.len() / 100);
+            let mut map = CoordMap::default();
+            let mut ref_cursor = 0u64;
+            let mut donor_cursor = 0u64;
+            let mut seg_ref_start = 0u64;
+            let mut seg_donor_start = 0u64;
+
+            let close_segment =
+                |map: &mut CoordMap, seg_ref_start: u64, seg_donor_start: u64, len: u64| {
+                    map.segments.push(MapSegment {
+                        donor_start: seg_donor_start,
+                        ref_start: seg_ref_start,
+                        len,
+                    });
+                };
+
+            for v in vars {
+                if v.ref_span().end > src_len {
+                    return Err(GenomeError::InvalidVariant(format!(
+                        "variant at chr{} pos {} beyond chromosome end {}",
+                        ci, v.pos, src_len
+                    )));
+                }
+                // Copy reference up to the variant anchor.
+                for p in ref_cursor..v.pos {
+                    donor.push(src.get(p as usize));
+                }
+                donor_cursor += v.pos - ref_cursor;
+                ref_cursor = v.pos;
+                match v.kind {
+                    VariantKind::Snp => {
+                        // SNP continues the segment: lengths stay in sync.
+                        donor.push(v.alt.get(0));
+                        donor_cursor += 1;
+                        ref_cursor += 1;
+                    }
+                    VariantKind::Ins => {
+                        close_segment(&mut map, seg_ref_start, seg_donor_start, ref_cursor - seg_ref_start);
+                        donor.extend_from_seq(&v.alt);
+                        donor_cursor += v.alt.len() as u64;
+                        seg_ref_start = ref_cursor;
+                        seg_donor_start = donor_cursor;
+                    }
+                    VariantKind::Del => {
+                        close_segment(&mut map, seg_ref_start, seg_donor_start, ref_cursor - seg_ref_start);
+                        ref_cursor += v.del_len as u64;
+                        seg_ref_start = ref_cursor;
+                        seg_donor_start = donor_cursor;
+                    }
+                }
+            }
+            for p in ref_cursor..src_len {
+                donor.push(src.get(p as usize));
+            }
+            close_segment(&mut map, seg_ref_start, seg_donor_start, src_len - seg_ref_start);
+            map.donor_len = donor.len() as u64;
+            chroms.push(Chromosome::new(chrom.name().to_string(), donor));
+            maps.push(map);
+        }
+        Ok(DonorGenome {
+            genome: ReferenceGenome::from_chromosomes(chroms),
+            maps,
+            variants,
+        })
+    }
+
+    /// The donor sequence as a genome (read simulators sample from this).
+    pub fn genome(&self) -> &ReferenceGenome {
+        &self.genome
+    }
+
+    /// The truth variant set.
+    pub fn variants(&self) -> &[Variant] {
+        &self.variants
+    }
+
+    /// Maps a donor locus to the reference position it originates from.
+    pub fn donor_to_ref(&self, locus: Locus) -> Locus {
+        Locus {
+            chrom: locus.chrom,
+            pos: self.maps[locus.chrom as usize].donor_to_ref(locus.pos),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference() -> ReferenceGenome {
+        ReferenceGenome::from_chromosomes(vec![Chromosome::new(
+            "chr1",
+            DnaSeq::from_ascii(b"ACGTACGTACGTACGTACGT").unwrap(),
+        )])
+    }
+
+    #[test]
+    fn snp_applies() {
+        let r = reference();
+        let d = DonorGenome::apply(&r, vec![Variant::snp(0, 2, Base::T)]).unwrap();
+        assert_eq!(d.genome().chromosome(0).seq().to_string(), "ACTTACGTACGTACGTACGT");
+        assert_eq!(d.donor_to_ref(Locus { chrom: 0, pos: 10 }).pos, 10);
+    }
+
+    #[test]
+    fn insertion_shifts_coordinates() {
+        let r = reference();
+        let ins = DnaSeq::from_ascii(b"GGG").unwrap();
+        let d = DonorGenome::apply(&r, vec![Variant::insertion(0, 4, ins)]).unwrap();
+        assert_eq!(d.genome().chromosome(0).seq().to_string(), "ACGTGGGACGTACGTACGTACGT");
+        // Donor position before insertion unchanged.
+        assert_eq!(d.donor_to_ref(Locus { chrom: 0, pos: 3 }).pos, 3);
+        // Donor positions inside insertion anchor at ref 4.
+        assert_eq!(d.donor_to_ref(Locus { chrom: 0, pos: 5 }).pos, 4);
+        // After insertion: shifted back by 3.
+        assert_eq!(d.donor_to_ref(Locus { chrom: 0, pos: 10 }).pos, 7);
+    }
+
+    #[test]
+    fn deletion_shifts_coordinates() {
+        let r = reference();
+        let d = DonorGenome::apply(&r, vec![Variant::deletion(0, 4, 2)]).unwrap();
+        assert_eq!(d.genome().chromosome(0).seq().to_string(), "ACGTGTACGTACGTACGT");
+        assert_eq!(d.donor_to_ref(Locus { chrom: 0, pos: 3 }).pos, 3);
+        assert_eq!(d.donor_to_ref(Locus { chrom: 0, pos: 4 }).pos, 6);
+        assert_eq!(d.donor_to_ref(Locus { chrom: 0, pos: 10 }).pos, 12);
+    }
+
+    #[test]
+    fn rejects_overlapping() {
+        let r = reference();
+        let res = DonorGenome::apply(
+            &r,
+            vec![Variant::deletion(0, 4, 3), Variant::snp(0, 5, Base::A)],
+        );
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let r = reference();
+        assert!(DonorGenome::apply(&r, vec![Variant::deletion(0, 19, 5)]).is_err());
+    }
+
+    #[test]
+    fn generated_variants_sorted_disjoint() {
+        let g = crate::random::RandomGenomeBuilder::new(200_000).seed(5).build();
+        let vars = generate_variants(&g, &VariantProfile::default(), 11);
+        assert!(!vars.is_empty());
+        for w in vars.windows(2) {
+            if w[0].chrom == w[1].chrom {
+                assert!(w[1].pos >= w[0].ref_span().end);
+                assert!(w[1].pos > w[0].pos);
+            }
+        }
+        // Rate sanity: roughly 1e-3 SNPs/base.
+        let snps = vars.iter().filter(|v| v.kind == VariantKind::Snp).count();
+        assert!(snps > 100 && snps < 400, "snps = {snps}");
+        // Applies cleanly.
+        let d = DonorGenome::apply(&g, vars).unwrap();
+        assert!(d.genome().total_len() > 0);
+    }
+}

@@ -1,0 +1,421 @@
+use crate::DramConfig;
+
+/// A read request submitted to the simulator.
+#[derive(Clone, Copy, Debug)]
+pub struct Request {
+    /// Byte address within the channel's address space.
+    pub addr: u64,
+    /// Bytes to read (split into bursts internally; sequential addresses).
+    pub bytes: u32,
+    /// Target channel. The NMSL partitions the Seed/Location tables across
+    /// channels by seed hash, so the caller picks the channel explicitly.
+    pub channel: u32,
+    /// Caller tag returned in the [`Completion`].
+    pub tag: u64,
+}
+
+/// A completed request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The tag from the [`Request`].
+    pub tag: u64,
+    /// Cycle at which the last data beat arrived.
+    pub cycle: u64,
+}
+
+/// Aggregate statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DramStats {
+    /// Read bursts issued.
+    pub bursts: u64,
+    /// Row activations.
+    pub activations: u64,
+    /// Precharges.
+    pub precharges: u64,
+    /// Bytes delivered.
+    pub bytes: u64,
+    /// Requests completed.
+    pub completed: u64,
+}
+
+impl DramStats {
+    /// Row-hit rate over issued bursts: bursts served without a fresh
+    /// activation. (A burst can only issue once its row is open, so the hit
+    /// rate is `1 - activations/bursts`.)
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.bursts == 0 {
+            0.0
+        } else {
+            1.0 - (self.activations.min(self.bursts)) as f64 / self.bursts as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Bank {
+    open_row: Option<u64>,
+    /// Cycle at which the bank can accept its next command.
+    ready_at: u64,
+    /// Cycle of the last activate (for tRAS).
+    activated_at: u64,
+}
+
+#[derive(Clone, Debug)]
+struct InFlight {
+    tag: u64,
+    cur_addr: u64,
+    end_addr: u64,
+    /// Completion cycle of the last burst issued (valid when all bursts
+    /// issued).
+    last_data_at: u64,
+}
+
+#[derive(Debug)]
+struct Channel {
+    banks: Vec<Bank>,
+    queue: std::collections::VecDeque<InFlight>,
+    bus_free_at: u64,
+}
+
+/// Cycle-stepped multi-channel DRAM simulator.
+///
+/// The caller submits [`Request`]s (bounded per-channel queues — the NMSL
+/// input FIFOs) and calls [`DramSim::tick`] once per memory cycle, draining
+/// [`Completion`]s. Scheduling is FR-FCFS-lite: an open-row burst is
+/// preferred over the oldest request's activate/precharge.
+///
+/// ```
+/// use gx_memsim::{DramConfig, DramSim, Request};
+///
+/// let mut sim = DramSim::new(DramConfig::hbm2e_32ch());
+/// assert!(sim.try_submit(Request { addr: 0, bytes: 64, channel: 0, tag: 7 }));
+/// let mut done = Vec::new();
+/// while done.is_empty() {
+///     sim.tick(&mut done);
+/// }
+/// assert_eq!(done[0].tag, 7);
+/// ```
+#[derive(Debug)]
+pub struct DramSim {
+    cfg: DramConfig,
+    channels: Vec<Channel>,
+    cycle: u64,
+    stats: DramStats,
+}
+
+impl DramSim {
+    /// Creates a simulator for `cfg`.
+    pub fn new(cfg: DramConfig) -> DramSim {
+        let channels = (0..cfg.channels)
+            .map(|_| Channel {
+                banks: vec![
+                    Bank {
+                        open_row: None,
+                        ready_at: 0,
+                        activated_at: 0,
+                    };
+                    cfg.banks_per_channel as usize
+                ],
+                queue: std::collections::VecDeque::with_capacity(cfg.queue_depth),
+                bus_free_at: 0,
+            })
+            .collect();
+        DramSim {
+            cfg,
+            channels,
+            cycle: 0,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// Whether channel `ch` has room for another request.
+    pub fn can_accept(&self, ch: u32) -> bool {
+        self.channels[ch as usize].queue.len() < self.cfg.queue_depth
+    }
+
+    /// Occupancy of channel `ch`'s queue.
+    pub fn queue_len(&self, ch: u32) -> usize {
+        self.channels[ch as usize].queue.len()
+    }
+
+    /// Submits a request; returns `false` (rejecting it) when the channel
+    /// queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range or `bytes` is zero.
+    pub fn try_submit(&mut self, req: Request) -> bool {
+        assert!(req.bytes > 0, "zero-byte request");
+        let ch = &mut self.channels[req.channel as usize];
+        if ch.queue.len() >= self.cfg.queue_depth {
+            return false;
+        }
+        ch.queue.push_back(InFlight {
+            tag: req.tag,
+            cur_addr: req.addr,
+            end_addr: req.addr + req.bytes as u64,
+            last_data_at: 0,
+        });
+        true
+    }
+
+    /// Whether all queues are empty.
+    pub fn idle(&self) -> bool {
+        self.channels.iter().all(|c| c.queue.is_empty())
+    }
+
+    /// Advances one cycle, appending finished requests to `out`.
+    pub fn tick(&mut self, out: &mut Vec<Completion>) {
+        self.cycle += 1;
+        let now = self.cycle;
+        let cfg = self.cfg;
+        for ch in &mut self.channels {
+            // Retire requests whose final burst has arrived.
+            while let Some(front) = ch.queue.front() {
+                if front.cur_addr >= front.end_addr && front.last_data_at <= now {
+                    out.push(Completion {
+                        tag: front.tag,
+                        cycle: front.last_data_at,
+                    });
+                    self.stats.completed += 1;
+                    ch.queue.pop_front();
+                } else {
+                    break;
+                }
+            }
+            // Issue at most one command this cycle.
+            // Pass 1 (FR): oldest request whose next burst hits an open row
+            // and whose bank + data bus are free.
+            let mut issued = false;
+            for req in ch.queue.iter_mut() {
+                if req.cur_addr >= req.end_addr {
+                    continue;
+                }
+                let bank_i = ((req.cur_addr / cfg.row_bytes as u64)
+                    % cfg.banks_per_channel as u64) as usize;
+                let row = req.cur_addr / (cfg.row_bytes as u64 * cfg.banks_per_channel as u64);
+                let bank = &mut ch.banks[bank_i];
+                if bank.ready_at > now || ch.bus_free_at > now {
+                    continue;
+                }
+                if bank.open_row == Some(row) {
+                    // Row hit: issue the read burst.
+                    let data_at = now + cfg.t_cl as u64 + cfg.t_burst as u64;
+                    ch.bus_free_at = now + cfg.t_burst as u64;
+                    bank.ready_at = now + cfg.t_burst as u64; // tCCD ~ burst
+                    let burst = (req.end_addr - req.cur_addr).min(cfg.burst_bytes as u64);
+                    req.cur_addr += cfg.burst_bytes as u64;
+                    req.last_data_at = data_at;
+                    self.stats.bursts += 1;
+                    self.stats.bytes += burst;
+                    issued = true;
+                    break;
+                }
+            }
+            if issued {
+                continue;
+            }
+            // Pass 2 (FCFS): oldest request needing activate/precharge.
+            for req in ch.queue.iter_mut() {
+                if req.cur_addr >= req.end_addr {
+                    continue;
+                }
+                let bank_i = ((req.cur_addr / cfg.row_bytes as u64)
+                    % cfg.banks_per_channel as u64) as usize;
+                let row = req.cur_addr / (cfg.row_bytes as u64 * cfg.banks_per_channel as u64);
+                let bank = &mut ch.banks[bank_i];
+                if bank.ready_at > now {
+                    continue;
+                }
+                match bank.open_row {
+                    Some(r) if r == row => continue, // handled in pass 1 (bus busy)
+                    Some(_) => {
+                        // Precharge, respecting tRAS.
+                        let pre_at = now.max(bank.activated_at + cfg.t_ras as u64);
+                        if pre_at > now {
+                            continue;
+                        }
+                        bank.open_row = None;
+                        bank.ready_at = now + cfg.t_rp as u64;
+                        self.stats.precharges += 1;
+                    }
+                    None => {
+                        bank.open_row = Some(row);
+                        bank.activated_at = now;
+                        bank.ready_at = now + cfg.t_rcd as u64;
+                        self.stats.activations += 1;
+                    }
+                }
+                break; // one command per channel per cycle
+            }
+        }
+    }
+
+    /// Runs until all submitted requests complete, returning completions.
+    /// Intended for tests and micro-benchmarks.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        let mut guard = 0u64;
+        while !self.idle() {
+            self.tick(&mut out);
+            guard += 1;
+            assert!(guard < 100_000_000, "simulator livelock");
+        }
+        out
+    }
+
+    /// Delivered bandwidth in GB/s over the simulated interval.
+    pub fn delivered_gbs(&self) -> f64 {
+        if self.cycle == 0 {
+            return 0.0;
+        }
+        self.stats.bytes as f64 / (self.cycle as f64 / self.cfg.clock_ghz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig::hbm2e_32ch()
+    }
+
+    #[test]
+    fn single_read_latency() {
+        let mut sim = DramSim::new(cfg());
+        sim.try_submit(Request { addr: 0, bytes: 64, channel: 0, tag: 1 });
+        let done = sim.drain();
+        assert_eq!(done.len(), 1);
+        // ACT (tRCD) + READ (tCL + burst) = 14 + 14 + 2, issued on cycle 1.
+        let c = cfg();
+        let expected = 1 + (c.t_rcd + c.t_cl + c.t_burst) as u64;
+        assert_eq!(done[0].cycle, expected);
+        assert_eq!(sim.stats().activations, 1);
+    }
+
+    #[test]
+    fn sequential_reads_hit_rows() {
+        let mut sim = DramSim::new(cfg());
+        // One big sequential request = 16 bursts in one row.
+        sim.try_submit(Request { addr: 0, bytes: 1024, channel: 0, tag: 2 });
+        sim.drain();
+        assert_eq!(sim.stats().activations, 1);
+        assert_eq!(sim.stats().bursts, 16);
+        assert!(sim.stats().row_hit_rate() > 0.9);
+    }
+
+    #[test]
+    fn scattered_reads_miss_rows() {
+        let mut sim = DramSim::new(cfg());
+        let c = cfg();
+        let row_stride = c.row_bytes as u64 * c.banks_per_channel as u64;
+        for i in 0..8u64 {
+            sim.try_submit(Request { addr: i * row_stride, bytes: 64, channel: 0, tag: i });
+        }
+        sim.drain();
+        assert!(sim.stats().row_hit_rate() < 0.01);
+    }
+
+    #[test]
+    fn random_rows_cause_activations() {
+        let mut sim = DramSim::new(cfg());
+        let c = cfg();
+        let row_stride = c.row_bytes as u64 * c.banks_per_channel as u64;
+        for i in 0..8u64 {
+            // Same bank, different rows -> precharge/activate each time.
+            sim.try_submit(Request { addr: i * row_stride, bytes: 64, channel: 0, tag: i });
+        }
+        sim.drain();
+        assert_eq!(sim.stats().activations, 8);
+        assert_eq!(sim.stats().precharges, 7);
+    }
+
+    #[test]
+    fn bandwidth_bounded_by_peak() {
+        let mut sim = DramSim::new(cfg());
+        let mut out = Vec::new();
+        let mut tag = 0u64;
+        for _ in 0..20_000 {
+            for ch in 0..32u32 {
+                if sim.can_accept(ch) {
+                    sim.try_submit(Request {
+                        addr: (tag % 4096) * 64,
+                        bytes: 64,
+                        channel: ch,
+                        tag,
+                    });
+                    tag += 1;
+                }
+            }
+            sim.tick(&mut out);
+        }
+        let gbs = sim.delivered_gbs();
+        assert!(gbs <= sim.config().peak_gbs() * 1.001, "{gbs} GB/s");
+        assert!(gbs > sim.config().peak_gbs() * 0.1, "{gbs} GB/s too low");
+    }
+
+    #[test]
+    fn queue_rejects_when_full() {
+        let mut sim = DramSim::new(cfg());
+        let mut accepted = 0;
+        for i in 0..100 {
+            if sim.try_submit(Request { addr: i * 64, bytes: 64, channel: 0, tag: i }) {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, cfg().queue_depth);
+    }
+
+    #[test]
+    fn channels_work_in_parallel() {
+        // N requests to one channel vs spread over all channels: the spread
+        // case must finish much faster.
+        let run = |spread: bool| -> u64 {
+            let mut sim = DramSim::new(cfg());
+            let row_stride = 1024 * 16;
+            let mut pending = 0u64;
+            let mut i = 0u64;
+            let mut out = Vec::new();
+            while i < 256 || pending > 0 {
+                if i < 256 {
+                    let ch = if spread { (i % 32) as u32 } else { 0 };
+                    if sim.try_submit(Request { addr: i * row_stride, bytes: 64, channel: ch, tag: i }) {
+                        i += 1;
+                        pending += 1;
+                    }
+                }
+                sim.tick(&mut out);
+                pending -= out.len() as u64;
+                out.clear();
+            }
+            sim.cycle()
+        };
+        let single = run(false);
+        let spread = run(true);
+        assert!(spread * 4 < single, "spread {spread} vs single {single}");
+    }
+
+    #[test]
+    fn completions_are_causal() {
+        let mut sim = DramSim::new(cfg());
+        sim.try_submit(Request { addr: 64, bytes: 128, channel: 3, tag: 9 });
+        let done = sim.drain();
+        assert!(done[0].cycle > 0 && done[0].cycle <= sim.cycle());
+    }
+}

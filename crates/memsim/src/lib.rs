@@ -1,0 +1,22 @@
+//! Cycle-level DRAM simulation and memory cost models.
+//!
+//! The paper models NMSL's memory system with Ramulator 2.0 (timing) and
+//! DRAMsim3 (power), over HBM2e, and compares DDR5/GDDR6/HBM2 scaling
+//! (Table 6). This crate is the reduced-fidelity substitute:
+//!
+//! * [`DramConfig`] — per-technology presets (channels, banks, JEDEC-style
+//!   timing in memory-clock cycles),
+//! * [`DramSim`] — a cycle-stepped multi-channel simulator with per-bank row
+//!   state, FR-FCFS-lite scheduling, per-channel command/data buses and
+//!   bounded request queues (the paper's per-channel FIFOs),
+//! * [`DramPowerModel`] — activation/read/background energy accounting,
+//! * [`SramModel`] — CACTI-calibrated SRAM area/power (used for NMSL's
+//!   centralized buffer and FIFOs, paper Table 4).
+
+mod config;
+mod dram;
+mod power;
+
+pub use config::DramConfig;
+pub use dram::{Completion, DramSim, DramStats, Request};
+pub use power::{DramPowerModel, SramModel};

@@ -1,0 +1,163 @@
+use crate::{DramConfig, DramStats};
+use serde::{Deserialize, Serialize};
+
+/// DRAM energy model (DRAMsim3 substitute).
+///
+/// Energy is accounted per activation and per byte read, plus a static
+/// background term per channel — the same decomposition DRAMsim3 reports.
+/// Constants approximate published HBM2e/DDR5/GDDR6 figures (activation
+/// energy of a few nJ, read energy of a few pJ/bit).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DramPowerModel {
+    /// Energy per row activation (+implied precharge), in nanojoules.
+    pub e_act_nj: f64,
+    /// Read/IO energy per byte, in picojoules.
+    pub e_rd_pj_per_byte: f64,
+    /// Static background power per channel, in milliwatts.
+    pub background_mw_per_channel: f64,
+}
+
+impl DramPowerModel {
+    /// HBM2e: ~1 nJ activation, ~3.5 pJ/bit access+IO.
+    pub fn hbm2e() -> DramPowerModel {
+        DramPowerModel {
+            e_act_nj: 1.0,
+            e_rd_pj_per_byte: 28.0,
+            background_mw_per_channel: 25.0,
+        }
+    }
+
+    /// DDR5: ~2 nJ activation, ~10 pJ/bit end-to-end.
+    pub fn ddr5() -> DramPowerModel {
+        DramPowerModel {
+            e_act_nj: 2.0,
+            e_rd_pj_per_byte: 80.0,
+            background_mw_per_channel: 60.0,
+        }
+    }
+
+    /// GDDR6: ~1.5 nJ activation, ~7 pJ/bit.
+    pub fn gddr6() -> DramPowerModel {
+        DramPowerModel {
+            e_act_nj: 1.5,
+            e_rd_pj_per_byte: 56.0,
+            background_mw_per_channel: 45.0,
+        }
+    }
+
+    /// The model conventionally paired with a [`DramConfig`] preset.
+    pub fn for_config(cfg: &DramConfig) -> DramPowerModel {
+        match cfg.channels {
+            32 => DramPowerModel::hbm2e(),
+            8 => DramPowerModel::gddr6(),
+            _ => DramPowerModel::ddr5(),
+        }
+    }
+
+    /// Total energy in millijoules for `stats` over `seconds` of operation
+    /// of `cfg`.
+    pub fn energy_mj(&self, stats: &DramStats, cfg: &DramConfig, seconds: f64) -> f64 {
+        let dynamic_mj = stats.activations as f64 * self.e_act_nj * 1e-6
+            + stats.bytes as f64 * self.e_rd_pj_per_byte * 1e-9;
+        let background_mj = self.background_mw_per_channel * cfg.channels as f64 * seconds;
+        dynamic_mj + background_mj
+    }
+
+    /// Average power in milliwatts over `seconds`.
+    pub fn power_mw(&self, stats: &DramStats, cfg: &DramConfig, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.energy_mj(stats, cfg, seconds) / seconds
+    }
+}
+
+/// SRAM area/power model (CACTI 7.0 substitute), linear in capacity.
+///
+/// Constants are calibrated against the paper's Table 4, which reports
+/// CACTI results scaled to 7 nm: the 11.74 MB centralized buffer costs
+/// 6.13 mm² / 6.09 mW, and the 190 KB FIFOs cost 0.091 mm² / 3.36 mW
+/// (FIFOs burn more power per MB because of their dual-ported, always-active
+/// organization).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SramModel {
+    /// Area per megabyte, in mm².
+    pub mm2_per_mb: f64,
+    /// Power per megabyte, in mW.
+    pub mw_per_mb: f64,
+}
+
+impl SramModel {
+    /// Large single-port buffer SRAM at 7 nm (centralized buffer).
+    pub fn buffer_7nm() -> SramModel {
+        SramModel {
+            mm2_per_mb: 6.13 / 11.74,
+            mw_per_mb: 6.09 / 11.74,
+        }
+    }
+
+    /// Small dual-port FIFO SRAM at 7 nm.
+    pub fn fifo_7nm() -> SramModel {
+        SramModel {
+            mm2_per_mb: 0.091 / (190.0 / 1024.0),
+            mw_per_mb: 3.36 / (190.0 / 1024.0),
+        }
+    }
+
+    /// Area of `bytes` of SRAM in mm².
+    pub fn area_mm2(&self, bytes: u64) -> f64 {
+        bytes as f64 / (1024.0 * 1024.0) * self.mm2_per_mb
+    }
+
+    /// Power of `bytes` of SRAM in mW.
+    pub fn power_mw(&self, bytes: u64) -> f64 {
+        bytes as f64 / (1024.0 * 1024.0) * self.mw_per_mb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_model_reproduces_table4() {
+        let m = SramModel::buffer_7nm();
+        let bytes = (11.74 * 1024.0 * 1024.0) as u64;
+        assert!((m.area_mm2(bytes) - 6.13).abs() < 0.01);
+        assert!((m.power_mw(bytes) - 6.09).abs() < 0.01);
+    }
+
+    #[test]
+    fn fifo_model_reproduces_table4() {
+        let m = SramModel::fifo_7nm();
+        let bytes = 190 * 1024;
+        assert!((m.area_mm2(bytes) - 0.091).abs() < 0.001);
+        assert!((m.power_mw(bytes) - 3.36).abs() < 0.01);
+    }
+
+    #[test]
+    fn dram_energy_scales_with_work() {
+        let cfg = DramConfig::hbm2e_32ch();
+        let m = DramPowerModel::hbm2e();
+        let light = DramStats {
+            activations: 100,
+            bytes: 6_400,
+            ..Default::default()
+        };
+        let heavy = DramStats {
+            activations: 10_000,
+            bytes: 640_000,
+            ..Default::default()
+        };
+        let t = 1e-3;
+        assert!(m.energy_mj(&heavy, &cfg, t) > m.energy_mj(&light, &cfg, t));
+        // Background dominates at tiny workloads over long intervals.
+        assert!(m.power_mw(&light, &cfg, 1.0) > m.background_mw_per_channel * 31.0);
+    }
+
+    #[test]
+    fn power_zero_interval() {
+        let m = DramPowerModel::ddr5();
+        assert_eq!(m.power_mw(&DramStats::default(), &DramConfig::ddr5_4ch(), 0.0), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the DRAM simulator: conservation, causality and
+//! bandwidth bounds under randomized workloads.
+
+use gx_memsim::{DramConfig, DramSim, Request};
+use proptest::prelude::*;
+
+fn configs() -> impl Strategy<Value = DramConfig> {
+    prop::sample::select(vec![
+        DramConfig::hbm2e_32ch(),
+        DramConfig::ddr5_4ch(),
+        DramConfig::gddr6_8ch(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every accepted request completes exactly once, bytes delivered match
+    /// the requested totals, and completions are causal.
+    #[test]
+    fn conservation_and_causality(
+        cfg in configs(),
+        reqs in prop::collection::vec((0u64..(1 << 22), 1u32..600), 1..120),
+    ) {
+        let channels = cfg.channels;
+        let mut sim = DramSim::new(cfg);
+        let mut out = Vec::new();
+        let mut accepted: Vec<Request> = Vec::new();
+        let mut pending = reqs.iter().enumerate().collect::<std::collections::VecDeque<_>>();
+        let mut guard = 0u64;
+        while !pending.is_empty() || !sim.idle() {
+            while let Some(&(i, &(addr, bytes))) = pending.front() {
+                let req = Request {
+                    addr,
+                    bytes,
+                    channel: (i as u32) % channels,
+                    tag: i as u64,
+                };
+                if sim.try_submit(req) {
+                    accepted.push(req);
+                    pending.pop_front();
+                } else {
+                    break;
+                }
+            }
+            sim.tick(&mut out);
+            guard += 1;
+            prop_assert!(guard < 3_000_000, "livelock");
+        }
+        // All requests eventually accepted (we retried until queues drained).
+        prop_assert_eq!(accepted.len(), reqs.len());
+        let mut tags: Vec<u64> = out.iter().map(|c| c.tag).collect();
+        tags.sort_unstable();
+        tags.dedup();
+        prop_assert_eq!(tags.len(), reqs.len(), "each request completes exactly once");
+        for c in &out {
+            prop_assert!(c.cycle > 0 && c.cycle <= sim.cycle() + 1);
+        }
+        let requested: u64 = reqs.iter().map(|&(_, b)| b as u64).sum();
+        prop_assert_eq!(sim.stats().bytes, requested);
+        prop_assert!(sim.delivered_gbs() <= sim.config().peak_gbs() * 1.001);
+    }
+
+    /// Activations never exceed bursts plus precharges bound; row-hit rate
+    /// stays in [0, 1].
+    #[test]
+    fn stats_invariants(
+        cfg in configs(),
+        addrs in prop::collection::vec(0u64..(1 << 24), 1..80),
+    ) {
+        let channels = cfg.channels;
+        let mut sim = DramSim::new(cfg);
+        for (i, &addr) in addrs.iter().enumerate() {
+            while !sim.try_submit(Request {
+                addr,
+                bytes: 64,
+                channel: (i as u32) % channels,
+                tag: i as u64,
+            }) {
+                let mut out = Vec::new();
+                sim.tick(&mut out);
+            }
+        }
+        sim.drain();
+        let s = sim.stats();
+        prop_assert!(s.activations <= s.bursts);
+        prop_assert!(s.precharges <= s.activations);
+        let r = s.row_hit_rate();
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+}

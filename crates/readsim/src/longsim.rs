@@ -1,0 +1,172 @@
+use crate::ErrorModel;
+use gx_genome::{DnaSeq, ReferenceGenome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A simulated long read with ground truth.
+#[derive(Clone, Debug)]
+pub struct LongRead {
+    /// Read identifier.
+    pub id: String,
+    /// Read bases, 5'→3' as sequenced.
+    pub seq: DnaSeq,
+    /// Source chromosome.
+    pub chrom: u32,
+    /// Leftmost template position of the alignment.
+    pub start: u64,
+    /// Whether the read is the forward strand of the template.
+    pub forward: bool,
+}
+
+/// PacBio-HiFi-like long read simulator (paper §4.7 / §6: 9,569 bp average
+/// length HiFi reads).
+///
+/// Lengths are drawn from a log-normal distribution centred on `mean_len`;
+/// errors default to a HiFi-like 0.3% with Mason's equal split.
+#[derive(Debug)]
+pub struct LongReadSimulator<'g> {
+    genome: &'g ReferenceGenome,
+    mean_len: f64,
+    sigma: f64,
+    min_len: usize,
+    errors: ErrorModel,
+    rng: StdRng,
+    serial: u64,
+}
+
+impl<'g> LongReadSimulator<'g> {
+    /// Creates a simulator with HiFi-like defaults (mean ≈ 9.5 kbp, 0.3%
+    /// error).
+    pub fn new(genome: &'g ReferenceGenome) -> LongReadSimulator<'g> {
+        LongReadSimulator {
+            genome,
+            mean_len: 9_500.0,
+            sigma: 0.35,
+            min_len: 1_000,
+            errors: ErrorModel::mason_default(0.003),
+            rng: StdRng::seed_from_u64(0),
+            serial: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> LongReadSimulator<'g> {
+        self.rng = StdRng::seed_from_u64(seed);
+        self
+    }
+
+    /// Sets the mean read length.
+    pub fn mean_len(mut self, mean: f64) -> LongReadSimulator<'g> {
+        assert!(mean > 0.0);
+        self.mean_len = mean;
+        self
+    }
+
+    /// Sets the error model.
+    pub fn error_model(mut self, errors: ErrorModel) -> LongReadSimulator<'g> {
+        self.errors = errors;
+        self
+    }
+
+    /// Draws `n` reads.
+    pub fn simulate(&mut self, n: usize) -> Vec<LongRead> {
+        (0..n).map(|_| self.simulate_read()).collect()
+    }
+
+    /// Draws one read, retrying until a template window fits.
+    pub fn simulate_read(&mut self) -> LongRead {
+        loop {
+            if let Some(r) = self.try_simulate() {
+                return r;
+            }
+        }
+    }
+
+    fn try_simulate(&mut self) -> Option<LongRead> {
+        // Log-normal length: exp(N(ln(mean) - sigma^2/2, sigma)).
+        let mu = self.mean_len.ln() - self.sigma * self.sigma / 2.0;
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let len = ((mu + self.sigma * z).exp() as usize).max(self.min_len);
+
+        let total = self.genome.total_len();
+        let mut g = self.rng.random_range(0..total);
+        let mut chrom = 0u32;
+        for (ci, c) in self.genome.chromosomes().iter().enumerate() {
+            if g < c.len() as u64 {
+                chrom = ci as u32;
+                break;
+            }
+            g -= c.len() as u64;
+        }
+        let cseq = self.genome.chromosome(chrom).seq();
+        if cseq.len() < len + 64 {
+            return None;
+        }
+        let start = self.rng.random_range(0..(cseq.len() - len - 64) as u64) as usize;
+        let forward = self.rng.random_bool(0.5);
+
+        let (seq, span) = if forward {
+            self.errors.generate_read(cseq, start, len, &mut self.rng)?
+        } else {
+            let window = cseq.subseq(start..(start + len + 64).min(cseq.len())).revcomp();
+            self.errors.generate_read(&window, 0, len, &mut self.rng)?
+        };
+        let id = format!("long{}", self.serial);
+        self.serial += 1;
+        // For reverse reads the template span starts span bases before the
+        // window end; window end = start + len + 64 (clamped), so leftmost
+        // aligned position is window_end - span.
+        let start = if forward {
+            start as u64
+        } else {
+            ((start + len + 64).min(cseq.len()) - span) as u64
+        };
+        Some(LongRead {
+            id,
+            seq,
+            chrom,
+            start,
+            forward,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_genome::random::RandomGenomeBuilder;
+
+    #[test]
+    fn lengths_cluster_around_mean() {
+        let genome = RandomGenomeBuilder::new(2_000_000).seed(20).build();
+        let mut sim = LongReadSimulator::new(&genome).seed(1).mean_len(8_000.0);
+        let reads = sim.simulate(60);
+        let mean: f64 = reads.iter().map(|r| r.seq.len() as f64).sum::<f64>() / reads.len() as f64;
+        assert!((mean - 8_000.0).abs() < 1_500.0, "mean length {mean}");
+    }
+
+    #[test]
+    fn perfect_forward_reads_match_reference() {
+        let genome = RandomGenomeBuilder::new(500_000).seed(21).build();
+        let mut sim = LongReadSimulator::new(&genome)
+            .seed(2)
+            .error_model(ErrorModel::perfect());
+        for r in sim.simulate(10) {
+            let cseq = genome.chromosome(r.chrom).seq();
+            let window = cseq.subseq(r.start as usize..r.start as usize + r.seq.len());
+            let window = if r.forward { window } else { window.revcomp() };
+            assert_eq!(window, r.seq, "read {} strand {}", r.id, r.forward);
+        }
+    }
+
+    #[test]
+    fn both_strands_sampled() {
+        let genome = RandomGenomeBuilder::new(500_000).seed(22).build();
+        let mut sim = LongReadSimulator::new(&genome).seed(3);
+        let reads = sim.simulate(40);
+        let fwd = reads.iter().filter(|r| r.forward).count();
+        assert!(fwd > 5 && fwd < 35);
+    }
+}

@@ -1,0 +1,105 @@
+//! Sorted-list merging for SeedMap query results.
+//!
+//! Querying the three seeds of a read returns three location slices that are
+//! already sorted (the Location Table stores each bucket's positions in
+//! genome order, §4.4). Turning them into candidate *read start* positions
+//! requires subtracting each seed's offset within the read and merging — a
+//! three-way sorted merge, which is exactly what the paper's design exploits
+//! to keep the query stage sequential and burst-friendly.
+
+use gx_genome::GlobalPos;
+
+/// Merges already-sorted slices into one sorted, deduplicated vector.
+pub fn merge_sorted(lists: &[&[GlobalPos]]) -> Vec<GlobalPos> {
+    merge_sorted_with_offsets(lists.iter().map(|l| (*l, 0u32)))
+}
+
+/// Merges sorted location slices after subtracting a per-list offset
+/// (the seed's offset within the read), producing sorted, deduplicated
+/// candidate read-start positions. Locations smaller than their offset
+/// (a seed hit too close to the start of the genome to fit the whole read)
+/// are discarded.
+pub fn merge_sorted_with_offsets<'a, I>(lists: I) -> Vec<GlobalPos>
+where
+    I: IntoIterator<Item = (&'a [GlobalPos], u32)>,
+{
+    let lists: Vec<(&[GlobalPos], u32)> = lists.into_iter().collect();
+    let total: usize = lists.iter().map(|(l, _)| l.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; lists.len()];
+    // Skip leading locations that would place the read before position 0.
+    for (i, (list, off)) in lists.iter().enumerate() {
+        while cursors[i] < list.len() && list[cursors[i]] < *off {
+            cursors[i] += 1;
+        }
+    }
+    loop {
+        let mut best: Option<(GlobalPos, usize)> = None;
+        for (i, (list, off)) in lists.iter().enumerate() {
+            if cursors[i] < list.len() {
+                let v = list[cursors[i]] - *off;
+                if best.is_none_or(|(bv, _)| v < bv) {
+                    best = Some((v, i));
+                }
+            }
+        }
+        match best {
+            Some((v, i)) => {
+                cursors[i] += 1;
+                if out.last() != Some(&v) {
+                    out.push(v);
+                }
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_and_dedups() {
+        let a = [1u32, 5, 9];
+        let b = [2u32, 5, 10];
+        let c = [5u32];
+        let m = merge_sorted(&[&a, &b, &c]);
+        assert_eq!(m, vec![1, 2, 5, 9, 10]);
+    }
+
+    #[test]
+    fn offsets_are_subtracted() {
+        // Seed at read offset 50 hitting ref 150 implies read start 100.
+        let s0 = [100u32];
+        let s1 = [150u32];
+        let s2 = [200u32];
+        let m = merge_sorted_with_offsets([(&s0[..], 0u32), (&s1[..], 50), (&s2[..], 100)]);
+        assert_eq!(m, vec![100]);
+    }
+
+    #[test]
+    fn underflow_is_discarded() {
+        let s = [10u32, 80];
+        let m = merge_sorted_with_offsets([(&s[..], 50u32)]);
+        assert_eq!(m, vec![30]);
+    }
+
+    #[test]
+    fn empty_lists() {
+        assert!(merge_sorted(&[]).is_empty());
+        assert!(merge_sorted(&[&[][..], &[][..]]).is_empty());
+    }
+
+    #[test]
+    fn matches_naive_sort() {
+        let a: Vec<u32> = (0..50).map(|i| i * 3).collect();
+        let b: Vec<u32> = (0..50).map(|i| i * 5 + 1).collect();
+        let merged = merge_sorted(&[&a, &b]);
+        let mut naive: Vec<u32> = a.iter().chain(b.iter()).copied().collect();
+        naive.sort_unstable();
+        naive.dedup();
+        assert_eq!(merged, naive);
+    }
+}

@@ -1,0 +1,416 @@
+use crate::xxh32;
+use gx_genome::{GlobalPos, ReferenceGenome};
+
+/// Configuration of SeedMap construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SeedMapConfig {
+    /// Seed length in bases (paper: 50).
+    pub seed_len: usize,
+    /// log2 of the Seed Table size. `None` picks the smallest power of two
+    /// at least as large as the genome (load factor ≤ 1).
+    pub bucket_bits: Option<u32>,
+    /// Index filtering threshold (§5.2): buckets with more locations are
+    /// emptied. `u32::MAX` disables filtering.
+    pub filter_threshold: u32,
+    /// Seed passed to xxh32.
+    pub hash_seed: u32,
+}
+
+impl Default for SeedMapConfig {
+    fn default() -> SeedMapConfig {
+        SeedMapConfig {
+            seed_len: 50,
+            bucket_bits: None,
+            filter_threshold: 500,
+            hash_seed: 0,
+        }
+    }
+}
+
+impl SeedMapConfig {
+    /// The config with a different filter threshold (used by the Fig. 13
+    /// threshold sweep).
+    pub fn with_filter_threshold(mut self, threshold: u32) -> SeedMapConfig {
+        self.filter_threshold = threshold;
+        self
+    }
+}
+
+/// Construction and occupancy statistics of a [`SeedMap`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SeedMapStats {
+    /// Number of Seed Table buckets.
+    pub buckets: u64,
+    /// Buckets holding at least one location.
+    pub used_buckets: u64,
+    /// Locations stored in the Location Table.
+    pub stored_locations: u64,
+    /// Buckets emptied by the index filtering threshold.
+    pub filtered_buckets: u64,
+    /// Locations dropped by the filter.
+    pub filtered_locations: u64,
+    /// Reference windows skipped because they overlap `N` positions.
+    pub skipped_n_windows: u64,
+}
+
+impl SeedMapStats {
+    /// Mean locations per used bucket (paper Observation 2 measures ~9.5 on
+    /// GRCh38 with 50 bp seeds).
+    pub fn mean_locations_per_seed(&self) -> f64 {
+        if self.used_buckets == 0 {
+            0.0
+        } else {
+            self.stored_locations as f64 / self.used_buckets as f64
+        }
+    }
+}
+
+/// The SeedMap index: Seed Table + Location Table (paper §4.2, Fig. 4).
+///
+/// See the [crate documentation](crate) for the layout. All reference
+/// positions (stride 1) are indexed so that read seeds extracted at
+/// arbitrary offsets find their exact matches.
+#[derive(Clone, Debug)]
+pub struct SeedMap {
+    config: SeedMapConfig,
+    mask: u32,
+    /// `seed_table[i]` = end offset of bucket `i` in `location_table`.
+    seed_table: Vec<u32>,
+    /// Global positions, grouped by bucket, ascending within a bucket.
+    location_table: Vec<GlobalPos>,
+    stats: SeedMapStats,
+}
+
+impl SeedMap {
+    /// Builds the index over `genome` (the paper's offline stage).
+    ///
+    /// Two passes: count bucket sizes, apply the filter threshold, prefix-sum
+    /// into end offsets, then place positions — a counting sort that leaves
+    /// each bucket's locations contiguous and ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed_len` is zero or larger than 256 (hardware seeds are
+    /// bounded), or if the genome is empty.
+    pub fn build(genome: &ReferenceGenome, config: &SeedMapConfig) -> SeedMap {
+        assert!(config.seed_len > 0 && config.seed_len <= 256, "unsupported seed length");
+        assert!(genome.total_len() > 0, "cannot index an empty genome");
+        let bucket_bits = config.bucket_bits.unwrap_or_else(|| {
+            let mut bits = 1u32;
+            while (1u64 << bits) < genome.total_len() {
+                bits += 1;
+            }
+            bits.min(31)
+        });
+        let buckets = 1usize << bucket_bits;
+        let mask = (buckets - 1) as u32;
+
+        // Pass 1: hash every seed window, remember its bucket, count sizes.
+        let mut bucket_of: Vec<u32> = Vec::new();
+        let mut window_pos: Vec<GlobalPos> = Vec::new();
+        let mut counts = vec![0u32; buckets];
+        let mut skipped_n = 0u64;
+        let mut codes = Vec::with_capacity(config.seed_len);
+        for (ci, chrom) in genome.chromosomes().iter().enumerate() {
+            if chrom.len() < config.seed_len {
+                continue;
+            }
+            let start_gpos = genome.chrom_start(ci as u32);
+            let seq = chrom.seq();
+            for pos in 0..=chrom.len() - config.seed_len {
+                if chrom.has_n_in(pos, pos + config.seed_len) {
+                    skipped_n += 1;
+                    continue;
+                }
+                seq.codes_into(pos..pos + config.seed_len, &mut codes);
+                let bucket = xxh32(&codes, config.hash_seed) & mask;
+                bucket_of.push(bucket);
+                window_pos.push((start_gpos + pos as u64) as GlobalPos);
+                counts[bucket as usize] += 1;
+            }
+        }
+
+        // Filter oversized buckets.
+        let mut filtered_buckets = 0u64;
+        let mut filtered_locations = 0u64;
+        if config.filter_threshold != u32::MAX {
+            for c in counts.iter_mut() {
+                if *c > config.filter_threshold {
+                    filtered_buckets += 1;
+                    filtered_locations += *c as u64;
+                    *c = 0;
+                }
+            }
+        }
+
+        // Prefix sums -> end offsets; track write cursors (start offsets).
+        let mut seed_table = vec![0u32; buckets];
+        let mut cursors = vec![0u32; buckets];
+        let mut acc = 0u32;
+        for (i, &c) in counts.iter().enumerate() {
+            cursors[i] = acc;
+            acc += c;
+            seed_table[i] = acc;
+        }
+        let mut location_table = vec![0 as GlobalPos; acc as usize];
+
+        // Pass 2: place positions (in genome order -> sorted per bucket).
+        for (i, &bucket) in bucket_of.iter().enumerate() {
+            let b = bucket as usize;
+            if counts[b] == 0 {
+                continue; // filtered
+            }
+            location_table[cursors[b] as usize] = window_pos[i];
+            cursors[b] += 1;
+        }
+
+        let used_buckets = counts.iter().filter(|&&c| c > 0).count() as u64;
+        let stats = SeedMapStats {
+            buckets: buckets as u64,
+            used_buckets,
+            stored_locations: acc as u64,
+            filtered_buckets,
+            filtered_locations,
+            skipped_n_windows: skipped_n,
+        };
+        SeedMap {
+            config: *config,
+            mask,
+            seed_table,
+            location_table,
+            stats,
+        }
+    }
+
+    /// The configuration used to build the index.
+    pub fn config(&self) -> &SeedMapConfig {
+        &self.config
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &SeedMapStats {
+        &self.stats
+    }
+
+    /// Hashes a seed's 2-bit codes (the Partitioned Seeding step's encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the configured seed length.
+    #[inline]
+    pub fn hash_seed_codes(&self, codes: &[u8]) -> u32 {
+        assert_eq!(codes.len(), self.config.seed_len, "seed length mismatch");
+        xxh32(codes, self.config.hash_seed)
+    }
+
+    /// The sorted location slice for a seed hash (the paper's online query,
+    /// Fig. 4b: previous and current Seed Table entries bound the slice).
+    #[inline]
+    pub fn locations_for_hash(&self, hash: u32) -> &[GlobalPos] {
+        let bucket = (hash & self.mask) as usize;
+        let end = self.seed_table[bucket] as usize;
+        let start = if bucket == 0 {
+            0
+        } else {
+            self.seed_table[bucket - 1] as usize
+        };
+        &self.location_table[start..end]
+    }
+
+    /// Convenience: hash `codes` and return its location slice.
+    pub fn query(&self, codes: &[u8]) -> &[GlobalPos] {
+        self.locations_for_hash(self.hash_seed_codes(codes))
+    }
+
+    /// The bucket index and its `[start, end)` offsets in the Location
+    /// Table for a seed hash. This is the physical layout the NMSL address
+    /// mapper uses: the Seed Table read returns `(start, end)` and the
+    /// Location Table read streams `end - start` entries starting at
+    /// `start`.
+    pub fn bucket_range(&self, hash: u32) -> (u32, u64, u64) {
+        let bucket = (hash & self.mask) as usize;
+        let end = self.seed_table[bucket] as u64;
+        let start = if bucket == 0 {
+            0
+        } else {
+            self.seed_table[bucket - 1] as u64
+        };
+        (bucket as u32, start, end)
+    }
+
+    /// Memory footprint of the two tables in bytes (4 B per Seed Table entry
+    /// + 4 B per location, as in the hardware layout).
+    pub fn memory_bytes(&self) -> u64 {
+        (self.seed_table.len() as u64 + self.location_table.len() as u64) * 4
+    }
+
+    /// Number of Seed Table buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.seed_table.len()
+    }
+
+    /// Histogram of bucket sizes capped at `max` (index = size, last bin =
+    /// `>= max`). Drives the Observation-2 analysis and NMSL FIFO sizing.
+    pub fn bucket_size_histogram(&self, max: usize) -> Vec<u64> {
+        let mut hist = vec![0u64; max + 1];
+        let mut prev = 0u32;
+        for &end in &self.seed_table {
+            let size = (end - prev) as usize;
+            prev = end;
+            hist[size.min(max)] += 1;
+        }
+        hist
+    }
+
+    /// Raw table access for the serializer and the NMSL address mapper.
+    pub(crate) fn raw_parts(&self) -> (&SeedMapConfig, &[u32], &[GlobalPos], &SeedMapStats) {
+        (&self.config, &self.seed_table, &self.location_table, &self.stats)
+    }
+
+    /// Reassembles an index from raw parts (deserialization).
+    pub(crate) fn from_raw_parts(
+        config: SeedMapConfig,
+        seed_table: Vec<u32>,
+        location_table: Vec<GlobalPos>,
+        stats: SeedMapStats,
+    ) -> SeedMap {
+        assert!(seed_table.len().is_power_of_two(), "seed table must be a power of two");
+        SeedMap {
+            mask: (seed_table.len() - 1) as u32,
+            config,
+            seed_table,
+            location_table,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_genome::random::RandomGenomeBuilder;
+    use gx_genome::{Chromosome, DnaSeq};
+
+    fn small_config() -> SeedMapConfig {
+        SeedMapConfig {
+            seed_len: 8,
+            ..SeedMapConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_position_is_findable() {
+        let genome = RandomGenomeBuilder::new(5_000).seed(1).build();
+        let map = SeedMap::build(&genome, &small_config());
+        let seq = genome.chromosome(0).seq();
+        for pos in (0..seq.len() - 8).step_by(97) {
+            let codes = seq.subseq(pos..pos + 8).to_codes();
+            let hits = map.query(&codes);
+            assert!(
+                hits.contains(&(pos as u32)),
+                "position {pos} missing from bucket {hits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn locations_sorted_within_bucket() {
+        let genome = RandomGenomeBuilder::new(20_000).seed(2).build();
+        let map = SeedMap::build(&genome, &small_config());
+        let mut prev_end = 0usize;
+        for b in 0..map.num_buckets() {
+            let end = map.seed_table[b] as usize;
+            let slice = &map.location_table[prev_end..end];
+            assert!(slice.windows(2).all(|w| w[0] <= w[1]));
+            prev_end = end;
+        }
+    }
+
+    #[test]
+    fn query_matches_naive_scan() {
+        let genome = RandomGenomeBuilder::new(3_000).seed(3).build();
+        let cfg = SeedMapConfig {
+            seed_len: 10,
+            filter_threshold: u32::MAX,
+            ..SeedMapConfig::default()
+        };
+        let map = SeedMap::build(&genome, &cfg);
+        let seq = genome.chromosome(0).seq();
+        // Exact occurrences of a probe seed must all be in the bucket.
+        let probe = seq.subseq(100..110);
+        let naive: Vec<u32> = (0..seq.len() - 10)
+            .filter(|&p| (0..10).all(|i| seq.code_at(p + i) == probe.code_at(i)))
+            .map(|p| p as u32)
+            .collect();
+        let hits = map.query(&probe.to_codes());
+        for p in naive {
+            assert!(hits.contains(&p));
+        }
+    }
+
+    #[test]
+    fn filter_threshold_empties_heavy_buckets() {
+        // A genome that is one repeated unit: every seed occurs many times.
+        let unit = "ACGTTGCA";
+        let s = unit.repeat(200);
+        let genome = gx_genome::ReferenceGenome::from_chromosomes(vec![Chromosome::new(
+            "c",
+            DnaSeq::from_ascii(s.as_bytes()).unwrap(),
+        )]);
+        let cfg = SeedMapConfig {
+            seed_len: 8,
+            filter_threshold: 10,
+            ..SeedMapConfig::default()
+        };
+        let map = SeedMap::build(&genome, &cfg);
+        assert!(map.stats().filtered_buckets > 0);
+        // The dominant seed must now return an empty slice.
+        let probe = DnaSeq::from_ascii(unit.as_bytes()).unwrap();
+        assert!(map.query(&probe.to_codes()).is_empty());
+
+        let unfiltered = SeedMap::build(&genome, &cfg.with_filter_threshold(u32::MAX));
+        assert!(!unfiltered.query(&probe.to_codes()).is_empty());
+    }
+
+    #[test]
+    fn n_windows_are_skipped() {
+        let fasta = b">c\nACGTNACGTACGTACGTACGT\n";
+        let genome = gx_genome::fasta::read_fasta(&fasta[..]).unwrap();
+        let cfg = SeedMapConfig {
+            seed_len: 4,
+            ..SeedMapConfig::default()
+        };
+        let map = SeedMap::build(&genome, &cfg);
+        assert!(map.stats().skipped_n_windows >= 4);
+    }
+
+    #[test]
+    fn repeats_raise_mean_locations() {
+        let plain = RandomGenomeBuilder::new(60_000).seed(4).build();
+        let repeated = RandomGenomeBuilder::new(60_000)
+            .seed(4)
+            .repeat_family(gx_genome::random::RepeatFamily {
+                unit_len: 300,
+                copies: 60,
+                divergence: 0.0,
+            })
+            .build();
+        let cfg = SeedMapConfig::default(); // 50bp seeds
+        let m1 = SeedMap::build(&plain, &cfg);
+        let m2 = SeedMap::build(&repeated, &cfg);
+        assert!(
+            m2.stats().mean_locations_per_seed() > m1.stats().mean_locations_per_seed(),
+            "{} vs {}",
+            m2.stats().mean_locations_per_seed(),
+            m1.stats().mean_locations_per_seed()
+        );
+    }
+
+    #[test]
+    fn histogram_sums_to_buckets() {
+        let genome = RandomGenomeBuilder::new(5_000).seed(5).build();
+        let map = SeedMap::build(&genome, &small_config());
+        let hist = map.bucket_size_histogram(16);
+        assert_eq!(hist.iter().sum::<u64>(), map.num_buckets() as u64);
+    }
+}

@@ -1,0 +1,178 @@
+//! Binary serialization of [`SeedMap`].
+//!
+//! The offline stage builds SeedMap once per reference (paper §4.2); mapping
+//! runs reload it. Format: magic + version + config + stats header, then the
+//! two tables as little-endian `u32` arrays.
+
+use crate::{SeedMap, SeedMapConfig, SeedMapStats};
+use bytes::{Buf, BufMut};
+use std::io::{Read, Write};
+
+const MAGIC: u32 = 0x5347_4d58; // "SGMX"
+const VERSION: u32 = 1;
+
+/// Serialization failures.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Wrong magic/version or corrupt structure.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "io error: {e}"),
+            SerializeError::Corrupt(s) => write!(f, "corrupt seedmap: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+impl From<std::io::Error> for SerializeError {
+    fn from(e: std::io::Error) -> SerializeError {
+        SerializeError::Io(e)
+    }
+}
+
+/// Writes `map` to `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_seedmap<W: Write>(map: &SeedMap, mut writer: W) -> Result<(), SerializeError> {
+    let (config, seed_table, location_table, stats) = map.raw_parts();
+    let mut header = Vec::with_capacity(96);
+    header.put_u32_le(MAGIC);
+    header.put_u32_le(VERSION);
+    header.put_u32_le(config.seed_len as u32);
+    header.put_u32_le(config.filter_threshold);
+    header.put_u32_le(config.hash_seed);
+    header.put_u32_le(seed_table.len() as u32);
+    header.put_u64_le(location_table.len() as u64);
+    header.put_u64_le(stats.used_buckets);
+    header.put_u64_le(stats.filtered_buckets);
+    header.put_u64_le(stats.filtered_locations);
+    header.put_u64_le(stats.skipped_n_windows);
+    writer.write_all(&header)?;
+    let mut buf = Vec::with_capacity(4 * 64 * 1024);
+    for chunk in seed_table.chunks(64 * 1024) {
+        buf.clear();
+        for &v in chunk {
+            buf.put_u32_le(v);
+        }
+        writer.write_all(&buf)?;
+    }
+    for chunk in location_table.chunks(64 * 1024) {
+        buf.clear();
+        for &v in chunk {
+            buf.put_u32_le(v);
+        }
+        writer.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Reads a [`SeedMap`] previously written by [`write_seedmap`].
+///
+/// # Errors
+///
+/// Returns [`SerializeError::Corrupt`] on bad magic, version or sizes, and
+/// [`SerializeError::Io`] on truncated input.
+pub fn read_seedmap<R: Read>(mut reader: R) -> Result<SeedMap, SerializeError> {
+    let mut header = [0u8; 64];
+    reader.read_exact(&mut header)?;
+    let mut h = &header[..];
+    if h.get_u32_le() != MAGIC {
+        return Err(SerializeError::Corrupt("bad magic".into()));
+    }
+    if h.get_u32_le() != VERSION {
+        return Err(SerializeError::Corrupt("unsupported version".into()));
+    }
+    let seed_len = h.get_u32_le() as usize;
+    let filter_threshold = h.get_u32_le();
+    let hash_seed = h.get_u32_le();
+    let buckets = h.get_u32_le() as usize;
+    let locations = h.get_u64_le() as usize;
+    let used_buckets = h.get_u64_le();
+    let filtered_buckets = h.get_u64_le();
+    let filtered_locations = h.get_u64_le();
+    let skipped_n_windows = h.get_u64_le();
+    if !buckets.is_power_of_two() {
+        return Err(SerializeError::Corrupt("bucket count not a power of two".into()));
+    }
+
+    let read_u32s = |reader: &mut R, n: usize| -> Result<Vec<u32>, SerializeError> {
+        let mut bytes = vec![0u8; n * 4];
+        reader.read_exact(&mut bytes)?;
+        let mut b = &bytes[..];
+        Ok((0..n).map(|_| b.get_u32_le()).collect())
+    };
+    let seed_table = read_u32s(&mut reader, buckets)?;
+    let location_table = read_u32s(&mut reader, locations)?;
+    if seed_table.last().map(|&e| e as usize) != Some(locations) && locations != 0 {
+        return Err(SerializeError::Corrupt("table sizes inconsistent".into()));
+    }
+
+    let config = SeedMapConfig {
+        seed_len,
+        bucket_bits: Some(buckets.trailing_zeros()),
+        filter_threshold,
+        hash_seed,
+    };
+    let stats = SeedMapStats {
+        buckets: buckets as u64,
+        used_buckets,
+        stored_locations: locations as u64,
+        filtered_buckets,
+        filtered_locations,
+        skipped_n_windows,
+    };
+    Ok(SeedMap::from_raw_parts(config, seed_table, location_table, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_genome::random::RandomGenomeBuilder;
+
+    #[test]
+    fn roundtrip() {
+        let genome = RandomGenomeBuilder::new(8_000).seed(6).build();
+        let cfg = SeedMapConfig {
+            seed_len: 12,
+            ..SeedMapConfig::default()
+        };
+        let map = SeedMap::build(&genome, &cfg);
+        let mut buf = Vec::new();
+        write_seedmap(&map, &mut buf).unwrap();
+        let back = read_seedmap(buf.as_slice()).unwrap();
+        assert_eq!(back.stats(), map.stats());
+        let seq = genome.chromosome(0).seq();
+        for pos in (0..seq.len() - 12).step_by(131) {
+            let codes = seq.subseq(pos..pos + 12).to_codes();
+            assert_eq!(back.query(&codes), map.query(&codes));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let bytes = vec![0u8; 64];
+        assert!(matches!(
+            read_seedmap(bytes.as_slice()),
+            Err(SerializeError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let genome = RandomGenomeBuilder::new(2_000).seed(7).build();
+        let map = SeedMap::build(&genome, &SeedMapConfig { seed_len: 10, ..Default::default() });
+        let mut buf = Vec::new();
+        write_seedmap(&map, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_seedmap(buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+use crate::pileup::Pileup;
+use gx_genome::variant::{Variant, VariantKind};
+use gx_genome::{Base, DnaSeq, ReferenceGenome};
+
+/// Thresholds of the pileup caller (freebayes-substitute defaults tuned for
+/// ~30–50× simulated coverage).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CallerConfig {
+    /// Minimum read depth at a site.
+    pub min_depth: u32,
+    /// Minimum fraction of reads supporting the alternate allele.
+    pub min_alt_frac: f64,
+    /// Minimum absolute alternate-supporting reads.
+    pub min_alt_count: u32,
+}
+
+impl Default for CallerConfig {
+    fn default() -> CallerConfig {
+        CallerConfig {
+            min_depth: 8,
+            min_alt_frac: 0.3,
+            min_alt_count: 4,
+        }
+    }
+}
+
+/// Calls SNPs and INDELs from a pileup against the reference.
+///
+/// Returns variants sorted by `(chrom, pos)` using the same representation
+/// as the truth sets produced by
+/// [`gx_genome::variant::generate_variants`].
+pub fn call_variants(
+    pileup: &Pileup,
+    genome: &ReferenceGenome,
+    config: &CallerConfig,
+) -> Vec<Variant> {
+    let mut out = Vec::new();
+
+    // SNPs from base columns.
+    for (chrom, pos, counts) in pileup.columns() {
+        let depth: u32 = counts.iter().map(|&c| c as u32).sum();
+        if depth < config.min_depth {
+            continue;
+        }
+        let ref_code = genome.chromosome(chrom).seq().code_at(pos as usize);
+        let (alt_code, alt_count) = counts
+            .iter()
+            .enumerate()
+            .filter(|&(b, _)| b as u8 != ref_code)
+            .map(|(b, &c)| (b as u8, c as u32))
+            .max_by_key(|&(_, c)| c)
+            .unwrap_or((0, 0));
+        if alt_count >= config.min_alt_count
+            && alt_count as f64 / depth as f64 >= config.min_alt_frac
+        {
+            out.push(Variant::snp(chrom, pos, Base::from_code(alt_code)));
+        }
+    }
+
+    // INDELs from gap events, judged against local depth.
+    for (key, &support) in pileup.indels.iter() {
+        if support < config.min_alt_count {
+            continue;
+        }
+        let near = key.pos.saturating_sub(1);
+        let depth = pileup
+            .depth(key.chrom, near)
+            .max(pileup.depth(key.chrom, key.pos.min(genome.chromosome(key.chrom).len() as u64 - 1)));
+        if depth < config.min_depth || (support as f64) < config.min_alt_frac * depth as f64 {
+            continue;
+        }
+        if key.signed_len > 0 {
+            // Inserted sequence content is not tracked by the pileup; emit a
+            // placeholder of the right length (comparison matches on
+            // position + length).
+            let seq: DnaSeq = (0..key.signed_len).map(|_| Base::A).collect();
+            out.push(Variant::insertion(key.chrom, key.pos, seq));
+        } else {
+            out.push(Variant::deletion(key.chrom, key.pos, (-key.signed_len) as u32));
+        }
+    }
+
+    out.sort_by_key(|v| (v.chrom, v.pos, v.kind == VariantKind::Snp));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_genome::random::RandomGenomeBuilder;
+    use gx_genome::{Cigar, SamRecord};
+
+    fn setup() -> (ReferenceGenome, Pileup) {
+        let g = RandomGenomeBuilder::new(3_000).seed(5).build();
+        let p = Pileup::new(&g);
+        (g, p)
+    }
+
+    fn rec(g: &ReferenceGenome, pos: u64, cigar: &str, seq: DnaSeq) -> SamRecord {
+        let _ = g;
+        SamRecord {
+            qname: "r".into(),
+            flags: 0,
+            chrom: 0,
+            pos,
+            mapq: 60,
+            cigar: Cigar::parse(cigar).unwrap(),
+            seq,
+            score: 0,
+        }
+    }
+
+    #[test]
+    fn homozygous_snp_called() {
+        let (g, mut p) = setup();
+        let mut read = g.chromosome(0).seq().subseq(100..140);
+        read.set(20, read.get(20).complement());
+        let alt = read.get(20);
+        for _ in 0..12 {
+            p.add_record(&rec(&g, 100, "40M", read.clone()));
+        }
+        let calls = call_variants(&p, &g, &CallerConfig::default());
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].pos, 120);
+        assert_eq!(calls[0].kind, VariantKind::Snp);
+        assert_eq!(calls[0].alt.get(0), alt);
+    }
+
+    #[test]
+    fn sequencing_noise_not_called() {
+        let (g, mut p) = setup();
+        let clean = g.chromosome(0).seq().subseq(200..240);
+        // 11 clean reads, 1 with an error at one position.
+        for _ in 0..11 {
+            p.add_record(&rec(&g, 200, "40M", clean.clone()));
+        }
+        let mut noisy = clean.clone();
+        noisy.set(10, noisy.get(10).complement());
+        p.add_record(&rec(&g, 200, "40M", noisy));
+        let calls = call_variants(&p, &g, &CallerConfig::default());
+        assert!(calls.is_empty(), "{calls:?}");
+    }
+
+    #[test]
+    fn deletion_called() {
+        let (g, mut p) = setup();
+        let mut read = g.chromosome(0).seq().subseq(300..310);
+        read.extend_from_seq(&g.chromosome(0).seq().subseq(313..343));
+        for _ in 0..10 {
+            p.add_record(&rec(&g, 300, "10M3D30M", read.clone()));
+        }
+        let calls = call_variants(&p, &g, &CallerConfig::default());
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].kind, VariantKind::Del);
+        assert_eq!(calls[0].pos, 310);
+        assert_eq!(calls[0].del_len, 3);
+    }
+
+    #[test]
+    fn low_depth_site_not_called() {
+        let (g, mut p) = setup();
+        let mut read = g.chromosome(0).seq().subseq(400..440);
+        read.set(5, read.get(5).complement());
+        for _ in 0..3 {
+            p.add_record(&rec(&g, 400, "40M", read.clone()));
+        }
+        assert!(call_variants(&p, &g, &CallerConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+use gx_genome::variant::{Variant, VariantKind};
+
+/// TP/FP/FN counts with the derived metrics (one Table 7 row).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AccuracyMetrics {
+    /// True positives: called variants present in the truth set.
+    pub tp: u64,
+    /// False positives: called variants absent from the truth set.
+    pub fp: u64,
+    /// False negatives: truth variants not recovered.
+    pub fn_: u64,
+}
+
+impl AccuracyMetrics {
+    /// Precision `TP / (TP + FP)`.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall `TP / (TP + FN)`.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1 score (harmonic mean of precision and recall).
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// SNP and INDEL metrics side by side (Table 7's two blocks).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ComparisonResult {
+    /// SNP metrics.
+    pub snp: AccuracyMetrics,
+    /// INDEL metrics.
+    pub indel: AccuracyMetrics,
+}
+
+fn is_snp(v: &Variant) -> bool {
+    v.kind == VariantKind::Snp
+}
+
+fn matches(call: &Variant, truth: &Variant, indel_pos_tolerance: u64) -> bool {
+    if call.chrom != truth.chrom || call.kind != truth.kind {
+        return false;
+    }
+    match call.kind {
+        VariantKind::Snp => call.pos == truth.pos && call.alt == truth.alt,
+        VariantKind::Ins => {
+            call.pos.abs_diff(truth.pos) <= indel_pos_tolerance
+                && call.alt.len() == truth.alt.len()
+        }
+        VariantKind::Del => {
+            call.pos.abs_diff(truth.pos) <= indel_pos_tolerance
+                && call.del_len == truth.del_len
+        }
+    }
+}
+
+/// Compares called variants against a truth set (vcfdist substitute).
+///
+/// SNPs must match position and allele exactly; INDELs match on kind and
+/// length within a ±2 bp position tolerance (alignment-induced left/right
+/// shifts of the same event, which haplotype-aware tools like vcfdist also
+/// tolerate).
+pub fn compare_variants(calls: &[Variant], truth: &[Variant]) -> ComparisonResult {
+    const INDEL_TOL: u64 = 2;
+    let mut result = ComparisonResult::default();
+    let mut truth_used = vec![false; truth.len()];
+
+    for call in calls {
+        let found = truth.iter().enumerate().find(|(i, t)| {
+            !truth_used[*i] && matches(call, t, INDEL_TOL)
+        });
+        let metrics = if is_snp(call) {
+            &mut result.snp
+        } else {
+            &mut result.indel
+        };
+        match found {
+            Some((i, _)) => {
+                truth_used[i] = true;
+                metrics.tp += 1;
+            }
+            None => metrics.fp += 1,
+        }
+    }
+    for (i, t) in truth.iter().enumerate() {
+        if !truth_used[i] {
+            if is_snp(t) {
+                result.snp.fn_ += 1;
+            } else {
+                result.indel.fn_ += 1;
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_genome::{Base, DnaSeq};
+
+    fn snp(pos: u64, alt: Base) -> Variant {
+        Variant::snp(0, pos, alt)
+    }
+
+    #[test]
+    fn exact_match_is_tp() {
+        let truth = vec![snp(100, Base::T)];
+        let calls = vec![snp(100, Base::T)];
+        let r = compare_variants(&calls, &truth);
+        assert_eq!((r.snp.tp, r.snp.fp, r.snp.fn_), (1, 0, 0));
+        assert_eq!(r.snp.f1(), 1.0);
+    }
+
+    #[test]
+    fn wrong_allele_is_fp_and_fn() {
+        let truth = vec![snp(100, Base::T)];
+        let calls = vec![snp(100, Base::G)];
+        let r = compare_variants(&calls, &truth);
+        assert_eq!((r.snp.tp, r.snp.fp, r.snp.fn_), (0, 1, 1));
+    }
+
+    #[test]
+    fn indel_position_tolerance() {
+        let truth = vec![Variant::deletion(0, 100, 3)];
+        let calls = vec![Variant::deletion(0, 102, 3)];
+        let r = compare_variants(&calls, &truth);
+        assert_eq!(r.indel.tp, 1);
+        // Length mismatch is never tolerated.
+        let calls = vec![Variant::deletion(0, 100, 2)];
+        let r = compare_variants(&calls, &truth);
+        assert_eq!((r.indel.tp, r.indel.fp), (0, 1));
+    }
+
+    #[test]
+    fn insertion_matches_on_length() {
+        let ins = |pos, len: usize| {
+            Variant::insertion(0, pos, (0..len).map(|_| Base::A).collect::<DnaSeq>())
+        };
+        let truth = vec![ins(50, 4)];
+        let r = compare_variants(&[ins(51, 4)], &truth);
+        assert_eq!(r.indel.tp, 1);
+        let r = compare_variants(&[ins(51, 3)], &truth);
+        assert_eq!(r.indel.tp, 0);
+    }
+
+    #[test]
+    fn truth_matched_once() {
+        // Two identical calls cannot both claim one truth variant.
+        let truth = vec![snp(10, Base::C)];
+        let calls = vec![snp(10, Base::C), snp(10, Base::C)];
+        let r = compare_variants(&calls, &truth);
+        assert_eq!((r.snp.tp, r.snp.fp), (1, 1));
+    }
+
+    #[test]
+    fn metrics_formulas() {
+        let m = AccuracyMetrics { tp: 90, fp: 10, fn_: 30 };
+        assert!((m.precision() - 0.9).abs() < 1e-12);
+        assert!((m.recall() - 0.75).abs() < 1e-12);
+        assert!((m.f1() - 2.0 * 0.9 * 0.75 / 1.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let r = compare_variants(&[], &[]);
+        assert_eq!(r.snp.f1(), 0.0);
+    }
+}

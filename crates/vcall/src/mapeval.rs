@@ -1,0 +1,108 @@
+//! Mapping-location correctness against simulation ground truth
+//! (paftools `mapeval` substitute, used for the paper's Fig. 13 threshold
+//! sweep which verifies "only the correctness of the mapping location
+//! rather than the full alignment").
+
+/// One read end's evaluation input.
+#[derive(Clone, Copy, Debug)]
+pub struct MapevalRecord {
+    /// Where the mapper placed the read (`None` = unmapped).
+    pub mapped: Option<(u32, u64)>,
+    /// Ground-truth chromosome and leftmost position.
+    pub truth: (u32, u64),
+}
+
+/// Aggregated mapeval metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MapevalResult {
+    /// Total reads evaluated.
+    pub total: u64,
+    /// Reads mapped anywhere.
+    pub mapped: u64,
+    /// Reads mapped within the tolerance of their truth position.
+    pub correct: u64,
+}
+
+impl MapevalResult {
+    /// Fraction of mapped reads that are correct (the Fig. 13 precision).
+    pub fn precision(&self) -> f64 {
+        if self.mapped == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.mapped as f64
+        }
+    }
+
+    /// Fraction of all reads that are mapped correctly (the Fig. 13
+    /// recall).
+    pub fn recall(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total as f64
+        }
+    }
+
+    /// F1 of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Evaluates mappings: correct = same chromosome and within `tolerance`
+/// bases of the truth position.
+pub fn mapeval(records: &[MapevalRecord], tolerance: u64) -> MapevalResult {
+    let mut res = MapevalResult {
+        total: records.len() as u64,
+        ..Default::default()
+    };
+    for r in records {
+        if let Some((chrom, pos)) = r.mapped {
+            res.mapped += 1;
+            if chrom == r.truth.0 && pos.abs_diff(r.truth.1) <= tolerance {
+                res.correct += 1;
+            }
+        }
+    }
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_within_tolerance() {
+        let recs = [
+            MapevalRecord { mapped: Some((0, 1000)), truth: (0, 1000) },
+            MapevalRecord { mapped: Some((0, 1040)), truth: (0, 1000) },
+            MapevalRecord { mapped: Some((0, 2000)), truth: (0, 1000) },
+            MapevalRecord { mapped: Some((1, 1000)), truth: (0, 1000) },
+            MapevalRecord { mapped: None, truth: (0, 1000) },
+        ];
+        let r = mapeval(&recs, 50);
+        assert_eq!(r.total, 5);
+        assert_eq!(r.mapped, 4);
+        assert_eq!(r.correct, 2);
+        assert!((r.precision() - 0.5).abs() < 1e-12);
+        assert!((r.recall() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = mapeval(&[], 50);
+        assert_eq!(r.f1(), 0.0);
+    }
+
+    #[test]
+    fn tighter_tolerance_reduces_correct() {
+        let recs = [MapevalRecord { mapped: Some((0, 1010)), truth: (0, 1000) }];
+        assert_eq!(mapeval(&recs, 20).correct, 1);
+        assert_eq!(mapeval(&recs, 5).correct, 0);
+    }
+}

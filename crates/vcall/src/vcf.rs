@@ -1,0 +1,109 @@
+//! Minimal VCF text output for called variants — enough to eyeball calls
+//! and diff truth sets; not a full VCF implementation.
+
+use gx_genome::variant::{Variant, VariantKind};
+use gx_genome::ReferenceGenome;
+use std::io::Write;
+
+/// Writes `variants` as VCF 4.2 records against `genome`.
+///
+/// SNPs are emitted as `REF ALT` single bases; insertions and deletions in
+/// anchored VCF style (the anchor base precedes the event).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_vcf<W: Write>(
+    variants: &[Variant],
+    genome: &ReferenceGenome,
+    mut writer: W,
+) -> std::io::Result<()> {
+    writeln!(writer, "##fileformat=VCFv4.2")?;
+    writeln!(writer, "##source=genpairx-vcall")?;
+    for chrom in genome.chromosomes() {
+        writeln!(writer, "##contig=<ID={},length={}>", chrom.name(), chrom.len())?;
+    }
+    writeln!(writer, "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO")?;
+    for v in variants {
+        let chrom = genome.chromosome(v.chrom);
+        let name = chrom.name();
+        match v.kind {
+            VariantKind::Snp => {
+                let r = chrom.seq().get(v.pos as usize);
+                writeln!(
+                    writer,
+                    "{name}\t{}\t.\t{r}\t{}\t.\tPASS\t.",
+                    v.pos + 1,
+                    v.alt.get(0)
+                )?;
+            }
+            VariantKind::Ins => {
+                // Anchor at the base before the insertion point.
+                let anchor_pos = v.pos.saturating_sub(1);
+                let anchor = chrom.seq().get(anchor_pos as usize);
+                writeln!(
+                    writer,
+                    "{name}\t{}\t.\t{anchor}\t{anchor}{}\t.\tPASS\t.",
+                    anchor_pos + 1,
+                    v.alt
+                )?;
+            }
+            VariantKind::Del => {
+                let anchor_pos = v.pos.saturating_sub(1);
+                let anchor = chrom.seq().get(anchor_pos as usize);
+                let deleted = chrom
+                    .seq()
+                    .subseq(v.pos as usize..(v.pos + v.del_len as u64) as usize);
+                writeln!(
+                    writer,
+                    "{name}\t{}\t.\t{anchor}{deleted}\t{anchor}\t.\tPASS\t.",
+                    anchor_pos + 1,
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_genome::{Base, Chromosome, DnaSeq};
+
+    fn genome() -> ReferenceGenome {
+        ReferenceGenome::from_chromosomes(vec![Chromosome::new(
+            "chr1",
+            DnaSeq::from_ascii(b"ACGTACGTACGT").unwrap(),
+        )])
+    }
+
+    #[test]
+    fn snp_record() {
+        let g = genome();
+        let mut buf = Vec::new();
+        write_vcf(&[Variant::snp(0, 2, Base::T)], &g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("chr1\t3\t.\tG\tT\t.\tPASS"), "{text}");
+        assert!(text.starts_with("##fileformat=VCFv4.2"));
+    }
+
+    #[test]
+    fn deletion_record_anchored() {
+        let g = genome();
+        let mut buf = Vec::new();
+        write_vcf(&[Variant::deletion(0, 4, 2)], &g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Anchor T at 1-based position 4, deleting "AC".
+        assert!(text.contains("chr1\t4\t.\tTAC\tT\t.\tPASS"), "{text}");
+    }
+
+    #[test]
+    fn insertion_record_anchored() {
+        let g = genome();
+        let ins = DnaSeq::from_ascii(b"GG").unwrap();
+        let mut buf = Vec::new();
+        write_vcf(&[Variant::insertion(0, 4, ins)], &g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("chr1\t4\t.\tT\tTGG\t.\tPASS"), "{text}");
+    }
+}

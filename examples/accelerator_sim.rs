@@ -1,0 +1,59 @@
+//! Simulating the GenPairX accelerator: NMSL over HBM2e, pipeline sizing,
+//! and the area/power roll-up — the hardware half of the paper.
+//!
+//! Run with: `cargo run --release --example accelerator_sim`
+
+use genpairx::accel::area_power::genpairx_cost;
+use genpairx::accel::workload::build_workloads;
+use genpairx::accel::{NmslConfig, NmslSim, PipelineSizing, WorkloadProfile};
+use genpairx::core::{GenPairConfig, GenPairMapper, PipelineStats};
+use genpairx::genome::random::RandomGenomeBuilder;
+use genpairx::memsim::DramConfig;
+use genpairx::readsim::PairedEndSimulator;
+
+fn main() {
+    let genome = RandomGenomeBuilder::new(500_000)
+        .humanlike_repeats()
+        .seed(3)
+        .build();
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+    let mut sim = PairedEndSimulator::new(&genome).seed(4);
+    let pairs = sim.simulate(1_500);
+
+    // Software profile: how much work does each module do per pair?
+    let mut stats = PipelineStats::new();
+    for p in &pairs {
+        stats.record(&mapper.map_pair(&p.r1.seq, &p.r2.seq));
+    }
+    let profile = WorkloadProfile::from_stats(&stats, 150);
+    println!(
+        "workload profile: {:.1} PA iterations/pair, {:.1} light alignments/pair",
+        profile.mean_pa_iterations, profile.mean_light_aligns
+    );
+
+    // NMSL cycle simulation over HBM2e with the paper's window of 1024.
+    let reads: Vec<_> = pairs.iter().map(|p| (p.r1.seq.clone(), p.r2.seq.clone())).collect();
+    let workloads = build_workloads(&reads, mapper.seedmap());
+    let mut nmsl_sim = NmslSim::new(DramConfig::hbm2e_32ch(), NmslConfig::default());
+    let nmsl = nmsl_sim.run(&workloads);
+    println!(
+        "NMSL: {:.1} MPair/s, {:.1} GB/s, row-hit {:.2}, max channel FIFO {} entries",
+        nmsl.mpairs_per_s, nmsl.gbs, nmsl.row_hit_rate, nmsl.max_channel_fifo
+    );
+
+    // Balance the pipeline and price it.
+    let sizing = PipelineSizing::balance(nmsl.mpairs_per_s, &profile);
+    for m in &sizing.modules {
+        println!(
+            "{:<28} {:>7.1} MPair/s/instance  x{}",
+            m.spec.name, m.mpairs_per_instance, m.instances
+        );
+    }
+    let cost = genpairx_cost(&sizing, &nmsl);
+    println!("\n{}", cost.render("GenPairX cost breakdown (7 nm)"));
+    println!(
+        "end-to-end: {:.1} MPair/s = {:.0} Mbp/s",
+        sizing.pipeline_mpairs(),
+        sizing.pipeline_mpairs() * 300.0
+    );
+}

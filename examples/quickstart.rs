@@ -1,0 +1,66 @@
+//! Quickstart: build a reference, index it, and map a handful of simulated
+//! read pairs with GenPair.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use genpairx::core::{GenPairConfig, GenPairMapper, PipelineStats};
+use genpairx::genome::random::RandomGenomeBuilder;
+use genpairx::readsim::PairedEndSimulator;
+
+fn main() {
+    // 1. A 500 kb repeat-rich reference (GRCh38 stand-in).
+    let genome = RandomGenomeBuilder::new(500_000)
+        .chromosomes(2)
+        .humanlike_repeats()
+        .seed(42)
+        .build();
+    println!(
+        "reference: {} chromosomes, {} bp total",
+        genome.num_chromosomes(),
+        genome.total_len()
+    );
+
+    // 2. Build the SeedMap index (the offline stage) and the mapper.
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+    let stats = mapper.seedmap().stats();
+    println!(
+        "SeedMap: {} locations in {} buckets ({} filtered), {:.1} MB",
+        stats.stored_locations,
+        stats.used_buckets,
+        stats.filtered_buckets,
+        mapper.seedmap().memory_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // 3. Simulate 2x150 bp pairs with a 0.1% error rate.
+    let mut sim = PairedEndSimulator::new(&genome).seed(7);
+    let pairs = sim.simulate(20);
+
+    // 4. Map them.
+    let mut pipeline_stats = PipelineStats::new();
+    for pair in &pairs {
+        let result = mapper.map_pair(&pair.r1.seq, &pair.r2.seq);
+        pipeline_stats.record(&result);
+        if let Some(m) = &result.mapping {
+            println!(
+                "{}: chr{} {}..{} strand={} scores={}+{} cigar1={} (truth {})",
+                pair.id,
+                m.chrom + 1,
+                m.pos1,
+                m.pos2,
+                if m.r1_forward { "+" } else { "-" },
+                m.score1,
+                m.score2,
+                m.cigar1,
+                pair.truth.start1.min(pair.truth.start2),
+            );
+        } else {
+            println!("{}: needs full DP fallback ({:?})", pair.id, result.fallback);
+        }
+    }
+    println!(
+        "\nlight-mapped: {:.0}%  DP-at-candidates: {:.0}%  full fallback: {:.0}%",
+        pipeline_stats.light_mapped_pct(),
+        pipeline_stats.light_fail_pct(),
+        pipeline_stats.seedmap_miss_pct() + pipeline_stats.pafilter_pct(),
+    );
+}

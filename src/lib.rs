@@ -1,0 +1,50 @@
+//! GenPairX — a full-system reproduction of *"GenPairX: A Hardware-Algorithm
+//! Co-Designed Accelerator for Paired-End Read Mapping"* (HPCA 2026).
+//!
+//! This facade crate re-exports every workspace crate under one roof so that
+//! examples, integration tests and downstream users can depend on a single
+//! `genpairx` crate:
+//!
+//! * [`genome`] — DNA substrate (sequences, references, CIGAR, variants).
+//! * [`align`] — scoring and dynamic-programming aligners.
+//! * [`seedmap`] — the SeedMap index (Seed Table + Location Table).
+//! * [`readsim`] — Mason-like paired-end and long-read simulators.
+//! * [`core`] — the GenPair algorithm (seeding, query, paired-adjacency
+//!   filtering, light alignment, fallback plumbing).
+//! * [`baseline`] — minimap2-style software mapper and comparator models.
+//! * [`memsim`] — cycle-level DRAM simulator (HBM2e/DDR5/GDDR6) and SRAM
+//!   cost models.
+//! * [`accel`] — the GenPairX hardware model (NMSL, module sizing,
+//!   area/power roll-up, GenDP integration, end-to-end system comparison).
+//! * [`vcall`] — pileup variant caller and accuracy evaluation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use genpairx::genome::random::RandomGenomeBuilder;
+//! use genpairx::readsim::PairedEndSimulator;
+//! use genpairx::core::{GenPairConfig, GenPairMapper};
+//!
+//! let genome = RandomGenomeBuilder::new(100_000).seed(1).build();
+//! let mut sim = PairedEndSimulator::new(&genome).seed(2);
+//! let pairs = sim.simulate(50);
+//!
+//! let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+//! let mut mapped = 0;
+//! for pair in &pairs {
+//!     if mapper.map_pair(&pair.r1.seq, &pair.r2.seq).is_mapped() {
+//!         mapped += 1;
+//!     }
+//! }
+//! assert!(mapped > 40);
+//! ```
+
+pub use gx_accel as accel;
+pub use gx_align as align;
+pub use gx_baseline as baseline;
+pub use gx_core as core;
+pub use gx_genome as genome;
+pub use gx_memsim as memsim;
+pub use gx_readsim as readsim;
+pub use gx_seedmap as seedmap;
+pub use gx_vcall as vcall;

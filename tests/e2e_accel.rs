@@ -1,0 +1,81 @@
+//! Integration: the hardware models — NMSL behaviour across window sizes
+//! and memory technologies, pipeline sizing, and cost roll-up consistency.
+
+use genpairx::accel::area_power::genpairx_cost;
+use genpairx::accel::workload::synthetic_workloads;
+use genpairx::accel::{NmslConfig, NmslSim, PipelineSizing, WorkloadProfile};
+use genpairx::memsim::DramConfig;
+use genpairx::readsim::dataset::standard_genome;
+use genpairx::seedmap::{SeedMap, SeedMapConfig};
+
+fn workloads(n: usize) -> Vec<genpairx::accel::PairWorkload> {
+    let genome = standard_genome(300_000, 7);
+    let map = SeedMap::build(&genome, &SeedMapConfig::default());
+    synthetic_workloads(&map, &genome, n, 11)
+}
+
+#[test]
+fn throughput_monotone_in_window_size() {
+    let ws = workloads(600);
+    let mut prev = 0.0;
+    for window in [1usize, 8, 64, 512] {
+        let mut sim = NmslSim::new(
+            DramConfig::hbm2e_32ch(),
+            NmslConfig {
+                window: Some(window),
+                ..NmslConfig::default()
+            },
+        );
+        let tput = sim.run(&ws).mpairs_per_s;
+        assert!(
+            tput >= prev * 0.95,
+            "window {window}: {tput} dropped below {prev}"
+        );
+        prev = tput;
+    }
+}
+
+#[test]
+fn memory_technology_ordering_matches_table6() {
+    let ws = workloads(600);
+    let run = |cfg: DramConfig| {
+        NmslSim::new(cfg, NmslConfig::default()).run(&ws).mpairs_per_s
+    };
+    let hbm = run(DramConfig::hbm2e_32ch());
+    let gddr = run(DramConfig::gddr6_8ch());
+    let ddr = run(DramConfig::ddr5_4ch());
+    assert!(hbm > gddr, "HBM {hbm} <= GDDR6 {gddr}");
+    assert!(hbm > ddr * 3.0, "HBM {hbm} not well above DDR5 {ddr}");
+    assert!(gddr > ddr * 0.8, "GDDR6 {gddr} far below DDR5 {ddr}");
+}
+
+#[test]
+fn sizing_scales_with_nmsl_rate_and_cost_follows() {
+    let profile = WorkloadProfile::paper();
+    let slow = PipelineSizing::balance(50.0, &profile);
+    let fast = PipelineSizing::balance(200.0, &profile);
+    assert!(fast.modules[2].instances > slow.modules[2].instances);
+
+    let ws = workloads(300);
+    let mut sim = NmslSim::new(DramConfig::hbm2e_32ch(), NmslConfig::default());
+    let nmsl = sim.run(&ws);
+    let cost_slow = genpairx_cost(&slow, &nmsl);
+    let cost_fast = genpairx_cost(&fast, &nmsl);
+    assert!(cost_fast.total_area_mm2() > cost_slow.total_area_mm2());
+    assert!(cost_fast.total_power_mw() > cost_slow.total_power_mw());
+    // HBM PHY dominates area in both; totals must stay in a sane range.
+    assert!(cost_slow.total_area_mm2() > 60.0);
+    assert!(cost_fast.total_area_mm2() < 100.0);
+}
+
+#[test]
+fn nmsl_sram_formula_consistency() {
+    let ws = workloads(300);
+    let mut sim = NmslSim::new(DramConfig::hbm2e_32ch(), NmslConfig::default());
+    let res = sim.run(&ws);
+    assert_eq!(res.sram_bytes, res.buffer_bytes + res.fifo_bytes);
+    assert_eq!(res.buffer_bytes, 6 * 1024 * 500 * 4);
+    assert!(res.fifo_bytes > 0);
+    assert!(res.elapsed_s > 0.0);
+    assert!(res.dram_power_mw > 0.0);
+}
