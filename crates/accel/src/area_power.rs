@@ -88,7 +88,10 @@ impl DesignCost {
 
     /// Renders an aligned text table.
     pub fn render(&self, title: &str) -> String {
-        let mut s = format!("{title}\n{:<34} {:>12} {:>12}\n", "Component", "Area [mm2]", "Power [mW]");
+        let mut s = format!(
+            "{title}\n{:<34} {:>12} {:>12}\n",
+            "Component", "Area [mm2]", "Power [mW]"
+        );
         for i in &self.items {
             s += &format!("{:<34} {:>12.3} {:>12.2}\n", i.name, i.area_mm2, i.power_mw);
         }

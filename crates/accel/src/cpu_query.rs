@@ -34,15 +34,11 @@ pub fn measure_cpu_query(
 ) -> CpuQueryResult {
     assert!(threads > 0 && repeats > 0 && !workloads.is_empty());
     let start = Instant::now();
-    let total_checksum: u64 = crossbeam::thread::scope(|scope| {
+    let total_checksum: u64 = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
-            let shard: Vec<&PairWorkload> = workloads
-                .iter()
-                .skip(t)
-                .step_by(threads)
-                .collect();
-            handles.push(scope.spawn(move |_| {
+            let shard: Vec<&PairWorkload> = workloads.iter().skip(t).step_by(threads).collect();
+            handles.push(scope.spawn(move || {
                 let mut checksum = 0u64;
                 for _ in 0..repeats {
                     for w in &shard {
@@ -59,18 +55,16 @@ pub fn measure_cpu_query(
                 checksum
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("query thread panicked")).sum()
-    })
-    .expect("thread scope failed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query thread panicked"))
+            .sum()
+    });
     std::hint::black_box(total_checksum);
 
     let elapsed = start.elapsed().as_secs_f64();
     let pairs = (workloads.len() * repeats) as f64;
-    let bytes: u64 = workloads
-        .iter()
-        .map(|w| w.total_bytes())
-        .sum::<u64>()
-        * repeats as u64;
+    let bytes: u64 = workloads.iter().map(|w| w.total_bytes()).sum::<u64>() * repeats as u64;
     CpuQueryResult {
         mpairs_per_s: pairs / elapsed / 1e6,
         gbs: bytes as f64 / elapsed / 1e9,

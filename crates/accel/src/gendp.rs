@@ -86,7 +86,7 @@ mod tests {
         // the paper's GenDP area and power.
         let m = GenDpModel::paper_calibrated();
         let (chain_gcups, align_gcups) = residual_gcups(
-            PAPER_CHAIN_MCU_PER_MPAIR,   // MCU/Mpair == cells/pair
+            PAPER_CHAIN_MCU_PER_MPAIR, // MCU/Mpair == cells/pair
             PAPER_ALIGN_MCU_PER_MPAIR,
             192.7,
         );

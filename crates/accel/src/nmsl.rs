@@ -154,9 +154,7 @@ impl NmslSim {
             match self.cfg.address_scale {
                 // Scatter each bucket's slice: a human-scale Location Table
                 // is ~12 GB, so distinct seeds' slices share no rows.
-                AddressScale::HumanScale => {
-                    loc_base + (mix32(hash) as u64) * 64
-                }
+                AddressScale::HumanScale => loc_base + (mix32(hash) as u64) * 64,
                 AddressScale::Native => loc_base + loc_start * 4,
             }
         };
@@ -254,10 +252,8 @@ impl NmslSim {
         let elapsed_s = cycles as f64 / (self.dram.config().clock_ghz * 1e9);
         let pairs = workloads.len() as u64;
         let effective_window = self.cfg.window.unwrap_or(max_inflight.max(1)) as u64;
-        let buffer_bytes = 6
-            * effective_window
-            * self.cfg.buffer_depth as u64
-            * self.cfg.buffer_entry_bytes;
+        let buffer_bytes =
+            6 * effective_window * self.cfg.buffer_depth as u64 * self.cfg.buffer_entry_bytes;
         let fifo_bytes = channels as u64 * max_fifo as u64 * self.cfg.fifo_entry_bytes;
         let dram_stats = *self.dram.stats();
         let power_model = DramPowerModel::for_config(self.dram.config());
@@ -287,7 +283,10 @@ mod tests {
     use gx_seedmap::{SeedMap, SeedMapConfig};
 
     fn workloads(n: usize) -> Vec<PairWorkload> {
-        let genome = RandomGenomeBuilder::new(100_000).seed(4).humanlike_repeats().build();
+        let genome = RandomGenomeBuilder::new(100_000)
+            .seed(4)
+            .humanlike_repeats()
+            .build();
         let map = SeedMap::build(&genome, &SeedMapConfig::default());
         synthetic_workloads(&map, &genome, n, 5)
     }
@@ -300,9 +299,14 @@ mod tests {
         assert_eq!(res.pairs, 200);
         assert!(res.mpairs_per_s > 0.0);
         assert!(res.gbs > 0.0);
-        assert_eq!(res.dram.completed, ws.iter().map(|w| {
-            w.seeds.len() as u64 + w.seeds.iter().filter(|s| s.locations > 0).count() as u64
-        }).sum::<u64>());
+        assert_eq!(
+            res.dram.completed,
+            ws.iter()
+                .map(|w| {
+                    w.seeds.len() as u64 + w.seeds.iter().filter(|s| s.locations > 0).count() as u64
+                })
+                .sum::<u64>()
+        );
     }
 
     #[test]

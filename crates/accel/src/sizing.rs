@@ -65,8 +65,7 @@ impl PipelineSizing {
     /// Balances the pipeline for an NMSL rate and workload profile.
     pub fn balance(nmsl_mpairs: f64, profile: &WorkloadProfile) -> PipelineSizing {
         let size = |spec: ModuleSpec, ops_per_pair: f64| -> ModuleSizing {
-            let mpairs_per_instance =
-                spec.mops_per_instance(ACCEL_CLOCK_GHZ) / ops_per_pair;
+            let mpairs_per_instance = spec.mops_per_instance(ACCEL_CLOCK_GHZ) / ops_per_pair;
             let instances = (nmsl_mpairs / mpairs_per_instance).ceil().max(1.0) as u32;
             ModuleSizing {
                 mpairs_per_instance,
@@ -81,7 +80,10 @@ impl PipelineSizing {
             modules: vec![
                 size(ModuleSpec::partitioned_seeding(), 1.0),
                 size(ModuleSpec::pa_filter(profile.mean_pa_iterations), 1.0),
-                size(ModuleSpec::light_align(profile.read_len), profile.mean_light_aligns),
+                size(
+                    ModuleSpec::light_align(profile.read_len),
+                    profile.mean_light_aligns,
+                ),
             ],
         }
     }
@@ -117,7 +119,11 @@ mod tests {
             .collect();
         assert_eq!(by_name[0].1, 1, "seeding instances");
         assert_eq!(by_name[1].1, 3, "pa filter instances");
-        assert!((174..=176).contains(&by_name[2].1), "light align instances {}", by_name[2].1);
+        assert!(
+            (174..=176).contains(&by_name[2].1),
+            "light align instances {}",
+            by_name[2].1
+        );
         assert!((by_name[0].2 - 333.3).abs() < 1.0);
         assert!((by_name[1].2 - 83.0).abs() < 1.0);
         assert!((by_name[2].2 - 1.1).abs() < 0.05);

@@ -21,7 +21,12 @@ pub struct SystemPerf {
 
 impl SystemPerf {
     /// Creates a system row.
-    pub fn new(name: impl Into<String>, throughput_mbps: f64, area_mm2: f64, power_w: f64) -> SystemPerf {
+    pub fn new(
+        name: impl Into<String>,
+        throughput_mbps: f64,
+        area_mm2: f64,
+        power_w: f64,
+    ) -> SystemPerf {
         SystemPerf {
             name: name.into(),
             throughput_mbps,

@@ -59,10 +59,7 @@ pub fn pair_workload(r1: &DnaSeq, r2: &DnaSeq, seedmap: &SeedMap) -> PairWorkloa
 }
 
 /// Builds workloads for a whole read set.
-pub fn build_workloads(
-    pairs: &[(DnaSeq, DnaSeq)],
-    seedmap: &SeedMap,
-) -> Vec<PairWorkload> {
+pub fn build_workloads(pairs: &[(DnaSeq, DnaSeq)], seedmap: &SeedMap) -> Vec<PairWorkload> {
     pairs
         .iter()
         .map(|(r1, r2)| pair_workload(r1, r2, seedmap))
@@ -132,12 +129,15 @@ mod tests {
 
     #[test]
     fn synthetic_workloads_match_index_distribution() {
-        let genome = RandomGenomeBuilder::new(60_000).seed(2).humanlike_repeats().build();
+        let genome = RandomGenomeBuilder::new(60_000)
+            .seed(2)
+            .humanlike_repeats()
+            .build();
         let map = SeedMap::build(&genome, &SeedMapConfig::default());
         let ws = synthetic_workloads(&map, &genome, 200, 3);
         assert_eq!(ws.len(), 200);
-        let mean = ws.iter().map(|w| w.total_locations()).sum::<u64>() as f64
-            / (6.0 * ws.len() as f64);
+        let mean =
+            ws.iter().map(|w| w.total_locations()).sum::<u64>() as f64 / (6.0 * ws.len() as f64);
         // In-genome seeds have at least one location each.
         assert!(mean >= 1.0, "mean locations/seed {mean}");
     }

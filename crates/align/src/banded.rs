@@ -1,4 +1,4 @@
-use crate::dp::{Alignment, AlignMode, NEG_INF};
+use crate::dp::{AlignMode, Alignment, NEG_INF};
 use crate::Scoring;
 use gx_genome::{Cigar, CigarOp, DnaSeq};
 
@@ -31,9 +31,15 @@ pub fn banded_align(
     band: usize,
     mode: AlignMode,
 ) -> Alignment {
-    assert!(!query.is_empty() && !target.is_empty(), "cannot align empty sequences");
+    assert!(
+        !query.is_empty() && !target.is_empty(),
+        "cannot align empty sequences"
+    );
     assert!(band > 0, "band must be positive");
-    assert!(mode != AlignMode::Local, "banded alignment supports Global and Fit modes");
+    assert!(
+        mode != AlignMode::Local,
+        "banded alignment supports Global and Fit modes"
+    );
     let n = query.len();
     let m = target.len();
     let open = scoring.gap_open + scoring.gap_ext;
@@ -134,7 +140,11 @@ pub fn banded_align(
             f_col[hi + 1] = NEG_INF;
         }
         if start > 0 {
-            h_cur[start - 1] = if start > lo { h_cur[start - 1] } else { NEG_INF };
+            h_cur[start - 1] = if start > lo {
+                h_cur[start - 1]
+            } else {
+                NEG_INF
+            };
         }
         std::mem::swap(&mut h_prev, &mut h_cur);
     }
@@ -260,7 +270,12 @@ mod tests {
         let s = Scoring::short_read();
         let full = align(&q, &t, &s, AlignMode::Fit);
         let band = banded_align(&q, &t, &s, 5, AlignMode::Fit);
-        assert!(band.cells < full.cells / 2, "band {} full {}", band.cells, full.cells);
+        assert!(
+            band.cells < full.cells / 2,
+            "band {} full {}",
+            band.cells,
+            full.cells
+        );
     }
 
     #[test]

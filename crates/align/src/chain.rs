@@ -191,10 +191,22 @@ mod tests {
     #[test]
     fn distant_anchors_split_chains() {
         let mut anchors = vec![
-            Anchor { read_pos: 0, ref_pos: 1000 },
-            Anchor { read_pos: 30, ref_pos: 1030 },
-            Anchor { read_pos: 0, ref_pos: 900_000 },
-            Anchor { read_pos: 30, ref_pos: 900_030 },
+            Anchor {
+                read_pos: 0,
+                ref_pos: 1000,
+            },
+            Anchor {
+                read_pos: 30,
+                ref_pos: 1030,
+            },
+            Anchor {
+                read_pos: 0,
+                ref_pos: 900_000,
+            },
+            Anchor {
+                read_pos: 30,
+                ref_pos: 900_030,
+            },
         ];
         let res = chain_anchors(&mut anchors, &params());
         assert_eq!(res.chains.len(), 2);
@@ -204,9 +216,18 @@ mod tests {
     fn gap_penalty_prefers_consistent_diagonal() {
         // Two candidate predecessors: one on-diagonal, one with a 50bp gap.
         let mut anchors = vec![
-            Anchor { read_pos: 0, ref_pos: 1000 },   // on-diagonal
-            Anchor { read_pos: 0, ref_pos: 1050 },   // off-diagonal (gap 50)
-            Anchor { read_pos: 100, ref_pos: 1100 }, // target
+            Anchor {
+                read_pos: 0,
+                ref_pos: 1000,
+            }, // on-diagonal
+            Anchor {
+                read_pos: 0,
+                ref_pos: 1050,
+            }, // off-diagonal (gap 50)
+            Anchor {
+                read_pos: 100,
+                ref_pos: 1100,
+            }, // target
         ];
         let res = chain_anchors(&mut anchors, &params());
         let best = &res.chains[0];
@@ -223,7 +244,10 @@ mod tests {
 
     #[test]
     fn min_score_filters_singletons() {
-        let mut anchors = vec![Anchor { read_pos: 0, ref_pos: 5 }];
+        let mut anchors = vec![Anchor {
+            read_pos: 0,
+            ref_pos: 5,
+        }];
         let res = chain_anchors(&mut anchors, &params());
         assert!(res.chains.is_empty()); // single 21-mer scores 21 < 40
     }

@@ -69,7 +69,10 @@ const F_EXT: u8 = 1 << 3;
 ///
 /// Panics if either sequence is empty.
 pub fn align(query: &DnaSeq, target: &DnaSeq, scoring: &Scoring, mode: AlignMode) -> Alignment {
-    assert!(!query.is_empty() && !target.is_empty(), "cannot align empty sequences");
+    assert!(
+        !query.is_empty() && !target.is_empty(),
+        "cannot align empty sequences"
+    );
     let n = query.len();
     let m = target.len();
     let open = scoring.gap_open + scoring.gap_ext;
@@ -285,7 +288,12 @@ mod tests {
 
     #[test]
     fn global_identity() {
-        let a = align(&seq("ACGTACGT"), &seq("ACGTACGT"), &Scoring::short_read(), AlignMode::Global);
+        let a = align(
+            &seq("ACGTACGT"),
+            &seq("ACGTACGT"),
+            &Scoring::short_read(),
+            AlignMode::Global,
+        );
         assert_eq!(a.score, 16);
         assert_eq!(a.cigar.to_string(), "8=");
         assert_eq!(a.cells, 64);
@@ -293,7 +301,12 @@ mod tests {
 
     #[test]
     fn global_one_mismatch() {
-        let a = align(&seq("ACGTACGT"), &seq("ACGAACGT"), &Scoring::short_read(), AlignMode::Global);
+        let a = align(
+            &seq("ACGTACGT"),
+            &seq("ACGAACGT"),
+            &Scoring::short_read(),
+            AlignMode::Global,
+        );
         assert_eq!(a.score, 14 - 8);
         assert_eq!(a.cigar.to_string(), "3=1X4=");
     }
@@ -301,21 +314,36 @@ mod tests {
     #[test]
     fn global_deletion() {
         // target has 2 extra bases -> deletion (consumes target)
-        let a = align(&seq("ACGTACGT"), &seq("ACGTGGACGT"), &Scoring::short_read(), AlignMode::Global);
+        let a = align(
+            &seq("ACGTACGT"),
+            &seq("ACGTGGACGT"),
+            &Scoring::short_read(),
+            AlignMode::Global,
+        );
         assert_eq!(a.score, 16 - 16); // 8 matches - (12 + 2*2)
         assert_eq!(a.cigar.to_string(), "4=2D4=");
     }
 
     #[test]
     fn global_insertion() {
-        let a = align(&seq("ACGTGGACGT"), &seq("ACGTACGT"), &Scoring::short_read(), AlignMode::Global);
+        let a = align(
+            &seq("ACGTGGACGT"),
+            &seq("ACGTACGT"),
+            &Scoring::short_read(),
+            AlignMode::Global,
+        );
         assert_eq!(a.score, 16 - 16);
         assert_eq!(a.cigar.to_string(), "4=2I4=");
     }
 
     #[test]
     fn fit_finds_offset() {
-        let a = align(&seq("ACGTACGT"), &seq("TTTTACGTACGTTTTT"), &Scoring::short_read(), AlignMode::Fit);
+        let a = align(
+            &seq("ACGTACGT"),
+            &seq("TTTTACGTACGTTTTT"),
+            &Scoring::short_read(),
+            AlignMode::Fit,
+        );
         assert_eq!(a.score, 16);
         assert_eq!(a.target_start, 4);
         assert_eq!(a.target_end, 12);
@@ -339,7 +367,12 @@ mod tests {
 
     #[test]
     fn local_extracts_core() {
-        let a = align(&seq("TTTTACGTACGTTTTT"), &seq("GGGGACGTACGTGGGG"), &Scoring::short_read(), AlignMode::Local);
+        let a = align(
+            &seq("TTTTACGTACGTTTTT"),
+            &seq("GGGGACGTACGTGGGG"),
+            &Scoring::short_read(),
+            AlignMode::Local,
+        );
         assert_eq!(a.score, 16);
         assert_eq!(a.cigar.to_string(), "8=");
         assert_eq!(a.query_start, 4);
@@ -348,7 +381,12 @@ mod tests {
 
     #[test]
     fn local_never_negative() {
-        let a = align(&seq("AAAA"), &seq("TTTT"), &Scoring::short_read(), AlignMode::Local);
+        let a = align(
+            &seq("AAAA"),
+            &seq("TTTT"),
+            &Scoring::short_read(),
+            AlignMode::Local,
+        );
         assert_eq!(a.score, 0);
     }
 
@@ -358,10 +396,7 @@ mod tests {
         let t = seq("TTACGGTTACGGTAGACCATT");
         let a = align(&q, &t, &Scoring::short_read(), AlignMode::Fit);
         assert_eq!(a.cigar.query_len() as usize, q.len());
-        assert_eq!(
-            a.target_end - a.target_start,
-            a.cigar.ref_len() as usize
-        );
+        assert_eq!(a.target_end - a.target_start, a.cigar.ref_len() as usize);
     }
 
     #[test]

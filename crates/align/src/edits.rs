@@ -38,7 +38,8 @@ impl EditCase {
     /// edit combination.
     pub fn score(&self, read_len: usize, scoring: &Scoring) -> i32 {
         let matched = read_len as u32 - self.mismatches - self.insertions;
-        scoring.match_score * matched as i32 - scoring.mismatch * self.mismatches as i32
+        scoring.match_score * matched as i32
+            - scoring.mismatch * self.mismatches as i32
             - scoring.gap_cost(self.insertions)
             - scoring.gap_cost(self.deletions)
     }
@@ -123,8 +124,7 @@ mod tests {
     #[test]
     fn table1_contents() {
         let cases = enumerate_cases(150, &Scoring::short_read(), 276);
-        let rendered: Vec<(String, i32)> =
-            cases.iter().map(|(c, s)| (c.describe(), *s)).collect();
+        let rendered: Vec<(String, i32)> = cases.iter().map(|(c, s)| (c.describe(), *s)).collect();
         let expect = [
             ("None", 300),
             ("1 Mismatch", 290),
@@ -164,11 +164,21 @@ mod tests {
     fn describe_wording() {
         assert_eq!(EditCase::none().describe(), "None");
         assert_eq!(
-            EditCase { mismatches: 0, insertions: 0, deletions: 2 }.describe(),
+            EditCase {
+                mismatches: 0,
+                insertions: 0,
+                deletions: 2
+            }
+            .describe(),
             "2 Consecutive Deletions"
         );
         assert_eq!(
-            EditCase { mismatches: 1, insertions: 0, deletions: 1 }.describe(),
+            EditCase {
+                mismatches: 1,
+                insertions: 0,
+                deletions: 1
+            }
+            .describe(),
             "1 Mismatch & 1 Deletion"
         );
     }

@@ -91,7 +91,10 @@ mod tests {
         assert!(!ms.is_empty());
         let mut hits = 0;
         for m in &ms {
-            if idx.lookup(m.hash).any(|(g, _)| (10_000..10_150).contains(&(g as usize))) {
+            if idx
+                .lookup(m.hash)
+                .any(|(g, _)| (10_000..10_150).contains(&(g as usize)))
+            {
                 hits += 1;
             }
         }

@@ -19,6 +19,4 @@ mod mapper;
 pub mod minimizer;
 
 pub use index::MinimizerIndex;
-pub use mapper::{
-    Mm2Config, Mm2Mapper, PairAlignment, ReadAlignment, StageTimings, WorkCounters,
-};
+pub use mapper::{Mm2Config, Mm2Mapper, PairAlignment, ReadAlignment, StageTimings, WorkCounters};

@@ -280,7 +280,9 @@ impl<'g> Mm2Mapper<'g> {
                 oriented_rev.expect("rc computed when reverse chains exist")
             };
             let start_locus = self.genome.locate(chain.ref_start as u32);
-            let end_locus = self.genome.locate((chain.ref_end - 1).min(self.genome.total_len() - 1) as u32);
+            let end_locus = self
+                .genome
+                .locate((chain.ref_end - 1).min(self.genome.total_len() - 1) as u32);
             if start_locus.chrom != end_locus.chrom {
                 continue;
             }
@@ -288,11 +290,19 @@ impl<'g> Mm2Mapper<'g> {
             let left_flank = chain.read_start as i64;
             let win_start = start_locus.pos as i64 - left_flank - pad;
             let win_len = seq.len() + 2 * pad as usize;
-            let (ws, window) = self.genome.clamped_window(start_locus.chrom, win_start, win_len);
+            let (ws, window) = self
+                .genome
+                .clamped_window(start_locus.chrom, win_start, win_len);
             if window.len() < seq.len() {
                 continue;
             }
-            let a = banded_align(seq, &window, &self.config.scoring, self.config.band, AlignMode::Fit);
+            let a = banded_align(
+                seq,
+                &window,
+                &self.config.scoring,
+                self.config.band,
+                AlignMode::Fit,
+            );
             work.align_cells += a.cells;
             out.push(ReadAlignment {
                 chrom: start_locus.chrom,
@@ -306,8 +316,8 @@ impl<'g> Mm2Mapper<'g> {
         timings.alignment += t2.elapsed();
 
         let t3 = Instant::now();
-        let min_score = (self.config.scoring.perfect(read.len()) as f64
-            * self.config.min_score_frac) as i32;
+        let min_score =
+            (self.config.scoring.perfect(read.len()) as f64 * self.config.min_score_frac) as i32;
         out.retain(|a| a.score >= min_score);
         out.sort_by_key(|a| std::cmp::Reverse(a.score));
         out.dedup_by_key(|a| (a.chrom, a.pos, a.forward));
@@ -348,7 +358,11 @@ impl<'g> Mm2Mapper<'g> {
         timings.other += t0.elapsed();
 
         if let Some((i, j, _)) = best {
-            let mapq = if a1.len() == 1 && a2.len() == 1 { 60 } else { 30 };
+            let mapq = if a1.len() == 1 && a2.len() == 1 {
+                60
+            } else {
+                30
+            };
             return PairAlignment {
                 r1: Some(a1[i].clone()),
                 r2: Some(a2[j].clone()),
@@ -418,7 +432,9 @@ impl<'g> Mm2Mapper<'g> {
             &oriented,
             &window,
             &self.config.scoring,
-            self.config.band.max(window.len().saturating_sub(oriented.len()) / 2 + 1),
+            self.config
+                .band
+                .max(window.len().saturating_sub(oriented.len()) / 2 + 1),
             AlignMode::Fit,
         );
         work.align_cells += a.cells;
@@ -449,7 +465,12 @@ impl<'g> Mm2Mapper<'g> {
     ) -> (SamRecord, SamRecord) {
         let base = flags::PAIRED | if pair.proper { flags::PROPER_PAIR } else { 0 };
         let rec = |a: &Option<ReadAlignment>, read: &DnaSeq, first: bool| -> SamRecord {
-            let fl = base | if first { flags::FIRST_IN_PAIR } else { flags::SECOND_IN_PAIR };
+            let fl = base
+                | if first {
+                    flags::FIRST_IN_PAIR
+                } else {
+                    flags::SECOND_IN_PAIR
+                };
             match a {
                 Some(a) => SamRecord {
                     qname: format!("{qname}/{}", if first { 1 } else { 2 }),
@@ -458,7 +479,11 @@ impl<'g> Mm2Mapper<'g> {
                     pos: a.pos,
                     mapq: pair.mapq,
                     cigar: a.cigar.clone(),
-                    seq: if a.forward { read.clone() } else { read.revcomp() },
+                    seq: if a.forward {
+                        read.clone()
+                    } else {
+                        read.revcomp()
+                    },
                     score: a.score,
                 },
                 None => SamRecord::unmapped(

@@ -71,7 +71,11 @@ pub fn extract_minimizers(seq: &DnaSeq, k: usize, w: usize) -> Vec<Minimizer> {
         fwd = ((fwd << 2) | c) & mask;
         rev = (rev >> 2) | ((c ^ 3) << (2 * (k - 1)));
         if i + 1 >= k {
-            let (canon, forward) = if fwd <= rev { (fwd, true) } else { (rev, false) };
+            let (canon, forward) = if fwd <= rev {
+                (fwd, true)
+            } else {
+                (rev, false)
+            };
             hashes.push((hash64(canon, mask), forward));
         }
     }
@@ -151,7 +155,10 @@ mod tests {
         let s = seq("ACGGTTACGGTAGACCATTACGGTAGCAGTTACCGGA");
         let k = 11;
         let w = 5;
-        let fwd: Vec<u64> = extract_minimizers(&s, k, w).iter().map(|m| m.hash).collect();
+        let fwd: Vec<u64> = extract_minimizers(&s, k, w)
+            .iter()
+            .map(|m| m.hash)
+            .collect();
         let rev: Vec<u64> = extract_minimizers(&s.revcomp(), k, w)
             .iter()
             .map(|m| m.hash)

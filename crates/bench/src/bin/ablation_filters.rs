@@ -91,21 +91,51 @@ fn main() {
 
     println!("=== Ablation: adjacency filters ({} pairs) ===\n", n);
     let rows = vec![
-        vec!["raw candidates/read".to_string(), format!("{:.1}", cand_raw as f64 / (2 * n) as f64)],
-        vec!["single-end adjacency (FastHASH-style)".to_string(), format!("{:.1}", cand_single as f64 / n as f64)],
-        vec!["paired-adjacency (GenPair)".to_string(), format!("{:.1}", cand_paired as f64 / n as f64)],
+        vec![
+            "raw candidates/read".to_string(),
+            format!("{:.1}", cand_raw as f64 / (2 * n) as f64),
+        ],
+        vec![
+            "single-end adjacency (FastHASH-style)".to_string(),
+            format!("{:.1}", cand_single as f64 / n as f64),
+        ],
+        vec![
+            "paired-adjacency (GenPair)".to_string(),
+            format!("{:.1}", cand_paired as f64 / n as f64),
+        ],
     ];
-    println!("{}", render_table(&["Filter", "Surviving candidates"], &rows));
+    println!(
+        "{}",
+        render_table(&["Filter", "Surviving candidates"], &rows)
+    );
     println!("the paired filter must prune harder than intra-read adjacency.\n");
 
-    println!("=== Ablation: pre-alignment filter quality ({} candidate sites) ===\n", sites);
+    println!(
+        "=== Ablation: pre-alignment filter quality ({} candidate sites) ===\n",
+        sites
+    );
     let pct = |x: u64| 100.0 * x as f64 / sites.max(1) as f64;
     let rows = vec![
-        vec!["SneakySnake-style accept".to_string(), format!("{:.1}%", pct(snake_accept))],
-        vec!["Light Alignment accept".to_string(), format!("{:.1}%", pct(light_accept))],
-        vec!["DP score >= 250 (ground truth)".to_string(), format!("{:.1}%", pct(dp_good))],
-        vec!["snake rejects among DP-good (gap runs > e)".to_string(), format!("{:.2}%", pct(snake_missed_good))],
-        vec!["snake false accepts".to_string(), format!("{:.1}%", pct(snake_only))],
+        vec![
+            "SneakySnake-style accept".to_string(),
+            format!("{:.1}%", pct(snake_accept)),
+        ],
+        vec![
+            "Light Alignment accept".to_string(),
+            format!("{:.1}%", pct(light_accept)),
+        ],
+        vec![
+            "DP score >= 250 (ground truth)".to_string(),
+            format!("{:.1}%", pct(dp_good)),
+        ],
+        vec![
+            "snake rejects among DP-good (gap runs > e)".to_string(),
+            format!("{:.2}%", pct(snake_missed_good)),
+        ],
+        vec![
+            "snake false accepts".to_string(),
+            format!("{:.1}%", pct(snake_only)),
+        ],
     ];
     println!("{}", render_table(&["Metric", "Rate"], &rows));
     println!("SneakySnake filters (one-sided error, no alignment output); Light Alignment");

@@ -19,7 +19,10 @@ fn main() {
     let ds = simulate_variant_dataset(&genome, &DATASETS[0], n);
 
     // ----- Δ sweep -------------------------------------------------------
-    println!("=== Ablation: paired-adjacency threshold Δ ({} pairs) ===\n", n);
+    println!(
+        "=== Ablation: paired-adjacency threshold Δ ({} pairs) ===\n",
+        n
+    );
     let mut rows = Vec::new();
     for delta in [100u32, 200, 400, 600, 1000, 2000] {
         let mapper = GenPairMapper::build(&genome, &GenPairConfig::default().with_delta(delta));
@@ -38,7 +41,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Δ [bp]", "mapped %", "PA-reject %", "PA iter/pair", "light aligns/pair"],
+            &[
+                "Δ [bp]",
+                "mapped %",
+                "PA-reject %",
+                "PA iter/pair",
+                "light aligns/pair"
+            ],
             &rows
         )
     );
@@ -68,7 +77,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["max mismatches", "light-mapped %", "DP-align fallback %"], &rows)
+        render_table(
+            &["max mismatches", "light-mapped %", "DP-align fallback %"],
+            &rows
+        )
     );
     println!("the bound trades light-path coverage against acceptance of noisy alignments.\n");
 
@@ -93,11 +105,9 @@ fn main() {
             let seg_hit = |read: &gx_genome::DnaSeq| -> bool {
                 partitioned_seeds(read, &map).iter().any(|s| {
                     let seg = read.subseq(s.offset as usize..s.offset as usize + seed_len);
-                    map.locations_for_hash(s.hash).iter().any(|&loc| {
-                        genome
-                            .global_window(loc, seed_len)
-                            .is_ok_and(|w| w == seg)
-                    })
+                    map.locations_for_hash(s.hash)
+                        .iter()
+                        .any(|&loc| genome.global_window(loc, seed_len).is_ok_and(|w| w == seg))
                 })
             };
             both += (seg_hit(&r1o) && seg_hit(&r2o)) as usize;

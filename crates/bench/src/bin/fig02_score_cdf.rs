@@ -27,7 +27,10 @@ fn main() {
             let score_of = |read: &gx_genome::DnaSeq, donor_start: u64, forward: bool| -> i32 {
                 let ref_start = ds
                     .donor
-                    .donor_to_ref(Locus { chrom: t.chrom, pos: donor_start })
+                    .donor_to_ref(Locus {
+                        chrom: t.chrom,
+                        pos: donor_start,
+                    })
                     .pos;
                 let chrom = genome.chromosome(t.chrom);
                 let margin = 12usize;
@@ -62,7 +65,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["score s", "D1 P(min<=s)", "D2 P(min<=s)", "D3 P(min<=s)"], &rows)
+        render_table(
+            &["score s", "D1 P(min<=s)", "D2 P(min<=s)", "D3 P(min<=s)"],
+            &rows
+        )
     );
     for (i, mins) in per_dataset.iter().enumerate() {
         let ge276 = mins.iter().filter(|&&m| m >= 276).count() as f64 / mins.len() as f64;

@@ -50,7 +50,10 @@ fn main() {
             format!("{:.4}", mpairs / power),
         ]
     };
-    let bytes_per_pair: f64 = workloads.iter().map(|w| w.total_bytes() as f64).sum::<f64>()
+    let bytes_per_pair: f64 = workloads
+        .iter()
+        .map(|w| w.total_bytes() as f64)
+        .sum::<f64>()
         / workloads.len() as f64;
     let rows = vec![
         row(
@@ -67,12 +70,24 @@ fn main() {
             gpu_area,
             gpu_power_w,
         ),
-        row("NMSL (simulated)", nmsl.mpairs_per_s, nmsl.gbs, nmsl_area, nmsl_power_w),
+        row(
+            "NMSL (simulated)",
+            nmsl.mpairs_per_s,
+            nmsl.gbs,
+            nmsl_area,
+            nmsl_power_w,
+        ),
     ];
     println!(
         "{}",
         render_table(
-            &["System", "Tput[MPair/s]", "BW[GB/s]", "MPair/s/mm2", "MPair/s/W"],
+            &[
+                "System",
+                "Tput[MPair/s]",
+                "BW[GB/s]",
+                "MPair/s/mm2",
+                "MPair/s/W"
+            ],
             &rows
         )
     );

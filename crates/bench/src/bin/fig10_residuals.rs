@@ -8,7 +8,10 @@ fn main() {
     let genome = bench_genome();
     let n = bench_pairs();
     let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
-    println!("=== Fig. 10: residual read pairs per stage ({} pairs/dataset) ===\n", n);
+    println!(
+        "=== Fig. 10: residual read pairs per stage ({} pairs/dataset) ===\n",
+        n
+    );
     let mut rows = Vec::new();
     for spec in &DATASETS {
         let pairs = simulate_variant_dataset(&genome, spec, n).pairs;

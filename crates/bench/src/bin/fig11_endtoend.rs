@@ -62,7 +62,10 @@ fn main() {
 
     let mut set = SystemSet::new();
     set.push(systems::cpu_system("MM2 (CPU, measured)", mm2_mbps));
-    set.push(systems::cpu_system("GenPair+MM2 (CPU, measured)", combo_mbps));
+    set.push(systems::cpu_system(
+        "GenPair+MM2 (CPU, measured)",
+        combo_mbps,
+    ));
     set.push(systems::gencache());
     set.push(systems::gendp_standalone());
     set.push(systems::bwa_mem_gpu());
@@ -129,7 +132,9 @@ fn main() {
         "\nmeasured-residual GenDP ablation: chain {:.1} mm2 / {:.2} W, align {:.1} mm2 / {:.2} W",
         ca, cp, aa, ap
     );
-    println!("(the clean synthetic substrate leaves GenPair far less residual DP than GRCh38 does,");
+    println!(
+        "(the clean synthetic substrate leaves GenPair far less residual DP than GRCh38 does,"
+    );
     println!(" so a co-designed GenDP could shrink by >100x at equal throughput on such data.)");
     println!("\npaper headline ratios: 958x/1575x vs MM2; 2.35x/1.43x vs GenCache; 1.97x/2.38x vs GenDP.");
 }

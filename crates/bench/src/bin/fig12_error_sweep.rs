@@ -1,7 +1,9 @@
 //! Fig. 12: sensitivity to the per-base sequencing error rate — DP fallback
 //! fractions (a) and modeled GenPairX+GenDP throughput (b).
 
-use gx_accel::gendp::{residual_gcups, GenDpModel, PAPER_ALIGN_MCU_PER_MPAIR, PAPER_CHAIN_MCU_PER_MPAIR};
+use gx_accel::gendp::{
+    residual_gcups, GenDpModel, PAPER_ALIGN_MCU_PER_MPAIR, PAPER_CHAIN_MCU_PER_MPAIR,
+};
 use gx_bench::{bench_genome, bench_pairs, render_table};
 use gx_core::{GenPairConfig, GenPairMapper, PipelineStats};
 use gx_readsim::{ErrorModel, PairedEndSimulator};
@@ -10,7 +12,10 @@ fn main() {
     let genome = bench_genome();
     let n = bench_pairs();
     let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
-    println!("=== Fig. 12: error-rate sensitivity ({} pairs/point) ===\n", n);
+    println!(
+        "=== Fig. 12: error-rate sensitivity ({} pairs/point) ===\n",
+        n
+    );
 
     // GenDP capacity is fixed at design time for the paper's residual
     // demand; rising error rates raise demand and throttle the pipeline.

@@ -22,7 +22,10 @@ fn main() {
         .error_model(ErrorModel::mason_default(0.001))
         .simulate(n);
 
-    println!("=== Fig. 13: index filter threshold sweep ({} pairs) ===\n", n);
+    println!(
+        "=== Fig. 13: index filter threshold sweep ({} pairs) ===\n",
+        n
+    );
     let thresholds = [100u32, 200, 500, 1000, 2000, 4000, 10_000];
     let mut rows = Vec::new();
     for &thr in &thresholds {
@@ -33,19 +36,28 @@ fn main() {
             // GenPair without DP fallback: only pairs it maps itself count.
             let res = mapper.map_pair(&p.r1.seq, &p.r2.seq);
             let mapping = res.mapping.filter(|_| res.fallback.is_none());
-            let truth1 = donor.donor_to_ref(Locus { chrom: p.truth.chrom, pos: p.truth.start1 });
-            let truth2 = donor.donor_to_ref(Locus { chrom: p.truth.chrom, pos: p.truth.start2 });
+            let truth1 = donor.donor_to_ref(Locus {
+                chrom: p.truth.chrom,
+                pos: p.truth.start1,
+            });
+            let truth2 = donor.donor_to_ref(Locus {
+                chrom: p.truth.chrom,
+                pos: p.truth.start2,
+            });
             // r1 maps to pos1 in its own orientation; compare leftmost
             // positions directly.
             let (m1, m2) = match &mapping {
-                Some(m) => (
-                    Some((m.chrom, m.pos1)),
-                    Some((m.chrom, m.pos2)),
-                ),
+                Some(m) => (Some((m.chrom, m.pos1)), Some((m.chrom, m.pos2))),
                 None => (None, None),
             };
-            records.push(MapevalRecord { mapped: m1, truth: (truth1.chrom, truth1.pos) });
-            records.push(MapevalRecord { mapped: m2, truth: (truth2.chrom, truth2.pos) });
+            records.push(MapevalRecord {
+                mapped: m1,
+                truth: (truth1.chrom, truth1.pos),
+            });
+            records.push(MapevalRecord {
+                mapped: m2,
+                truth: (truth2.chrom, truth2.pos),
+            });
         }
         let r = mapeval(&records, 40);
         rows.push(vec![

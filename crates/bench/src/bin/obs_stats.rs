@@ -113,7 +113,10 @@ fn main() {
             let ok = |read: &DnaSeq, donor_start: u64, forward: bool| -> bool {
                 let start = ds
                     .donor
-                    .donor_to_ref(Locus { chrom: p.truth.chrom, pos: donor_start })
+                    .donor_to_ref(Locus {
+                        chrom: p.truth.chrom,
+                        pos: donor_start,
+                    })
                     .pos;
                 let chrom = genome.chromosome(p.truth.chrom);
                 let e = 5usize;

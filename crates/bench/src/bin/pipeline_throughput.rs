@@ -1,0 +1,122 @@
+//! Throughput trajectory harness for the `gx-pipeline` engine.
+//!
+//! Maps `GX_PAIRS` simulated pairs (default 20 000) against the standard
+//! bench genome, first through the serial reference path, then through the
+//! parallel engine at 1/2/4/8 worker threads, and prints one JSON line per
+//! configuration:
+//!
+//! ```text
+//! {"harness":"pipeline_throughput","threads":4,"pairs":20000,
+//!  "reads_per_sec":123456.7,"speedup_vs_serial":3.41,...}
+//! ```
+//!
+//! The lines are machine-parsable for `BENCH_*.json` trajectory tracking.
+//! Speedups obviously depend on the host's core count: on a multi-core
+//! machine the 8-thread row is expected to clear 3× over serial; on a
+//! constrained CI box it degrades gracefully toward 1×.
+
+use gx_bench::{bench_genome, env_usize};
+use gx_core::{GenPairConfig, GenPairMapper};
+use gx_pipeline::{map_serial, FallbackPolicy, PipelineBuilder, ReadPair, RecordSink};
+use gx_readsim::dataset::{simulate_dataset, DATASETS};
+use std::io;
+
+/// Counts records without storing them (keeps the harness allocation-flat).
+#[derive(Default)]
+struct CountSink {
+    records: u64,
+}
+
+impl RecordSink for CountSink {
+    fn write_record(&mut self, _rec: &gx_genome::SamRecord) -> io::Result<()> {
+        self.records += 1;
+        Ok(())
+    }
+}
+
+fn json_line(
+    threads: usize,
+    pairs: u64,
+    secs: f64,
+    records: u64,
+    mapped_pct: f64,
+    serial_secs: f64,
+) -> String {
+    let reads_per_sec = pairs as f64 * 2.0 / secs;
+    format!(
+        concat!(
+            "{{\"harness\":\"pipeline_throughput\",\"threads\":{},\"pairs\":{},",
+            "\"seconds\":{:.4},\"reads_per_sec\":{:.1},\"records\":{},",
+            "\"mapped_pct\":{:.2},\"speedup_vs_serial\":{:.3}}}"
+        ),
+        threads,
+        pairs,
+        secs,
+        reads_per_sec,
+        records,
+        mapped_pct,
+        serial_secs / secs,
+    )
+}
+
+fn main() {
+    let n_pairs = env_usize("GX_PAIRS", 20_000);
+    let genome = bench_genome();
+    eprintln!(
+        "# genome: {} bp, simulating {n_pairs} pairs...",
+        genome.total_len()
+    );
+    let pairs: Vec<ReadPair> = simulate_dataset(&genome, &DATASETS[0], n_pairs)
+        .into_iter()
+        .map(|p| ReadPair::new(p.id, p.r1.seq, p.r2.seq))
+        .collect();
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+
+    // Serial reference.
+    let mut sink = CountSink::default();
+    let serial = map_serial(
+        &mapper,
+        FallbackPolicy::EmitUnmapped,
+        pairs.iter().cloned(),
+        &mut sink,
+    )
+    .expect("counting sink is infallible");
+    let serial_secs = serial.elapsed.as_secs_f64();
+    println!(
+        "{}",
+        json_line(
+            0,
+            serial.stats.pairs,
+            serial_secs,
+            sink.records,
+            serial.stats.mapped_pct(),
+            serial_secs
+        )
+    );
+
+    for threads in [1usize, 2, 4, 8] {
+        let engine = PipelineBuilder::new()
+            .threads(threads)
+            .batch_size(env_usize("GX_BATCH", 256))
+            .engine(&mapper);
+        let mut sink = CountSink::default();
+        let report = engine
+            .run(pairs.iter().cloned(), &mut sink)
+            .expect("counting sink is infallible");
+        assert_eq!(
+            report.stats, serial.stats,
+            "parallel stats must match serial"
+        );
+        println!(
+            "{}",
+            json_line(
+                threads,
+                report.stats.pairs,
+                report.elapsed.as_secs_f64(),
+                sink.records,
+                report.stats.mapped_pct(),
+                serial_secs,
+            )
+        );
+    }
+}

@@ -6,9 +6,24 @@ use gx_bench::render_table;
 fn main() {
     println!("=== Table 2: platform configurations (model constants) ===\n");
     let rows = vec![
-        vec!["Intel Xeon Gold 6238T".into(), "22 cores @ 1.9 GHz".into(), "300 mm2".into(), "125 W TDP".into()],
-        vec!["NVIDIA Quadro GV100".into(), "5120 cores @ 1.6 GHz".into(), "815 mm2".into(), "250 W TDP".into()],
-        vec!["NVIDIA A100 (BWA-MEM)".into(), "6912 cores @ 1.4 GHz".into(), "826 mm2".into(), "300 W TDP".into()],
+        vec![
+            "Intel Xeon Gold 6238T".into(),
+            "22 cores @ 1.9 GHz".into(),
+            "300 mm2".into(),
+            "125 W TDP".into(),
+        ],
+        vec![
+            "NVIDIA Quadro GV100".into(),
+            "5120 cores @ 1.6 GHz".into(),
+            "815 mm2".into(),
+            "250 W TDP".into(),
+        ],
+        vec![
+            "NVIDIA A100 (BWA-MEM)".into(),
+            "6912 cores @ 1.4 GHz".into(),
+            "826 mm2".into(),
+            "300 W TDP".into(),
+        ],
         vec![
             "HBM2e".into(),
             "4 stacks x 8 ch, 128-bit @ 2 Gb/s/pin".into(),

@@ -37,7 +37,10 @@ fn main() {
         "measured profile: {:.1} PA iterations/pair (paper 24.1), {:.1} light aligns/pair (paper 11.6)",
         profile.mean_pa_iterations, profile.mean_light_aligns
     );
-    println!("NMSL sustained rate: {:.1} MPair/s (paper 192.7)\n", nmsl.mpairs_per_s);
+    println!(
+        "NMSL sustained rate: {:.1} MPair/s (paper 192.7)\n",
+        nmsl.mpairs_per_s
+    );
     let rows: Vec<Vec<String>> = sizing
         .modules
         .iter()
@@ -53,7 +56,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Module", "Tput/instance [MPair/s]", "Latency [cycles]", "# Instances"],
+            &[
+                "Module",
+                "Tput/instance [MPair/s]",
+                "Latency [cycles]",
+                "# Instances"
+            ],
             &rows
         )
     );
@@ -73,5 +81,8 @@ fn main() {
         })
         .collect();
     println!("\nWith the paper's profile and 192.7 MPair/s:");
-    println!("{}", render_table(&["Module", "Tput/instance", "# Instances"], &rows));
+    println!(
+        "{}",
+        render_table(&["Module", "Tput/instance", "# Instances"], &rows)
+    );
 }

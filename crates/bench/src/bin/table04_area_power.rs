@@ -47,10 +47,12 @@ fn main() {
 
     // GenDP sized for the measured residual work at the NMSL rate.
     let chain_cells_per_pair = mm2_w.chain_cells as f64 / n as f64;
-    let align_cells_per_pair =
-        (mm2_w.align_cells + stats.dp_cells) as f64 / n as f64;
-    let (chain_gcups, align_gcups) =
-        residual_gcups(chain_cells_per_pair, align_cells_per_pair, nmsl.mpairs_per_s);
+    let align_cells_per_pair = (mm2_w.align_cells + stats.dp_cells) as f64 / n as f64;
+    let (chain_gcups, align_gcups) = residual_gcups(
+        chain_cells_per_pair,
+        align_cells_per_pair,
+        nmsl.mpairs_per_s,
+    );
     let gendp = GenDpModel::paper_calibrated();
     let (ca, cp, aa, ap) = gendp.size_for(chain_gcups, align_gcups);
     println!("GenDP fallback (sized for measured residual work):");
@@ -70,6 +72,10 @@ fn main() {
         cp + ap
     );
     println!("\npaper Table 4: GenPairX 66.80 mm2 / 881 mW; GenDP chain 174.9 mm2 / 115.8 W, align 139.4 mm2 / 92.3 W.");
-    println!("(our residual DP work is measured on a reimplemented baseline over a small synthetic");
-    println!("genome, so GenDP sizing lands lower; the GenPairX block matches the paper's formula.)");
+    println!(
+        "(our residual DP work is measured on a reimplemented baseline over a small synthetic"
+    );
+    println!(
+        "genome, so GenDP sizing lands lower; the GenPairX block matches the paper's formula.)"
+    );
 }

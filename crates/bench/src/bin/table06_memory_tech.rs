@@ -17,7 +17,10 @@ fn main() {
     // computed against the full-system power with the paper's GenDP share.
     const SYSTEM_BASE_POWER_W: f64 = 209.0;
 
-    println!("=== Table 6: memory technology comparison ({} pairs) ===\n", n);
+    println!(
+        "=== Table 6: memory technology comparison ({} pairs) ===\n",
+        n
+    );
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for cfg in [
@@ -33,7 +36,10 @@ fn main() {
             format!("{:.2}", res.mpairs_per_s),
             format!("{:.2}", res.gbs),
             format!("{:.0}", res.dram_power_mw),
-            format!("{:.3}", res.mpairs_per_s / (SYSTEM_BASE_POWER_W + res.dram_power_mw / 1000.0)),
+            format!(
+                "{:.3}",
+                res.mpairs_per_s / (SYSTEM_BASE_POWER_W + res.dram_power_mw / 1000.0)
+            ),
         ]);
         results.push((name, res.mpairs_per_s));
     }
@@ -50,13 +56,27 @@ fn main() {
             &rows
         )
     );
-    let hbm = results.iter().find(|(n, _)| n.contains("HBM")).expect("hbm row").1;
-    let ddr = results.iter().find(|(n, _)| n.contains("DDR5")).expect("ddr row").1;
-    let gddr = results.iter().find(|(n, _)| n.contains("GDDR6")).expect("gddr row").1;
+    let hbm = results
+        .iter()
+        .find(|(n, _)| n.contains("HBM"))
+        .expect("hbm row")
+        .1;
+    let ddr = results
+        .iter()
+        .find(|(n, _)| n.contains("DDR5"))
+        .expect("ddr row")
+        .1;
+    let gddr = results
+        .iter()
+        .find(|(n, _)| n.contains("GDDR6"))
+        .expect("gddr row")
+        .1;
     println!(
         "HBM2 vs DDR5: {:.1}x (paper 11.4x); HBM2 vs GDDR6: {:.1}x (paper 9.8x)",
         hbm / ddr,
         hbm / gddr
     );
-    println!("paper Table 6: DDR5 16.91, GDDR6 19.80, HBM2 192.7 MPair/s; per-watt 0.75/0.79/0.91.");
+    println!(
+        "paper Table 6: DDR5 16.91, GDDR6 19.80, HBM2 192.7 MPair/s; per-watt 0.75/0.79/0.91."
+    );
 }

@@ -4,8 +4,10 @@
 //! Pipeline: donor genome with known SNPs/INDELs → simulate paired reads at
 //! coverage → map → pileup-call variants → compare to truth.
 
-use gx_bench::{bench_genome, env_usize, map_dataset_combo, map_dataset_mm2, render_table, GenPairMm2};
 use gx_baseline::{Mm2Config, Mm2Mapper};
+use gx_bench::{
+    bench_genome, env_usize, map_dataset_combo, map_dataset_mm2, render_table, GenPairMm2,
+};
 use gx_core::GenPairConfig;
 use gx_genome::variant::{generate_variants, DonorGenome, VariantProfile};
 use gx_genome::SamRecord;
@@ -75,7 +77,10 @@ fn main() {
     let r_combo = call_and_compare(&sams, &genome, donor.variants());
 
     // GenPair + MM2 without the index filter.
-    let combo_nf = GenPairMm2::build_with(&genome, &GenPairConfig::default().with_filter_threshold(u32::MAX));
+    let combo_nf = GenPairMm2::build_with(
+        &genome,
+        &GenPairConfig::default().with_filter_threshold(u32::MAX),
+    );
     let (sams, _, _, _) = map_dataset_combo(&combo_nf, &pairs);
     let r_nofilter = call_and_compare(&sams, &genome, donor.variants());
 

@@ -138,7 +138,14 @@ pub fn map_dataset_combo(
     let mut work = WorkCounters::default();
     let mut sams = Vec::with_capacity(pairs.len() * 2);
     for p in pairs {
-        let res = system.map_pair(&p.id, &p.r1.seq, &p.r2.seq, &mut stats, &mut timings, &mut work);
+        let res = system.map_pair(
+            &p.id,
+            &p.r1.seq,
+            &p.r2.seq,
+            &mut stats,
+            &mut timings,
+            &mut work,
+        );
         if let Some((s1, s2)) = res.sam {
             sams.push(s1);
             sams.push(s2);
@@ -212,11 +219,11 @@ pub fn map_dataset_parallel(
     threads: usize,
 ) -> PipelineStats {
     assert!(threads > 0, "need at least one thread");
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let shard: Vec<&SimulatedPair> = pairs.iter().skip(t).step_by(threads).collect();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut stats = PipelineStats::new();
                 for p in shard {
                     stats.record(&mapper.map_pair(&p.r1.seq, &p.r2.seq));
@@ -230,7 +237,6 @@ pub fn map_dataset_parallel(
         }
         total
     })
-    .expect("thread scope failed")
 }
 
 #[cfg(test)]
@@ -269,10 +275,7 @@ mod tests {
         assert_eq!(serial.seed_locations, parallel.seed_locations);
     }
 
-    fn genpairx_stats(
-        mapper: &GenPairMapper<'_>,
-        pairs: &[SimulatedPair],
-    ) -> PipelineStats {
+    fn genpairx_stats(mapper: &GenPairMapper<'_>, pairs: &[SimulatedPair]) -> PipelineStats {
         let mut stats = PipelineStats::new();
         for p in pairs {
             stats.record(&mapper.map_pair(&p.r1.seq, &p.r2.seq));

@@ -66,7 +66,9 @@ mod tests {
 
     #[test]
     fn builders_override() {
-        let c = GenPairConfig::default().with_filter_threshold(100).with_delta(300);
+        let c = GenPairConfig::default()
+            .with_filter_threshold(100)
+            .with_delta(300);
         assert_eq!(c.seedmap.filter_threshold, 100);
         assert_eq!(c.delta, 300);
     }

@@ -215,9 +215,10 @@ pub fn light_align(
             if s - k >= -e {
                 let suffix = mask_at(s - k).suffix_ones;
                 if prefix + suffix >= l - k as usize && l >= k as usize {
-                    let p = prefix.min(l - k as usize).max(l - k as usize - suffix.min(l - k as usize));
-                    let score =
-                        scoring.perfect(l - k as usize) - scoring.gap_cost(k as u32);
+                    let p = prefix
+                        .min(l - k as usize)
+                        .max(l - k as usize - suffix.min(l - k as usize));
+                    let score = scoring.perfect(l - k as usize) - scoring.gap_cost(k as u32);
                     let mut cigar = Cigar::new();
                     cigar.push(CigarOp::Equal, p as u32);
                     cigar.push(CigarOp::Ins, k as u32);
@@ -243,7 +244,11 @@ fn mask_to_cigar(mask: &Mask) -> Cigar {
     let mut cigar = Cigar::new();
     for i in 0..mask.len {
         cigar.push(
-            if mask.bit(i) { CigarOp::Equal } else { CigarOp::Diff },
+            if mask.bit(i) {
+                CigarOp::Equal
+            } else {
+                CigarOp::Diff
+            },
             1,
         );
     }

@@ -120,6 +120,17 @@ pub struct GenPairMapper<'g> {
     config: GenPairConfig,
 }
 
+// The mapper is shared read-only across worker threads by `gx-pipeline`
+// (`map_pair` takes `&self` and touches no interior mutability). Keep that
+// contract explicit: losing `Send + Sync` here breaks the whole throughput
+// engine at a distance.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GenPairMapper<'static>>();
+    assert_send_sync::<crate::PipelineStats>();
+    assert_send_sync::<PairMapResult>();
+};
+
 impl<'g> GenPairMapper<'g> {
     /// Builds the SeedMap (offline stage) and returns a mapper.
     pub fn build(genome: &'g ReferenceGenome, config: &GenPairConfig) -> GenPairMapper<'g> {
@@ -314,7 +325,13 @@ impl<'g> GenPairMapper<'g> {
             seq.len() + 2 * e as usize,
         );
         let anchor = (locus.pos - win_start) as usize;
-        light_align(seq, &window, anchor, &self.config.light, &self.config.scoring)
+        light_align(
+            seq,
+            &window,
+            anchor,
+            &self.config.light,
+            &self.config.scoring,
+        )
     }
 
     /// Banded-DP-aligns `seq` near global candidate `start`; returns
@@ -331,12 +348,7 @@ impl<'g> GenPairMapper<'g> {
             return None;
         }
         let a = banded_align(seq, &window, &self.config.scoring, 16, AlignMode::Fit);
-        Some((
-            win_start + a.target_start as u64,
-            a.cigar,
-            a.score,
-            a.cells,
-        ))
+        Some((win_start + a.target_start as u64, a.cigar, a.score, a.cells))
     }
 
     fn mapping_from_light(
@@ -382,8 +394,16 @@ pub fn pair_mapping_to_sam(
             base | flags::SECOND_IN_PAIR | flags::MATE_REVERSE,
         )
     };
-    let seq1 = if mapping.r1_forward { r1.clone() } else { r1.revcomp() };
-    let seq2 = if mapping.r1_forward { r2.revcomp() } else { r2.clone() };
+    let seq1 = if mapping.r1_forward {
+        r1.clone()
+    } else {
+        r1.revcomp()
+    };
+    let seq2 = if mapping.r1_forward {
+        r2.revcomp()
+    } else {
+        r2.clone()
+    };
     (
         SamRecord {
             qname: format!("{qname}/1"),
@@ -505,9 +525,9 @@ mod tests {
         let (genome, cfg) = setup();
         let mapper = GenPairMapper::build(&genome, &cfg);
         let seq = genome.chromosome(0).seq();
-        // Two reads 40kb apart: both have seed hits, no adjacency.
+        // Two reads >40kb apart: both have seed hits, no adjacency.
         let r1 = seq.subseq(1_000..1_150);
-        let r2 = seq.subseq(41_000..41_150).revcomp();
+        let r2 = seq.subseq(45_000..45_150).revcomp();
         let res = mapper.map_pair(&r1, &r2);
         assert_eq!(res.fallback, Some(FallbackStage::PaFilter));
     }

@@ -74,7 +74,10 @@ mod tests {
         let res = paired_adjacency_filter(&l1, &l2, 500, 64);
         assert_eq!(
             res.candidates,
-            vec![PairCandidate { start1: 1000, start2: 1200 }]
+            vec![PairCandidate {
+                start1: 1000,
+                start2: 1200
+            }]
         );
         assert!(!res.truncated);
     }
@@ -110,7 +113,10 @@ mod tests {
         for &a in &l1s {
             for &b in &l2s {
                 if (a as i64 - b as i64).abs() <= delta as i64 {
-                    naive.push(PairCandidate { start1: a, start2: b });
+                    naive.push(PairCandidate {
+                        start1: a,
+                        start2: b,
+                    });
                 }
             }
         }
@@ -131,8 +137,12 @@ mod tests {
 
     #[test]
     fn empty_lists_yield_nothing() {
-        assert!(paired_adjacency_filter(&[], &[1], 100, 8).candidates.is_empty());
-        assert!(paired_adjacency_filter(&[1], &[], 100, 8).candidates.is_empty());
+        assert!(paired_adjacency_filter(&[], &[1], 100, 8)
+            .candidates
+            .is_empty());
+        assert!(paired_adjacency_filter(&[1], &[], 100, 8)
+            .candidates
+            .is_empty());
     }
 
     #[test]

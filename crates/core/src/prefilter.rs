@@ -48,9 +48,7 @@ pub fn sneaky_snake_filter(read: &DnaSeq, window: &DnaSeq, anchor: usize, e: u32
     };
     // t = 0: the starting diagonal is free (the anchor position is only
     // approximate, exactly as in light alignment).
-    let mut frontier: Vec<i64> = (0..ndiag)
-        .map(|di| extend(0, di as i64 - e))
-        .collect();
+    let mut frontier: Vec<i64> = (0..ndiag).map(|di| extend(0, di as i64 - e)).collect();
     if frontier.iter().any(|&f| f >= l) {
         return true;
     }
@@ -192,7 +190,9 @@ mod tests {
         for _ in 0..300 {
             let wl = rng.random_range(12..28usize);
             let rl = rng.random_range(6..(wl - 4));
-            let w: DnaSeq = (0..wl).map(|_| Base::from_code(rng.random_range(0..4))).collect();
+            let w: DnaSeq = (0..wl)
+                .map(|_| Base::from_code(rng.random_range(0..4)))
+                .collect();
             let r: DnaSeq = if rng.random_bool(0.7) {
                 // Derive from the window with some mutations to get
                 // interesting distances.
@@ -204,7 +204,9 @@ mod tests {
                 }
                 r
             } else {
-                (0..rl).map(|_| Base::from_code(rng.random_range(0..4))).collect()
+                (0..rl)
+                    .map(|_| Base::from_code(rng.random_range(0..4)))
+                    .collect()
             };
             let e = rng.random_range(0..4u32);
             let anchor = rng.random_range(0..6usize);
@@ -243,7 +245,11 @@ mod tests {
             for di in 0..ndiag {
                 let d = di as i64 - e;
                 // Match/mismatch on diagonal d.
-                let sub = if wchar(i, d) == Some(read.code_at(i)) { 0 } else { 1 };
+                let sub = if wchar(i, d) == Some(read.code_at(i)) {
+                    0
+                } else {
+                    1
+                };
                 next[di] = next[di].min(row[di] + sub);
                 // Insertion: read advances, diagonal decreases.
                 if di + 1 < ndiag {

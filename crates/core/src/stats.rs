@@ -54,6 +54,17 @@ impl PipelineStats {
         self.dp_cells += w.dp_cells;
     }
 
+    /// Folds any number of per-worker shards into one total. Addition is
+    /// commutative, so the result is independent of shard order — the
+    /// property the parallel pipeline's lock-free accumulator relies on.
+    pub fn merged<'a, I: IntoIterator<Item = &'a PipelineStats>>(shards: I) -> PipelineStats {
+        let mut total = PipelineStats::new();
+        for s in shards {
+            total.merge(s);
+        }
+        total
+    }
+
     /// Merges another stats block (for parallel mapping shards).
     pub fn merge(&mut self, other: &PipelineStats) {
         self.pairs += other.pairs;

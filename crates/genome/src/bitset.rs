@@ -77,7 +77,11 @@ impl Bitset {
             return false;
         }
         let first_mask = !0u64 << (start % 64);
-        let last_mask = if end.is_multiple_of(64) { !0u64 } else { (1u64 << (end % 64)) - 1 };
+        let last_mask = if end.is_multiple_of(64) {
+            !0u64
+        } else {
+            (1u64 << (end % 64)) - 1
+        };
         if w1 - w0 == 1 {
             return self.words[w0] & first_mask & last_mask != 0;
         }

@@ -50,7 +50,10 @@ impl CigarOp {
 
     /// Whether the op advances through the reference.
     pub fn consumes_ref(self) -> bool {
-        matches!(self, CigarOp::Match | CigarOp::Equal | CigarOp::Diff | CigarOp::Del)
+        matches!(
+            self,
+            CigarOp::Match | CigarOp::Equal | CigarOp::Diff | CigarOp::Del
+        )
     }
 }
 

@@ -136,7 +136,11 @@ impl RandomGenomeBuilder {
 
         let mut raw: Vec<Vec<u8>> = lens
             .iter()
-            .map(|&len| (0..len).map(|_| random_code(&mut rng, self.gc_content)).collect())
+            .map(|&len| {
+                (0..len)
+                    .map(|_| random_code(&mut rng, self.gc_content))
+                    .collect()
+            })
             .collect();
 
         // Plant repeat families over the backbone.
@@ -216,7 +220,10 @@ mod tests {
 
     #[test]
     fn gc_content_is_respected() {
-        let g = RandomGenomeBuilder::new(100_000).gc_content(0.6).seed(3).build();
+        let g = RandomGenomeBuilder::new(100_000)
+            .gc_content(0.6)
+            .seed(3)
+            .build();
         let seq = g.chromosome(0).seq();
         let gc = seq
             .iter()
@@ -239,7 +246,10 @@ mod tests {
             .build();
         let count_dups = |g: &ReferenceGenome| {
             let seq = g.chromosome(0).seq();
-            let mut kmers: Vec<u64> = (0..seq.len() - 32).step_by(16).map(|i| seq.kmer_u64(i, 32)).collect();
+            let mut kmers: Vec<u64> = (0..seq.len() - 32)
+                .step_by(16)
+                .map(|i| seq.kmer_u64(i, 32))
+                .collect();
             kmers.sort_unstable();
             kmers.windows(2).filter(|w| w[0] == w[1]).count()
         };

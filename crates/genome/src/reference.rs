@@ -25,7 +25,11 @@ impl Chromosome {
     ///
     /// Panics if the mask length differs from the sequence length.
     pub fn with_n_mask(name: impl Into<String>, seq: DnaSeq, n_mask: Bitset) -> Chromosome {
-        assert_eq!(n_mask.len(), seq.len(), "N mask length must equal sequence length");
+        assert_eq!(
+            n_mask.len(),
+            seq.len(),
+            "N mask length must equal sequence length"
+        );
         Chromosome {
             name: name.into(),
             seq,
@@ -232,12 +236,7 @@ impl ReferenceGenome {
     /// truncates at chromosome edges instead of failing, returning the actual
     /// start used. Useful for extracting reference context around a candidate
     /// mapping with margins.
-    pub fn clamped_window(
-        &self,
-        chrom: u32,
-        start: i64,
-        len: usize,
-    ) -> (u64, DnaSeq) {
+    pub fn clamped_window(&self, chrom: u32, start: i64, len: usize) -> (u64, DnaSeq) {
         let c = &self.chroms[chrom as usize];
         let s = start.max(0) as u64;
         let s = s.min(c.len() as u64);

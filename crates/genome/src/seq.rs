@@ -93,7 +93,11 @@ impl DnaSeq {
     /// Panics if `pos >= self.len()`.
     #[inline]
     pub fn get(&self, pos: usize) -> Base {
-        assert!(pos < self.len, "index {pos} out of bounds (len {})", self.len);
+        assert!(
+            pos < self.len,
+            "index {pos} out of bounds (len {})",
+            self.len
+        );
         Base::from_code_unchecked(self.code_at(pos))
     }
 
@@ -112,7 +116,11 @@ impl DnaSeq {
     /// Panics if `pos >= self.len()`.
     #[inline]
     pub fn set(&mut self, pos: usize, base: Base) {
-        assert!(pos < self.len, "index {pos} out of bounds (len {})", self.len);
+        assert!(
+            pos < self.len,
+            "index {pos} out of bounds (len {})",
+            self.len
+        );
         let (word, shift) = (pos / 32, (pos % 32) * 2);
         self.words[word] = (self.words[word] & !(3u64 << shift)) | ((base.code() as u64) << shift);
     }
@@ -209,12 +217,7 @@ impl std::fmt::Debug for DnaSeq {
         if self.len <= 64 {
             write!(f, "DnaSeq(\"{self}\")")
         } else {
-            write!(
-                f,
-                "DnaSeq(len={}, \"{}…\")",
-                self.len,
-                self.subseq(0..64)
-            )
+            write!(f, "DnaSeq(len={}, \"{}…\")", self.len, self.subseq(0..64))
         }
     }
 }

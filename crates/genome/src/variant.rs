@@ -212,14 +212,14 @@ impl DonorGenome {
     ///
     /// Returns [`GenomeError::InvalidVariant`] if variants are unsorted,
     /// overlapping or out of range.
-    pub fn apply(reference: &ReferenceGenome, variants: Vec<Variant>) -> Result<DonorGenome, GenomeError> {
+    pub fn apply(
+        reference: &ReferenceGenome,
+        variants: Vec<Variant>,
+    ) -> Result<DonorGenome, GenomeError> {
         let mut chroms = Vec::with_capacity(reference.num_chromosomes());
         let mut maps = Vec::with_capacity(reference.num_chromosomes());
         for (ci, chrom) in reference.chromosomes().iter().enumerate() {
-            let vars: Vec<&Variant> = variants
-                .iter()
-                .filter(|v| v.chrom == ci as u32)
-                .collect();
+            let vars: Vec<&Variant> = variants.iter().filter(|v| v.chrom == ci as u32).collect();
             for w in vars.windows(2) {
                 if w[1].pos < w[0].ref_span().end || w[1].pos <= w[0].pos {
                     return Err(GenomeError::InvalidVariant(format!(
@@ -267,14 +267,24 @@ impl DonorGenome {
                         ref_cursor += 1;
                     }
                     VariantKind::Ins => {
-                        close_segment(&mut map, seg_ref_start, seg_donor_start, ref_cursor - seg_ref_start);
+                        close_segment(
+                            &mut map,
+                            seg_ref_start,
+                            seg_donor_start,
+                            ref_cursor - seg_ref_start,
+                        );
                         donor.extend_from_seq(&v.alt);
                         donor_cursor += v.alt.len() as u64;
                         seg_ref_start = ref_cursor;
                         seg_donor_start = donor_cursor;
                     }
                     VariantKind::Del => {
-                        close_segment(&mut map, seg_ref_start, seg_donor_start, ref_cursor - seg_ref_start);
+                        close_segment(
+                            &mut map,
+                            seg_ref_start,
+                            seg_donor_start,
+                            ref_cursor - seg_ref_start,
+                        );
                         ref_cursor += v.del_len as u64;
                         seg_ref_start = ref_cursor;
                         seg_donor_start = donor_cursor;
@@ -284,7 +294,12 @@ impl DonorGenome {
             for p in ref_cursor..src_len {
                 donor.push(src.get(p as usize));
             }
-            close_segment(&mut map, seg_ref_start, seg_donor_start, src_len - seg_ref_start);
+            close_segment(
+                &mut map,
+                seg_ref_start,
+                seg_donor_start,
+                src_len - seg_ref_start,
+            );
             map.donor_len = donor.len() as u64;
             chroms.push(Chromosome::new(chrom.name().to_string(), donor));
             maps.push(map);
@@ -330,7 +345,10 @@ mod tests {
     fn snp_applies() {
         let r = reference();
         let d = DonorGenome::apply(&r, vec![Variant::snp(0, 2, Base::T)]).unwrap();
-        assert_eq!(d.genome().chromosome(0).seq().to_string(), "ACTTACGTACGTACGTACGT");
+        assert_eq!(
+            d.genome().chromosome(0).seq().to_string(),
+            "ACTTACGTACGTACGTACGT"
+        );
         assert_eq!(d.donor_to_ref(Locus { chrom: 0, pos: 10 }).pos, 10);
     }
 
@@ -339,7 +357,10 @@ mod tests {
         let r = reference();
         let ins = DnaSeq::from_ascii(b"GGG").unwrap();
         let d = DonorGenome::apply(&r, vec![Variant::insertion(0, 4, ins)]).unwrap();
-        assert_eq!(d.genome().chromosome(0).seq().to_string(), "ACGTGGGACGTACGTACGTACGT");
+        assert_eq!(
+            d.genome().chromosome(0).seq().to_string(),
+            "ACGTGGGACGTACGTACGTACGT"
+        );
         // Donor position before insertion unchanged.
         assert_eq!(d.donor_to_ref(Locus { chrom: 0, pos: 3 }).pos, 3);
         // Donor positions inside insertion anchor at ref 4.
@@ -352,7 +373,10 @@ mod tests {
     fn deletion_shifts_coordinates() {
         let r = reference();
         let d = DonorGenome::apply(&r, vec![Variant::deletion(0, 4, 2)]).unwrap();
-        assert_eq!(d.genome().chromosome(0).seq().to_string(), "ACGTGTACGTACGTACGT");
+        assert_eq!(
+            d.genome().chromosome(0).seq().to_string(),
+            "ACGTGTACGTACGTACGT"
+        );
         assert_eq!(d.donor_to_ref(Locus { chrom: 0, pos: 3 }).pos, 3);
         assert_eq!(d.donor_to_ref(Locus { chrom: 0, pos: 4 }).pos, 6);
         assert_eq!(d.donor_to_ref(Locus { chrom: 0, pos: 10 }).pos, 12);
@@ -376,7 +400,9 @@ mod tests {
 
     #[test]
     fn generated_variants_sorted_disjoint() {
-        let g = crate::random::RandomGenomeBuilder::new(200_000).seed(5).build();
+        let g = crate::random::RandomGenomeBuilder::new(200_000)
+            .seed(5)
+            .build();
         let vars = generate_variants(&g, &VariantProfile::default(), 11);
         assert!(!vars.is_empty());
         for w in vars.windows(2) {

@@ -57,14 +57,17 @@ proptest! {
 
 fn arb_cigar() -> impl Strategy<Value = Cigar> {
     prop::collection::vec(
-        (1u32..200, prop::sample::select(vec![
-            CigarOp::Match,
-            CigarOp::Equal,
-            CigarOp::Diff,
-            CigarOp::Ins,
-            CigarOp::Del,
-            CigarOp::SoftClip,
-        ])),
+        (
+            1u32..200,
+            prop::sample::select(vec![
+                CigarOp::Match,
+                CigarOp::Equal,
+                CigarOp::Diff,
+                CigarOp::Ins,
+                CigarOp::Del,
+                CigarOp::SoftClip,
+            ]),
+        ),
         1..12,
     )
     .prop_map(Cigar::from_runs)
@@ -96,8 +99,8 @@ proptest! {
 
 mod variants {
     use super::*;
-    use gx_genome::variant::{generate_variants, DonorGenome, VariantProfile};
     use gx_genome::random::RandomGenomeBuilder;
+    use gx_genome::variant::{generate_variants, DonorGenome, VariantProfile};
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]

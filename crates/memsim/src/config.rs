@@ -1,12 +1,10 @@
-use serde::{Deserialize, Serialize};
-
 /// DRAM organization and timing for one memory technology.
 ///
 /// Timings are in memory command-clock cycles. The presets approximate the
 /// configurations in the paper's §6 (HBM2e: 4 stacks × 8 channels, 128-bit
 /// channels at 1 GHz DDR = 2 Gb/s/pin) and §7.5 (DDR5 4 channels, GDDR6 8
 /// channels).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DramConfig {
     /// Technology name for reports.
     pub name: &'static str,

@@ -206,8 +206,8 @@ impl DramSim {
                 if req.cur_addr >= req.end_addr {
                     continue;
                 }
-                let bank_i = ((req.cur_addr / cfg.row_bytes as u64)
-                    % cfg.banks_per_channel as u64) as usize;
+                let bank_i =
+                    ((req.cur_addr / cfg.row_bytes as u64) % cfg.banks_per_channel as u64) as usize;
                 let row = req.cur_addr / (cfg.row_bytes as u64 * cfg.banks_per_channel as u64);
                 let bank = &mut ch.banks[bank_i];
                 if bank.ready_at > now || ch.bus_free_at > now {
@@ -235,8 +235,8 @@ impl DramSim {
                 if req.cur_addr >= req.end_addr {
                     continue;
                 }
-                let bank_i = ((req.cur_addr / cfg.row_bytes as u64)
-                    % cfg.banks_per_channel as u64) as usize;
+                let bank_i =
+                    ((req.cur_addr / cfg.row_bytes as u64) % cfg.banks_per_channel as u64) as usize;
                 let row = req.cur_addr / (cfg.row_bytes as u64 * cfg.banks_per_channel as u64);
                 let bank = &mut ch.banks[bank_i];
                 if bank.ready_at > now {
@@ -299,7 +299,12 @@ mod tests {
     #[test]
     fn single_read_latency() {
         let mut sim = DramSim::new(cfg());
-        sim.try_submit(Request { addr: 0, bytes: 64, channel: 0, tag: 1 });
+        sim.try_submit(Request {
+            addr: 0,
+            bytes: 64,
+            channel: 0,
+            tag: 1,
+        });
         let done = sim.drain();
         assert_eq!(done.len(), 1);
         // ACT (tRCD) + READ (tCL + burst) = 14 + 14 + 2, issued on cycle 1.
@@ -313,7 +318,12 @@ mod tests {
     fn sequential_reads_hit_rows() {
         let mut sim = DramSim::new(cfg());
         // One big sequential request = 16 bursts in one row.
-        sim.try_submit(Request { addr: 0, bytes: 1024, channel: 0, tag: 2 });
+        sim.try_submit(Request {
+            addr: 0,
+            bytes: 1024,
+            channel: 0,
+            tag: 2,
+        });
         sim.drain();
         assert_eq!(sim.stats().activations, 1);
         assert_eq!(sim.stats().bursts, 16);
@@ -326,7 +336,12 @@ mod tests {
         let c = cfg();
         let row_stride = c.row_bytes as u64 * c.banks_per_channel as u64;
         for i in 0..8u64 {
-            sim.try_submit(Request { addr: i * row_stride, bytes: 64, channel: 0, tag: i });
+            sim.try_submit(Request {
+                addr: i * row_stride,
+                bytes: 64,
+                channel: 0,
+                tag: i,
+            });
         }
         sim.drain();
         assert!(sim.stats().row_hit_rate() < 0.01);
@@ -339,7 +354,12 @@ mod tests {
         let row_stride = c.row_bytes as u64 * c.banks_per_channel as u64;
         for i in 0..8u64 {
             // Same bank, different rows -> precharge/activate each time.
-            sim.try_submit(Request { addr: i * row_stride, bytes: 64, channel: 0, tag: i });
+            sim.try_submit(Request {
+                addr: i * row_stride,
+                bytes: 64,
+                channel: 0,
+                tag: i,
+            });
         }
         sim.drain();
         assert_eq!(sim.stats().activations, 8);
@@ -375,7 +395,12 @@ mod tests {
         let mut sim = DramSim::new(cfg());
         let mut accepted = 0;
         for i in 0..100 {
-            if sim.try_submit(Request { addr: i * 64, bytes: 64, channel: 0, tag: i }) {
+            if sim.try_submit(Request {
+                addr: i * 64,
+                bytes: 64,
+                channel: 0,
+                tag: i,
+            }) {
                 accepted += 1;
             }
         }
@@ -395,7 +420,12 @@ mod tests {
             while i < 256 || pending > 0 {
                 if i < 256 {
                     let ch = if spread { (i % 32) as u32 } else { 0 };
-                    if sim.try_submit(Request { addr: i * row_stride, bytes: 64, channel: ch, tag: i }) {
+                    if sim.try_submit(Request {
+                        addr: i * row_stride,
+                        bytes: 64,
+                        channel: ch,
+                        tag: i,
+                    }) {
                         i += 1;
                         pending += 1;
                     }
@@ -414,7 +444,12 @@ mod tests {
     #[test]
     fn completions_are_causal() {
         let mut sim = DramSim::new(cfg());
-        sim.try_submit(Request { addr: 64, bytes: 128, channel: 3, tag: 9 });
+        sim.try_submit(Request {
+            addr: 64,
+            bytes: 128,
+            channel: 3,
+            tag: 9,
+        });
         let done = sim.drain();
         assert!(done[0].cycle > 0 && done[0].cycle <= sim.cycle());
     }

@@ -1,5 +1,4 @@
 use crate::{DramConfig, DramStats};
-use serde::{Deserialize, Serialize};
 
 /// DRAM energy model (DRAMsim3 substitute).
 ///
@@ -7,7 +6,7 @@ use serde::{Deserialize, Serialize};
 /// background term per channel — the same decomposition DRAMsim3 reports.
 /// Constants approximate published HBM2e/DDR5/GDDR6 figures (activation
 /// energy of a few nJ, read energy of a few pJ/bit).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DramPowerModel {
     /// Energy per row activation (+implied precharge), in nanojoules.
     pub e_act_nj: f64,
@@ -79,7 +78,7 @@ impl DramPowerModel {
 /// 6.13 mm² / 6.09 mW, and the 190 KB FIFOs cost 0.091 mm² / 3.36 mW
 /// (FIFOs burn more power per MB because of their dual-ported, always-active
 /// organization).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SramModel {
     /// Area per megabyte, in mm².
     pub mm2_per_mb: f64,
@@ -158,6 +157,9 @@ mod tests {
     #[test]
     fn power_zero_interval() {
         let m = DramPowerModel::ddr5();
-        assert_eq!(m.power_mw(&DramStats::default(), &DramConfig::ddr5_4ch(), 0.0), 0.0);
+        assert_eq!(
+            m.power_mw(&DramStats::default(), &DramConfig::ddr5_4ch(), 0.0),
+            0.0
+        );
     }
 }

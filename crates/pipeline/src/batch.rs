@@ -1,0 +1,182 @@
+//! The batching front-end: read-pair ingestion and fixed-size batches.
+
+use gx_genome::fastq::read_fastq;
+use gx_genome::{DnaSeq, GenomeError};
+use std::io::BufRead;
+
+/// One paired-end read entering the engine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadPair {
+    /// Pair identifier (without mate suffix).
+    pub id: String,
+    /// First read, 5'→3' as sequenced.
+    pub r1: DnaSeq,
+    /// Second read, 5'→3' as sequenced.
+    pub r2: DnaSeq,
+}
+
+impl ReadPair {
+    /// A pair from raw parts.
+    pub fn new(id: impl Into<String>, r1: DnaSeq, r2: DnaSeq) -> ReadPair {
+        ReadPair {
+            id: id.into(),
+            r1,
+            r2,
+        }
+    }
+}
+
+/// A fixed-size unit of work flowing through the engine. `index` is the
+/// batch's position in the input stream; the ordered emitter uses it to
+/// reassemble output in input order.
+#[derive(Clone, Debug)]
+pub(crate) struct Batch {
+    pub index: u64,
+    pub pairs: Vec<ReadPair>,
+}
+
+/// Chunks an input stream into [`Batch`]es of `batch_size` pairs (the last
+/// batch may be smaller).
+pub(crate) struct Batcher<I> {
+    input: I,
+    batch_size: usize,
+    next_index: u64,
+}
+
+impl<I: Iterator<Item = ReadPair>> Batcher<I> {
+    pub fn new(input: I, batch_size: usize) -> Batcher<I> {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batcher {
+            input,
+            batch_size,
+            next_index: 0,
+        }
+    }
+}
+
+impl<I: Iterator<Item = ReadPair>> Iterator for Batcher<I> {
+    type Item = Batch;
+
+    fn next(&mut self) -> Option<Batch> {
+        let mut pairs = Vec::with_capacity(self.batch_size);
+        while pairs.len() < self.batch_size {
+            match self.input.next() {
+                Some(p) => pairs.push(p),
+                None => break,
+            }
+        }
+        if pairs.is_empty() {
+            return None;
+        }
+        let index = self.next_index;
+        self.next_index += 1;
+        Some(Batch { index, pairs })
+    }
+}
+
+/// Strips a trailing `/1` or `/2` mate suffix from a FASTQ read id.
+fn base_id(id: &str) -> &str {
+    id.strip_suffix("/1")
+        .or_else(|| id.strip_suffix("/2"))
+        .unwrap_or(id)
+}
+
+/// Reads mate-paired FASTQ streams (R1/R2 files) into [`ReadPair`]s.
+///
+/// Records are paired positionally; ids (after stripping `/1`/`/2`) must
+/// agree, and both streams must hold the same number of records.
+///
+/// # Errors
+///
+/// Returns [`GenomeError::ParseFormat`] on malformed FASTQ, mismatched
+/// record counts or disagreeing read ids.
+pub fn read_pairs_from_fastq<R1: BufRead, R2: BufRead>(
+    r1: R1,
+    r2: R2,
+) -> Result<Vec<ReadPair>, GenomeError> {
+    let reads1 = read_fastq(r1)?;
+    let reads2 = read_fastq(r2)?;
+    if reads1.len() != reads2.len() {
+        return Err(GenomeError::ParseFormat(format!(
+            "mate files differ in length: {} vs {} records",
+            reads1.len(),
+            reads2.len()
+        )));
+    }
+    reads1
+        .into_iter()
+        .zip(reads2)
+        .map(|(a, b)| {
+            let id = base_id(&a.id);
+            if id != base_id(&b.id) {
+                return Err(GenomeError::ParseFormat(format!(
+                    "mate id mismatch: {} vs {}",
+                    a.id, b.id
+                )));
+            }
+            Ok(ReadPair {
+                id: id.to_string(),
+                r1: a.seq,
+                r2: b.seq,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(i: usize) -> ReadPair {
+        ReadPair::new(
+            format!("p{i}"),
+            DnaSeq::from_ascii(b"ACGT").unwrap(),
+            DnaSeq::from_ascii(b"TGCA").unwrap(),
+        )
+    }
+
+    #[test]
+    fn batches_cover_input_in_order() {
+        let pairs: Vec<ReadPair> = (0..10).map(pair).collect();
+        let batches: Vec<Batch> = Batcher::new(pairs.clone().into_iter(), 4).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].pairs.len(), 4);
+        assert_eq!(batches[2].pairs.len(), 2, "remainder batch");
+        assert_eq!(batches[1].index, 1);
+        let flat: Vec<ReadPair> = batches.into_iter().flat_map(|b| b.pairs).collect();
+        assert_eq!(flat, pairs);
+    }
+
+    #[test]
+    fn batch_size_one() {
+        let pairs: Vec<ReadPair> = (0..3).map(pair).collect();
+        let batches: Vec<Batch> = Batcher::new(pairs.into_iter(), 1).collect();
+        assert_eq!(batches.len(), 3);
+        assert!(batches.iter().all(|b| b.pairs.len() == 1));
+    }
+
+    #[test]
+    fn empty_input_yields_no_batches() {
+        let batches: Vec<Batch> = Batcher::new(std::iter::empty(), 8).collect();
+        assert!(batches.is_empty());
+    }
+
+    #[test]
+    fn fastq_pairing_strips_mate_suffix() {
+        let r1 = b"@p0/1\nACGT\n+\nIIII\n@p1/1\nGGGG\n+\nIIII\n";
+        let r2 = b"@p0/2\nTTTT\n+\nIIII\n@p1/2\nCCCC\n+\nIIII\n";
+        let pairs = read_pairs_from_fastq(&r1[..], &r2[..]).unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].id, "p0");
+        assert_eq!(pairs[1].r2.to_string(), "CCCC");
+    }
+
+    #[test]
+    fn fastq_pairing_rejects_mismatches() {
+        let r1 = b"@a/1\nACGT\n+\nIIII\n";
+        let r2 = b"@b/2\nTTTT\n+\nIIII\n";
+        assert!(read_pairs_from_fastq(&r1[..], &r2[..]).is_err());
+        let r2_short: &[u8] = b"";
+        assert!(read_pairs_from_fastq(&r1[..], r2_short).is_err());
+    }
+}

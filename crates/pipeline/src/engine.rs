@@ -1,0 +1,479 @@
+//! The mapping engine: a worker pool over batches with an ordered emitter.
+//!
+//! Dataflow (all queues bounded, applying backpressure end to end):
+//!
+//! ```text
+//! caller thread          worker threads (N)            emitter thread
+//! ┌────────────┐  work   ┌──────────────────┐ results ┌──────────────┐
+//! │ Batcher    │ ──────► │ map_pair × batch │ ──────► │ reorder by   │
+//! │ (chunking) │  chan   │ + shard stats    │  chan   │ batch index, │
+//! └────────────┘         └──────────────────┘         │ stream SAM   │
+//!                                                     └──────────────┘
+//! ```
+//!
+//! Each worker owns a private [`PipelineStats`] shard that is merged once at
+//! join time (`PipelineStats::merged`) — no locks or atomics on the mapping
+//! hot path. The emitter restores input order, so the engine's output is
+//! **byte-identical** to a serial [`map_serial`] run regardless of thread
+//! count or batch size. The emitter's reorder buffer is bounded too: the
+//! feeder admits at most `queue_depth + 2 × threads` batches past the last
+//! emitted one (a condvar-signalled window), so one slow batch cannot make
+//! completed successors pile up without limit.
+
+use crate::batch::{Batch, Batcher, ReadPair};
+use crate::config::{FallbackPolicy, PipelineConfig};
+use crate::sink::{RecordSink, VecSink};
+use gx_core::{pair_mapping_to_sam, GenPairMapper, PairMapResult, PipelineStats};
+use gx_genome::{flags, SamRecord};
+use std::collections::HashMap;
+use std::io;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One mapped batch travelling from a worker to the emitter.
+struct BatchOutput {
+    index: u64,
+    records: Vec<SamRecord>,
+}
+
+/// Outcome of a pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Merged per-worker statistics (identical to a serial run's).
+    pub stats: PipelineStats,
+    /// SAM records handed to the sink.
+    pub records_written: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Batch size used.
+    pub batch_size: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl PipelineReport {
+    /// Pairs processed.
+    pub fn pairs(&self) -> u64 {
+        self.stats.pairs
+    }
+
+    /// Reads (2 × pairs) mapped per second of wall clock.
+    pub fn reads_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            (self.stats.pairs * 2) as f64 / secs
+        }
+    }
+}
+
+/// Converts one pair's mapping result into SAM records, honouring the
+/// fallback policy. Shared by the parallel workers and [`map_serial`] so
+/// both paths emit identical bytes.
+fn emit_pair_records(
+    result: &PairMapResult,
+    pair: &ReadPair,
+    policy: FallbackPolicy,
+    out: &mut Vec<SamRecord>,
+) {
+    match &result.mapping {
+        Some(m) => {
+            let (s1, s2) = pair_mapping_to_sam(m, &pair.id, &pair.r1, &pair.r2);
+            out.push(s1);
+            out.push(s2);
+        }
+        None => {
+            if policy == FallbackPolicy::EmitUnmapped {
+                let base = flags::PAIRED | flags::MATE_UNMAPPED;
+                out.push(SamRecord::unmapped(
+                    format!("{}/1", pair.id),
+                    base | flags::FIRST_IN_PAIR,
+                    pair.r1.clone(),
+                ));
+                out.push(SamRecord::unmapped(
+                    format!("{}/2", pair.id),
+                    base | flags::SECOND_IN_PAIR,
+                    pair.r2.clone(),
+                ));
+            }
+        }
+    }
+}
+
+/// The sharded, batched, multi-threaded paired-end mapping engine.
+///
+/// ```
+/// use gx_genome::random::RandomGenomeBuilder;
+/// use gx_core::{GenPairConfig, GenPairMapper};
+/// use gx_pipeline::{PipelineBuilder, ReadPair, VecSink};
+///
+/// let genome = RandomGenomeBuilder::new(60_000).seed(3).build();
+/// let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+/// let seq = genome.chromosome(0).seq();
+/// let pairs = vec![ReadPair::new(
+///     "p0",
+///     seq.subseq(1_000..1_150),
+///     seq.subseq(1_300..1_450).revcomp(),
+/// )];
+///
+/// let engine = PipelineBuilder::new().threads(2).batch_size(8).engine(&mapper);
+/// let mut sink = VecSink::new();
+/// let report = engine.run(pairs, &mut sink).unwrap();
+/// assert_eq!(report.stats.pairs, 1);
+/// assert_eq!(sink.records.len(), 2);
+/// ```
+pub struct MappingEngine<'m, 'g> {
+    mapper: &'m GenPairMapper<'g>,
+    cfg: PipelineConfig,
+}
+
+impl<'m, 'g> MappingEngine<'m, 'g> {
+    /// An engine mapping with `mapper` under `cfg`.
+    pub fn new(mapper: &'m GenPairMapper<'g>, cfg: PipelineConfig) -> MappingEngine<'m, 'g> {
+        MappingEngine { mapper, cfg }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Maps `input` with the worker pool, streaming ordered records into
+    /// `sink`.
+    ///
+    /// The calling thread runs the batching front-end (so the input iterator
+    /// needs no `Send`); workers and the emitter run on scoped threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sink I/O error; mapping work racing past the error
+    /// is discarded.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from worker threads (a mapper invariant violation).
+    pub fn run<I, S>(&self, input: I, sink: &mut S) -> io::Result<PipelineReport>
+    where
+        I: IntoIterator<Item = ReadPair>,
+        S: RecordSink + Send,
+    {
+        let cfg = self.cfg;
+        let mapper = self.mapper;
+        let started = Instant::now();
+
+        let (work_tx, work_rx) = mpsc::sync_channel::<Batch>(cfg.queue_depth);
+        let (result_tx, result_rx) =
+            mpsc::sync_channel::<BatchOutput>(cfg.queue_depth + cfg.threads);
+        // Caps batches admitted past the last *emitted* one, bounding the
+        // emitter's reorder buffer: without it, one slow early batch would
+        // let completed later batches pile up in `pending` without limit
+        // (peak memory O(input) instead of O(window)).
+        let inflight_cap = (cfg.queue_depth + 2 * cfg.threads) as u64;
+        let progress = Arc::new((Mutex::new(0u64), Condvar::new()));
+
+        let (stats, write_result, batches) = std::thread::scope(|scope| {
+            let work_rx = Arc::new(Mutex::new(work_rx));
+            let mut workers = Vec::with_capacity(cfg.threads);
+            for _ in 0..cfg.threads {
+                let rx = Arc::clone(&work_rx);
+                let tx = result_tx.clone();
+                workers.push(scope.spawn(move || {
+                    let mut shard = PipelineStats::new();
+                    loop {
+                        // One worker at a time blocks in recv() holding the
+                        // lock; the sender never takes it, so this cannot
+                        // deadlock and batches are handed out as they arrive.
+                        let batch = rx.lock().expect("work queue poisoned").recv();
+                        let Ok(batch) = batch else { break };
+                        let mut records = Vec::with_capacity(batch.pairs.len() * 2);
+                        for pair in &batch.pairs {
+                            let res = mapper.map_pair(&pair.r1, &pair.r2);
+                            shard.record(&res);
+                            emit_pair_records(&res, pair, cfg.fallback, &mut records);
+                        }
+                        if tx
+                            .send(BatchOutput {
+                                index: batch.index,
+                                records,
+                            })
+                            .is_err()
+                        {
+                            break; // emitter gone (I/O error): unwind quietly
+                        }
+                    }
+                    shard
+                }));
+            }
+            // Only the workers may keep the work queue alive: when they all
+            // exit early (emitter I/O error), the receiver must drop so the
+            // feeder's blocked send wakes with an error instead of hanging.
+            drop(work_rx);
+            drop(result_tx); // emitter's recv loop ends when workers finish
+
+            let emitter_progress = Arc::clone(&progress);
+            let emitter = scope.spawn(move || -> io::Result<u64> {
+                let mut emit = || -> io::Result<u64> {
+                    let mut next = 0u64;
+                    let mut written = 0u64;
+                    let mut pending: HashMap<u64, Vec<SamRecord>> = HashMap::new();
+                    while let Ok(out) = result_rx.recv() {
+                        pending.insert(out.index, out.records);
+                        while let Some(records) = pending.remove(&next) {
+                            for rec in &records {
+                                sink.write_record(rec)?;
+                                written += 1;
+                            }
+                            next += 1;
+                            let (lock, cv) = &*emitter_progress;
+                            *lock.lock().expect("progress lock poisoned") = next;
+                            cv.notify_all();
+                        }
+                    }
+                    debug_assert!(pending.is_empty(), "batches lost before the emitter");
+                    Ok(written)
+                };
+                let result = emit();
+                // On every exit (normal or I/O error) release a feeder that
+                // is parked on the in-flight window, or it would wait
+                // forever for progress that will never come.
+                let (lock, cv) = &*emitter_progress;
+                *lock.lock().expect("progress lock poisoned") = u64::MAX;
+                cv.notify_all();
+                result
+            });
+
+            // Batching front-end on the calling thread. A send fails only
+            // when every worker has exited early (emitter I/O error); stop
+            // feeding instead of blocking forever.
+            let mut batches = 0u64;
+            for batch in Batcher::new(input.into_iter(), cfg.batch_size) {
+                // Park until the batch fits the in-flight window.
+                {
+                    let (lock, cv) = &*progress;
+                    let mut emitted = lock.lock().expect("progress lock poisoned");
+                    while *emitted != u64::MAX && batch.index >= *emitted + inflight_cap {
+                        emitted = cv.wait(emitted).expect("progress lock poisoned");
+                    }
+                }
+                batches += 1;
+                if work_tx.send(batch).is_err() {
+                    break;
+                }
+            }
+            drop(work_tx);
+
+            let shards: Vec<PipelineStats> = workers
+                .into_iter()
+                .map(|w| w.join().expect("mapping worker panicked"))
+                .collect();
+            let stats = PipelineStats::merged(&shards);
+            let write_result = emitter.join().expect("emitter panicked");
+            (stats, write_result, batches)
+        });
+
+        let records_written = write_result?;
+        Ok(PipelineReport {
+            stats,
+            records_written,
+            batches,
+            threads: cfg.threads,
+            batch_size: cfg.batch_size,
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// Convenience: runs the engine collecting records into memory.
+    ///
+    /// # Panics
+    ///
+    /// Propagates worker panics ([`VecSink`] itself cannot fail).
+    pub fn run_collect<I>(&self, input: I) -> (Vec<SamRecord>, PipelineReport)
+    where
+        I: IntoIterator<Item = ReadPair>,
+    {
+        let mut sink = VecSink::new();
+        let report = self.run(input, &mut sink).expect("VecSink is infallible");
+        (sink.records, report)
+    }
+}
+
+/// The serial reference path: identical per-pair processing and emission,
+/// one pair at a time on the calling thread. The parallel engine's output
+/// is byte-identical to this for any thread count and batch size.
+///
+/// # Errors
+///
+/// Returns the first sink I/O error.
+pub fn map_serial<I, S>(
+    mapper: &GenPairMapper<'_>,
+    policy: FallbackPolicy,
+    input: I,
+    sink: &mut S,
+) -> io::Result<PipelineReport>
+where
+    I: IntoIterator<Item = ReadPair>,
+    S: RecordSink,
+{
+    let started = Instant::now();
+    let mut stats = PipelineStats::new();
+    let mut records = Vec::with_capacity(2);
+    let mut written = 0u64;
+    let mut pairs = 0u64;
+    for pair in input {
+        pairs += 1;
+        let res = mapper.map_pair(&pair.r1, &pair.r2);
+        stats.record(&res);
+        records.clear();
+        emit_pair_records(&res, &pair, policy, &mut records);
+        for rec in &records {
+            sink.write_record(rec)?;
+            written += 1;
+        }
+    }
+    Ok(PipelineReport {
+        stats,
+        records_written: written,
+        batches: pairs, // one logical batch per pair
+        threads: 1,
+        batch_size: 1,
+        elapsed: started.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PipelineBuilder;
+    use gx_core::GenPairConfig;
+    use gx_genome::random::RandomGenomeBuilder;
+    use gx_genome::ReferenceGenome;
+
+    fn setup() -> (ReferenceGenome, Vec<ReadPair>) {
+        let genome = RandomGenomeBuilder::new(120_000).seed(21).build();
+        let seq = genome.chromosome(0).seq();
+        let mut pairs = Vec::new();
+        for i in 0..40 {
+            let start = 1_000 + i * 2_000;
+            pairs.push(ReadPair::new(
+                format!("p{i}"),
+                seq.subseq(start..start + 150),
+                seq.subseq(start + 250..start + 400).revcomp(),
+            ));
+        }
+        (genome, pairs)
+    }
+
+    #[test]
+    fn parallel_matches_serial_records_and_stats() {
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+
+        let mut serial_sink = VecSink::new();
+        let serial = map_serial(
+            &mapper,
+            FallbackPolicy::EmitUnmapped,
+            pairs.clone(),
+            &mut serial_sink,
+        )
+        .unwrap();
+
+        for threads in [1, 2, 4] {
+            for batch_size in [1, 7, 64] {
+                let engine = PipelineBuilder::new()
+                    .threads(threads)
+                    .batch_size(batch_size)
+                    .engine(&mapper);
+                let (records, report) = engine.run_collect(pairs.clone());
+                assert_eq!(report.stats, serial.stats, "t={threads} b={batch_size}");
+                assert_eq!(records.len(), serial_sink.records.len());
+                for (a, b) in records.iter().zip(&serial_sink.records) {
+                    assert_eq!(
+                        a.qname, b.qname,
+                        "order differs at t={threads} b={batch_size}"
+                    );
+                    assert_eq!(a.pos, b.pos);
+                    assert_eq!(a.flags, b.flags);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drop_policy_omits_unmapped() {
+        let (genome, mut pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        // A foreign pair that cannot map.
+        let other = RandomGenomeBuilder::new(5_000).seed(999).build();
+        let oseq = other.chromosome(0).seq();
+        pairs.push(ReadPair::new(
+            "alien",
+            oseq.subseq(100..250),
+            oseq.subseq(300..450).revcomp(),
+        ));
+        let n = pairs.len() as u64;
+
+        let emit = PipelineBuilder::new().threads(2).engine(&mapper);
+        let (with_unmapped, rep1) = emit.run_collect(pairs.clone());
+        assert_eq!(rep1.stats.pairs, n);
+        assert_eq!(with_unmapped.len() as u64, 2 * n);
+
+        let drop_cfg = PipelineBuilder::new()
+            .threads(2)
+            .fallback_policy(FallbackPolicy::Drop)
+            .engine(&mapper);
+        let (dropped, rep2) = drop_cfg.run_collect(pairs);
+        assert_eq!(rep2.stats.pairs, n);
+        assert!(dropped.len() < with_unmapped.len());
+        assert!(dropped.iter().all(SamRecord::is_mapped));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (genome, _) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let engine = PipelineBuilder::new().threads(3).engine(&mapper);
+        let (records, report) = engine.run_collect(Vec::new());
+        assert!(records.is_empty());
+        assert_eq!(report.stats.pairs, 0);
+        assert_eq!(report.batches, 0);
+    }
+
+    #[test]
+    fn sink_error_aborts_run() {
+        struct FailingSink(u32);
+        impl RecordSink for FailingSink {
+            fn write_record(&mut self, _rec: &SamRecord) -> io::Result<()> {
+                self.0 += 1;
+                if self.0 > 4 {
+                    Err(io::Error::other("disk full"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let engine = PipelineBuilder::new()
+            .threads(2)
+            .batch_size(2)
+            .engine(&mapper);
+        let mut sink = FailingSink(0);
+        let err = engine.run(pairs, &mut sink).unwrap_err();
+        assert_eq!(err.to_string(), "disk full");
+    }
+
+    #[test]
+    fn report_throughput_is_positive() {
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let engine = PipelineBuilder::new().threads(2).engine(&mapper);
+        let (_, report) = engine.run_collect(pairs);
+        assert!(report.reads_per_sec() > 0.0);
+        assert_eq!(report.pairs(), 40);
+        assert!(report.elapsed > Duration::ZERO);
+    }
+}

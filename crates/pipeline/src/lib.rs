@@ -1,0 +1,60 @@
+//! **gx-pipeline** — the throughput engine over the GenPair algorithm.
+//!
+//! `gx-core` reproduces the paper's per-pair pipeline as a single
+//! [`GenPairMapper::map_pair`](gx_core::GenPairMapper::map_pair) call; this
+//! crate turns it into a streaming, massively parallel mapping engine (the
+//! workload shape SeGraM and the genome-analysis primer frame as the point
+//! of an accelerator):
+//!
+//! * a **batching front-end** ([`ReadPair`], [`read_pairs_from_fastq`]) that
+//!   chunks read pairs — from simulators or mate-paired FASTQ — into
+//!   fixed-size batches;
+//! * a **worker pool** ([`MappingEngine`]) of OS threads over bounded
+//!   channels, each worker mapping whole batches against a shared
+//!   `GenPairMapper` and accumulating a private **stats shard** (merged
+//!   lock-free at join via [`PipelineStats::merge`](gx_core::PipelineStats::merge));
+//! * an **ordered SAM emitter** ([`RecordSink`], [`SamTextSink`],
+//!   [`VecSink`]) that reassembles batch results in input order, making the
+//!   parallel output byte-identical to the serial reference
+//!   ([`map_serial`]) for any thread count and batch size;
+//! * a [`PipelineBuilder`] config surface: threads, batch size, queue
+//!   depth, and the [`FallbackPolicy`] for pairs GenPair hands to the
+//!   traditional pipeline.
+//!
+//! ```
+//! use gx_genome::random::RandomGenomeBuilder;
+//! use gx_core::{GenPairConfig, GenPairMapper};
+//! use gx_pipeline::{map_serial, FallbackPolicy, PipelineBuilder, ReadPair, VecSink};
+//!
+//! let genome = RandomGenomeBuilder::new(80_000).seed(11).build();
+//! let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+//! let seq = genome.chromosome(0).seq();
+//! let pairs: Vec<ReadPair> = (0..8)
+//!     .map(|i| {
+//!         let s = 2_000 + i * 4_000;
+//!         ReadPair::new(
+//!             format!("p{i}"),
+//!             seq.subseq(s..s + 150),
+//!             seq.subseq(s + 250..s + 400).revcomp(),
+//!         )
+//!     })
+//!     .collect();
+//!
+//! // Parallel engine and serial reference emit identical streams.
+//! let engine = PipelineBuilder::new().threads(4).batch_size(3).engine(&mapper);
+//! let (parallel, report) = engine.run_collect(pairs.clone());
+//! let mut serial = VecSink::new();
+//! map_serial(&mapper, FallbackPolicy::EmitUnmapped, pairs, &mut serial).unwrap();
+//! assert_eq!(parallel.len(), serial.records.len());
+//! assert_eq!(report.stats.pairs, 8);
+//! ```
+
+mod batch;
+mod config;
+mod engine;
+mod sink;
+
+pub use batch::{read_pairs_from_fastq, ReadPair};
+pub use config::{FallbackPolicy, PipelineBuilder, PipelineConfig};
+pub use engine::{map_serial, MappingEngine, PipelineReport};
+pub use sink::{RecordSink, SamTextSink, VecSink};

@@ -1,0 +1,147 @@
+//! Output sinks: where the ordered emitter streams [`SamRecord`]s.
+
+use gx_genome::samfile::write_sam_header;
+use gx_genome::{ReferenceGenome, SamRecord};
+use std::io::{self, Write};
+
+/// A consumer of ordered SAM records.
+///
+/// The engine's emitter thread calls this strictly in input order, so a sink
+/// never needs to buffer or reorder.
+pub trait RecordSink {
+    /// Consumes one record.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures abort the pipeline run.
+    fn write_record(&mut self, rec: &SamRecord) -> io::Result<()>;
+}
+
+/// Streams SAM text (header + one line per record) to a writer.
+pub struct SamTextSink<W: Write> {
+    writer: W,
+    chrom_names: Vec<String>,
+}
+
+impl<W: Write> SamTextSink<W> {
+    /// Writes the SAM header for `genome` and returns a sink that resolves
+    /// chromosome names against it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the header write.
+    pub fn with_header(genome: &ReferenceGenome, mut writer: W) -> io::Result<SamTextSink<W>> {
+        write_sam_header(genome, &mut writer)?;
+        Ok(SamTextSink {
+            writer,
+            chrom_names: genome
+                .chromosomes()
+                .iter()
+                .map(|c| c.name().to_string())
+                .collect(),
+        })
+    }
+
+    /// Finishes writing and returns the inner writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final flush's I/O error.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: Write> RecordSink for SamTextSink<W> {
+    fn write_record(&mut self, rec: &SamRecord) -> io::Result<()> {
+        let name = if rec.is_mapped() {
+            self.chrom_names
+                .get(rec.chrom as usize)
+                .map_or("*", String::as_str)
+        } else {
+            "*"
+        };
+        writeln!(self.writer, "{}", rec.to_sam_line(name))
+    }
+}
+
+/// Collects records in memory (tests and small runs).
+#[derive(Debug, Default)]
+pub struct VecSink {
+    /// The collected records, in input order.
+    pub records: Vec<SamRecord>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> VecSink {
+        VecSink::default()
+    }
+}
+
+impl RecordSink for VecSink {
+    fn write_record(&mut self, rec: &SamRecord) -> io::Result<()> {
+        self.records.push(rec.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_genome::{flags, Chromosome, Cigar, DnaSeq};
+
+    fn genome() -> ReferenceGenome {
+        ReferenceGenome::from_chromosomes(vec![Chromosome::new(
+            "chrT",
+            DnaSeq::from_ascii(b"ACGTACGTACGT").unwrap(),
+        )])
+    }
+
+    #[test]
+    fn sam_text_sink_writes_header_and_lines() {
+        let mut sink = SamTextSink::with_header(&genome(), Vec::new()).unwrap();
+        let rec = SamRecord {
+            qname: "q/1".into(),
+            flags: flags::PAIRED,
+            chrom: 0,
+            pos: 2,
+            mapq: 60,
+            cigar: Cigar::parse("4M").unwrap(),
+            seq: DnaSeq::from_ascii(b"GTAC").unwrap(),
+            score: 8,
+        };
+        sink.write_record(&rec).unwrap();
+        let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        assert!(text.starts_with("@HD"));
+        assert!(text.contains("@SQ\tSN:chrT\tLN:12"));
+        assert!(text.lines().last().unwrap().starts_with("q/1\t"));
+    }
+
+    #[test]
+    fn unmapped_and_out_of_range_chroms_render_star() {
+        let mut sink = SamTextSink::with_header(&genome(), Vec::new()).unwrap();
+        let un = SamRecord::unmapped("u/1", flags::PAIRED, DnaSeq::new());
+        sink.write_record(&un).unwrap();
+        let mut bogus = un.clone();
+        bogus.flags = flags::PAIRED; // mapped flag set, chrom out of range
+        bogus.chrom = 99;
+        sink.write_record(&bogus).unwrap();
+        let text = String::from_utf8(sink.into_inner().unwrap()).unwrap();
+        let rnames: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.starts_with('@'))
+            .map(|l| l.split('\t').nth(2).unwrap())
+            .collect();
+        assert_eq!(rnames, ["*", "*"], "text: {text}");
+    }
+
+    #[test]
+    fn vec_sink_collects() {
+        let mut sink = VecSink::new();
+        let rec = SamRecord::unmapped("a", 0, DnaSeq::new());
+        sink.write_record(&rec).unwrap();
+        assert_eq!(sink.records.len(), 1);
+    }
+}

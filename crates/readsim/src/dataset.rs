@@ -61,7 +61,11 @@ pub fn standard_genome(total_len: u64, seed: u64) -> ReferenceGenome {
 }
 
 /// Simulates `n` pairs of `spec` against `genome`.
-pub fn simulate_dataset(genome: &ReferenceGenome, spec: &DatasetSpec, n: usize) -> Vec<SimulatedPair> {
+pub fn simulate_dataset(
+    genome: &ReferenceGenome,
+    spec: &DatasetSpec,
+    n: usize,
+) -> Vec<SimulatedPair> {
     PairedEndSimulator::new(genome)
         .seed(spec.seed)
         .insert_size(spec.insert_mean, spec.insert_sd)

@@ -106,7 +106,9 @@ mod tests {
     fn perfect_copies_template() {
         let t = template();
         let mut rng = StdRng::seed_from_u64(1);
-        let (read, consumed) = ErrorModel::perfect().generate_read(&t, 40, 150, &mut rng).unwrap();
+        let (read, consumed) = ErrorModel::perfect()
+            .generate_read(&t, 40, 150, &mut rng)
+            .unwrap();
         assert_eq!(consumed, 150);
         assert_eq!(read, t.subseq(40..190));
     }
@@ -137,7 +139,9 @@ mod tests {
     fn exhausted_template_returns_none() {
         let t = template();
         let mut rng = StdRng::seed_from_u64(3);
-        assert!(ErrorModel::perfect().generate_read(&t, 9_950, 150, &mut rng).is_none());
+        assert!(ErrorModel::perfect()
+            .generate_read(&t, 9_950, 150, &mut rng)
+            .is_none());
     }
 
     #[test]

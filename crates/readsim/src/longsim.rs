@@ -110,7 +110,9 @@ impl<'g> LongReadSimulator<'g> {
         let (seq, span) = if forward {
             self.errors.generate_read(cseq, start, len, &mut self.rng)?
         } else {
-            let window = cseq.subseq(start..(start + len + 64).min(cseq.len())).revcomp();
+            let window = cseq
+                .subseq(start..(start + len + 64).min(cseq.len()))
+                .revcomp();
             self.errors.generate_read(&window, 0, len, &mut self.rng)?
         };
         let id = format!("long{}", self.serial);

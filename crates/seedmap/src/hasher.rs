@@ -1,0 +1,109 @@
+//! Injectable seed hashing behind `std::hash::BuildHasher`.
+//!
+//! The SeedMap and the pipeline layers never call [`xxh32`](crate::xxh32)
+//! directly any more: they go through an [`Xxh32Builder`], so the hash seed
+//! is injected once at construction and alternative hash functions can be
+//! A/B-tested (different seeds, different mixing) without touching call
+//! sites. The builder also implements `std::hash::BuildHasher`, which makes
+//! it usable as the hasher of a `HashMap`/`HashSet` when deterministic
+//! hashing across runs is required.
+
+use crate::xxhash::xxh32;
+use std::hash::{BuildHasher, Hasher};
+
+/// A `BuildHasher` producing seeded XXH32 hashers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Xxh32Builder {
+    /// The xxh32 seed every produced hasher starts from.
+    pub seed: u32,
+}
+
+impl Xxh32Builder {
+    /// A builder hashing with `seed`.
+    pub fn with_seed(seed: u32) -> Xxh32Builder {
+        Xxh32Builder { seed }
+    }
+
+    /// One-shot hash of a seed's 2-bit base codes — the hot path used by
+    /// SeedMap construction and queries. Equivalent to feeding `codes`
+    /// through [`build_hasher`](BuildHasher::build_hasher) but without the
+    /// streaming buffer.
+    #[inline]
+    pub fn hash_codes(&self, codes: &[u8]) -> u32 {
+        xxh32(codes, self.seed)
+    }
+}
+
+impl BuildHasher for Xxh32Builder {
+    type Hasher = Xxh32Hasher;
+
+    fn build_hasher(&self) -> Xxh32Hasher {
+        Xxh32Hasher {
+            seed: self.seed,
+            buf: Vec::new(),
+        }
+    }
+}
+
+/// Streaming XXH32 hasher (buffers input; the 32-bit digest is widened to
+/// `u64` for the `Hasher` contract).
+#[derive(Clone, Debug)]
+pub struct Xxh32Hasher {
+    seed: u32,
+    buf: Vec<u8>,
+}
+
+impl Xxh32Hasher {
+    /// The 32-bit digest of everything written so far.
+    pub fn digest32(&self) -> u32 {
+        xxh32(&self.buf, self.seed)
+    }
+}
+
+impl Hasher for Xxh32Hasher {
+    fn write(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn finish(&self) -> u64 {
+        self.digest32() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_matches_streaming() {
+        let builder = Xxh32Builder::with_seed(7);
+        let codes = [0u8, 1, 2, 3, 2, 1, 0, 3, 1, 1, 2, 0, 3, 3, 0, 2, 1];
+        let mut h = builder.build_hasher();
+        h.write(&codes[..5]);
+        h.write(&codes[5..]);
+        assert_eq!(h.digest32(), builder.hash_codes(&codes));
+        assert_eq!(h.finish(), builder.hash_codes(&codes) as u64);
+    }
+
+    #[test]
+    fn seed_changes_digest() {
+        let codes = [1u8, 2, 3, 0, 1, 2];
+        assert_ne!(
+            Xxh32Builder::with_seed(0).hash_codes(&codes),
+            Xxh32Builder::with_seed(0xBEEF).hash_codes(&codes),
+        );
+    }
+
+    #[test]
+    fn matches_raw_xxh32() {
+        let builder = Xxh32Builder::with_seed(42);
+        assert_eq!(builder.hash_codes(b"GATTACA"), xxh32(b"GATTACA", 42));
+    }
+
+    #[test]
+    fn usable_as_map_hasher() {
+        let mut map = std::collections::HashMap::with_hasher(Xxh32Builder::with_seed(1));
+        map.insert("seed", 50u32);
+        assert_eq!(map.get("seed"), Some(&50));
+    }
+}

@@ -25,11 +25,13 @@
 //! assert!(hits.contains(&777));
 //! ```
 
+mod hasher;
 mod merge;
 mod seedmap;
 mod serialize;
 mod xxhash;
 
+pub use hasher::{Xxh32Builder, Xxh32Hasher};
 pub use merge::{merge_sorted, merge_sorted_with_offsets};
 pub use seedmap::{SeedMap, SeedMapConfig, SeedMapStats};
 pub use serialize::{read_seedmap, write_seedmap, SerializeError};

@@ -1,4 +1,4 @@
-use crate::xxh32;
+use crate::Xxh32Builder;
 use gx_genome::{GlobalPos, ReferenceGenome};
 
 /// Configuration of SeedMap construction.
@@ -73,6 +73,7 @@ impl SeedMapStats {
 #[derive(Clone, Debug)]
 pub struct SeedMap {
     config: SeedMapConfig,
+    hasher: Xxh32Builder,
     mask: u32,
     /// `seed_table[i]` = end offset of bucket `i` in `location_table`.
     seed_table: Vec<u32>,
@@ -93,7 +94,10 @@ impl SeedMap {
     /// Panics if `seed_len` is zero or larger than 256 (hardware seeds are
     /// bounded), or if the genome is empty.
     pub fn build(genome: &ReferenceGenome, config: &SeedMapConfig) -> SeedMap {
-        assert!(config.seed_len > 0 && config.seed_len <= 256, "unsupported seed length");
+        assert!(
+            config.seed_len > 0 && config.seed_len <= 256,
+            "unsupported seed length"
+        );
         assert!(genome.total_len() > 0, "cannot index an empty genome");
         let bucket_bits = config.bucket_bits.unwrap_or_else(|| {
             let mut bits = 1u32;
@@ -104,6 +108,7 @@ impl SeedMap {
         });
         let buckets = 1usize << bucket_bits;
         let mask = (buckets - 1) as u32;
+        let hasher = Xxh32Builder::with_seed(config.hash_seed);
 
         // Pass 1: hash every seed window, remember its bucket, count sizes.
         let mut bucket_of: Vec<u32> = Vec::new();
@@ -123,7 +128,7 @@ impl SeedMap {
                     continue;
                 }
                 seq.codes_into(pos..pos + config.seed_len, &mut codes);
-                let bucket = xxh32(&codes, config.hash_seed) & mask;
+                let bucket = hasher.hash_codes(&codes) & mask;
                 bucket_of.push(bucket);
                 window_pos.push((start_gpos + pos as u64) as GlobalPos);
                 counts[bucket as usize] += 1;
@@ -175,6 +180,7 @@ impl SeedMap {
         };
         SeedMap {
             config: *config,
+            hasher,
             mask,
             seed_table,
             location_table,
@@ -185,6 +191,13 @@ impl SeedMap {
     /// The configuration used to build the index.
     pub fn config(&self) -> &SeedMapConfig {
         &self.config
+    }
+
+    /// The seeded hash builder used for every seed lookup. Callers that
+    /// batch-hash seeds (e.g. the pipeline front-end) should reuse this so
+    /// their hashes agree with the index.
+    pub fn hasher(&self) -> &Xxh32Builder {
+        &self.hasher
     }
 
     /// Construction statistics.
@@ -200,7 +213,7 @@ impl SeedMap {
     #[inline]
     pub fn hash_seed_codes(&self, codes: &[u8]) -> u32 {
         assert_eq!(codes.len(), self.config.seed_len, "seed length mismatch");
-        xxh32(codes, self.config.hash_seed)
+        self.hasher.hash_codes(codes)
     }
 
     /// The sorted location slice for a seed hash (the paper's online query,
@@ -264,7 +277,12 @@ impl SeedMap {
 
     /// Raw table access for the serializer and the NMSL address mapper.
     pub(crate) fn raw_parts(&self) -> (&SeedMapConfig, &[u32], &[GlobalPos], &SeedMapStats) {
-        (&self.config, &self.seed_table, &self.location_table, &self.stats)
+        (
+            &self.config,
+            &self.seed_table,
+            &self.location_table,
+            &self.stats,
+        )
     }
 
     /// Reassembles an index from raw parts (deserialization).
@@ -274,9 +292,13 @@ impl SeedMap {
         location_table: Vec<GlobalPos>,
         stats: SeedMapStats,
     ) -> SeedMap {
-        assert!(seed_table.len().is_power_of_two(), "seed table must be a power of two");
+        assert!(
+            seed_table.len().is_power_of_two(),
+            "seed table must be a power of two"
+        );
         SeedMap {
             mask: (seed_table.len() - 1) as u32,
+            hasher: Xxh32Builder::with_seed(config.hash_seed),
             config,
             seed_table,
             location_table,

@@ -101,7 +101,9 @@ pub fn read_seedmap<R: Read>(mut reader: R) -> Result<SeedMap, SerializeError> {
     let filtered_locations = h.get_u64_le();
     let skipped_n_windows = h.get_u64_le();
     if !buckets.is_power_of_two() {
-        return Err(SerializeError::Corrupt("bucket count not a power of two".into()));
+        return Err(SerializeError::Corrupt(
+            "bucket count not a power of two".into(),
+        ));
     }
 
     let read_u32s = |reader: &mut R, n: usize| -> Result<Vec<u32>, SerializeError> {
@@ -130,7 +132,12 @@ pub fn read_seedmap<R: Read>(mut reader: R) -> Result<SeedMap, SerializeError> {
         filtered_locations,
         skipped_n_windows,
     };
-    Ok(SeedMap::from_raw_parts(config, seed_table, location_table, stats))
+    Ok(SeedMap::from_raw_parts(
+        config,
+        seed_table,
+        location_table,
+        stats,
+    ))
 }
 
 #[cfg(test)]
@@ -169,7 +176,13 @@ mod tests {
     #[test]
     fn rejects_truncated() {
         let genome = RandomGenomeBuilder::new(2_000).seed(7).build();
-        let map = SeedMap::build(&genome, &SeedMapConfig { seed_len: 10, ..Default::default() });
+        let map = SeedMap::build(
+            &genome,
+            &SeedMapConfig {
+                seed_len: 10,
+                ..Default::default()
+            },
+        );
         let mut buf = Vec::new();
         write_seedmap(&map, &mut buf).unwrap();
         buf.truncate(buf.len() / 2);

@@ -63,9 +63,10 @@ pub fn call_variants(
             continue;
         }
         let near = key.pos.saturating_sub(1);
-        let depth = pileup
-            .depth(key.chrom, near)
-            .max(pileup.depth(key.chrom, key.pos.min(genome.chromosome(key.chrom).len() as u64 - 1)));
+        let depth = pileup.depth(key.chrom, near).max(pileup.depth(
+            key.chrom,
+            key.pos.min(genome.chromosome(key.chrom).len() as u64 - 1),
+        ));
         if depth < config.min_depth || (support as f64) < config.min_alt_frac * depth as f64 {
             continue;
         }
@@ -76,7 +77,11 @@ pub fn call_variants(
             let seq: DnaSeq = (0..key.signed_len).map(|_| Base::A).collect();
             out.push(Variant::insertion(key.chrom, key.pos, seq));
         } else {
-            out.push(Variant::deletion(key.chrom, key.pos, (-key.signed_len) as u32));
+            out.push(Variant::deletion(
+                key.chrom,
+                key.pos,
+                (-key.signed_len) as u32,
+            ));
         }
     }
 

@@ -61,12 +61,10 @@ fn matches(call: &Variant, truth: &Variant, indel_pos_tolerance: u64) -> bool {
     match call.kind {
         VariantKind::Snp => call.pos == truth.pos && call.alt == truth.alt,
         VariantKind::Ins => {
-            call.pos.abs_diff(truth.pos) <= indel_pos_tolerance
-                && call.alt.len() == truth.alt.len()
+            call.pos.abs_diff(truth.pos) <= indel_pos_tolerance && call.alt.len() == truth.alt.len()
         }
         VariantKind::Del => {
-            call.pos.abs_diff(truth.pos) <= indel_pos_tolerance
-                && call.del_len == truth.del_len
+            call.pos.abs_diff(truth.pos) <= indel_pos_tolerance && call.del_len == truth.del_len
         }
     }
 }
@@ -83,9 +81,10 @@ pub fn compare_variants(calls: &[Variant], truth: &[Variant]) -> ComparisonResul
     let mut truth_used = vec![false; truth.len()];
 
     for call in calls {
-        let found = truth.iter().enumerate().find(|(i, t)| {
-            !truth_used[*i] && matches(call, t, INDEL_TOL)
-        });
+        let found = truth
+            .iter()
+            .enumerate()
+            .find(|(i, t)| !truth_used[*i] && matches(call, t, INDEL_TOL));
         let metrics = if is_snp(call) {
             &mut result.snp
         } else {
@@ -172,7 +171,11 @@ mod tests {
 
     #[test]
     fn metrics_formulas() {
-        let m = AccuracyMetrics { tp: 90, fp: 10, fn_: 30 };
+        let m = AccuracyMetrics {
+            tp: 90,
+            fp: 10,
+            fn_: 30,
+        };
         assert!((m.precision() - 0.9).abs() < 1e-12);
         assert!((m.recall() - 0.75).abs() < 1e-12);
         assert!((m.f1() - 2.0 * 0.9 * 0.75 / 1.65).abs() < 1e-12);

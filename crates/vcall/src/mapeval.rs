@@ -79,11 +79,26 @@ mod tests {
     #[test]
     fn correct_within_tolerance() {
         let recs = [
-            MapevalRecord { mapped: Some((0, 1000)), truth: (0, 1000) },
-            MapevalRecord { mapped: Some((0, 1040)), truth: (0, 1000) },
-            MapevalRecord { mapped: Some((0, 2000)), truth: (0, 1000) },
-            MapevalRecord { mapped: Some((1, 1000)), truth: (0, 1000) },
-            MapevalRecord { mapped: None, truth: (0, 1000) },
+            MapevalRecord {
+                mapped: Some((0, 1000)),
+                truth: (0, 1000),
+            },
+            MapevalRecord {
+                mapped: Some((0, 1040)),
+                truth: (0, 1000),
+            },
+            MapevalRecord {
+                mapped: Some((0, 2000)),
+                truth: (0, 1000),
+            },
+            MapevalRecord {
+                mapped: Some((1, 1000)),
+                truth: (0, 1000),
+            },
+            MapevalRecord {
+                mapped: None,
+                truth: (0, 1000),
+            },
         ];
         let r = mapeval(&recs, 50);
         assert_eq!(r.total, 5);
@@ -101,7 +116,10 @@ mod tests {
 
     #[test]
     fn tighter_tolerance_reduces_correct() {
-        let recs = [MapevalRecord { mapped: Some((0, 1010)), truth: (0, 1000) }];
+        let recs = [MapevalRecord {
+            mapped: Some((0, 1010)),
+            truth: (0, 1000),
+        }];
         assert_eq!(mapeval(&recs, 20).correct, 1);
         assert_eq!(mapeval(&recs, 5).correct, 0);
     }

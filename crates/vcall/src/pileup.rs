@@ -178,7 +178,11 @@ mod tests {
         seq.extend_from_seq(&g.chromosome(0).seq().subseq(110..130));
         p.add_record(&rec(0, 100, "10M3I17M", seq));
         assert_eq!(
-            p.indels.get(&IndelKey { chrom: 0, pos: 110, signed_len: 3 }),
+            p.indels.get(&IndelKey {
+                chrom: 0,
+                pos: 110,
+                signed_len: 3
+            }),
             Some(&1)
         );
     }
@@ -190,7 +194,11 @@ mod tests {
         let seq = g.chromosome(0).seq().subseq(200..225);
         p.add_record(&rec(0, 200, "10M5D15M", seq));
         assert_eq!(
-            p.indels.get(&IndelKey { chrom: 0, pos: 210, signed_len: -5 }),
+            p.indels.get(&IndelKey {
+                chrom: 0,
+                pos: 210,
+                signed_len: -5
+            }),
             Some(&1)
         );
         // Deleted region gets no base observations from this read.

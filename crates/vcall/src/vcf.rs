@@ -21,7 +21,12 @@ pub fn write_vcf<W: Write>(
     writeln!(writer, "##fileformat=VCFv4.2")?;
     writeln!(writer, "##source=genpairx-vcall")?;
     for chrom in genome.chromosomes() {
-        writeln!(writer, "##contig=<ID={},length={}>", chrom.name(), chrom.len())?;
+        writeln!(
+            writer,
+            "##contig=<ID={},length={}>",
+            chrom.name(),
+            chrom.len()
+        )?;
     }
     writeln!(writer, "#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO")?;
     for v in variants {

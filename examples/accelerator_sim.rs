@@ -32,7 +32,10 @@ fn main() {
     );
 
     // NMSL cycle simulation over HBM2e with the paper's window of 1024.
-    let reads: Vec<_> = pairs.iter().map(|p| (p.r1.seq.clone(), p.r2.seq.clone())).collect();
+    let reads: Vec<_> = pairs
+        .iter()
+        .map(|p| (p.r1.seq.clone(), p.r2.seq.clone()))
+        .collect();
     let workloads = build_workloads(&reads, mapper.seedmap());
     let mut nmsl_sim = NmslSim::new(DramConfig::hbm2e_32ch(), NmslConfig::default());
     let nmsl = nmsl_sim.run(&workloads);

@@ -26,7 +26,8 @@ fn main() {
         let (mapping, work) = mapper.map_long_read(&r.seq);
         match mapping {
             Some(m) => {
-                let ok = m.chrom == r.chrom && m.pos.abs_diff(r.start) <= 100 && m.forward == r.forward;
+                let ok =
+                    m.chrom == r.chrom && m.pos.abs_diff(r.start) <= 100 && m.forward == r.forward;
                 correct += ok as usize;
                 println!(
                     "{}: {} bp -> chr{}:{} strand={} votes={} score={} dp_cells={} [{}]",
@@ -41,8 +42,15 @@ fn main() {
                     if ok { "correct" } else { "WRONG" }
                 );
             }
-            None => println!("{}: unmapped ({} pseudo-pairs tried)", r.id, work.pseudo_pairs),
+            None => println!(
+                "{}: unmapped ({} pseudo-pairs tried)",
+                r.id, work.pseudo_pairs
+            ),
         }
     }
-    println!("\n{}/{} long reads mapped to their origin", correct, reads.len());
+    println!(
+        "\n{}/{} long reads mapped to their origin",
+        correct,
+        reads.len()
+    );
 }

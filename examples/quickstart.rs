@@ -54,7 +54,10 @@ fn main() {
                 pair.truth.start1.min(pair.truth.start2),
             );
         } else {
-            println!("{}: needs full DP fallback ({:?})", pair.id, result.fallback);
+            println!(
+                "{}: needs full DP fallback ({:?})",
+                pair.id, result.fallback
+            );
         }
     }
     println!(

@@ -11,6 +11,8 @@
 //! * [`readsim`] — Mason-like paired-end and long-read simulators.
 //! * [`core`] — the GenPair algorithm (seeding, query, paired-adjacency
 //!   filtering, light alignment, fallback plumbing).
+//! * [`pipeline`] — the throughput engine: batching front-end, worker pool
+//!   with sharded statistics, and an ordered SAM emitter (see below).
 //! * [`baseline`] — minimap2-style software mapper and comparator models.
 //! * [`memsim`] — cycle-level DRAM simulator (HBM2e/DDR5/GDDR6) and SRAM
 //!   cost models.
@@ -38,6 +40,39 @@
 //! }
 //! assert!(mapped > 40);
 //! ```
+//!
+//! # Throughput engine
+//!
+//! The per-pair call above is the algorithm; the [`pipeline`] crate is the
+//! execution subsystem that gives it a throughput story. A
+//! [`pipeline::PipelineBuilder`] configures worker threads, batch size,
+//! queue depth and the unmapped-pair policy; the resulting
+//! [`pipeline::MappingEngine`] batches input pairs, maps batches on a
+//! worker pool sharing one [`core::GenPairMapper`], accumulates
+//! [`core::PipelineStats`] in lock-free per-worker shards, and reassembles
+//! SAM output **in input order** — byte-identical to a serial run for any
+//! thread count or batch size.
+//!
+//! ```
+//! use genpairx::genome::random::RandomGenomeBuilder;
+//! use genpairx::readsim::PairedEndSimulator;
+//! use genpairx::core::{GenPairConfig, GenPairMapper};
+//! use genpairx::pipeline::{PipelineBuilder, ReadPair};
+//!
+//! let genome = RandomGenomeBuilder::new(100_000).seed(1).build();
+//! let mut sim = PairedEndSimulator::new(&genome).seed(2);
+//! let pairs: Vec<ReadPair> = sim
+//!     .simulate(50)
+//!     .into_iter()
+//!     .map(|p| ReadPair::new(p.id, p.r1.seq, p.r2.seq))
+//!     .collect();
+//!
+//! let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+//! let engine = PipelineBuilder::new().threads(2).batch_size(16).engine(&mapper);
+//! let (records, report) = engine.run_collect(pairs);
+//! assert_eq!(report.stats.pairs, 50);
+//! assert_eq!(records.len(), 100); // two SAM records per pair
+//! ```
 
 pub use gx_accel as accel;
 pub use gx_align as align;
@@ -45,6 +80,7 @@ pub use gx_baseline as baseline;
 pub use gx_core as core;
 pub use gx_genome as genome;
 pub use gx_memsim as memsim;
+pub use gx_pipeline as pipeline;
 pub use gx_readsim as readsim;
 pub use gx_seedmap as seedmap;
 pub use gx_vcall as vcall;

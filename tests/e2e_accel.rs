@@ -39,7 +39,9 @@ fn throughput_monotone_in_window_size() {
 fn memory_technology_ordering_matches_table6() {
     let ws = workloads(600);
     let run = |cfg: DramConfig| {
-        NmslSim::new(cfg, NmslConfig::default()).run(&ws).mpairs_per_s
+        NmslSim::new(cfg, NmslConfig::default())
+            .run(&ws)
+            .mpairs_per_s
     };
     let hbm = run(DramConfig::hbm2e_32ch());
     let gddr = run(DramConfig::gddr6_8ch());

@@ -20,7 +20,10 @@ fn genpair_maps_variant_reads_to_their_origin() {
         stats.record(&res);
         if let Some(m) = &res.mapping {
             mapped += 1;
-            let t1 = ds.donor.donor_to_ref(Locus { chrom: p.truth.chrom, pos: p.truth.start1 });
+            let t1 = ds.donor.donor_to_ref(Locus {
+                chrom: p.truth.chrom,
+                pos: p.truth.start1,
+            });
             if m.chrom == t1.chrom && m.pos1.abs_diff(t1.pos) <= 25 {
                 correct += 1;
             }
@@ -32,7 +35,11 @@ fn genpair_maps_variant_reads_to_their_origin() {
         "only {correct}/{mapped} correct"
     );
     // The light path must carry the bulk of the work (paper: 76.1%).
-    assert!(stats.light_mapped_pct() > 60.0, "{}", stats.light_mapped_pct());
+    assert!(
+        stats.light_mapped_pct() > 60.0,
+        "{}",
+        stats.light_mapped_pct()
+    );
 }
 
 #[test]
@@ -57,10 +64,7 @@ fn genpair_and_baseline_agree_on_positions() {
         }
     }
     assert!(both > 100, "too few doubly-mapped pairs: {both}");
-    assert!(
-        agree as f64 / both as f64 > 0.9,
-        "agreement {agree}/{both}"
-    );
+    assert!(agree as f64 / both as f64 > 0.9, "agreement {agree}/{both}");
 }
 
 #[test]

@@ -67,7 +67,10 @@ fn filter_threshold_trades_precision_for_recall() {
         .simulate(200);
 
     let strict = GenPairMapper::build(&genome, &GenPairConfig::default().with_filter_threshold(50));
-    let loose = GenPairMapper::build(&genome, &GenPairConfig::default().with_filter_threshold(100_000));
+    let loose = GenPairMapper::build(
+        &genome,
+        &GenPairConfig::default().with_filter_threshold(100_000),
+    );
     let mapped = |mapper: &GenPairMapper<'_>| -> usize {
         pairs
             .iter()

@@ -41,7 +41,10 @@ fn cross_chromosome_candidates_rejected() {
     // Two chromosomes laid out adjacently in global coordinates: a pair
     // whose ends land on different chromosomes must not form a mapping,
     // even though the global positions are adjacent.
-    let genome = RandomGenomeBuilder::new(120_000).chromosomes(2).seed(63).build();
+    let genome = RandomGenomeBuilder::new(120_000)
+        .chromosomes(2)
+        .seed(63)
+        .build();
     let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
     let c0 = genome.chromosome(0).seq();
     let c1 = genome.chromosome(1).seq();
@@ -65,7 +68,12 @@ fn seedmap_handles_tiny_chromosomes() {
         Chromosome::new("tiny", DnaSeq::from_ascii(b"ACGT").unwrap()),
         Chromosome::new(
             "normal",
-            RandomGenomeBuilder::new(5_000).seed(64).build().chromosome(0).seq().clone(),
+            RandomGenomeBuilder::new(5_000)
+                .seed(64)
+                .build()
+                .chromosome(0)
+                .seq()
+                .clone(),
         ),
     ]);
     let map = SeedMap::build(&genome, &SeedMapConfig::default());

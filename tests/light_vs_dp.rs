@@ -12,7 +12,9 @@ use rand::{Rng, SeedableRng};
 const E: usize = 5;
 
 fn random_window(rng: &mut StdRng, len: usize) -> DnaSeq {
-    (0..len).map(|_| Base::from_code(rng.random_range(0..4))).collect()
+    (0..len)
+        .map(|_| Base::from_code(rng.random_range(0..4)))
+        .collect()
 }
 
 #[test]

@@ -1,0 +1,79 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides exactly the [`Buf`]/[`BufMut`] subset the workspace uses
+//! (little-endian u32/u64 cursor reads over `&[u8]` and appends to
+//! `Vec<u8>`). The API signatures match the real crate so it can be swapped
+//! back in without call-site changes.
+
+/// Cursor-style reads over a shrinking byte slice.
+pub trait Buf {
+    /// Bytes remaining.
+    fn remaining(&self) -> usize;
+    /// Reads a little-endian `u32` and advances.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64` and advances.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        let v = u32::from_le_bytes(head.try_into().expect("4-byte split"));
+        *self = rest;
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        let v = u64::from_le_bytes(head.try_into().expect("8-byte split"));
+        *self = rest;
+        v
+    }
+}
+
+/// Append-style writes to a growable byte buffer.
+pub trait BufMut {
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32_u64() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        let mut r = buf.as_slice();
+        assert_eq!(r.remaining(), 12);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn short_read_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u32_le();
+    }
+}
