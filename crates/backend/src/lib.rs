@@ -1,0 +1,52 @@
+//! **gx-backend** — pluggable mapping backends for the GenPairX system.
+//!
+//! The paper's core claim is hardware-algorithm co-design: the *same*
+//! paired-end mapping algorithm runs on a CPU baseline and on the GenPairX
+//! accelerator, and the win is measured on *identical workloads*. This crate
+//! is that comparison made first-class: a [`MapBackend`] trait the pipeline
+//! worker pool is generic over, with two implementations —
+//!
+//! * [`SoftwareBackend`] — the CPU reference: maps each pair with
+//!   [`GenPairMapper::map_pair`](gx_core::GenPairMapper::map_pair) and
+//!   reports only wall-clock busy time;
+//! * [`NmslBackend`] — the accelerator model: produces the **same mapping
+//!   results** through the same software path (so SAM output stays
+//!   byte-identical across backends), while *additionally* replaying each
+//!   batch's memory workload through the
+//!   [`NmslSim`](gx_accel::NmslSim) + [`gx_memsim`] DRAM timing model to
+//!   obtain cycle-accurate latency and energy.
+//!
+//! The split mirrors how SeGraM (ISCA 2022) and the PIM read-mapping line
+//! evaluate accelerators: *results* come from the algorithm, *timing* comes
+//! from the hardware model, and both consume the exact same reads.
+//!
+//! ```
+//! use gx_backend::{MapBackend, NmslBackend, SoftwareBackend};
+//! use gx_core::{GenPairConfig, GenPairMapper, ReadPair};
+//! use gx_genome::random::RandomGenomeBuilder;
+//!
+//! let genome = RandomGenomeBuilder::new(60_000).seed(3).build();
+//! let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+//! let seq = genome.chromosome(0).seq();
+//! let batch = vec![ReadPair::new(
+//!     "p0",
+//!     seq.subseq(1_000..1_150),
+//!     seq.subseq(1_300..1_450).revcomp(),
+//! )];
+//!
+//! let sw = SoftwareBackend::new(&mapper).map_batch(&batch);
+//! let hw = NmslBackend::new(&mapper).map_batch(&batch);
+//! // Identical mapping results...
+//! assert_eq!(sw.results[0].is_mapped(), hw.results[0].is_mapped());
+//! // ...but only the accelerator backend reports simulated cycles.
+//! assert_eq!(sw.stats.sim_cycles, 0);
+//! assert!(hw.stats.sim_cycles > 0);
+//! ```
+
+mod nmsl;
+mod software;
+mod traits;
+
+pub use nmsl::NmslBackend;
+pub use software::SoftwareBackend;
+pub use traits::{BackendStats, BatchResult, MapBackend};

@@ -1,0 +1,196 @@
+//! The NMSL accelerator backend: software results, hardware timing.
+
+use crate::{BackendStats, BatchResult, MapBackend};
+use gx_accel::workload::pair_workload;
+use gx_accel::{NmslConfig, NmslSim, PairWorkload};
+use gx_core::{GenPairMapper, ReadPair};
+use gx_memsim::{DramConfig, DramPowerModel};
+use std::time::Instant;
+
+/// The GenPairX accelerator backend.
+///
+/// For each batch it does two independent things:
+///
+/// 1. **Results** — maps every pair through the *software* path
+///    ([`GenPairMapper::map_pair`]), exactly like
+///    [`SoftwareBackend`](crate::SoftwareBackend). The accelerator executes
+///    the same algorithm, so its mapping decisions are by construction those
+///    of the software mapper — and the pipeline's SAM output stays
+///    byte-identical across backends.
+/// 2. **Timing** — extracts the batch's NMSL memory workload (six seed-table
+///    reads plus location bursts per pair, via
+///    [`pair_workload`]) and replays it through a fresh
+///    [`NmslSim`] over the configured DRAM technology. The simulated cycle
+///    count, DRAM traffic and [`DramPowerModel`] energy are accumulated into
+///    [`BackendStats`].
+///
+/// One batch is one accelerator dispatch: each `map_batch` call instantiates
+/// its own simulator (cold DRAM state), which keeps the backend `Sync` and
+/// the per-batch numbers independent of worker interleaving — total
+/// `sim_cycles` for a dataset is the sum over batches, i.e. a conservative
+/// serial-dispatch model with no cross-batch memory overlap. Larger batches
+/// therefore model the hardware's sliding window more faithfully.
+pub struct NmslBackend<'m, 'g> {
+    mapper: &'m GenPairMapper<'g>,
+    dram: DramConfig,
+    nmsl: NmslConfig,
+}
+
+impl<'m, 'g> NmslBackend<'m, 'g> {
+    /// An NMSL backend over the paper's default configuration (HBM2e with 32
+    /// channels, 1024-pair sliding window).
+    pub fn new(mapper: &'m GenPairMapper<'g>) -> NmslBackend<'m, 'g> {
+        NmslBackend::with_configs(mapper, DramConfig::hbm2e_32ch(), NmslConfig::default())
+    }
+
+    /// An NMSL backend over explicit DRAM and NMSL configurations (DDR5 /
+    /// GDDR6 scaling studies, window sweeps).
+    pub fn with_configs(
+        mapper: &'m GenPairMapper<'g>,
+        dram: DramConfig,
+        nmsl: NmslConfig,
+    ) -> NmslBackend<'m, 'g> {
+        NmslBackend { mapper, dram, nmsl }
+    }
+
+    /// The wrapped mapper.
+    pub fn mapper(&self) -> &'m GenPairMapper<'g> {
+        self.mapper
+    }
+
+    /// The DRAM technology being modeled.
+    pub fn dram_config(&self) -> &DramConfig {
+        &self.dram
+    }
+
+    /// The NMSL configuration being modeled.
+    pub fn nmsl_config(&self) -> &NmslConfig {
+        &self.nmsl
+    }
+}
+
+impl MapBackend for NmslBackend<'_, '_> {
+    fn name(&self) -> &'static str {
+        "nmsl"
+    }
+
+    fn map_batch(&self, pairs: &[ReadPair]) -> BatchResult {
+        let started = Instant::now();
+        // Results: the software path (identical bytes across backends).
+        let results: Vec<_> = pairs
+            .iter()
+            .map(|p| self.mapper.map_pair(&p.r1, &p.r2))
+            .collect();
+
+        // Timing: replay this batch's memory workload through the NMSL model.
+        let mut stats = BackendStats {
+            batches: 1,
+            pairs: pairs.len() as u64,
+            ..BackendStats::default()
+        };
+        let workloads: Vec<PairWorkload> = pairs
+            .iter()
+            .map(|p| pair_workload(&p.r1, &p.r2, self.mapper.seedmap()))
+            .collect();
+        if !workloads.is_empty() {
+            let mut sim = NmslSim::new(self.dram, self.nmsl);
+            let res = sim.run(&workloads);
+            let power = DramPowerModel::for_config(&self.dram);
+            stats.sim_cycles = res.cycles;
+            stats.sim_seconds = res.elapsed_s;
+            stats.energy_pj = power.energy_mj(&res.dram, &self.dram, res.elapsed_s) * 1e9;
+            stats.dram_bytes = res.dram.bytes;
+            stats.dram_requests = res.dram.completed;
+        }
+        stats.busy_ns = started.elapsed().as_nanos() as u64;
+        BatchResult { results, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SoftwareBackend;
+    use gx_core::GenPairConfig;
+    use gx_genome::random::RandomGenomeBuilder;
+
+    fn setup() -> (gx_genome::ReferenceGenome, Vec<ReadPair>) {
+        let genome = RandomGenomeBuilder::new(120_000)
+            .seed(23)
+            .humanlike_repeats()
+            .build();
+        let seq = genome.chromosome(0).seq();
+        let pairs = (0..12)
+            .map(|i| {
+                let s = 1_500 + i * 4_000;
+                ReadPair::new(
+                    format!("p{i}"),
+                    seq.subseq(s..s + 150),
+                    seq.subseq(s + 250..s + 400).revcomp(),
+                )
+            })
+            .collect();
+        (genome, pairs)
+    }
+
+    #[test]
+    fn results_match_software_backend() {
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let sw = SoftwareBackend::new(&mapper).map_batch(&pairs);
+        let hw = NmslBackend::new(&mapper).map_batch(&pairs);
+        assert_eq!(sw.results.len(), hw.results.len());
+        for (a, b) in sw.results.iter().zip(&hw.results) {
+            assert_eq!(a.is_mapped(), b.is_mapped());
+            assert_eq!(a.fallback, b.fallback);
+            match (&a.mapping, &b.mapping) {
+                (Some(ma), Some(mb)) => {
+                    assert_eq!((ma.chrom, ma.pos1, ma.pos2), (mb.chrom, mb.pos1, mb.pos2));
+                    assert_eq!(ma.r1_forward, mb.r1_forward);
+                }
+                (None, None) => {}
+                other => panic!("mapping divergence: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reports_simulated_cost() {
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let out = NmslBackend::new(&mapper).map_batch(&pairs);
+        assert_eq!(out.stats.batches, 1);
+        assert_eq!(out.stats.pairs, pairs.len() as u64);
+        assert!(out.stats.sim_cycles > 0);
+        assert!(out.stats.sim_seconds > 0.0);
+        assert!(out.stats.energy_pj > 0.0);
+        // At least one 8 B seed-table read per seed reached the DRAM model.
+        assert!(out.stats.dram_bytes >= 6 * 8);
+        assert!(out.stats.dram_requests >= 6);
+        assert!(out.stats.modeled_reads_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn ddr5_is_slower_than_hbm() {
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let hbm = NmslBackend::new(&mapper).map_batch(&pairs);
+        let ddr = NmslBackend::with_configs(&mapper, DramConfig::ddr5_4ch(), NmslConfig::default())
+            .map_batch(&pairs);
+        assert!(
+            ddr.stats.sim_seconds > hbm.stats.sim_seconds,
+            "ddr {} vs hbm {}",
+            ddr.stats.sim_seconds,
+            hbm.stats.sim_seconds
+        );
+    }
+
+    #[test]
+    fn empty_batch_reports_zero_sim_time() {
+        let (genome, _) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let out = NmslBackend::new(&mapper).map_batch(&[]);
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats.sim_cycles, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! The CPU reference backend.
+
+use crate::{BackendStats, BatchResult, MapBackend};
+use gx_core::{GenPairMapper, ReadPair};
+use std::time::Instant;
+
+/// The software baseline: maps every pair with
+/// [`GenPairMapper::map_pair`] on the calling worker thread.
+///
+/// Timing-wise it reports only wall-clock busy time — there is no hardware
+/// model behind it. Its results define the reference output every other
+/// backend must reproduce byte-for-byte.
+pub struct SoftwareBackend<'m, 'g> {
+    mapper: &'m GenPairMapper<'g>,
+}
+
+impl<'m, 'g> SoftwareBackend<'m, 'g> {
+    /// A backend mapping with `mapper`.
+    pub fn new(mapper: &'m GenPairMapper<'g>) -> SoftwareBackend<'m, 'g> {
+        SoftwareBackend { mapper }
+    }
+
+    /// The wrapped mapper.
+    pub fn mapper(&self) -> &'m GenPairMapper<'g> {
+        self.mapper
+    }
+}
+
+impl MapBackend for SoftwareBackend<'_, '_> {
+    fn name(&self) -> &'static str {
+        "software"
+    }
+
+    fn map_batch(&self, pairs: &[ReadPair]) -> BatchResult {
+        let started = Instant::now();
+        let results = pairs
+            .iter()
+            .map(|p| self.mapper.map_pair(&p.r1, &p.r2))
+            .collect();
+        BatchResult {
+            results,
+            stats: BackendStats {
+                batches: 1,
+                pairs: pairs.len() as u64,
+                busy_ns: started.elapsed().as_nanos() as u64,
+                ..BackendStats::default()
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gx_core::GenPairConfig;
+    use gx_genome::random::RandomGenomeBuilder;
+
+    #[test]
+    fn matches_direct_map_pair_calls() {
+        let genome = RandomGenomeBuilder::new(80_000).seed(17).build();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let seq = genome.chromosome(0).seq();
+        let pairs: Vec<ReadPair> = (0..8)
+            .map(|i| {
+                let s = 2_000 + i * 5_000;
+                ReadPair::new(
+                    format!("p{i}"),
+                    seq.subseq(s..s + 150),
+                    seq.subseq(s + 250..s + 400).revcomp(),
+                )
+            })
+            .collect();
+
+        let backend = SoftwareBackend::new(&mapper);
+        let out = backend.map_batch(&pairs);
+        assert_eq!(out.results.len(), pairs.len());
+        assert_eq!(out.stats.pairs, pairs.len() as u64);
+        assert_eq!(out.stats.batches, 1);
+        assert_eq!(out.stats.sim_cycles, 0);
+        for (pair, res) in pairs.iter().zip(&out.results) {
+            let direct = mapper.map_pair(&pair.r1, &pair.r2);
+            assert_eq!(res.is_mapped(), direct.is_mapped());
+            assert_eq!(res.fallback, direct.fallback);
+            if let (Some(a), Some(b)) = (&res.mapping, &direct.mapping) {
+                assert_eq!((a.pos1, a.pos2), (b.pos1, b.pos2));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let genome = RandomGenomeBuilder::new(30_000).seed(18).build();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let out = SoftwareBackend::new(&mapper).map_batch(&[]);
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats.pairs, 0);
+    }
+}

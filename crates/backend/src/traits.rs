@@ -1,0 +1,178 @@
+//! The [`MapBackend`] trait and its per-batch accounting types.
+
+use gx_core::{PairMapResult, ReadPair};
+
+/// Cumulative backend accounting, sharded per worker by the pipeline and
+/// merged lock-free at join time (like
+/// [`PipelineStats`](gx_core::PipelineStats), addition is commutative, so
+/// the merged total is independent of shard order).
+///
+/// Software backends fill only the wall-clock fields; accelerator backends
+/// additionally report the *modeled* hardware cost of the same work
+/// (simulated cycles, DRAM traffic, energy). Wall-clock and modeled time
+/// deliberately coexist: their ratio is the end-to-end software-vs-hardware
+/// trajectory number the `backend_compare` harness tracks.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BackendStats {
+    /// Batches mapped.
+    pub batches: u64,
+    /// Read pairs mapped.
+    pub pairs: u64,
+    /// Wall-clock nanoseconds spent inside `map_batch` (mapping plus, for
+    /// accelerator backends, timing simulation).
+    pub busy_ns: u64,
+    /// Simulated accelerator memory cycles (0 for pure-software backends).
+    pub sim_cycles: u64,
+    /// Simulated seconds at the accelerator's memory clock.
+    pub sim_seconds: f64,
+    /// Modeled DRAM energy in picojoules.
+    pub energy_pj: f64,
+    /// Bytes moved by the modeled DRAM.
+    pub dram_bytes: u64,
+    /// DRAM requests completed by the model.
+    pub dram_requests: u64,
+}
+
+impl BackendStats {
+    /// Zeroed stats.
+    pub fn new() -> BackendStats {
+        BackendStats::default()
+    }
+
+    /// Adds another shard's counters into this one.
+    pub fn merge(&mut self, other: &BackendStats) {
+        self.batches += other.batches;
+        self.pairs += other.pairs;
+        self.busy_ns += other.busy_ns;
+        self.sim_cycles += other.sim_cycles;
+        self.sim_seconds += other.sim_seconds;
+        self.energy_pj += other.energy_pj;
+        self.dram_bytes += other.dram_bytes;
+        self.dram_requests += other.dram_requests;
+    }
+
+    /// Folds any number of per-worker shards into one total.
+    pub fn merged<'a, I: IntoIterator<Item = &'a BackendStats>>(shards: I) -> BackendStats {
+        let mut total = BackendStats::new();
+        for s in shards {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Reads (2 × pairs) per second of *modeled* hardware time; 0.0 when the
+    /// backend reported no simulated time (software backends).
+    pub fn modeled_reads_per_sec(&self) -> f64 {
+        if self.sim_seconds <= 0.0 {
+            0.0
+        } else {
+            (self.pairs * 2) as f64 / self.sim_seconds
+        }
+    }
+
+    /// Modeled energy per read pair in picojoules (0.0 with no pairs).
+    pub fn energy_pj_per_pair(&self) -> f64 {
+        if self.pairs == 0 {
+            0.0
+        } else {
+            self.energy_pj / self.pairs as f64
+        }
+    }
+}
+
+/// One mapped batch: the mapping results plus the backend's accounting for
+/// exactly this batch.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Per-pair results, parallel to the input slice (`results[i]` is the
+    /// outcome of `pairs[i]`). The pipeline relies on this alignment to emit
+    /// ordered SAM.
+    pub results: Vec<PairMapResult>,
+    /// The backend's accounting for this batch (`batches == 1`).
+    pub stats: BackendStats,
+}
+
+/// A mapping backend: anything that can map a batch of read pairs and
+/// account for the cost of doing so.
+///
+/// # The results-vs-timing split
+///
+/// `map_batch` answers two questions at once, and implementations must keep
+/// them separable:
+///
+/// * **Results** — *where does each pair map?* Every backend must produce
+///   results identical to calling
+///   [`GenPairMapper::map_pair`](gx_core::GenPairMapper::map_pair) on each
+///   pair in order. This is what makes backends interchangeable: the
+///   pipeline's ordered SAM output is **byte-identical** across backends for
+///   the same input, which is the property that makes cross-backend
+///   throughput numbers an apples-to-apples comparison (and what the
+///   `e2e_pipeline` cross-backend suite enforces).
+/// * **Timing** — *what did mapping this batch cost?* Reported through
+///   [`BatchResult::stats`]. Here backends are free to diverge: the software
+///   backend reports wall-clock busy time only, while the NMSL backend
+///   replays the batch's memory workload through a cycle-accurate DRAM model
+///   and reports simulated cycles and energy on top.
+///
+/// Implementations must be `Sync` and take `&self`: one backend instance is
+/// shared by every pipeline worker thread, and `map_batch` runs
+/// concurrently. Any simulation state must therefore be per-call (the NMSL
+/// backend instantiates a fresh simulator per batch — a batch is the unit of
+/// accelerator work dispatch).
+pub trait MapBackend: Sync {
+    /// Short stable identifier for reports ("software", "nmsl", ...).
+    fn name(&self) -> &'static str;
+
+    /// Maps one batch of read pairs.
+    ///
+    /// Must return exactly one result per input pair, in input order.
+    fn map_batch(&self, pairs: &[ReadPair]) -> BatchResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_and_is_order_independent() {
+        let a = BackendStats {
+            batches: 1,
+            pairs: 10,
+            busy_ns: 100,
+            sim_cycles: 1_000,
+            sim_seconds: 1e-6,
+            energy_pj: 5.0,
+            dram_bytes: 640,
+            dram_requests: 12,
+        };
+        let b = BackendStats {
+            batches: 2,
+            pairs: 30,
+            busy_ns: 300,
+            sim_cycles: 3_000,
+            sim_seconds: 3e-6,
+            energy_pj: 15.0,
+            dram_bytes: 1_920,
+            dram_requests: 36,
+        };
+        let ab = BackendStats::merged([&a, &b]);
+        let ba = BackendStats::merged([&b, &a]);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.batches, 3);
+        assert_eq!(ab.pairs, 40);
+        assert_eq!(ab.sim_cycles, 4_000);
+        assert!((ab.energy_pj - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modeled_throughput_guards_zero_time() {
+        let mut s = BackendStats::new();
+        assert_eq!(s.modeled_reads_per_sec(), 0.0);
+        assert_eq!(s.energy_pj_per_pair(), 0.0);
+        s.pairs = 100;
+        s.sim_seconds = 1e-3;
+        s.energy_pj = 50.0;
+        assert!((s.modeled_reads_per_sec() - 200_000.0).abs() < 1e-6);
+        assert!((s.energy_pj_per_pair() - 0.5).abs() < 1e-12);
+    }
+}

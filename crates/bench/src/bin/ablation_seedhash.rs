@@ -1,0 +1,152 @@
+//! Seed-hash ablation: xxh32 vs murmur3 behind the SeedMap's bucket layout.
+//!
+//! The SeedMap hashes 50 bp seeds into a power-of-two bucket table
+//! (`gx-seedmap`'s `Xxh32Builder` injection point). This harness A/Bs the
+//! paper's xxHash against a murmur3 alternative (`Murmur3Builder`) on the
+//! quantities that matter for NMSL sizing:
+//!
+//! * **bucket occupancy** over all genome seed windows — used buckets, the
+//!   maximum bucket, mean locations per used bucket, and how many buckets
+//!   the index-filtering threshold (500) would empty;
+//! * **seed-hit counts** for simulated reads — in-genome seeds must hit
+//!   (both hashers deliver this by construction), while *foreign* reads
+//!   measure the collision-induced false-hit rate that sends junk down the
+//!   PA filter.
+//!
+//! One JSON line per hasher:
+//!
+//! ```text
+//! {"harness":"ablation_seedhash","hasher":"xxh32","used_buckets":...,...}
+//! ```
+//!
+//! Knobs: `GX_GENOME_SIZE`, `GX_PAIRS`.
+
+use gx_bench::{bench_genome, env_usize};
+use gx_genome::ReferenceGenome;
+use gx_readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
+use gx_seedmap::{default_bucket_bits, Murmur3Builder, Xxh32Builder};
+
+const SEED_LEN: usize = 50;
+const FILTER_THRESHOLD: u32 = 500;
+
+/// A seed-hash function under ablation (codes → 32-bit hash).
+type SeedHashFn<'a> = &'a dyn Fn(&[u8]) -> u32;
+
+/// Hashes every seed window of the genome into buckets, like the SeedMap
+/// construction pass, with an arbitrary hash function.
+fn bucket_counts(genome: &ReferenceGenome, mask: u32, hash: SeedHashFn<'_>) -> Vec<u32> {
+    let mut counts = vec![0u32; mask as usize + 1];
+    let mut codes = Vec::with_capacity(SEED_LEN);
+    for chrom in genome.chromosomes() {
+        if chrom.len() < SEED_LEN {
+            continue;
+        }
+        let seq = chrom.seq();
+        for pos in 0..=chrom.len() - SEED_LEN {
+            if chrom.has_n_in(pos, pos + SEED_LEN) {
+                continue;
+            }
+            seq.codes_into(pos..pos + SEED_LEN, &mut codes);
+            counts[(hash(&codes) & mask) as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Counts how many of the reads' partitioned seeds land in non-empty
+/// buckets (three non-overlapping seeds per read, as in Partitioned
+/// Seeding).
+fn seed_hits(
+    reads: &[gx_genome::DnaSeq],
+    counts: &[u32],
+    mask: u32,
+    hash: SeedHashFn<'_>,
+) -> (u64, u64) {
+    let mut hits = 0u64;
+    let mut total = 0u64;
+    let mut codes = Vec::with_capacity(SEED_LEN);
+    for read in reads {
+        if read.len() < SEED_LEN {
+            continue;
+        }
+        for start in [0, (read.len() - SEED_LEN) / 2, read.len() - SEED_LEN] {
+            read.codes_into(start..start + SEED_LEN, &mut codes);
+            total += 1;
+            if counts[(hash(&codes) & mask) as usize] > 0 {
+                hits += 1;
+            }
+        }
+    }
+    (hits, total)
+}
+
+fn main() {
+    let genome = bench_genome();
+    let n_pairs = env_usize("GX_PAIRS", 2_000);
+    let bits = default_bucket_bits(genome.total_len());
+    let mask = (1u32 << bits) - 1;
+    eprintln!(
+        "# genome: {} bp, {} buckets, {n_pairs} read pairs per probe set",
+        genome.total_len(),
+        1u64 << bits
+    );
+
+    // In-genome reads: every seed has a true location, so the hit rate
+    // measures nothing but plumbing (must be ~1.0 for both hashers).
+    // Foreign reads: no true locations, so every hit is a hash collision.
+    let native: Vec<gx_genome::DnaSeq> = simulate_dataset(&genome, &DATASETS[0], n_pairs)
+        .into_iter()
+        .flat_map(|p| [p.r1.seq, p.r2.seq])
+        .collect();
+    let foreign_genome = standard_genome(genome.total_len(), 0xDEAD_BEEF);
+    let foreign: Vec<gx_genome::DnaSeq> = simulate_dataset(&foreign_genome, &DATASETS[0], n_pairs)
+        .into_iter()
+        .flat_map(|p| [p.r1.seq, p.r2.seq])
+        .collect();
+
+    let xx = Xxh32Builder::with_seed(0);
+    let mm = Murmur3Builder::with_seed(0);
+    let hashers: [(&str, SeedHashFn<'_>); 2] = [
+        ("xxh32", &move |codes| xx.hash_codes(codes)),
+        ("murmur3", &move |codes| mm.hash_codes(codes)),
+    ];
+
+    for (name, hash) in hashers {
+        let counts = bucket_counts(&genome, mask, hash);
+        let used = counts.iter().filter(|&&c| c > 0).count() as u64;
+        let stored: u64 = counts.iter().map(|&c| c as u64).sum();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let filtered = counts.iter().filter(|&&c| c > FILTER_THRESHOLD).count() as u64;
+        let mean = if used == 0 {
+            0.0
+        } else {
+            stored as f64 / used as f64
+        };
+        let (native_hits, native_total) = seed_hits(&native, &counts, mask, hash);
+        let (foreign_hits, foreign_total) = seed_hits(&foreign, &counts, mask, hash);
+        println!(
+            concat!(
+                "{{\"harness\":\"ablation_seedhash\",\"hasher\":\"{}\",",
+                "\"buckets\":{},\"used_buckets\":{},\"stored_locations\":{},",
+                "\"max_bucket\":{},\"mean_locs_per_used_bucket\":{:.3},",
+                "\"filtered_buckets_at_{}\":{},",
+                "\"native_seed_hits\":{},\"native_seed_total\":{},\"native_hit_rate\":{:.4},",
+                "\"foreign_seed_hits\":{},\"foreign_seed_total\":{},\"foreign_hit_rate\":{:.4}}}"
+            ),
+            name,
+            counts.len(),
+            used,
+            stored,
+            max,
+            mean,
+            FILTER_THRESHOLD,
+            filtered,
+            native_hits,
+            native_total,
+            native_hits as f64 / native_total.max(1) as f64,
+            foreign_hits,
+            foreign_total,
+            foreign_hits as f64 / foreign_total.max(1) as f64,
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! End-to-end software-vs-hardware comparison on identical workloads — the
+//! repo's first full trajectory number for the paper's co-design claim.
+//!
+//! Maps one simulated dataset through the `gx-pipeline` engine twice per
+//! thread count: once with the [`SoftwareBackend`] (CPU reference, wall
+//! clock) and once with the [`NmslBackend`] (same mapping results, plus the
+//! NMSL + DRAM timing model). Prints one JSON line per (backend,
+//! thread-count):
+//!
+//! ```text
+//! {"harness":"backend_compare","backend":"nmsl","threads":4,...,
+//!  "sim_cycles":123456,"energy_pj":7.8e6,"speedup_vs_software":41.2}
+//! ```
+//!
+//! `speedup_vs_software` compares the NMSL backend's *modeled* hardware
+//! throughput against the software backend's measured wall-clock throughput
+//! at the same thread count (1.0 by definition on software lines). Every
+//! run streams full SAM text, and the harness asserts the two backends'
+//! byte streams are identical at each thread count — the property that
+//! makes the comparison apples-to-apples.
+//!
+//! Knobs: `GX_PAIRS`, `GX_GENOME_SIZE`, `GX_BATCH`; pass `--smoke` for a
+//! seconds-scale CI run.
+
+use gx_backend::{MapBackend, NmslBackend, SoftwareBackend};
+use gx_bench::env_usize;
+use gx_core::{GenPairConfig, GenPairMapper};
+use gx_genome::ReferenceGenome;
+use gx_pipeline::PipelineBuilder;
+use gx_pipeline::{MappingEngine, PipelineReport, ReadPair, SamTextSink};
+use gx_readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
+
+fn run<B: MapBackend>(
+    engine: &MappingEngine<B>,
+    genome: &ReferenceGenome,
+    pairs: &[ReadPair],
+) -> (Vec<u8>, PipelineReport) {
+    let mut sink = SamTextSink::with_header(genome, Vec::new()).expect("Vec write cannot fail");
+    let report = engine
+        .run(pairs.iter().cloned(), &mut sink)
+        .expect("Vec sink is infallible");
+    (sink.into_inner().expect("Vec flush cannot fail"), report)
+}
+
+fn json_line(report: &PipelineReport, sw_reads_per_sec: f64) -> String {
+    let b = &report.backend;
+    // Software lines compare wall clock to wall clock (1.0 at its own
+    // thread count); NMSL lines compare modeled hardware time to the
+    // software wall clock at the same thread count.
+    let effective_rps = if b.sim_seconds > 0.0 {
+        b.modeled_reads_per_sec()
+    } else {
+        report.reads_per_sec()
+    };
+    format!(
+        concat!(
+            "{{\"harness\":\"backend_compare\",\"backend\":\"{}\",\"threads\":{},",
+            "\"pairs\":{},\"batch_size\":{},\"wall_seconds\":{:.4},",
+            "\"reads_per_sec\":{:.1},\"sim_cycles\":{},\"sim_seconds\":{:.6},",
+            "\"modeled_reads_per_sec\":{:.1},\"energy_pj\":{:.1},",
+            "\"dram_bytes\":{},\"speedup_vs_software\":{:.3},\"sam_identical\":true}}"
+        ),
+        report.backend_name,
+        report.threads,
+        report.pairs(),
+        report.batch_size,
+        report.elapsed.as_secs_f64(),
+        report.reads_per_sec(),
+        b.sim_cycles,
+        b.sim_seconds,
+        b.modeled_reads_per_sec(),
+        b.energy_pj,
+        b.dram_bytes,
+        effective_rps / sw_reads_per_sec,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (default_pairs, default_genome) = if smoke {
+        (300, 250_000)
+    } else {
+        (4_000, 800_000)
+    };
+    let n_pairs = env_usize("GX_PAIRS", default_pairs);
+    let genome_size = env_usize("GX_GENOME_SIZE", default_genome) as u64;
+    let batch = env_usize("GX_BATCH", 256);
+
+    let genome = standard_genome(genome_size, 0xC0FFEE);
+    eprintln!(
+        "# genome: {} bp, simulating {n_pairs} pairs...",
+        genome.total_len()
+    );
+    let pairs: Vec<ReadPair> = simulate_dataset(&genome, &DATASETS[0], n_pairs)
+        .into_iter()
+        .map(|p| ReadPair::new(p.id, p.r1.seq, p.r2.seq))
+        .collect();
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+
+    for threads in [1usize, 2, 4] {
+        let sw_engine = PipelineBuilder::new()
+            .threads(threads)
+            .batch_size(batch)
+            .backend(SoftwareBackend::new(&mapper));
+        let (sw_bytes, sw_report) = run(&sw_engine, &genome, &pairs);
+        let sw_rps = sw_report.reads_per_sec();
+        println!("{}", json_line(&sw_report, sw_rps));
+
+        let hw_engine = PipelineBuilder::new()
+            .threads(threads)
+            .batch_size(batch)
+            .backend(NmslBackend::new(&mapper));
+        let (hw_bytes, hw_report) = run(&hw_engine, &genome, &pairs);
+        // The co-design contract: both backends must emit identical SAM
+        // bytes on this workload, or the throughput comparison is
+        // meaningless.
+        assert!(
+            sw_bytes == hw_bytes,
+            "NMSL backend SAM output diverged from the software backend at {threads} threads"
+        );
+        assert_eq!(
+            hw_report.stats, sw_report.stats,
+            "backend stats must match at {threads} threads"
+        );
+        println!("{}", json_line(&hw_report, sw_rps));
+    }
+}

@@ -40,6 +40,7 @@ mod longread;
 mod mapper;
 pub mod pafilter;
 pub mod prefilter;
+mod readpair;
 pub mod seeding;
 mod stats;
 pub mod voting;
@@ -50,4 +51,5 @@ pub use longread::{LongReadMapping, LongReadWork};
 pub use mapper::{
     pair_mapping_to_sam, FallbackStage, GenPairMapper, PairMapResult, PairMapping, PairWork,
 };
+pub use readpair::ReadPair;
 pub use stats::PipelineStats;

@@ -1,0 +1,34 @@
+//! The paired-end read unit shared by the pipeline front-end and the
+//! mapping backends.
+
+use gx_genome::DnaSeq;
+
+/// One paired-end read entering the mapping system.
+///
+/// This is the unit of work every [`MapBackend`]-style consumer operates on:
+/// the pipeline front-end batches `ReadPair`s, and backends map whole slices
+/// of them. It lives in `gx-core` (rather than the pipeline crate) so the
+/// backend layer and the pipeline layer can share it without a dependency
+/// cycle.
+///
+/// [`MapBackend`]: https://docs.rs/gx-backend
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadPair {
+    /// Pair identifier (without mate suffix).
+    pub id: String,
+    /// First read, 5'→3' as sequenced.
+    pub r1: DnaSeq,
+    /// Second read, 5'→3' as sequenced.
+    pub r2: DnaSeq,
+}
+
+impl ReadPair {
+    /// A pair from raw parts.
+    pub fn new(id: impl Into<String>, r1: DnaSeq, r2: DnaSeq) -> ReadPair {
+        ReadPair {
+            id: id.into(),
+            r1,
+            r2,
+        }
+    }
+}

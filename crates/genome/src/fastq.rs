@@ -36,61 +36,114 @@ impl ReadRecord {
     }
 }
 
-/// Reads all records from a FASTQ stream.
+/// A streaming FASTQ parser: an iterator of [`ReadRecord`]s that reads one
+/// record at a time, so arbitrarily large files never need to fit in
+/// memory. [`read_fastq`] is the collect-everything wrapper over this.
 ///
 /// Ambiguous bases (`N`) are not representable in [`DnaSeq`]; they are
 /// replaced with `A`, matching the common practice of mapping-oriented 2-bit
 /// encodings.
 ///
-/// # Errors
+/// After the first error the iterator is fused: it yields `None` forever
+/// (a malformed stream has no trustworthy record boundary to resume from).
 ///
-/// Returns [`GenomeError::ParseFormat`] on truncated or malformed records.
-pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<ReadRecord>, GenomeError> {
-    let mut lines = reader.lines();
-    let mut out = Vec::new();
-    while let Some(header) = lines.next() {
-        let header = header.map_err(|e| GenomeError::ParseFormat(format!("io error: {e}")))?;
-        if header.trim().is_empty() {
-            continue;
+/// ```
+/// use gx_genome::fastq::FastqReader;
+///
+/// let data = b"@r1\nACGT\n+\nIIII\n@r2\nTTAA\n+\nIIII\n";
+/// let ids: Vec<String> = FastqReader::new(&data[..])
+///     .map(|r| r.unwrap().id)
+///     .collect();
+/// assert_eq!(ids, ["r1", "r2"]);
+/// ```
+pub struct FastqReader<R: BufRead> {
+    lines: std::io::Lines<R>,
+    failed: bool,
+}
+
+impl<R: BufRead> FastqReader<R> {
+    /// A streaming parser over `reader`.
+    pub fn new(reader: R) -> FastqReader<R> {
+        FastqReader {
+            lines: reader.lines(),
+            failed: false,
         }
-        let id = header
-            .strip_prefix('@')
-            .ok_or_else(|| GenomeError::ParseFormat(format!("expected @header, got {header}")))?
-            .split_whitespace()
-            .next()
-            .unwrap_or("")
-            .to_string();
+    }
+
+    fn parse_next(&mut self) -> Option<Result<ReadRecord, GenomeError>> {
+        let header = loop {
+            match self.lines.next()? {
+                Ok(line) if line.trim().is_empty() => continue,
+                Ok(line) => break line,
+                Err(e) => return Some(Err(GenomeError::ParseFormat(format!("io error: {e}")))),
+            }
+        };
+        let id = match header.strip_prefix('@') {
+            Some(rest) => rest.split_whitespace().next().unwrap_or("").to_string(),
+            None => {
+                return Some(Err(GenomeError::ParseFormat(format!(
+                    "expected @header, got {header}"
+                ))))
+            }
+        };
         let next = |lines: &mut std::io::Lines<R>| -> Result<String, GenomeError> {
             lines
                 .next()
                 .ok_or_else(|| GenomeError::ParseFormat("truncated FASTQ record".into()))?
                 .map_err(|e| GenomeError::ParseFormat(format!("io error: {e}")))
         };
-        let seq_line = next(&mut lines)?;
-        let plus = next(&mut lines)?;
-        if !plus.starts_with('+') {
-            return Err(GenomeError::ParseFormat("missing + separator".into()));
-        }
-        let qual_line = next(&mut lines)?;
-        if qual_line.len() != seq_line.len() {
-            return Err(GenomeError::ParseFormat(
-                "quality length differs from sequence length".into(),
-            ));
-        }
-        let mut seq = DnaSeq::with_capacity(seq_line.len());
-        for &ch in seq_line.as_bytes() {
-            match crate::Base::from_ascii(ch) {
-                Some(b) => seq.push(b),
-                None => seq.push(crate::Base::A),
+        let record = (|| {
+            let seq_line = next(&mut self.lines)?;
+            let plus = next(&mut self.lines)?;
+            if !plus.starts_with('+') {
+                return Err(GenomeError::ParseFormat("missing + separator".into()));
             }
-        }
-        out.push(ReadRecord {
-            id,
-            seq,
-            qual: qual_line.into_bytes(),
-        });
+            let qual_line = next(&mut self.lines)?;
+            if qual_line.len() != seq_line.len() {
+                return Err(GenomeError::ParseFormat(
+                    "quality length differs from sequence length".into(),
+                ));
+            }
+            let mut seq = DnaSeq::with_capacity(seq_line.len());
+            for &ch in seq_line.as_bytes() {
+                match crate::Base::from_ascii(ch) {
+                    Some(b) => seq.push(b),
+                    None => seq.push(crate::Base::A),
+                }
+            }
+            Ok(ReadRecord {
+                id,
+                seq,
+                qual: qual_line.into_bytes(),
+            })
+        })();
+        Some(record)
     }
-    Ok(out)
+}
+
+impl<R: BufRead> Iterator for FastqReader<R> {
+    type Item = Result<ReadRecord, GenomeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let item = self.parse_next();
+        if matches!(item, Some(Err(_))) {
+            self.failed = true;
+        }
+        item
+    }
+}
+
+/// Reads all records from a FASTQ stream into memory (a thin collect over
+/// [`FastqReader`]).
+///
+/// # Errors
+///
+/// Returns [`GenomeError::ParseFormat`] on truncated or malformed records.
+pub fn read_fastq<R: BufRead>(reader: R) -> Result<Vec<ReadRecord>, GenomeError> {
+    FastqReader::new(reader).collect()
 }
 
 /// Writes records as FASTQ.
@@ -140,5 +193,31 @@ mod tests {
     fn n_replaced_with_a() {
         let recs = read_fastq(&b"@r\nANGT\n+\nIIII\n"[..]).unwrap();
         assert_eq!(recs[0].seq.to_string(), "AAGT");
+    }
+
+    #[test]
+    fn streaming_reader_yields_records_incrementally() {
+        let data = b"@r1\nACGT\n+\nIIII\n\n@r2\nTTAA\n+\nIIII\n";
+        let mut reader = FastqReader::new(&data[..]);
+        let first = reader.next().unwrap().unwrap();
+        assert_eq!(first.id, "r1");
+        let second = reader.next().unwrap().unwrap();
+        assert_eq!(second.id, "r2");
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn streaming_reader_fuses_after_error() {
+        let data = b"@r1\nACGT\n+\nII\n@r2\nTTAA\n+\nIIII\n";
+        let mut reader = FastqReader::new(&data[..]);
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none(), "reader must fuse after an error");
+    }
+
+    #[test]
+    fn streaming_matches_collect_wrapper() {
+        let data = b"@a\nACGT\n+\nIIII\n@b\nGGCC\n+\nIIII\n@c\nTTTT\n+\nIIII\n";
+        let streamed: Vec<ReadRecord> = FastqReader::new(&data[..]).map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, read_fastq(&data[..]).unwrap());
     }
 }

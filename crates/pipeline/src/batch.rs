@@ -1,30 +1,9 @@
 //! The batching front-end: read-pair ingestion and fixed-size batches.
 
-use gx_genome::fastq::read_fastq;
-use gx_genome::{DnaSeq, GenomeError};
+use gx_core::ReadPair;
+use gx_genome::fastq::FastqReader;
+use gx_genome::GenomeError;
 use std::io::BufRead;
-
-/// One paired-end read entering the engine.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ReadPair {
-    /// Pair identifier (without mate suffix).
-    pub id: String,
-    /// First read, 5'→3' as sequenced.
-    pub r1: DnaSeq,
-    /// Second read, 5'→3' as sequenced.
-    pub r2: DnaSeq,
-}
-
-impl ReadPair {
-    /// A pair from raw parts.
-    pub fn new(id: impl Into<String>, r1: DnaSeq, r2: DnaSeq) -> ReadPair {
-        ReadPair {
-            id: id.into(),
-            r1,
-            r2,
-        }
-    }
-}
 
 /// A fixed-size unit of work flowing through the engine. `index` is the
 /// batch's position in the input stream; the ordered emitter uses it to
@@ -81,10 +60,97 @@ fn base_id(id: &str) -> &str {
         .unwrap_or(id)
 }
 
-/// Reads mate-paired FASTQ streams (R1/R2 files) into [`ReadPair`]s.
+/// Streams mate-paired FASTQ (R1/R2 files) as an iterator of [`ReadPair`]s,
+/// one pair at a time — the whole dataset never has to fit in memory, so
+/// the pipeline's bounded queues provide backpressure all the way down to
+/// the file reads.
 ///
 /// Records are paired positionally; ids (after stripping `/1`/`/2`) must
-/// agree, and both streams must hold the same number of records.
+/// agree, and both streams must hold the same number of records. Errors are
+/// yielded in-stream ([`GenomeError::ParseFormat`] on malformed FASTQ,
+/// mismatched record counts or disagreeing ids); after the first error the
+/// iterator fuses. [`read_pairs_from_fastq`] is the collect-everything
+/// wrapper.
+///
+/// Feeding the engine without materializing:
+///
+/// ```no_run
+/// use std::fs::File;
+/// use std::io::BufReader;
+/// use gx_pipeline::ReadPairStream;
+///
+/// let r1 = BufReader::new(File::open("sample_R1.fastq")?);
+/// let r2 = BufReader::new(File::open("sample_R2.fastq")?);
+/// let stream = ReadPairStream::new(r1, r2).map(|p| p.expect("malformed FASTQ"));
+/// // engine.run(stream, &mut sink)?  — batches are mapped while the files
+/// // are still being read.
+/// # let _ = stream.count();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct ReadPairStream<R1: BufRead, R2: BufRead> {
+    r1: FastqReader<R1>,
+    r2: FastqReader<R2>,
+    pairs_yielded: u64,
+    failed: bool,
+}
+
+impl<R1: BufRead, R2: BufRead> ReadPairStream<R1, R2> {
+    /// A stream pairing `r1` and `r2` positionally.
+    pub fn new(r1: R1, r2: R2) -> ReadPairStream<R1, R2> {
+        ReadPairStream {
+            r1: FastqReader::new(r1),
+            r2: FastqReader::new(r2),
+            pairs_yielded: 0,
+            failed: false,
+        }
+    }
+
+    fn pair_next(&mut self) -> Option<Result<ReadPair, GenomeError>> {
+        let (a, b) = match (self.r1.next(), self.r2.next()) {
+            (None, None) => return None,
+            (Some(Err(e)), _) | (_, Some(Err(e))) => return Some(Err(e)),
+            (None, Some(Ok(_))) | (Some(Ok(_)), None) => {
+                return Some(Err(GenomeError::ParseFormat(format!(
+                    "mate files differ in length: one stream ended after {} pairs",
+                    self.pairs_yielded
+                ))))
+            }
+            (Some(Ok(a)), Some(Ok(b))) => (a, b),
+        };
+        let id = base_id(&a.id);
+        if id != base_id(&b.id) {
+            return Some(Err(GenomeError::ParseFormat(format!(
+                "mate id mismatch: {} vs {}",
+                a.id, b.id
+            ))));
+        }
+        self.pairs_yielded += 1;
+        Some(Ok(ReadPair {
+            id: id.to_string(),
+            r1: a.seq,
+            r2: b.seq,
+        }))
+    }
+}
+
+impl<R1: BufRead, R2: BufRead> Iterator for ReadPairStream<R1, R2> {
+    type Item = Result<ReadPair, GenomeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        let item = self.pair_next();
+        if matches!(item, Some(Err(_))) {
+            self.failed = true;
+        }
+        item
+    }
+}
+
+/// Reads mate-paired FASTQ streams (R1/R2 files) into a `Vec` of
+/// [`ReadPair`]s — a thin collect wrapper over [`ReadPairStream`] for
+/// workloads that fit in memory.
 ///
 /// # Errors
 ///
@@ -94,38 +160,13 @@ pub fn read_pairs_from_fastq<R1: BufRead, R2: BufRead>(
     r1: R1,
     r2: R2,
 ) -> Result<Vec<ReadPair>, GenomeError> {
-    let reads1 = read_fastq(r1)?;
-    let reads2 = read_fastq(r2)?;
-    if reads1.len() != reads2.len() {
-        return Err(GenomeError::ParseFormat(format!(
-            "mate files differ in length: {} vs {} records",
-            reads1.len(),
-            reads2.len()
-        )));
-    }
-    reads1
-        .into_iter()
-        .zip(reads2)
-        .map(|(a, b)| {
-            let id = base_id(&a.id);
-            if id != base_id(&b.id) {
-                return Err(GenomeError::ParseFormat(format!(
-                    "mate id mismatch: {} vs {}",
-                    a.id, b.id
-                )));
-            }
-            Ok(ReadPair {
-                id: id.to_string(),
-                r1: a.seq,
-                r2: b.seq,
-            })
-        })
-        .collect()
+    ReadPairStream::new(r1, r2).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gx_genome::DnaSeq;
 
     fn pair(i: usize) -> ReadPair {
         ReadPair::new(
@@ -178,5 +219,35 @@ mod tests {
         assert!(read_pairs_from_fastq(&r1[..], &r2[..]).is_err());
         let r2_short: &[u8] = b"";
         assert!(read_pairs_from_fastq(&r1[..], r2_short).is_err());
+    }
+
+    #[test]
+    fn stream_yields_pairs_incrementally_and_matches_collect() {
+        let r1 = b"@p0/1\nACGT\n+\nIIII\n@p1/1\nGGGG\n+\nIIII\n@p2/1\nAAAA\n+\nIIII\n";
+        let r2 = b"@p0/2\nTTTT\n+\nIIII\n@p1/2\nCCCC\n+\nIIII\n@p2/2\nGGGG\n+\nIIII\n";
+        let mut stream = ReadPairStream::new(&r1[..], &r2[..]);
+        let first = stream.next().unwrap().unwrap();
+        assert_eq!(first.id, "p0");
+        let rest: Vec<ReadPair> = stream.map(|p| p.unwrap()).collect();
+        assert_eq!(rest.len(), 2);
+
+        let collected = read_pairs_from_fastq(&r1[..], &r2[..]).unwrap();
+        let mut streamed = vec![first];
+        streamed.extend(rest);
+        assert_eq!(streamed, collected);
+    }
+
+    #[test]
+    fn stream_fuses_after_length_mismatch() {
+        let r1 = b"@a/1\nACGT\n+\nIIII\n@b/1\nGGGG\n+\nIIII\n";
+        let r2 = b"@a/2\nTTTT\n+\nIIII\n";
+        let mut stream = ReadPairStream::new(&r1[..], &r2[..]);
+        assert!(stream.next().unwrap().is_ok());
+        let err = stream.next().unwrap().unwrap_err();
+        assert!(
+            err.to_string().contains("differ in length"),
+            "unexpected error: {err}"
+        );
+        assert!(stream.next().is_none(), "stream must fuse after an error");
     }
 }

@@ -1,6 +1,7 @@
 //! Engine configuration: the [`PipelineBuilder`] surface.
 
 use crate::MappingEngine;
+use gx_backend::{MapBackend, SoftwareBackend};
 use gx_core::GenPairMapper;
 
 /// What the engine does with pairs GenPair could not map (full-pipeline
@@ -95,9 +96,33 @@ impl PipelineBuilder {
         self.cfg
     }
 
-    /// Finalizes and attaches the configuration to a mapper.
-    pub fn engine<'m, 'g>(self, mapper: &'m GenPairMapper<'g>) -> MappingEngine<'m, 'g> {
-        MappingEngine::new(mapper, self.build())
+    /// Finalizes and attaches the configuration to a mapping backend (the
+    /// software reference, the NMSL accelerator model, or any custom
+    /// [`MapBackend`]).
+    ///
+    /// ```
+    /// use gx_genome::random::RandomGenomeBuilder;
+    /// use gx_core::{GenPairConfig, GenPairMapper};
+    /// use gx_pipeline::{NmslBackend, PipelineBuilder};
+    ///
+    /// let genome = RandomGenomeBuilder::new(30_000).seed(1).build();
+    /// let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+    /// let engine = PipelineBuilder::new()
+    ///     .threads(2)
+    ///     .backend(NmslBackend::new(&mapper));
+    /// assert_eq!(engine.backend().mapper().genome().total_len(), 30_000);
+    /// ```
+    pub fn backend<B: MapBackend>(self, backend: B) -> MappingEngine<B> {
+        MappingEngine::new(backend, self.build())
+    }
+
+    /// Finalizes and attaches the configuration to a mapper through the
+    /// software backend (the CPU reference path).
+    pub fn engine<'m, 'g>(
+        self,
+        mapper: &'m GenPairMapper<'g>,
+    ) -> MappingEngine<SoftwareBackend<'m, 'g>> {
+        self.backend(SoftwareBackend::new(mapper))
     }
 }
 

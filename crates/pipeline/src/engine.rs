@@ -5,14 +5,22 @@
 //! ```text
 //! caller thread          worker threads (N)            emitter thread
 //! ┌────────────┐  work   ┌──────────────────┐ results ┌──────────────┐
-//! │ Batcher    │ ──────► │ map_pair × batch │ ──────► │ reorder by   │
+//! │ Batcher    │ ──────► │ backend.map_batch│ ──────► │ reorder by   │
 //! │ (chunking) │  chan   │ + shard stats    │  chan   │ batch index, │
 //! └────────────┘         └──────────────────┘         │ stream SAM   │
 //!                                                     └──────────────┘
 //! ```
 //!
-//! Each worker owns a private [`PipelineStats`] shard that is merged once at
-//! join time (`PipelineStats::merged`) — no locks or atomics on the mapping
+//! The engine is generic over a [`MapBackend`]: the same worker pool drives
+//! the software reference ([`SoftwareBackend`](gx_backend::SoftwareBackend))
+//! or the NMSL accelerator timing model ([`gx_backend::NmslBackend`]) —
+//! backends return identical
+//! mapping results, so the engine's SAM output is byte-identical across
+//! backends *and* across thread counts / batch sizes; only the reported
+//! cost ([`BackendStats`]) differs.
+//!
+//! Each worker owns private [`PipelineStats`] and [`BackendStats`] shards
+//! that are merged once at join time — no locks or atomics on the mapping
 //! hot path. The emitter restores input order, so the engine's output is
 //! **byte-identical** to a serial [`map_serial`] run regardless of thread
 //! count or batch size. The emitter's reorder buffer is bounded too: the
@@ -20,10 +28,11 @@
 //! emitted one (a condvar-signalled window), so one slow batch cannot make
 //! completed successors pile up without limit.
 
-use crate::batch::{Batch, Batcher, ReadPair};
+use crate::batch::{Batch, Batcher};
 use crate::config::{FallbackPolicy, PipelineConfig};
 use crate::sink::{RecordSink, VecSink};
-use gx_core::{pair_mapping_to_sam, GenPairMapper, PairMapResult, PipelineStats};
+use gx_backend::{BackendStats, MapBackend};
+use gx_core::{pair_mapping_to_sam, GenPairMapper, PairMapResult, PipelineStats, ReadPair};
 use gx_genome::{flags, SamRecord};
 use std::collections::HashMap;
 use std::io;
@@ -42,6 +51,11 @@ struct BatchOutput {
 pub struct PipelineReport {
     /// Merged per-worker statistics (identical to a serial run's).
     pub stats: PipelineStats,
+    /// Merged per-worker backend accounting (wall busy time; simulated
+    /// cycles/energy when the backend models hardware).
+    pub backend: BackendStats,
+    /// The backend that produced this run ("software", "nmsl", ...).
+    pub backend_name: &'static str,
     /// SAM records handed to the sink.
     pub records_written: u64,
     /// Batches processed.
@@ -104,7 +118,8 @@ fn emit_pair_records(
     }
 }
 
-/// The sharded, batched, multi-threaded paired-end mapping engine.
+/// The sharded, batched, multi-threaded paired-end mapping engine, generic
+/// over the [`MapBackend`] that maps each batch.
 ///
 /// ```
 /// use gx_genome::random::RandomGenomeBuilder;
@@ -126,20 +141,50 @@ fn emit_pair_records(
 /// assert_eq!(report.stats.pairs, 1);
 /// assert_eq!(sink.records.len(), 2);
 /// ```
-pub struct MappingEngine<'m, 'g> {
-    mapper: &'m GenPairMapper<'g>,
+///
+/// Swapping in the accelerator model is one builder call:
+///
+/// ```
+/// use gx_genome::random::RandomGenomeBuilder;
+/// use gx_core::{GenPairConfig, GenPairMapper};
+/// use gx_pipeline::{NmslBackend, PipelineBuilder, ReadPair, VecSink};
+///
+/// let genome = RandomGenomeBuilder::new(60_000).seed(3).build();
+/// let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+/// let seq = genome.chromosome(0).seq();
+/// let pairs = vec![ReadPair::new(
+///     "p0",
+///     seq.subseq(1_000..1_150),
+///     seq.subseq(1_300..1_450).revcomp(),
+/// )];
+///
+/// let engine = PipelineBuilder::new()
+///     .threads(2)
+///     .backend(NmslBackend::new(&mapper));
+/// let mut sink = VecSink::new();
+/// let report = engine.run(pairs, &mut sink).unwrap();
+/// assert_eq!(report.backend_name, "nmsl");
+/// assert!(report.backend.sim_cycles > 0);
+/// ```
+pub struct MappingEngine<B: MapBackend> {
+    backend: B,
     cfg: PipelineConfig,
 }
 
-impl<'m, 'g> MappingEngine<'m, 'g> {
-    /// An engine mapping with `mapper` under `cfg`.
-    pub fn new(mapper: &'m GenPairMapper<'g>, cfg: PipelineConfig) -> MappingEngine<'m, 'g> {
-        MappingEngine { mapper, cfg }
+impl<B: MapBackend> MappingEngine<B> {
+    /// An engine mapping with `backend` under `cfg`.
+    pub fn new(backend: B, cfg: PipelineConfig) -> MappingEngine<B> {
+        MappingEngine { backend, cfg }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &PipelineConfig {
         &self.cfg
+    }
+
+    /// The engine's backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// Maps `input` with the worker pool, streaming ordered records into
@@ -155,14 +200,16 @@ impl<'m, 'g> MappingEngine<'m, 'g> {
     ///
     /// # Panics
     ///
-    /// Propagates panics from worker threads (a mapper invariant violation).
+    /// Propagates panics from worker threads (a mapper invariant violation),
+    /// and panics if the backend returns a result count different from the
+    /// batch size.
     pub fn run<I, S>(&self, input: I, sink: &mut S) -> io::Result<PipelineReport>
     where
         I: IntoIterator<Item = ReadPair>,
         S: RecordSink + Send,
     {
         let cfg = self.cfg;
-        let mapper = self.mapper;
+        let backend = &self.backend;
         let started = Instant::now();
 
         let (work_tx, work_rx) = mpsc::sync_channel::<Batch>(cfg.queue_depth);
@@ -175,7 +222,7 @@ impl<'m, 'g> MappingEngine<'m, 'g> {
         let inflight_cap = (cfg.queue_depth + 2 * cfg.threads) as u64;
         let progress = Arc::new((Mutex::new(0u64), Condvar::new()));
 
-        let (stats, write_result, batches) = std::thread::scope(|scope| {
+        let (stats, backend_stats, write_result, batches) = std::thread::scope(|scope| {
             let work_rx = Arc::new(Mutex::new(work_rx));
             let mut workers = Vec::with_capacity(cfg.threads);
             for _ in 0..cfg.threads {
@@ -183,17 +230,24 @@ impl<'m, 'g> MappingEngine<'m, 'g> {
                 let tx = result_tx.clone();
                 workers.push(scope.spawn(move || {
                     let mut shard = PipelineStats::new();
+                    let mut backend_shard = BackendStats::new();
                     loop {
                         // One worker at a time blocks in recv() holding the
                         // lock; the sender never takes it, so this cannot
                         // deadlock and batches are handed out as they arrive.
                         let batch = rx.lock().expect("work queue poisoned").recv();
                         let Ok(batch) = batch else { break };
+                        let out = backend.map_batch(&batch.pairs);
+                        assert_eq!(
+                            out.results.len(),
+                            batch.pairs.len(),
+                            "backend returned a result count different from the batch size"
+                        );
+                        backend_shard.merge(&out.stats);
                         let mut records = Vec::with_capacity(batch.pairs.len() * 2);
-                        for pair in &batch.pairs {
-                            let res = mapper.map_pair(&pair.r1, &pair.r2);
-                            shard.record(&res);
-                            emit_pair_records(&res, pair, cfg.fallback, &mut records);
+                        for (pair, res) in batch.pairs.iter().zip(&out.results) {
+                            shard.record(res);
+                            emit_pair_records(res, pair, cfg.fallback, &mut records);
                         }
                         if tx
                             .send(BatchOutput {
@@ -205,7 +259,7 @@ impl<'m, 'g> MappingEngine<'m, 'g> {
                             break; // emitter gone (I/O error): unwind quietly
                         }
                     }
-                    shard
+                    (shard, backend_shard)
                 }));
             }
             // Only the workers may keep the work queue alive: when they all
@@ -266,18 +320,21 @@ impl<'m, 'g> MappingEngine<'m, 'g> {
             }
             drop(work_tx);
 
-            let shards: Vec<PipelineStats> = workers
+            let shards: Vec<(PipelineStats, BackendStats)> = workers
                 .into_iter()
                 .map(|w| w.join().expect("mapping worker panicked"))
                 .collect();
-            let stats = PipelineStats::merged(&shards);
+            let stats = PipelineStats::merged(shards.iter().map(|(s, _)| s));
+            let backend_stats = BackendStats::merged(shards.iter().map(|(_, b)| b));
             let write_result = emitter.join().expect("emitter panicked");
-            (stats, write_result, batches)
+            (stats, backend_stats, write_result, batches)
         });
 
         let records_written = write_result?;
         Ok(PipelineReport {
             stats,
+            backend: backend_stats,
+            backend_name: self.backend.name(),
             records_written,
             batches,
             threads: cfg.threads,
@@ -303,7 +360,7 @@ impl<'m, 'g> MappingEngine<'m, 'g> {
 
 /// The serial reference path: identical per-pair processing and emission,
 /// one pair at a time on the calling thread. The parallel engine's output
-/// is byte-identical to this for any thread count and batch size.
+/// is byte-identical to this for any backend, thread count and batch size.
 ///
 /// # Errors
 ///
@@ -323,9 +380,15 @@ where
     let mut records = Vec::with_capacity(2);
     let mut written = 0u64;
     let mut pairs = 0u64;
+    let mut mapping_ns = 0u64;
     for pair in input {
         pairs += 1;
+        // Time only the mapping call, matching SoftwareBackend's busy_ns
+        // semantics (emission and sink I/O are engine cost, not backend
+        // cost).
+        let map_started = Instant::now();
         let res = mapper.map_pair(&pair.r1, &pair.r2);
+        mapping_ns += map_started.elapsed().as_nanos() as u64;
         stats.record(&res);
         records.clear();
         emit_pair_records(&res, &pair, policy, &mut records);
@@ -334,13 +397,21 @@ where
             written += 1;
         }
     }
+    let elapsed = started.elapsed();
     Ok(PipelineReport {
         stats,
+        backend: BackendStats {
+            batches: pairs,
+            pairs,
+            busy_ns: mapping_ns,
+            ..BackendStats::default()
+        },
+        backend_name: "software",
         records_written: written,
         batches: pairs, // one logical batch per pair
         threads: 1,
         batch_size: 1,
-        elapsed: started.elapsed(),
+        elapsed,
     })
 }
 
@@ -348,6 +419,7 @@ where
 mod tests {
     use super::*;
     use crate::PipelineBuilder;
+    use gx_backend::NmslBackend;
     use gx_core::GenPairConfig;
     use gx_genome::random::RandomGenomeBuilder;
     use gx_genome::ReferenceGenome;
@@ -403,6 +475,37 @@ mod tests {
     }
 
     #[test]
+    fn nmsl_backend_matches_software_records() {
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let sw = PipelineBuilder::new()
+            .threads(2)
+            .batch_size(8)
+            .engine(&mapper);
+        let (sw_records, sw_report) = sw.run_collect(pairs.clone());
+        assert_eq!(sw_report.backend_name, "software");
+        assert_eq!(sw_report.backend.sim_cycles, 0);
+        assert_eq!(sw_report.backend.pairs, 40);
+
+        let hw = PipelineBuilder::new()
+            .threads(2)
+            .batch_size(8)
+            .backend(NmslBackend::new(&mapper));
+        let (hw_records, hw_report) = hw.run_collect(pairs);
+        assert_eq!(hw_report.backend_name, "nmsl");
+        assert!(hw_report.backend.sim_cycles > 0);
+        assert!(hw_report.backend.energy_pj > 0.0);
+        assert_eq!(hw_report.backend.batches, hw_report.batches);
+        assert_eq!(hw_report.stats, sw_report.stats);
+        assert_eq!(sw_records.len(), hw_records.len());
+        for (a, b) in sw_records.iter().zip(&hw_records) {
+            assert_eq!(a.qname, b.qname);
+            assert_eq!(a.pos, b.pos);
+            assert_eq!(a.flags, b.flags);
+        }
+    }
+
+    #[test]
     fn drop_policy_omits_unmapped() {
         let (genome, mut pairs) = setup();
         let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
@@ -440,6 +543,7 @@ mod tests {
         assert!(records.is_empty());
         assert_eq!(report.stats.pairs, 0);
         assert_eq!(report.batches, 0);
+        assert_eq!(report.backend.pairs, 0);
     }
 
     #[test]
@@ -475,5 +579,6 @@ mod tests {
         assert!(report.reads_per_sec() > 0.0);
         assert_eq!(report.pairs(), 40);
         assert!(report.elapsed > Duration::ZERO);
+        assert!(report.backend.busy_ns > 0);
     }
 }

@@ -6,20 +6,25 @@
 //! workload shape SeGraM and the genome-analysis primer frame as the point
 //! of an accelerator):
 //!
-//! * a **batching front-end** ([`ReadPair`], [`read_pairs_from_fastq`]) that
-//!   chunks read pairs — from simulators or mate-paired FASTQ — into
-//!   fixed-size batches;
+//! * a **batching front-end** ([`ReadPair`], [`ReadPairStream`],
+//!   [`read_pairs_from_fastq`]) that chunks read pairs — from simulators or
+//!   mate-paired FASTQ, streamed incrementally so datasets never need to be
+//!   materialized — into fixed-size batches;
 //! * a **worker pool** ([`MappingEngine`]) of OS threads over bounded
-//!   channels, each worker mapping whole batches against a shared
-//!   `GenPairMapper` and accumulating a private **stats shard** (merged
-//!   lock-free at join via [`PipelineStats::merge`](gx_core::PipelineStats::merge));
+//!   channels, generic over a pluggable [`MapBackend`] (the software
+//!   reference [`SoftwareBackend`] or the NMSL accelerator timing model
+//!   [`NmslBackend`] from `gx-backend`), each worker mapping whole batches
+//!   and accumulating private **stats shards** (merged lock-free at join via
+//!   [`PipelineStats::merge`](gx_core::PipelineStats::merge) and
+//!   [`BackendStats::merge`]);
 //! * an **ordered SAM emitter** ([`RecordSink`], [`SamTextSink`],
 //!   [`VecSink`]) that reassembles batch results in input order, making the
 //!   parallel output byte-identical to the serial reference
-//!   ([`map_serial`]) for any thread count and batch size;
+//!   ([`map_serial`]) for any backend, thread count and batch size;
 //! * a [`PipelineBuilder`] config surface: threads, batch size, queue
-//!   depth, and the [`FallbackPolicy`] for pairs GenPair hands to the
-//!   traditional pipeline.
+//!   depth, the [`FallbackPolicy`] for pairs GenPair hands to the
+//!   traditional pipeline, and the backend selection (`.engine(&mapper)`
+//!   for software, `.backend(...)` for anything else).
 //!
 //! ```
 //! use gx_genome::random::RandomGenomeBuilder;
@@ -54,7 +59,9 @@ mod config;
 mod engine;
 mod sink;
 
-pub use batch::{read_pairs_from_fastq, ReadPair};
+pub use batch::{read_pairs_from_fastq, ReadPairStream};
 pub use config::{FallbackPolicy, PipelineBuilder, PipelineConfig};
 pub use engine::{map_serial, MappingEngine, PipelineReport};
+pub use gx_backend::{BackendStats, BatchResult, MapBackend, NmslBackend, SoftwareBackend};
+pub use gx_core::ReadPair;
 pub use sink::{RecordSink, SamTextSink, VecSink};

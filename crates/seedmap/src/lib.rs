@@ -27,12 +27,14 @@
 
 mod hasher;
 mod merge;
+mod murmur;
 mod seedmap;
 mod serialize;
 mod xxhash;
 
 pub use hasher::{Xxh32Builder, Xxh32Hasher};
 pub use merge::{merge_sorted, merge_sorted_with_offsets};
-pub use seedmap::{SeedMap, SeedMapConfig, SeedMapStats};
+pub use murmur::{murmur3_32, Murmur3Builder, Murmur3Hasher};
+pub use seedmap::{default_bucket_bits, SeedMap, SeedMapConfig, SeedMapStats};
 pub use serialize::{read_seedmap, write_seedmap, SerializeError};
 pub use xxhash::xxh32;

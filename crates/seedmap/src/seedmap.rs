@@ -36,6 +36,19 @@ impl SeedMapConfig {
     }
 }
 
+/// The default Seed Table sizing: log2 of the smallest power of two at
+/// least as large as the genome (load factor ≤ 1), capped at 31 bits. This
+/// is what [`SeedMap::build`] uses when [`SeedMapConfig::bucket_bits`] is
+/// `None`; harnesses that model the table without building it (e.g. the
+/// seed-hash ablation) should call this so they measure the same geometry.
+pub fn default_bucket_bits(genome_len: u64) -> u32 {
+    let mut bits = 1u32;
+    while (1u64 << bits) < genome_len {
+        bits += 1;
+    }
+    bits.min(31)
+}
+
 /// Construction and occupancy statistics of a [`SeedMap`].
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SeedMapStats {
@@ -99,13 +112,9 @@ impl SeedMap {
             "unsupported seed length"
         );
         assert!(genome.total_len() > 0, "cannot index an empty genome");
-        let bucket_bits = config.bucket_bits.unwrap_or_else(|| {
-            let mut bits = 1u32;
-            while (1u64 << bits) < genome.total_len() {
-                bits += 1;
-            }
-            bits.min(31)
-        });
+        let bucket_bits = config
+            .bucket_bits
+            .unwrap_or_else(|| default_bucket_bits(genome.total_len()));
         let buckets = 1usize << bucket_bits;
         let mask = (buckets - 1) as u32;
         let hasher = Xxh32Builder::with_seed(config.hash_seed);

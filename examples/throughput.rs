@@ -3,12 +3,33 @@
 //! collecting the paper's pipeline statistics.
 //!
 //! ```sh
-//! cargo run --release --example throughput
+//! cargo run --release --example throughput               # software backend
+//! GX_BACKEND=nmsl cargo run --release --example throughput  # accelerator model
 //! ```
+//!
+//! With `GX_BACKEND=nmsl` the engine drives the NMSL accelerator timing
+//! model instead of the pure software path: the SAM bytes are identical (the
+//! assertion at the end still holds), but the report additionally carries
+//! simulated hardware cycles and DRAM energy.
 
+use genpairx::backend::NmslBackend;
 use genpairx::core::{GenPairConfig, GenPairMapper};
-use genpairx::pipeline::{map_serial, FallbackPolicy, PipelineBuilder, ReadPair, SamTextSink};
+use genpairx::genome::ReferenceGenome;
+use genpairx::pipeline::{
+    map_serial, FallbackPolicy, MapBackend, MappingEngine, PipelineBuilder, PipelineReport,
+    ReadPair, SamTextSink,
+};
 use genpairx::readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
+
+fn run_engine<B: MapBackend>(
+    engine: &MappingEngine<B>,
+    genome: &ReferenceGenome,
+    pairs: &[ReadPair],
+) -> (Vec<u8>, PipelineReport) {
+    let mut sink = SamTextSink::with_header(genome, Vec::new()).unwrap();
+    let report = engine.run(pairs.iter().cloned(), &mut sink).unwrap();
+    (sink.into_inner().unwrap(), report)
+}
 
 fn main() {
     let genome = standard_genome(400_000, 0xF1);
@@ -36,16 +57,19 @@ fn main() {
     let serial_bytes = serial_sink.into_inner().unwrap();
 
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let engine = PipelineBuilder::new()
+    let builder = PipelineBuilder::new()
         .threads(threads)
         .batch_size(128)
-        .queue_depth(2 * threads)
-        .engine(&mapper);
+        .queue_depth(2 * threads);
 
-    let mut sink = SamTextSink::with_header(&genome, Vec::new()).unwrap();
-    let report = engine.run(pairs.iter().cloned(), &mut sink).unwrap();
-    let parallel_bytes = sink.into_inner().unwrap();
+    let backend_kind = std::env::var("GX_BACKEND").unwrap_or_else(|_| "software".into());
+    let (parallel_bytes, report) = match backend_kind.as_str() {
+        "nmsl" => run_engine(&builder.backend(NmslBackend::new(&mapper)), &genome, &pairs),
+        "software" => run_engine(&builder.engine(&mapper), &genome, &pairs),
+        other => panic!("unknown GX_BACKEND {other:?} (expected software or nmsl)"),
+    };
 
+    println!("backend:          {}", report.backend_name);
     println!("threads:          {}", report.threads);
     println!(
         "batches:          {} × {} pairs",
@@ -54,11 +78,22 @@ fn main() {
     println!("records written:  {}", report.records_written);
     println!("light-mapped:     {:.1}%", report.stats.light_mapped_pct());
     println!("mapped total:     {:.1}%", report.stats.mapped_pct());
-    println!("reads/sec:        {:.0}", report.reads_per_sec());
+    println!("reads/sec (wall): {:.0}", report.reads_per_sec());
     println!(
         "speedup vs serial: {:.2}x",
         serial.elapsed.as_secs_f64() / report.elapsed.as_secs_f64()
     );
+    if report.backend.sim_cycles > 0 {
+        println!("sim cycles:       {}", report.backend.sim_cycles);
+        println!(
+            "modeled reads/sec: {:.0}",
+            report.backend.modeled_reads_per_sec()
+        );
+        println!(
+            "modeled energy:   {:.1} nJ/pair",
+            report.backend.energy_pj_per_pair() / 1e3
+        );
+    }
     assert_eq!(
         parallel_bytes, serial_bytes,
         "ordered emitter must reproduce the serial byte stream"

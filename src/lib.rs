@@ -13,6 +13,9 @@
 //!   filtering, light alignment, fallback plumbing).
 //! * [`pipeline`] — the throughput engine: batching front-end, worker pool
 //!   with sharded statistics, and an ordered SAM emitter (see below).
+//! * [`backend`] — pluggable mapping backends behind one
+//!   [`backend::MapBackend`] trait: the software reference and the NMSL
+//!   accelerator timing model, interchangeable under the pipeline.
 //! * [`baseline`] — minimap2-style software mapper and comparator models.
 //! * [`memsim`] — cycle-level DRAM simulator (HBM2e/DDR5/GDDR6) and SRAM
 //!   cost models.
@@ -73,9 +76,44 @@
 //! assert_eq!(report.stats.pairs, 50);
 //! assert_eq!(records.len(), 100); // two SAM records per pair
 //! ```
+//!
+//! # Mapping backends: software vs accelerator on identical workloads
+//!
+//! `.engine(&mapper)` is shorthand for attaching the software backend. The
+//! same engine drives the GenPairX accelerator model instead — mapping
+//! results (and therefore SAM bytes) are identical, but the report gains
+//! cycle-accurate simulated latency and DRAM energy from the NMSL +
+//! `gx-memsim` timing model:
+//!
+//! ```
+//! use genpairx::genome::random::RandomGenomeBuilder;
+//! use genpairx::readsim::PairedEndSimulator;
+//! use genpairx::core::{GenPairConfig, GenPairMapper};
+//! use genpairx::backend::NmslBackend;
+//! use genpairx::pipeline::{PipelineBuilder, ReadPair};
+//!
+//! let genome = RandomGenomeBuilder::new(100_000).seed(1).build();
+//! let mut sim = PairedEndSimulator::new(&genome).seed(2);
+//! let pairs: Vec<ReadPair> = sim
+//!     .simulate(20)
+//!     .into_iter()
+//!     .map(|p| ReadPair::new(p.id, p.r1.seq, p.r2.seq))
+//!     .collect();
+//!
+//! let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+//! let engine = PipelineBuilder::new()
+//!     .threads(2)
+//!     .batch_size(16)
+//!     .backend(NmslBackend::new(&mapper));
+//! let (_, report) = engine.run_collect(pairs);
+//! assert_eq!(report.backend_name, "nmsl");
+//! assert!(report.backend.sim_cycles > 0);
+//! assert!(report.backend.energy_pj > 0.0);
+//! ```
 
 pub use gx_accel as accel;
 pub use gx_align as align;
+pub use gx_backend as backend;
 pub use gx_baseline as baseline;
 pub use gx_core as core;
 pub use gx_genome as genome;

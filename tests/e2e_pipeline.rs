@@ -2,12 +2,15 @@
 //! serial `map_pair` iteration — its SAM output is **byte-identical** to the
 //! serial reference for the same seeded dataset, across thread counts and
 //! batch sizes (including batch size 1 and a non-divisible remainder), and
-//! its merged statistics equal the serial run's.
+//! its merged statistics equal the serial run's. The cross-backend suite
+//! extends the same guarantee to the NMSL accelerator backend: identical
+//! SAM bytes, diverging only in reported (simulated) cost.
 
+use genpairx::backend::NmslBackend;
 use genpairx::core::{GenPairConfig, GenPairMapper, PipelineStats};
 use genpairx::genome::ReferenceGenome;
 use genpairx::pipeline::{
-    map_serial, FallbackPolicy, PipelineBuilder, ReadPair, SamTextSink, VecSink,
+    map_serial, FallbackPolicy, PipelineBuilder, ReadPair, ReadPairStream, SamTextSink, VecSink,
 };
 use genpairx::readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
 
@@ -64,6 +67,94 @@ fn parallel_sam_is_byte_identical_to_serial() {
             assert_eq!(report.batches, expected_batches);
         }
     }
+}
+
+#[test]
+fn nmsl_backend_sam_is_byte_identical_to_software() {
+    // The co-design contract: the accelerator backend maps with the same
+    // algorithm, so for any thread count and batch size its ordered SAM
+    // stream equals the software backend's — only the reported cost model
+    // differs. Batch size 1 exercises one NMSL dispatch per pair; 64 gives
+    // multi-pair sliding-window dispatches.
+    let genome = standard_genome(180_000, 12);
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+    let pairs: Vec<ReadPair> = simulate_dataset(&genome, &DATASETS[0], 70)
+        .into_iter()
+        .map(|p| ReadPair::new(p.id, p.r1.seq, p.r2.seq))
+        .collect();
+
+    let (expected, software_stats) =
+        serial_sam(&genome, &mapper, &pairs, FallbackPolicy::EmitUnmapped);
+
+    for threads in [1usize, 4] {
+        for batch_size in [1usize, 64] {
+            let engine = PipelineBuilder::new()
+                .threads(threads)
+                .batch_size(batch_size)
+                .backend(NmslBackend::new(&mapper));
+            let mut sink = SamTextSink::with_header(&genome, Vec::new()).unwrap();
+            let report = engine.run(pairs.iter().cloned(), &mut sink).unwrap();
+            let got = sink.into_inner().unwrap();
+            assert!(
+                got == expected,
+                "NMSL SAM bytes diverge at threads={threads} batch_size={batch_size}"
+            );
+            assert_eq!(
+                report.stats, software_stats,
+                "algorithm stats diverge at threads={threads} batch_size={batch_size}"
+            );
+            // The accelerator model actually ran: per-batch dispatches with
+            // nonzero simulated cost.
+            assert_eq!(report.backend_name, "nmsl");
+            assert_eq!(report.backend.batches, report.batches);
+            assert_eq!(report.backend.pairs, pairs.len() as u64);
+            assert!(
+                report.backend.sim_cycles > 0 && report.backend.energy_pj > 0.0,
+                "missing simulated cost at threads={threads} batch_size={batch_size}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_fastq_input_matches_materialized_input() {
+    // The engine fed by an incremental ReadPairStream (no up-front Vec)
+    // produces the same bytes as the collect-wrapper path.
+    let genome = standard_genome(150_000, 13);
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+    let pairs = dataset(&genome);
+
+    // Render the dataset as mate-paired FASTQ text.
+    let mut r1_text = Vec::new();
+    let mut r2_text = Vec::new();
+    for p in &pairs {
+        use std::io::Write;
+        let q1 = "I".repeat(p.r1.len());
+        let q2 = "I".repeat(p.r2.len());
+        write!(r1_text, "@{}/1\n{}\n+\n{}\n", p.id, p.r1, q1).unwrap();
+        write!(r2_text, "@{}/2\n{}\n+\n{}\n", p.id, p.r2, q2).unwrap();
+    }
+
+    let engine = PipelineBuilder::new()
+        .threads(4)
+        .batch_size(16)
+        .engine(&mapper);
+
+    let stream =
+        ReadPairStream::new(&r1_text[..], &r2_text[..]).map(|p| p.expect("valid FASTQ stream"));
+    let mut streamed_sink = SamTextSink::with_header(&genome, Vec::new()).unwrap();
+    engine.run(stream, &mut streamed_sink).unwrap();
+
+    let materialized =
+        genpairx::pipeline::read_pairs_from_fastq(&r1_text[..], &r2_text[..]).unwrap();
+    assert_eq!(materialized.len(), pairs.len());
+    let mut collected_sink = SamTextSink::with_header(&genome, Vec::new()).unwrap();
+    engine.run(materialized, &mut collected_sink).unwrap();
+
+    assert!(
+        streamed_sink.into_inner().unwrap() == collected_sink.into_inner().unwrap(),
+        "streaming and materialized ingestion must produce identical SAM"
+    );
 }
 
 #[test]
