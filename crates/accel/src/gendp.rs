@@ -9,6 +9,8 @@
 //! of alignment, which the paper's Table 4 prices at 174.9 mm² / 115.8 W
 //! (chain) and 139.4 mm² / 92.3 W (align).
 
+use gx_core::{FallbackStage, PairMapResult};
+
 /// Paper-calibrated residual chaining work: million cell updates per
 /// million pairs.
 pub const PAPER_CHAIN_MCU_PER_MPAIR: f64 = 331_772.0;
@@ -57,6 +59,155 @@ impl GenDpModel {
     }
 }
 
+/// DP cells one read pair demands from GenDP, split by engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FallbackCells {
+    /// Chaining-DP cells (full-pipeline fallbacks only).
+    pub chain: u64,
+    /// Alignment-DP cells.
+    pub align: u64,
+}
+
+impl FallbackCells {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: FallbackCells) {
+        self.chain += other.chain;
+        self.align += other.align;
+    }
+
+    /// Whether any DP work is demanded.
+    pub fn is_zero(&self) -> bool {
+        self.chain == 0 && self.align == 0
+    }
+}
+
+/// Band half-width of the repo's fallback aligner (`banded_align(..., 16, ..)`),
+/// so estimated cells match what the software path would actually compute.
+const FALLBACK_BAND: u64 = 16;
+
+/// Anchor floor for chaining estimates: a full-pipeline fallback re-seeds
+/// with a traditional seeder even when GenPair's own SeedMap query returned
+/// nothing, so chaining work never models as free.
+const MIN_CHAIN_ANCHORS: u64 = 8;
+
+/// Banded-alignment cells for one read end (diagonal band of `2×16+1`).
+fn banded_cells(read_len: usize) -> u64 {
+    read_len as u64 * (2 * FALLBACK_BAND + 1)
+}
+
+/// The DP cells a mapped pair demands from GenDP, given where it left the
+/// GenPair fast path (paper Fig. 10):
+///
+/// * no fallback — zero: the pair completed on the light path and GenDP
+///   never sees it;
+/// * [`FallbackStage::LightAlign`] — *alignment only* at the already
+///   identified candidates (seeding and chaining are bypassed). Uses the
+///   measured [`PairWork::dp_cells`](gx_core::PairWork) when the software
+///   path ran its banded DP, otherwise the banded estimate for both ends;
+/// * [`FallbackStage::SeedMapMiss`] / [`FallbackStage::PaFilter`] — the full
+///   traditional pipeline: chaining over the pair's candidate anchors
+///   (quadratic in the anchor count, floored at [`MIN_CHAIN_ANCHORS`])
+///   plus banded alignment of both ends.
+pub fn fallback_cells(res: &PairMapResult, r1_len: usize, r2_len: usize) -> FallbackCells {
+    match res.fallback {
+        None => FallbackCells::default(),
+        Some(FallbackStage::LightAlign) => FallbackCells {
+            chain: 0,
+            align: if res.work.dp_cells > 0 {
+                res.work.dp_cells
+            } else {
+                banded_cells(r1_len) + banded_cells(r2_len)
+            },
+        },
+        Some(FallbackStage::SeedMapMiss) | Some(FallbackStage::PaFilter) => {
+            let anchors = res.work.seed_locations.max(MIN_CHAIN_ANCHORS);
+            FallbackCells {
+                chain: anchors * anchors,
+                align: banded_cells(r1_len) + banded_cells(r2_len),
+            }
+        }
+    }
+}
+
+/// Modeled GenDP cost of a batch of fallback cells.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FallbackCost {
+    /// Seconds on the chaining engine.
+    pub chain_seconds: f64,
+    /// Seconds on the alignment engine.
+    pub align_seconds: f64,
+    /// Energy in picojoules (chain + align at their Table-4 powers).
+    pub energy_pj: f64,
+}
+
+impl FallbackCost {
+    /// Total GenDP seconds, serializing the two engines — a conservative
+    /// bound matching the NMSL layer's serial-dispatch accounting (per pair
+    /// the dependency really is chain → align).
+    pub fn seconds(&self) -> f64 {
+        self.chain_seconds + self.align_seconds
+    }
+
+    /// Total seconds expressed as accelerator cycles at `clock_ghz`.
+    pub fn cycles(&self, clock_ghz: f64) -> u64 {
+        (self.seconds() * clock_ghz * 1e9).ceil() as u64
+    }
+}
+
+/// A concrete GenDP instance: the throughput and power its sizing buys.
+/// Where [`GenDpModel`] answers "how big must GenDP be for this demand",
+/// this answers the inverse the backend layer needs: "what does this much
+/// fallback DP work *cost* on the GenDP the paper built".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GenDpInstance {
+    /// Chaining throughput in GCUPS.
+    pub chain_gcups: f64,
+    /// Alignment throughput in GCUPS.
+    pub align_gcups: f64,
+    /// Chaining engine power in watts.
+    pub chain_power_w: f64,
+    /// Alignment engine power in watts.
+    pub align_power_w: f64,
+}
+
+impl GenDpInstance {
+    /// The paper's Table-4 GenDP: sized for the residual demand at
+    /// 192.7 MPair/s (174.9 mm² / 115.8 W of chaining, 139.4 mm² / 92.3 W
+    /// of alignment).
+    pub fn paper_table4() -> GenDpInstance {
+        let rate_mpairs = 192.7;
+        GenDpInstance {
+            chain_gcups: PAPER_CHAIN_MCU_PER_MPAIR * rate_mpairs * 1e6 / 1e9,
+            align_gcups: PAPER_ALIGN_MCU_PER_MPAIR * rate_mpairs * 1e6 / 1e9,
+            chain_power_w: 115.8,
+            align_power_w: 92.3,
+        }
+    }
+
+    /// Prices `cells` on this instance: engine seconds at the instance's
+    /// GCUPS, energy at its engine powers. An engine with non-positive
+    /// throughput prices as free (accounting disabled), mirroring
+    /// [`HostTraffic::transfer_seconds`](crate::HostTraffic::transfer_seconds)'s
+    /// zero-link guard — it never poisons downstream stats with inf/NaN.
+    pub fn cost(&self, cells: FallbackCells) -> FallbackCost {
+        let price = |cells: u64, gcups: f64| {
+            if gcups <= 0.0 {
+                0.0
+            } else {
+                cells as f64 / (gcups * 1e9)
+            }
+        };
+        let chain_seconds = price(cells.chain, self.chain_gcups);
+        let align_seconds = price(cells.align, self.align_gcups);
+        FallbackCost {
+            chain_seconds,
+            align_seconds,
+            energy_pj: (chain_seconds * self.chain_power_w + align_seconds * self.align_power_w)
+                * 1e12,
+        }
+    }
+}
+
 /// Residual DP demand of a GenPair deployment, in GCUPS, given measured
 /// per-pair cell counts and the pipeline rate.
 ///
@@ -95,6 +246,76 @@ mod tests {
         assert!((cp - 115.8).abs() < 0.1, "chain power {cp}");
         assert!((aa - 139.4).abs() < 0.1, "align area {aa}");
         assert!((ap - 92.3).abs() < 0.1, "align power {ap}");
+    }
+
+    #[test]
+    fn fallback_cells_follow_the_stage() {
+        use gx_core::PairWork;
+        let mk = |fallback, dp_cells, seed_locations| PairMapResult {
+            mapping: None,
+            fallback,
+            work: PairWork {
+                dp_cells,
+                seed_locations,
+                ..PairWork::default()
+            },
+        };
+        // Light-path pairs never reach GenDP.
+        assert!(fallback_cells(&mk(None, 0, 40), 150, 150).is_zero());
+        // Alignment fallback: measured DP cells, no chaining.
+        let la = fallback_cells(&mk(Some(FallbackStage::LightAlign), 9_000, 40), 150, 150);
+        assert_eq!(
+            la,
+            FallbackCells {
+                chain: 0,
+                align: 9_000
+            }
+        );
+        // Alignment fallback with no measured cells: banded estimate.
+        let la0 = fallback_cells(&mk(Some(FallbackStage::LightAlign), 0, 40), 150, 150);
+        assert_eq!(la0.align, 2 * 150 * 33);
+        // Full-pipeline fallback: chaining (quadratic in anchors) + both ends.
+        let full = fallback_cells(&mk(Some(FallbackStage::PaFilter), 0, 40), 150, 100);
+        assert_eq!(full.chain, 40 * 40);
+        assert_eq!(full.align, 150 * 33 + 100 * 33);
+        // Anchor floor for seed-table misses.
+        let miss = fallback_cells(&mk(Some(FallbackStage::SeedMapMiss), 0, 0), 150, 150);
+        assert_eq!(miss.chain, 64);
+    }
+
+    #[test]
+    fn instance_prices_cells_linearly() {
+        let dp = GenDpInstance::paper_table4();
+        let one = dp.cost(FallbackCells {
+            chain: 1_000_000,
+            align: 5_000_000,
+        });
+        let two = dp.cost(FallbackCells {
+            chain: 2_000_000,
+            align: 10_000_000,
+        });
+        assert!(one.seconds() > 0.0 && one.energy_pj > 0.0);
+        assert!((two.seconds() / one.seconds() - 2.0).abs() < 1e-9);
+        assert!((two.energy_pj / one.energy_pj - 2.0).abs() < 1e-9);
+        assert!(one.cycles(2.0) >= 1);
+        assert_eq!(dp.cost(FallbackCells::default()), FallbackCost::default());
+    }
+
+    #[test]
+    fn zero_throughput_engine_prices_as_free_not_inf() {
+        let dp = GenDpInstance {
+            chain_gcups: 0.0,
+            align_gcups: 0.0,
+            chain_power_w: 1.0,
+            align_power_w: 1.0,
+        };
+        let cost = dp.cost(FallbackCells {
+            chain: 1_000,
+            align: 1_000,
+        });
+        assert_eq!(cost.seconds(), 0.0);
+        assert_eq!(cost.energy_pj, 0.0);
+        assert_eq!(cost.cycles(2.0), 0);
     }
 
     #[test]

@@ -23,11 +23,12 @@ pub struct HostTraffic {
 
 impl HostTraffic {
     /// Traffic at `mpairs_per_s` for 2×`read_len` pairs: reads are 2-bit
-    /// packed (`read_len / 4` bytes per end); results are 8 bytes of
-    /// locations plus ~20 bytes of CIGAR per pair (paper §7.4).
+    /// packed (`read_len / 4` bytes per end, rounded up to whole bytes as
+    /// [`pair_bytes`](HostTraffic::pair_bytes) charges them); results are
+    /// 8 bytes of locations plus ~20 bytes of CIGAR per pair (paper §7.4).
     pub fn at_rate(mpairs_per_s: f64, read_len: usize) -> HostTraffic {
         let pairs_per_s = mpairs_per_s * 1e6;
-        let in_bytes_per_pair = 2.0 * (read_len as f64 / 4.0) + 2.0; // + qname/ids overhead
+        let in_bytes_per_pair = 2.0 * read_len.div_ceil(4) as f64 + 2.0; // + qname/ids overhead
         let out_bytes_per_pair = 8.0 + 20.0;
         HostTraffic {
             input_gbs: pairs_per_s * in_bytes_per_pair / 1e9,
@@ -42,8 +43,28 @@ impl HostTraffic {
 
     /// The pair rate a given link can sustain (input-bound).
     pub fn max_rate_for_link(link_gbs: f64, read_len: usize) -> f64 {
-        let in_bytes_per_pair = 2.0 * (read_len as f64 / 4.0) + 2.0;
+        let in_bytes_per_pair = 2.0 * read_len.div_ceil(4) as f64 + 2.0;
         link_gbs * 1e9 / in_bytes_per_pair / 1e6
+    }
+
+    /// Host-link bytes of one read pair as `(input, output)`: reads stream
+    /// in 2-bit packed (`len / 4` bytes per end, rounded up, plus 2 bytes of
+    /// id/descriptor overhead); locations + CIGARs stream out (8 + 20 bytes,
+    /// §7.4). This is the per-pair integer form of [`HostTraffic::at_rate`]'s
+    /// rate model, used by the backend layer to charge actual batches.
+    pub fn pair_bytes(r1_len: usize, r2_len: usize) -> (u64, u64) {
+        let packed = |len: usize| len.div_ceil(4) as u64;
+        (packed(r1_len) + packed(r2_len) + 2, 8 + 20)
+    }
+
+    /// Seconds a full-duplex link of `link_gbs` needs to move `input_bytes`
+    /// in and `output_bytes` out (the directions overlap, so the slower one
+    /// bounds the transfer).
+    pub fn transfer_seconds(input_bytes: u64, output_bytes: u64, link_gbs: f64) -> f64 {
+        if link_gbs <= 0.0 {
+            return 0.0;
+        }
+        input_bytes.max(output_bytes) as f64 / (link_gbs * 1e9)
     }
 }
 
@@ -74,5 +95,34 @@ mod tests {
     fn link_bound_rate() {
         let r = HostTraffic::max_rate_for_link(PCIE4_X16_GBS, 150);
         assert!(r > 192.7, "PCIe Gen4 must not bottleneck the design: {r}");
+    }
+
+    #[test]
+    fn pair_bytes_match_rate_model() {
+        // The per-pair integer form and the GB/s rate model charge the
+        // same bytes, including the round-up to whole packed bytes.
+        let (input, output) = HostTraffic::pair_bytes(150, 150);
+        assert_eq!(input, 38 + 38 + 2); // ceil(150/4) per end + overhead
+        assert_eq!(output, 28);
+        for len in [150usize, 151, 152] {
+            let t = HostTraffic::at_rate(1.0 / 1e6, len); // one pair per second
+            let (i, o) = HostTraffic::pair_bytes(len, len);
+            assert!((t.input_gbs * 1e9 - i as f64).abs() < 1e-6, "len {len}");
+            assert!((t.output_gbs * 1e9 - o as f64).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transfer_is_input_bound_and_linear() {
+        let one = HostTraffic::transfer_seconds(1_000_000, 28_000, PCIE4_X16_GBS);
+        let two = HostTraffic::transfer_seconds(2_000_000, 56_000, PCIE4_X16_GBS);
+        assert!(one > 0.0);
+        assert!((two / one - 2.0).abs() < 1e-9);
+        // Full duplex: the larger direction bounds the time.
+        assert_eq!(
+            HostTraffic::transfer_seconds(100, 5_000, 1.0),
+            HostTraffic::transfer_seconds(0, 5_000, 1.0)
+        );
+        assert_eq!(HostTraffic::transfer_seconds(100, 100, 0.0), 0.0);
     }
 }

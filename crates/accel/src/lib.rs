@@ -33,7 +33,7 @@ pub mod systems;
 pub mod workload;
 
 pub use area_power::{CostItem, DesignCost, TechScaling};
-pub use gendp::GenDpModel;
+pub use gendp::{fallback_cells, FallbackCells, FallbackCost, GenDpInstance, GenDpModel};
 pub use host::HostTraffic;
 pub use modules::{ModuleSpec, ACCEL_CLOCK_GHZ};
 pub use nmsl::{NmslConfig, NmslResult, NmslSim};

@@ -13,7 +13,7 @@
 //! offsets) followed, for non-empty buckets, by a contiguous Location Table
 //! read of `4 B x locations` — dependent accesses, issued in that order.
 
-use crate::workload::PairWorkload;
+use crate::workload::{PairWorkload, SeedFetch};
 use gx_memsim::{Completion, DramConfig, DramPowerModel, DramSim, DramStats, Request};
 use std::collections::VecDeque;
 
@@ -103,158 +103,306 @@ pub struct NmslResult {
     pub dram_power_mw: f64,
 }
 
-/// Tag layout: pair index << 4 | seed index << 1 | phase.
-fn tag(pair: usize, seed: usize, phase: u8) -> u64 {
-    ((pair as u64) << 4) | ((seed as u64) << 1) | phase as u64
+/// Tag layout: pair id << 4 | seed index << 1 | phase.
+fn tag(pair: u64, seed: usize, phase: u8) -> u64 {
+    (pair << 4) | ((seed as u64) << 1) | phase as u64
 }
 
-fn untag(t: u64) -> (usize, usize, u8) {
-    ((t >> 4) as usize, ((t >> 1) & 7) as usize, (t & 1) as u8)
+fn untag(t: u64) -> (u64, usize, u8) {
+    (t >> 4, ((t >> 1) & 7) as usize, (t & 1) as u8)
+}
+
+/// One submitted pair's in-flight state.
+#[derive(Clone, Debug)]
+struct PairSlot {
+    seeds: Vec<SeedFetch>,
+    /// Seeds still outstanding; `u32::MAX` = not yet admitted to the window.
+    remaining: u32,
 }
 
 /// The NMSL simulator.
+///
+/// The simulator is **persistent**: DRAM bank/row-buffer state, the channel
+/// input FIFOs and the read-pair sliding window all survive across
+/// dispatches. A caller that keeps one long-lived instance can stream
+/// batches through it — [`push`](NmslSim::push) each pair's workload, then
+/// [`run_until_completed`](NmslSim::run_until_completed) — and attribute
+/// per-dispatch cost by snapshotting [`cycle`](NmslSim::cycle) and
+/// [`dram_stats`](NmslSim::dram_stats) around each dispatch. This is the
+/// *warm-state* dispatch model: the tail of one batch drains while the next
+/// batch's seed reads are already in flight, and row-buffer state carries
+/// over, so a warm stream never pays the per-batch pipeline flush that
+/// summing independent cold runs implies.
+///
+/// [`run`](NmslSim::run) remains the one-shot convenience used by the figure
+/// harnesses and tests: on a freshly constructed simulator it behaves
+/// exactly like the original cold-start batch model.
 #[derive(Debug)]
 pub struct NmslSim {
     dram: DramSim,
     cfg: NmslConfig,
+    /// Per-channel software FIFOs in front of the DRAM queues.
+    fifos: Vec<VecDeque<Request>>,
+    max_fifo: usize,
+    /// Sliding queue of submitted pairs; global pair id = `base` + index.
+    slots: VecDeque<PairSlot>,
+    /// Global pair id of `slots[0]`.
+    base: u64,
+    /// Oldest incomplete pair (global id).
+    head: u64,
+    /// Next pair to admit to the window (global id).
+    next_admit: u64,
+    /// Pairs pushed so far (one past the newest global id).
+    submitted: u64,
+    completed: u64,
+    inflight: usize,
+    max_inflight: usize,
+    scratch: Vec<Completion>,
 }
 
 impl NmslSim {
     /// Creates a simulator over a DRAM technology.
     pub fn new(dram_cfg: DramConfig, cfg: NmslConfig) -> NmslSim {
+        let channels = dram_cfg.channels as usize;
         NmslSim {
             dram: DramSim::new(dram_cfg),
             cfg,
+            fifos: (0..channels).map(|_| VecDeque::new()).collect(),
+            max_fifo: 0,
+            slots: VecDeque::new(),
+            base: 0,
+            head: 0,
+            next_admit: 0,
+            submitted: 0,
+            completed: 0,
+            inflight: 0,
+            max_inflight: 0,
+            scratch: Vec::new(),
         }
+    }
+
+    /// Current memory cycle (monotonic across dispatches).
+    pub fn cycle(&self) -> u64 {
+        self.dram.cycle()
+    }
+
+    /// Cumulative DRAM statistics (snapshot; pair with
+    /// [`DramStats::since`] for per-dispatch attribution).
+    pub fn dram_stats(&self) -> DramStats {
+        *self.dram.stats()
+    }
+
+    /// The DRAM technology being simulated.
+    pub fn dram_config(&self) -> &DramConfig {
+        self.dram.config()
+    }
+
+    /// The NMSL configuration.
+    pub fn config(&self) -> &NmslConfig {
+        &self.cfg
+    }
+
+    /// Pairs pushed so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Pairs fully located so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Pairs pushed but not yet complete.
+    pub fn pending(&self) -> u64 {
+        self.submitted - self.completed
+    }
+
+    /// Submits one pair's workload to the stream (by value: the seeds move
+    /// straight into the in-flight slot, no per-pair allocation). The pair
+    /// enters the sliding window (and starts issuing memory traffic) once
+    /// the window has room; until then it waits in the admission queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload holds more than 8 seeds: the completion tag
+    /// encodes the seed index in 3 bits (the hardware issues at most six
+    /// seeds per pair), and a wider index would alias another pair's tag.
+    pub fn push(&mut self, w: PairWorkload) {
+        assert!(
+            w.seeds.len() <= 8,
+            "NMSL pair workloads are limited to 8 seeds (got {})",
+            w.seeds.len()
+        );
+        self.slots.push_back(PairSlot {
+            seeds: w.seeds,
+            remaining: u32::MAX,
+        });
+        self.submitted += 1;
+    }
+
+    /// The Location Table region starts past the per-channel Seed Table
+    /// slice (32 GB / channels in human-scale addressing).
+    fn loc_region_base(&self) -> u64 {
+        (u32::MAX as u64 + 1) * 8 / self.dram.config().channels as u64
+    }
+
+    /// Seed Table address of a hash: channel-local entry index =
+    /// hash / channels (tables are partitioned by hash % channels).
+    fn seed_addr(&self, hash: u32) -> u64 {
+        let channels = self.dram.config().channels as u64;
+        match self.cfg.address_scale {
+            AddressScale::HumanScale | AddressScale::Native => (hash as u64 / channels) * 8,
+        }
+    }
+
+    fn loc_addr(&self, hash: u32, loc_start: u64) -> u64 {
+        match self.cfg.address_scale {
+            // Scatter each bucket's slice: a human-scale Location Table
+            // is ~12 GB, so distinct seeds' slices share no rows.
+            AddressScale::HumanScale => self.loc_region_base() + (mix32(hash) as u64) * 64,
+            AddressScale::Native => self.loc_region_base() + loc_start * 4,
+        }
+    }
+
+    /// Advances `head` past completed, admitted pairs.
+    fn advance_head(&mut self) {
+        while self.head < self.next_admit
+            && self.slots[(self.head - self.base) as usize].remaining == 0
+        {
+            self.head += 1;
+        }
+    }
+
+    /// One memory cycle: admit window-eligible pairs, drain FIFOs into the
+    /// DRAM queues, tick the DRAM and retire completions.
+    fn step(&mut self) {
+        let channels = self.dram.config().channels;
+        let window = self.cfg.window.unwrap_or(usize::MAX) as u64;
+
+        // Admit pairs inside the window.
+        while self.next_admit < self.submitted && self.next_admit < self.head.saturating_add(window)
+        {
+            let id = self.next_admit;
+            let idx = (id - self.base) as usize;
+            if self.slots[idx].seeds.is_empty() {
+                self.slots[idx].remaining = 0;
+                self.completed += 1;
+                self.next_admit += 1;
+                self.advance_head();
+                continue;
+            }
+            self.slots[idx].remaining = self.slots[idx].seeds.len() as u32;
+            self.inflight += 1;
+            self.max_inflight = self.max_inflight.max(self.inflight);
+            for si in 0..self.slots[idx].seeds.len() {
+                let s = self.slots[idx].seeds[si];
+                let ch = s.hash % channels;
+                // Seed Table read: 8 bytes at the bucket's entry pair.
+                let addr = self.seed_addr(s.hash);
+                self.fifos[ch as usize].push_back(Request {
+                    addr,
+                    bytes: 8,
+                    channel: ch,
+                    tag: tag(id, si, 0),
+                });
+            }
+            self.next_admit += 1;
+        }
+
+        // Drain software FIFOs into the DRAM queues.
+        for ch in 0..channels as usize {
+            self.max_fifo = self.max_fifo.max(self.fifos[ch].len());
+            while let Some(&req) = self.fifos[ch].front() {
+                if self.dram.try_submit(req) {
+                    self.fifos[ch].pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        // One memory cycle.
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        self.dram.tick(&mut out);
+        for c in &out {
+            let (pi, si, phase) = untag(c.tag);
+            let idx = (pi - self.base) as usize;
+            let s = self.slots[idx].seeds[si];
+            if phase == 0 && s.locations > 0 {
+                // Dependent Location Table read (contiguous burst).
+                let ch = s.hash % channels;
+                let addr = self.loc_addr(s.hash, s.loc_start);
+                self.fifos[ch as usize].push_back(Request {
+                    addr,
+                    bytes: s.locations.min(self.cfg.buffer_depth) * 4,
+                    channel: ch,
+                    tag: tag(pi, si, 1),
+                });
+                continue;
+            }
+            // Seed finished (empty bucket or locations arrived).
+            self.slots[idx].remaining -= 1;
+            if self.slots[idx].remaining == 0 {
+                self.completed += 1;
+                self.inflight -= 1;
+                if pi == self.head {
+                    self.advance_head();
+                }
+            }
+        }
+        self.scratch = out;
+
+        // Reclaim slots the head has passed (they are complete by
+        // construction), keeping memory bounded to the in-flight window.
+        while self.base < self.head {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Runs memory cycles until at least `target` pairs (of all pairs ever
+    /// pushed) have completed. `target` is clamped to the submitted count.
+    pub fn run_until_completed(&mut self, target: u64) {
+        let target = target.min(self.submitted);
+        while self.completed < target {
+            self.step();
+        }
+    }
+
+    /// Runs until every submitted pair has completed.
+    pub fn drain(&mut self) {
+        self.run_until_completed(self.submitted);
     }
 
     /// Runs the workload to completion and reports throughput and SRAM
     /// requirements.
+    ///
+    /// Counters in the result are *cumulative* over the simulator's
+    /// lifetime, so this is intended for a freshly constructed simulator
+    /// (the cold-start batch model of the figure harnesses). Warm streaming
+    /// callers should use [`push`](NmslSim::push) /
+    /// [`run_until_completed`](NmslSim::run_until_completed) and snapshot
+    /// deltas instead.
     ///
     /// # Panics
     ///
     /// Panics if `workloads` is empty.
     pub fn run(&mut self, workloads: &[PairWorkload]) -> NmslResult {
         assert!(!workloads.is_empty(), "empty workload");
-        let channels = self.dram.config().channels;
-        // The Location Table region starts past the per-channel Seed Table
-        // slice (32 GB / channels in human-scale addressing).
-        let loc_base: u64 = (u32::MAX as u64 + 1) * 8 / channels as u64;
-        let window = self.cfg.window.unwrap_or(usize::MAX);
-        let seed_addr = |hash: u32| -> u64 {
-            match self.cfg.address_scale {
-                // Seed Table indexed by the full hash; channel-local entry
-                // index = hash / channels (tables are partitioned by
-                // hash % channels).
-                AddressScale::HumanScale => (hash as u64 / channels as u64) * 8,
-                AddressScale::Native => (hash as u64 / channels as u64) * 8,
-            }
-        };
-        let loc_addr = |hash: u32, loc_start: u64| -> u64 {
-            match self.cfg.address_scale {
-                // Scatter each bucket's slice: a human-scale Location Table
-                // is ~12 GB, so distinct seeds' slices share no rows.
-                AddressScale::HumanScale => loc_base + (mix32(hash) as u64) * 64,
-                AddressScale::Native => loc_base + loc_start * 4,
-            }
-        };
-
-        // Per-channel software FIFOs in front of the DRAM queues.
-        let mut fifos: Vec<VecDeque<Request>> = (0..channels).map(|_| VecDeque::new()).collect();
-        let mut max_fifo = 0usize;
-
-        // Remaining seeds per admitted pair; usize::MAX = not yet admitted.
-        let mut remaining: Vec<u32> = vec![u32::MAX; workloads.len()];
-        let mut head = 0usize; // oldest incomplete pair
-        let mut next_admit = 0usize;
-        let mut completed = 0u64;
-        let mut inflight = 0usize;
-        let mut max_inflight = 0usize;
-        let mut out: Vec<Completion> = Vec::new();
-
-        while completed < workloads.len() as u64 {
-            // Admit pairs inside the window.
-            while next_admit < workloads.len() && next_admit < head.saturating_add(window) {
-                let w = &workloads[next_admit];
-                if w.seeds.is_empty() {
-                    remaining[next_admit] = 0;
-                    completed += 1;
-                    if next_admit == head {
-                        head += 1;
-                        while head < workloads.len() && remaining[head] == 0 {
-                            head += 1;
-                        }
-                    }
-                    next_admit += 1;
-                    continue;
-                }
-                remaining[next_admit] = w.seeds.len() as u32;
-                inflight += 1;
-                max_inflight = max_inflight.max(inflight);
-                for (si, s) in w.seeds.iter().enumerate() {
-                    let ch = s.hash % channels;
-                    // Seed Table read: 8 bytes at the bucket's entry pair.
-                    fifos[ch as usize].push_back(Request {
-                        addr: seed_addr(s.hash),
-                        bytes: 8,
-                        channel: ch,
-                        tag: tag(next_admit, si, 0),
-                    });
-                }
-                next_admit += 1;
-            }
-
-            // Drain software FIFOs into the DRAM queues.
-            for ch in 0..channels {
-                max_fifo = max_fifo.max(fifos[ch as usize].len());
-                while let Some(&req) = fifos[ch as usize].front() {
-                    if self.dram.try_submit(req) {
-                        fifos[ch as usize].pop_front();
-                    } else {
-                        break;
-                    }
-                }
-            }
-
-            // One memory cycle.
-            out.clear();
-            self.dram.tick(&mut out);
-            for c in &out {
-                let (pi, si, phase) = untag(c.tag);
-                let s = &workloads[pi].seeds[si];
-                if phase == 0 && s.locations > 0 {
-                    // Dependent Location Table read (contiguous burst).
-                    let ch = s.hash % channels;
-                    fifos[ch as usize].push_back(Request {
-                        addr: loc_addr(s.hash, s.loc_start),
-                        bytes: s.locations.min(self.cfg.buffer_depth) * 4,
-                        channel: ch,
-                        tag: tag(pi, si, 1),
-                    });
-                    continue;
-                }
-                // Seed finished (empty bucket or locations arrived).
-                remaining[pi] -= 1;
-                if remaining[pi] == 0 {
-                    completed += 1;
-                    inflight -= 1;
-                    if pi == head {
-                        head += 1;
-                        while head < workloads.len() && head < next_admit && remaining[head] == 0 {
-                            head += 1;
-                        }
-                    }
-                }
-            }
+        for w in workloads {
+            self.push(w.clone());
         }
+        self.drain();
 
         let cycles = self.dram.cycle();
         let elapsed_s = cycles as f64 / (self.dram.config().clock_ghz * 1e9);
-        let pairs = workloads.len() as u64;
-        let effective_window = self.cfg.window.unwrap_or(max_inflight.max(1)) as u64;
+        let pairs = self.completed;
+        let channels = self.dram.config().channels;
+        let effective_window = self.cfg.window.unwrap_or(self.max_inflight.max(1)) as u64;
         let buffer_bytes =
             6 * effective_window * self.cfg.buffer_depth as u64 * self.cfg.buffer_entry_bytes;
-        let fifo_bytes = channels as u64 * max_fifo as u64 * self.cfg.fifo_entry_bytes;
+        let fifo_bytes = channels as u64 * self.max_fifo as u64 * self.cfg.fifo_entry_bytes;
         let dram_stats = *self.dram.stats();
         let power_model = DramPowerModel::for_config(self.dram.config());
         NmslResult {
@@ -263,8 +411,8 @@ impl NmslSim {
             elapsed_s,
             mpairs_per_s: pairs as f64 / elapsed_s / 1e6,
             gbs: self.dram.delivered_gbs(),
-            max_channel_fifo: max_fifo,
-            max_inflight_pairs: max_inflight,
+            max_channel_fifo: self.max_fifo,
+            max_inflight_pairs: self.max_inflight,
             fifo_bytes,
             buffer_bytes,
             sram_bytes: fifo_bytes + buffer_bytes,

@@ -8,7 +8,7 @@
 //! synthesizes it from the index's bucket-size distribution.
 
 use gx_genome::DnaSeq;
-use gx_seedmap::SeedMap;
+use gx_seedmap::{SeedHasher, SeedMap};
 
 /// One seed's memory work.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,7 +42,11 @@ impl PairWorkload {
 
 /// Builds the workload of one pair from its reads (r2 is queried in reverse
 /// complement, the expected FR orientation).
-pub fn pair_workload(r1: &DnaSeq, r2: &DnaSeq, seedmap: &SeedMap) -> PairWorkload {
+pub fn pair_workload<H: SeedHasher>(
+    r1: &DnaSeq,
+    r2: &DnaSeq,
+    seedmap: &SeedMap<H>,
+) -> PairWorkload {
     let mut seeds = Vec::with_capacity(6);
     let r2rc = r2.revcomp();
     for read in [r1, &r2rc] {
@@ -59,7 +63,10 @@ pub fn pair_workload(r1: &DnaSeq, r2: &DnaSeq, seedmap: &SeedMap) -> PairWorkloa
 }
 
 /// Builds workloads for a whole read set.
-pub fn build_workloads(pairs: &[(DnaSeq, DnaSeq)], seedmap: &SeedMap) -> Vec<PairWorkload> {
+pub fn build_workloads<H: SeedHasher>(
+    pairs: &[(DnaSeq, DnaSeq)],
+    seedmap: &SeedMap<H>,
+) -> Vec<PairWorkload> {
     pairs
         .iter()
         .map(|(r1, r2)| pair_workload(r1, r2, seedmap))
@@ -70,8 +77,8 @@ pub fn build_workloads(pairs: &[(DnaSeq, DnaSeq)], seedmap: &SeedMap) -> Vec<Pai
 /// useful for long NMSL simulations without simulating reads. The sampled
 /// distribution of locations-per-seed matches the index exactly, since the
 /// seeds are the genome's own.
-pub fn synthetic_workloads(
-    seedmap: &SeedMap,
+pub fn synthetic_workloads<H: SeedHasher>(
+    seedmap: &SeedMap<H>,
     genome: &gx_genome::ReferenceGenome,
     n: usize,
     seed: u64,

@@ -3,25 +3,27 @@
 //! The paper's core claim is hardware-algorithm co-design: the *same*
 //! paired-end mapping algorithm runs on a CPU baseline and on the GenPairX
 //! accelerator, and the win is measured on *identical workloads*. This crate
-//! is that comparison made first-class: a [`MapBackend`] trait the pipeline
-//! worker pool is generic over, with two implementations —
+//! is that comparison made first-class: a [`MapBackend`] factory trait the
+//! pipeline worker pool is generic over, handing each worker a stateful
+//! [`MapSession`], with two implementations —
 //!
 //! * [`SoftwareBackend`] — the CPU reference: maps each pair with
 //!   [`GenPairMapper::map_pair`](gx_core::GenPairMapper::map_pair) and
 //!   reports only wall-clock busy time;
-//! * [`NmslBackend`] — the accelerator model: produces the **same mapping
-//!   results** through the same software path (so SAM output stays
-//!   byte-identical across backends), while *additionally* replaying each
-//!   batch's memory workload through the
-//!   [`NmslSim`](gx_accel::NmslSim) + [`gx_memsim`] DRAM timing model to
-//!   obtain cycle-accurate latency and energy.
+//! * [`NmslBackend`] — the accelerator system model: produces the **same
+//!   mapping results** through the same software path (so SAM output stays
+//!   byte-identical across backends), while *additionally* charging every
+//!   pair to a modeled hardware stage — NMSL seeding through a per-worker
+//!   **warm** [`NmslSim`](gx_accel::NmslSim) + [`gx_memsim`] DRAM model
+//!   whose state persists across batches, GenDP fallback DP for pairs that
+//!   left the fast path, and host-link transfer for every batch's bytes.
 //!
 //! The split mirrors how SeGraM (ISCA 2022) and the PIM read-mapping line
 //! evaluate accelerators: *results* come from the algorithm, *timing* comes
 //! from the hardware model, and both consume the exact same reads.
 //!
 //! ```
-//! use gx_backend::{MapBackend, NmslBackend, SoftwareBackend};
+//! use gx_backend::{MapBackend, MapSession, NmslBackend, SoftwareBackend};
 //! use gx_core::{GenPairConfig, GenPairMapper, ReadPair};
 //! use gx_genome::random::RandomGenomeBuilder;
 //!
@@ -34,19 +36,26 @@
 //!     seq.subseq(1_300..1_450).revcomp(),
 //! )];
 //!
-//! let sw = SoftwareBackend::new(&mapper).map_batch(&batch);
-//! let hw = NmslBackend::new(&mapper).map_batch(&batch);
+//! // Each worker opens one session and feeds it batches.
+//! let software = SoftwareBackend::new(&mapper);
+//! let mut sw = software.session(0);
+//! let nmsl = NmslBackend::new(&mapper);
+//! let mut hw = nmsl.session(0);
+//! let sw_out = sw.map_batch(&batch);
+//! let mut hw_stats = hw.map_batch(&batch).stats;
+//! hw_stats.merge(&hw.finish()); // drain the warm simulator's tail
 //! // Identical mapping results...
-//! assert_eq!(sw.results[0].is_mapped(), hw.results[0].is_mapped());
-//! // ...but only the accelerator backend reports simulated cycles.
-//! assert_eq!(sw.stats.sim_cycles, 0);
-//! assert!(hw.stats.sim_cycles > 0);
+//! assert_eq!(sw_out.results[0].is_mapped(), true);
+//! // ...but only the accelerator backend reports simulated cost.
+//! assert_eq!(sw_out.stats.sim_cycles, 0);
+//! assert!(hw_stats.seed_cycles > 0);
+//! assert!(hw_stats.transfer_seconds > 0.0);
 //! ```
 
 mod nmsl;
 mod software;
 mod traits;
 
-pub use nmsl::NmslBackend;
-pub use software::SoftwareBackend;
-pub use traits::{BackendStats, BatchResult, MapBackend};
+pub use nmsl::{DispatchMode, NmslBackend, NmslSession};
+pub use software::{SoftwareBackend, SoftwareSession};
+pub use traits::{BackendStats, BatchResult, MapBackend, MapSession};

@@ -1,6 +1,6 @@
 //! The CPU reference backend.
 
-use crate::{BackendStats, BatchResult, MapBackend};
+use crate::{BackendStats, BatchResult, MapBackend, MapSession};
 use gx_core::{GenPairMapper, ReadPair};
 use std::time::Instant;
 
@@ -9,7 +9,10 @@ use std::time::Instant;
 ///
 /// Timing-wise it reports only wall-clock busy time — there is no hardware
 /// model behind it. Its results define the reference output every other
-/// backend must reproduce byte-for-byte.
+/// backend must reproduce byte-for-byte. Sessions are stateless (the mapper
+/// is shared read-only), so the factory/session split costs nothing here;
+/// it exists so the same worker pool can drive stateful accelerator
+/// sessions.
 pub struct SoftwareBackend<'m, 'g> {
     mapper: &'m GenPairMapper<'g>,
 }
@@ -27,11 +30,29 @@ impl<'m, 'g> SoftwareBackend<'m, 'g> {
 }
 
 impl MapBackend for SoftwareBackend<'_, '_> {
+    type Session<'s>
+        = SoftwareSession<'s>
+    where
+        Self: 's;
+
     fn name(&self) -> &'static str {
         "software"
     }
 
-    fn map_batch(&self, pairs: &[ReadPair]) -> BatchResult {
+    fn session(&self, _worker_id: usize) -> SoftwareSession<'_> {
+        SoftwareSession {
+            mapper: self.mapper,
+        }
+    }
+}
+
+/// A software mapping session: a borrowed mapper and no other state.
+pub struct SoftwareSession<'m> {
+    mapper: &'m GenPairMapper<'m>,
+}
+
+impl MapSession for SoftwareSession<'_> {
+    fn map_batch(&mut self, pairs: &[ReadPair]) -> BatchResult {
         let started = Instant::now();
         let results = pairs
             .iter()
@@ -72,7 +93,9 @@ mod tests {
             .collect();
 
         let backend = SoftwareBackend::new(&mapper);
-        let out = backend.map_batch(&pairs);
+        let mut session = backend.session(0);
+        let out = session.map_batch(&pairs);
+        assert_eq!(session.finish(), BackendStats::new());
         assert_eq!(out.results.len(), pairs.len());
         assert_eq!(out.stats.pairs, pairs.len() as u64);
         assert_eq!(out.stats.batches, 1);
@@ -91,7 +114,7 @@ mod tests {
     fn empty_batch_is_fine() {
         let genome = RandomGenomeBuilder::new(30_000).seed(18).build();
         let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
-        let out = SoftwareBackend::new(&mapper).map_batch(&[]);
+        let out = SoftwareBackend::new(&mapper).session(0).map_batch(&[]);
         assert!(out.results.is_empty());
         assert_eq!(out.stats.pairs, 0);
     }

@@ -1,152 +1,117 @@
-//! Seed-hash ablation: xxh32 vs murmur3 behind the SeedMap's bucket layout.
+//! Seed-hash ablation: xxh32 vs murmur3 **in-index**.
 //!
-//! The SeedMap hashes 50 bp seeds into a power-of-two bucket table
-//! (`gx-seedmap`'s `Xxh32Builder` injection point). This harness A/Bs the
-//! paper's xxHash against a murmur3 alternative (`Murmur3Builder`) on the
+//! The SeedMap index is generic over its seed-hash family
+//! (`SeedMap<H: SeedHasher>`), so this harness no longer models bucket
+//! occupancy offline: it builds a *real* index per hasher
+//! (`SeedMap::build_with`) with identical geometry and measures, on the
 //! quantities that matter for NMSL sizing:
 //!
-//! * **bucket occupancy** over all genome seed windows — used buckets, the
-//!   maximum bucket, mean locations per used bucket, and how many buckets
-//!   the index-filtering threshold (500) would empty;
-//! * **seed-hit counts** for simulated reads — in-genome seeds must hit
-//!   (both hashers deliver this by construction), while *foreign* reads
-//!   measure the collision-induced false-hit rate that sends junk down the
-//!   PA filter.
+//! * **bucket occupancy** from the built index's own stats — used buckets,
+//!   the maximum bucket, mean locations per used bucket, and how many
+//!   buckets the index-filtering threshold (500) emptied at construction;
+//! * **seed-hit counts** through the real query path
+//!   ([`gx_core::seeding::query_read`]) — in-genome seeds must hit (both
+//!   hashers deliver this by construction), while *foreign* reads measure
+//!   the collision-induced false-hit rate that sends junk down the PA
+//!   filter.
 //!
 //! One JSON line per hasher:
 //!
 //! ```text
-//! {"harness":"ablation_seedhash","hasher":"xxh32","used_buckets":...,...}
+//! {"harness":"ablation_seedhash","hasher":"xxh32","in_index":true,...}
 //! ```
 //!
 //! Knobs: `GX_GENOME_SIZE`, `GX_PAIRS`.
 
 use gx_bench::{bench_genome, env_usize};
-use gx_genome::ReferenceGenome;
-use gx_readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
-use gx_seedmap::{default_bucket_bits, Murmur3Builder, Xxh32Builder};
+use gx_core::seeding::query_read;
+use gx_genome::DnaSeq;
+use gx_seedmap::{Murmur3Builder, SeedHasher, SeedMap, SeedMapConfig, Xxh32Builder};
 
-const SEED_LEN: usize = 50;
-const FILTER_THRESHOLD: u32 = 500;
-
-/// A seed-hash function under ablation (codes → 32-bit hash).
-type SeedHashFn<'a> = &'a dyn Fn(&[u8]) -> u32;
-
-/// Hashes every seed window of the genome into buckets, like the SeedMap
-/// construction pass, with an arbitrary hash function.
-fn bucket_counts(genome: &ReferenceGenome, mask: u32, hash: SeedHashFn<'_>) -> Vec<u32> {
-    let mut counts = vec![0u32; mask as usize + 1];
-    let mut codes = Vec::with_capacity(SEED_LEN);
-    for chrom in genome.chromosomes() {
-        if chrom.len() < SEED_LEN {
-            continue;
-        }
-        let seq = chrom.seq();
-        for pos in 0..=chrom.len() - SEED_LEN {
-            if chrom.has_n_in(pos, pos + SEED_LEN) {
-                continue;
-            }
-            seq.codes_into(pos..pos + SEED_LEN, &mut codes);
-            counts[(hash(&codes) & mask) as usize] += 1;
-        }
-    }
-    counts
-}
-
-/// Counts how many of the reads' partitioned seeds land in non-empty
-/// buckets (three non-overlapping seeds per read, as in Partitioned
-/// Seeding).
-fn seed_hits(
-    reads: &[gx_genome::DnaSeq],
-    counts: &[u32],
-    mask: u32,
-    hash: SeedHashFn<'_>,
-) -> (u64, u64) {
+/// Counts reads' partitioned seeds that hit at least one location in the
+/// real index, via the mapper's own query path.
+fn seed_hits<H: SeedHasher>(reads: &[DnaSeq], map: &SeedMap<H>) -> (u64, u64) {
     let mut hits = 0u64;
     let mut total = 0u64;
-    let mut codes = Vec::with_capacity(SEED_LEN);
     for read in reads {
-        if read.len() < SEED_LEN {
-            continue;
-        }
-        for start in [0, (read.len() - SEED_LEN) / 2, read.len() - SEED_LEN] {
-            read.codes_into(start..start + SEED_LEN, &mut codes);
-            total += 1;
-            if counts[(hash(&codes) & mask) as usize] > 0 {
-                hits += 1;
-            }
-        }
+        let cands = query_read(read, map);
+        hits += cands.seeds_hit as u64;
+        total += cands.seeds_total as u64;
     }
     (hits, total)
 }
 
+fn report<H: SeedHasher>(map: &SeedMap<H>, native: &[DnaSeq], foreign: &[DnaSeq]) {
+    let stats = map.stats();
+    let max_bucket = {
+        // Histogram capped at 4096: the last bin only matters if a bucket
+        // survived filtering above it, which the threshold (500) prevents.
+        let hist = map.bucket_size_histogram(4096);
+        hist.iter().rposition(|&c| c > 0).unwrap_or(0)
+    };
+    let (native_hits, native_total) = seed_hits(native, map);
+    let (foreign_hits, foreign_total) = seed_hits(foreign, map);
+    println!(
+        concat!(
+            "{{\"harness\":\"ablation_seedhash\",\"hasher\":\"{}\",\"in_index\":true,",
+            "\"buckets\":{},\"used_buckets\":{},\"stored_locations\":{},",
+            "\"max_bucket\":{},\"mean_locs_per_used_bucket\":{:.3},",
+            "\"filtered_buckets\":{},\"filtered_locations\":{},",
+            "\"native_seed_hits\":{},\"native_seed_total\":{},\"native_hit_rate\":{:.4},",
+            "\"foreign_seed_hits\":{},\"foreign_seed_total\":{},\"foreign_hit_rate\":{:.4}}}"
+        ),
+        H::NAME,
+        stats.buckets,
+        stats.used_buckets,
+        stats.stored_locations,
+        max_bucket,
+        stats.mean_locations_per_seed(),
+        stats.filtered_buckets,
+        stats.filtered_locations,
+        native_hits,
+        native_total,
+        native_hits as f64 / native_total.max(1) as f64,
+        foreign_hits,
+        foreign_total,
+        foreign_hits as f64 / foreign_total.max(1) as f64,
+    );
+}
+
 fn main() {
+    use gx_readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
+
     let genome = bench_genome();
     let n_pairs = env_usize("GX_PAIRS", 2_000);
-    let bits = default_bucket_bits(genome.total_len());
-    let mask = (1u32 << bits) - 1;
+    let cfg = SeedMapConfig::default();
     eprintln!(
-        "# genome: {} bp, {} buckets, {n_pairs} read pairs per probe set",
-        genome.total_len(),
-        1u64 << bits
+        "# genome: {} bp, {n_pairs} read pairs per probe set (in-index A/B)",
+        genome.total_len()
     );
 
     // In-genome reads: every seed has a true location, so the hit rate
     // measures nothing but plumbing (must be ~1.0 for both hashers).
     // Foreign reads: no true locations, so every hit is a hash collision.
-    let native: Vec<gx_genome::DnaSeq> = simulate_dataset(&genome, &DATASETS[0], n_pairs)
+    let native: Vec<DnaSeq> = simulate_dataset(&genome, &DATASETS[0], n_pairs)
         .into_iter()
         .flat_map(|p| [p.r1.seq, p.r2.seq])
         .collect();
     let foreign_genome = standard_genome(genome.total_len(), 0xDEAD_BEEF);
-    let foreign: Vec<gx_genome::DnaSeq> = simulate_dataset(&foreign_genome, &DATASETS[0], n_pairs)
+    let foreign: Vec<DnaSeq> = simulate_dataset(&foreign_genome, &DATASETS[0], n_pairs)
         .into_iter()
         .flat_map(|p| [p.r1.seq, p.r2.seq])
         .collect();
 
-    let xx = Xxh32Builder::with_seed(0);
-    let mm = Murmur3Builder::with_seed(0);
-    let hashers: [(&str, SeedHashFn<'_>); 2] = [
-        ("xxh32", &move |codes| xx.hash_codes(codes)),
-        ("murmur3", &move |codes| mm.hash_codes(codes)),
-    ];
+    let xx = SeedMap::<Xxh32Builder>::build_with(&genome, &cfg);
+    report(&xx, &native, &foreign);
+    let mm = SeedMap::<Murmur3Builder>::build_with(&genome, &cfg);
+    report(&mm, &native, &foreign);
 
-    for (name, hash) in hashers {
-        let counts = bucket_counts(&genome, mask, hash);
-        let used = counts.iter().filter(|&&c| c > 0).count() as u64;
-        let stored: u64 = counts.iter().map(|&c| c as u64).sum();
-        let max = counts.iter().copied().max().unwrap_or(0);
-        let filtered = counts.iter().filter(|&&c| c > FILTER_THRESHOLD).count() as u64;
-        let mean = if used == 0 {
-            0.0
-        } else {
-            stored as f64 / used as f64
-        };
-        let (native_hits, native_total) = seed_hits(&native, &counts, mask, hash);
-        let (foreign_hits, foreign_total) = seed_hits(&foreign, &counts, mask, hash);
-        println!(
-            concat!(
-                "{{\"harness\":\"ablation_seedhash\",\"hasher\":\"{}\",",
-                "\"buckets\":{},\"used_buckets\":{},\"stored_locations\":{},",
-                "\"max_bucket\":{},\"mean_locs_per_used_bucket\":{:.3},",
-                "\"filtered_buckets_at_{}\":{},",
-                "\"native_seed_hits\":{},\"native_seed_total\":{},\"native_hit_rate\":{:.4},",
-                "\"foreign_seed_hits\":{},\"foreign_seed_total\":{},\"foreign_hit_rate\":{:.4}}}"
-            ),
-            name,
-            counts.len(),
-            used,
-            stored,
-            max,
-            mean,
-            FILTER_THRESHOLD,
-            filtered,
-            native_hits,
-            native_total,
-            native_hits as f64 / native_total.max(1) as f64,
-            foreign_hits,
-            foreign_total,
-            foreign_hits as f64 / foreign_total.max(1) as f64,
-        );
-    }
+    // Same geometry, same seeds stored: anything that differs below is the
+    // hash family, not the table.
+    assert_eq!(xx.num_buckets(), mm.num_buckets());
+    assert_eq!(
+        xx.stats().stored_locations + xx.stats().filtered_locations,
+        mm.stats().stored_locations + mm.stats().filtered_locations,
+        "both indexes must see every genome seed window"
+    );
 }

@@ -1,28 +1,35 @@
 //! End-to-end software-vs-hardware comparison on identical workloads — the
-//! repo's first full trajectory number for the paper's co-design claim.
+//! repo's full-system trajectory number for the paper's co-design claim.
 //!
-//! Maps one simulated dataset through the `gx-pipeline` engine twice per
-//! thread count: once with the [`SoftwareBackend`] (CPU reference, wall
-//! clock) and once with the [`NmslBackend`] (same mapping results, plus the
-//! NMSL + DRAM timing model). Prints one JSON line per (backend,
-//! thread-count):
+//! Maps one simulated dataset through the `gx-pipeline` engine per thread
+//! count: once with the [`SoftwareBackend`] (CPU reference, wall clock) and
+//! once per requested dispatch mode with the [`NmslBackend`] (same mapping
+//! results, plus the warm- or cold-state NMSL + DRAM model, GenDP fallback
+//! costing and host-link transfer accounting). Prints one JSON line per
+//! (backend, mode, thread-count):
 //!
 //! ```text
-//! {"harness":"backend_compare","backend":"nmsl","threads":4,...,
-//!  "sim_cycles":123456,"energy_pj":7.8e6,"speedup_vs_software":41.2}
+//! {"harness":"backend_compare","backend":"nmsl","mode":"warm","threads":4,
+//!  ...,"seed_cycles":123456,"fallback_cycles":789,"transfer_seconds":1e-4,
+//!  "speedup_vs_software":41.2,...}
 //! ```
 //!
-//! `speedup_vs_software` compares the NMSL backend's *modeled* hardware
-//! throughput against the software backend's measured wall-clock throughput
-//! at the same thread count (1.0 by definition on software lines). Every
-//! run streams full SAM text, and the harness asserts the two backends'
-//! byte streams are identical at each thread count — the property that
-//! makes the comparison apples-to-apples.
+//! `speedup_vs_software` compares the NMSL backend's *modeled* end-to-end
+//! system throughput (seeding + fallback + transfer) against the software
+//! backend's measured wall-clock throughput at the same thread count (1.0
+//! by definition on software lines). Every run streams full SAM text, and
+//! the harness asserts the backends' byte streams are identical at each
+//! thread count and dispatch mode — the property that makes the comparison
+//! apples-to-apples. When both modes run (the default), it also asserts the
+//! warm stream's seeding cycles never exceed the cold per-batch sum at one
+//! worker (the deterministic case; multi-worker warm totals depend on
+//! batch→worker sharding).
 //!
 //! Knobs: `GX_PAIRS`, `GX_GENOME_SIZE`, `GX_BATCH`; pass `--smoke` for a
-//! seconds-scale CI run.
+//! seconds-scale CI run, `--warm` / `--cold` to restrict the NMSL A/B to
+//! one dispatch mode.
 
-use gx_backend::{MapBackend, NmslBackend, SoftwareBackend};
+use gx_backend::{DispatchMode, MapBackend, NmslBackend, SoftwareBackend};
 use gx_bench::env_usize;
 use gx_core::{GenPairConfig, GenPairMapper};
 use gx_genome::ReferenceGenome;
@@ -42,25 +49,31 @@ fn run<B: MapBackend>(
     (sink.into_inner().expect("Vec flush cannot fail"), report)
 }
 
-fn json_line(report: &PipelineReport, sw_reads_per_sec: f64) -> String {
+fn json_line(report: &PipelineReport, mode: &str, sw_reads_per_sec: f64) -> String {
     let b = &report.backend;
     // Software lines compare wall clock to wall clock (1.0 at its own
-    // thread count); NMSL lines compare modeled hardware time to the
-    // software wall clock at the same thread count.
+    // thread count); NMSL lines compare modeled end-to-end system time
+    // (seeding + fallback + transfer) to the software wall clock at the
+    // same thread count.
     let effective_rps = if b.sim_seconds > 0.0 {
-        b.modeled_reads_per_sec()
+        b.system_reads_per_sec()
     } else {
         report.reads_per_sec()
     };
     format!(
         concat!(
-            "{{\"harness\":\"backend_compare\",\"backend\":\"{}\",\"threads\":{},",
-            "\"pairs\":{},\"batch_size\":{},\"wall_seconds\":{:.4},",
+            "{{\"harness\":\"backend_compare\",\"backend\":\"{}\",\"mode\":\"{}\",",
+            "\"threads\":{},\"pairs\":{},\"batch_size\":{},\"wall_seconds\":{:.4},",
             "\"reads_per_sec\":{:.1},\"sim_cycles\":{},\"sim_seconds\":{:.6},",
-            "\"modeled_reads_per_sec\":{:.1},\"energy_pj\":{:.1},",
-            "\"dram_bytes\":{},\"speedup_vs_software\":{:.3},\"sam_identical\":true}}"
+            "\"seed_cycles\":{},\"fallback_cycles\":{},\"transfer_seconds\":{:.6},",
+            "\"seed_energy_pj\":{:.1},\"fallback_energy_pj\":{:.1},",
+            "\"input_bytes\":{},\"output_bytes\":{},",
+            "\"modeled_reads_per_sec\":{:.1},\"system_reads_per_sec\":{:.1},",
+            "\"energy_pj\":{:.1},\"dram_bytes\":{},",
+            "\"speedup_vs_software\":{:.3},\"sam_identical\":true}}"
         ),
         report.backend_name,
+        mode,
         report.threads,
         report.pairs(),
         report.batch_size,
@@ -68,7 +81,15 @@ fn json_line(report: &PipelineReport, sw_reads_per_sec: f64) -> String {
         report.reads_per_sec(),
         b.sim_cycles,
         b.sim_seconds,
+        b.seed_cycles,
+        b.fallback_cycles,
+        b.transfer_seconds,
+        b.seed_energy_pj,
+        b.fallback_energy_pj,
+        b.input_bytes,
+        b.output_bytes,
         b.modeled_reads_per_sec(),
+        b.system_reads_per_sec(),
         b.energy_pj,
         b.dram_bytes,
         effective_rps / sw_reads_per_sec,
@@ -76,7 +97,15 @@ fn json_line(report: &PipelineReport, sw_reads_per_sec: f64) -> String {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let warm_only = args.iter().any(|a| a == "--warm");
+    let cold_only = args.iter().any(|a| a == "--cold");
+    let modes: &[DispatchMode] = match (warm_only, cold_only) {
+        (true, false) => &[DispatchMode::Warm],
+        (false, true) => &[DispatchMode::Cold],
+        _ => &[DispatchMode::Warm, DispatchMode::Cold],
+    };
     let (default_pairs, default_genome) = if smoke {
         (300, 250_000)
     } else {
@@ -104,24 +133,48 @@ fn main() {
             .backend(SoftwareBackend::new(&mapper));
         let (sw_bytes, sw_report) = run(&sw_engine, &genome, &pairs);
         let sw_rps = sw_report.reads_per_sec();
-        println!("{}", json_line(&sw_report, sw_rps));
+        println!("{}", json_line(&sw_report, "wall", sw_rps));
 
-        let hw_engine = PipelineBuilder::new()
-            .threads(threads)
-            .batch_size(batch)
-            .backend(NmslBackend::new(&mapper));
-        let (hw_bytes, hw_report) = run(&hw_engine, &genome, &pairs);
-        // The co-design contract: both backends must emit identical SAM
-        // bytes on this workload, or the throughput comparison is
-        // meaningless.
-        assert!(
-            sw_bytes == hw_bytes,
-            "NMSL backend SAM output diverged from the software backend at {threads} threads"
-        );
-        assert_eq!(
-            hw_report.stats, sw_report.stats,
-            "backend stats must match at {threads} threads"
-        );
-        println!("{}", json_line(&hw_report, sw_rps));
+        let mut warm_seed_cycles = None;
+        let mut cold_seed_cycles = None;
+        for &mode in modes {
+            let hw_engine = PipelineBuilder::new()
+                .threads(threads)
+                .batch_size(batch)
+                .backend(NmslBackend::new(&mapper).dispatch_mode(mode));
+            let (hw_bytes, hw_report) = run(&hw_engine, &genome, &pairs);
+            // The co-design contract: both backends must emit identical SAM
+            // bytes on this workload (warm or cold), or the throughput
+            // comparison is meaningless.
+            assert!(
+                sw_bytes == hw_bytes,
+                "NMSL backend SAM output diverged from software at {threads} threads ({mode:?})"
+            );
+            assert_eq!(
+                hw_report.stats, sw_report.stats,
+                "backend stats must match at {threads} threads ({mode:?})"
+            );
+            let mode_name = match mode {
+                DispatchMode::Warm => "warm",
+                DispatchMode::Cold => "cold",
+            };
+            match mode {
+                DispatchMode::Warm => warm_seed_cycles = Some(hw_report.backend.seed_cycles),
+                DispatchMode::Cold => cold_seed_cycles = Some(hw_report.backend.seed_cycles),
+            }
+            println!("{}", json_line(&hw_report, mode_name, sw_rps));
+        }
+        // The warm ≤ cold regression is only deterministic at one worker:
+        // with more, warm totals depend on which batches each worker
+        // happens to pull (each worker is its own stream), so asserting
+        // there would turn scheduler noise into harness failures.
+        if threads == 1 {
+            if let (Some(w), Some(c)) = (warm_seed_cycles, cold_seed_cycles) {
+                assert!(
+                    w <= c,
+                    "warm seeding cycles ({w}) exceed the cold per-batch sum ({c}) at 1 thread"
+                );
+            }
+        }
     }
 }

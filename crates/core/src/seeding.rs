@@ -7,21 +7,23 @@
 //! positions, the input to paired-adjacency filtering.
 
 use gx_genome::{DnaSeq, GlobalPos};
-use gx_seedmap::{merge_sorted_with_offsets, SeedMap};
+use gx_seedmap::{merge_sorted_with_offsets, SeedHasher, SeedMap};
 
 /// One extracted seed: offset within the read plus its hash.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Seed {
     /// Offset of the seed's first base within the read.
     pub offset: u32,
-    /// xxh32 hash of the seed's 2-bit codes.
+    /// Hash of the seed's 2-bit codes under the index's hash family
+    /// (xxh32 by default).
     pub hash: u32,
 }
 
 /// Extracts the partitioned seeds of `read`: first, middle and last
 /// `seed_len` bases (non-overlapping for reads of at least `3 * seed_len`).
-/// Reads shorter than `seed_len` yield no seeds.
-pub fn partitioned_seeds(read: &DnaSeq, seedmap: &SeedMap) -> Vec<Seed> {
+/// Reads shorter than `seed_len` yield no seeds. Generic over the index's
+/// seed-hash family, so hash ablations query the real index.
+pub fn partitioned_seeds<H: SeedHasher>(read: &DnaSeq, seedmap: &SeedMap<H>) -> Vec<Seed> {
     let seed_len = seedmap.config().seed_len;
     if read.len() < seed_len {
         return Vec::new();
@@ -59,7 +61,7 @@ pub struct ReadCandidates {
 
 /// Queries SeedMap with a read's partitioned seeds and merges the location
 /// lists into candidate read starts (paper steps 1–2).
-pub fn query_read(read: &DnaSeq, seedmap: &SeedMap) -> ReadCandidates {
+pub fn query_read<H: SeedHasher>(read: &DnaSeq, seedmap: &SeedMap<H>) -> ReadCandidates {
     let seeds = partitioned_seeds(read, seedmap);
     let lists: Vec<(&[GlobalPos], u32)> = seeds
         .iter()

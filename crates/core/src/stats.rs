@@ -80,6 +80,13 @@ impl PipelineStats {
         self.dp_cells += other.dp_cells;
     }
 
+    /// Pairs that left the fast path at any stage — the share the GenDP
+    /// fallback accelerator (and the backend layer's fallback-stage
+    /// accounting) is responsible for.
+    pub fn fallback_total(&self) -> u64 {
+        self.dp_aligned + self.fallback_seedmap + self.fallback_pafilter
+    }
+
     fn pct(&self, n: u64) -> f64 {
         if self.pairs == 0 {
             0.0

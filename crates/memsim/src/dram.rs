@@ -49,6 +49,37 @@ impl DramStats {
             1.0 - (self.activations.min(self.bursts)) as f64 / self.bursts as f64
         }
     }
+
+    /// The work done since an `earlier` snapshot of the same counters.
+    ///
+    /// This is the accounting primitive behind *persistent* simulation: a
+    /// caller that keeps one long-lived [`DramSim`] across many dispatches
+    /// snapshots `*sim.stats()` before a dispatch and subtracts it afterwards
+    /// to attribute traffic (and, through
+    /// [`DramPowerModel`](crate::DramPowerModel), energy) to exactly that
+    /// dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not a prefix of `self` (any
+    /// counter would go negative).
+    pub fn since(&self, earlier: &DramStats) -> DramStats {
+        debug_assert!(
+            self.bursts >= earlier.bursts
+                && self.activations >= earlier.activations
+                && self.precharges >= earlier.precharges
+                && self.bytes >= earlier.bytes
+                && self.completed >= earlier.completed,
+            "snapshot is not an earlier prefix of these stats"
+        );
+        DramStats {
+            bursts: self.bursts - earlier.bursts,
+            activations: self.activations - earlier.activations,
+            precharges: self.precharges - earlier.precharges,
+            bytes: self.bytes - earlier.bytes,
+            completed: self.completed - earlier.completed,
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -439,6 +470,32 @@ mod tests {
         let single = run(false);
         let spread = run(true);
         assert!(spread * 4 < single, "spread {spread} vs single {single}");
+    }
+
+    #[test]
+    fn stats_since_attributes_per_dispatch_work() {
+        let mut sim = DramSim::new(cfg());
+        sim.try_submit(Request {
+            addr: 0,
+            bytes: 128,
+            channel: 0,
+            tag: 1,
+        });
+        sim.drain();
+        let snap = *sim.stats();
+        sim.try_submit(Request {
+            addr: 1 << 20,
+            bytes: 64,
+            channel: 1,
+            tag: 2,
+        });
+        sim.drain();
+        let delta = sim.stats().since(&snap);
+        assert_eq!(delta.completed, 1);
+        assert_eq!(delta.bytes, 64);
+        // First dispatch's work is not re-attributed.
+        assert_eq!(snap.completed, 1);
+        assert_eq!(sim.stats().completed, 2);
     }
 
     #[test]

@@ -97,8 +97,11 @@ impl PipelineBuilder {
     }
 
     /// Finalizes and attaches the configuration to a mapping backend (the
-    /// software reference, the NMSL accelerator model, or any custom
-    /// [`MapBackend`]).
+    /// software reference, the NMSL accelerator system model, or any custom
+    /// [`MapBackend`]). The engine opens one stateful session per worker
+    /// thread from this backend (`backend.session(worker_id)`), so a
+    /// stateful backend — e.g. the NMSL model in its default warm dispatch
+    /// mode — carries simulator state across all batches a worker maps.
     ///
     /// ```
     /// use gx_genome::random::RandomGenomeBuilder;

@@ -13,13 +13,18 @@
 //!
 //! The engine is generic over a [`MapBackend`]: the same worker pool drives
 //! the software reference ([`SoftwareBackend`](gx_backend::SoftwareBackend))
-//! or the NMSL accelerator timing model ([`gx_backend::NmslBackend`]) —
+//! or the NMSL accelerator system model ([`gx_backend::NmslBackend`]) —
 //! backends return identical
 //! mapping results, so the engine's SAM output is byte-identical across
 //! backends *and* across thread counts / batch sizes; only the reported
 //! cost ([`BackendStats`]) differs.
 //!
-//! Each worker owns private [`PipelineStats`] and [`BackendStats`] shards
+//! Each worker opens one stateful [`MapSession`] at thread start
+//! (`backend.session(worker_id)`), maps every batch it pulls through it,
+//! and flushes it with [`MapSession::finish`] after its last batch — this
+//! per-worker session is what lets the NMSL backend keep its simulator
+//! (DRAM row-buffer state, sliding window) *warm* across batches. Each
+//! worker also owns private [`PipelineStats`] and [`BackendStats`] shards
 //! that are merged once at join time — no locks or atomics on the mapping
 //! hot path. The emitter restores input order, so the engine's output is
 //! **byte-identical** to a serial [`map_serial`] run regardless of thread
@@ -31,7 +36,7 @@
 use crate::batch::{Batch, Batcher};
 use crate::config::{FallbackPolicy, PipelineConfig};
 use crate::sink::{RecordSink, VecSink};
-use gx_backend::{BackendStats, MapBackend};
+use gx_backend::{BackendStats, MapBackend, MapSession};
 use gx_core::{pair_mapping_to_sam, GenPairMapper, PairMapResult, PipelineStats, ReadPair};
 use gx_genome::{flags, SamRecord};
 use std::collections::HashMap;
@@ -225,19 +230,23 @@ impl<B: MapBackend> MappingEngine<B> {
         let (stats, backend_stats, write_result, batches) = std::thread::scope(|scope| {
             let work_rx = Arc::new(Mutex::new(work_rx));
             let mut workers = Vec::with_capacity(cfg.threads);
-            for _ in 0..cfg.threads {
+            for worker_id in 0..cfg.threads {
                 let rx = Arc::clone(&work_rx);
                 let tx = result_tx.clone();
                 workers.push(scope.spawn(move || {
                     let mut shard = PipelineStats::new();
                     let mut backend_shard = BackendStats::new();
+                    // One stateful session per worker for the whole run:
+                    // accelerator sessions keep their simulator warm across
+                    // every batch this worker maps.
+                    let mut session = backend.session(worker_id);
                     loop {
                         // One worker at a time blocks in recv() holding the
                         // lock; the sender never takes it, so this cannot
                         // deadlock and batches are handed out as they arrive.
                         let batch = rx.lock().expect("work queue poisoned").recv();
                         let Ok(batch) = batch else { break };
-                        let out = backend.map_batch(&batch.pairs);
+                        let out = session.map_batch(&batch.pairs);
                         assert_eq!(
                             out.results.len(),
                             batch.pairs.len(),
@@ -259,6 +268,9 @@ impl<B: MapBackend> MappingEngine<B> {
                             break; // emitter gone (I/O error): unwind quietly
                         }
                     }
+                    // Flush the session: warm simulators drain their
+                    // in-flight tail here, so session totals are exact.
+                    backend_shard.merge(&session.finish());
                     (shard, backend_shard)
                 }));
             }

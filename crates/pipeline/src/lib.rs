@@ -12,9 +12,11 @@
 //!   materialized — into fixed-size batches;
 //! * a **worker pool** ([`MappingEngine`]) of OS threads over bounded
 //!   channels, generic over a pluggable [`MapBackend`] (the software
-//!   reference [`SoftwareBackend`] or the NMSL accelerator timing model
-//!   [`NmslBackend`] from `gx-backend`), each worker mapping whole batches
-//!   and accumulating private **stats shards** (merged lock-free at join via
+//!   reference [`SoftwareBackend`] or the NMSL accelerator system model
+//!   [`NmslBackend`] from `gx-backend`); each worker opens one stateful
+//!   [`MapSession`] for the whole run (accelerator sessions keep their
+//!   simulator warm across batches), maps whole batches through it, and
+//!   accumulates private **stats shards** (merged lock-free at join via
 //!   [`PipelineStats::merge`](gx_core::PipelineStats::merge) and
 //!   [`BackendStats::merge`]);
 //! * an **ordered SAM emitter** ([`RecordSink`], [`SamTextSink`],
@@ -62,6 +64,8 @@ mod sink;
 pub use batch::{read_pairs_from_fastq, ReadPairStream};
 pub use config::{FallbackPolicy, PipelineBuilder, PipelineConfig};
 pub use engine::{map_serial, MappingEngine, PipelineReport};
-pub use gx_backend::{BackendStats, BatchResult, MapBackend, NmslBackend, SoftwareBackend};
+pub use gx_backend::{
+    BackendStats, BatchResult, DispatchMode, MapBackend, MapSession, NmslBackend, SoftwareBackend,
+};
 pub use gx_core::ReadPair;
 pub use sink::{RecordSink, SamTextSink, VecSink};

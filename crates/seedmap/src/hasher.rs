@@ -1,15 +1,43 @@
-//! Injectable seed hashing behind `std::hash::BuildHasher`.
+//! Injectable seed hashing behind the [`SeedHasher`] trait.
 //!
 //! The SeedMap and the pipeline layers never call [`xxh32`](crate::xxh32)
 //! directly any more: they go through an [`Xxh32Builder`], so the hash seed
 //! is injected once at construction and alternative hash functions can be
 //! A/B-tested (different seeds, different mixing) without touching call
-//! sites. The builder also implements `std::hash::BuildHasher`, which makes
-//! it usable as the hasher of a `HashMap`/`HashSet` when deterministic
-//! hashing across runs is required.
+//! sites. [`SeedHasher`] is the family abstraction behind that injection:
+//! the index ([`SeedMap<H>`](crate::SeedMap)) is generic over it, so an
+//! alternative like [`Murmur3Builder`](crate::Murmur3Builder) can be
+//! validated *in-index* — real bucket layout, real queries — not just in an
+//! offline occupancy model. The builders also implement
+//! `std::hash::BuildHasher`, which makes them usable as the hasher of a
+//! `HashMap`/`HashSet` when deterministic hashing across runs is required.
 
 use crate::xxhash::xxh32;
 use std::hash::{BuildHasher, Hasher};
+
+/// A seed-hash family usable by the SeedMap index: seeded construction plus
+/// the one-shot [`hash_codes`](SeedHasher::hash_codes) hot path, layered on
+/// the standard `BuildHasher` contract.
+///
+/// Implementations must be pure functions of `(seed, codes)` — the index
+/// stores only the seed (and [`ID`](SeedHasher::ID)) on disk and
+/// reconstructs the hasher on load.
+pub trait SeedHasher:
+    BuildHasher + Copy + PartialEq + Send + Sync + std::fmt::Debug + 'static
+{
+    /// Stable identifier stored in serialized indexes (so a reload cannot
+    /// silently query with the wrong hash family).
+    const ID: u32;
+    /// Short name for reports.
+    const NAME: &'static str;
+
+    /// A hasher of this family starting from `seed`.
+    fn with_seed(seed: u32) -> Self;
+
+    /// One-shot hash of a seed's 2-bit base codes — the hot path used by
+    /// SeedMap construction and queries.
+    fn hash_codes(&self, codes: &[u8]) -> u32;
+}
 
 /// A `BuildHasher` producing seeded XXH32 hashers.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -42,6 +70,19 @@ impl BuildHasher for Xxh32Builder {
             seed: self.seed,
             buf: Vec::new(),
         }
+    }
+}
+
+impl SeedHasher for Xxh32Builder {
+    const ID: u32 = 1;
+    const NAME: &'static str = "xxh32";
+
+    fn with_seed(seed: u32) -> Xxh32Builder {
+        Xxh32Builder::with_seed(seed)
+    }
+
+    fn hash_codes(&self, codes: &[u8]) -> u32 {
+        Xxh32Builder::hash_codes(self, codes)
     }
 }
 

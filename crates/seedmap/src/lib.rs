@@ -9,9 +9,12 @@
 //!   a bucket's slice is `location_table[seed_table[i-1]..seed_table[i]]`.
 //!
 //! Seeds are hashed with [`xxh32`] (the paper uses xxHash) over their 2-bit
-//! base codes. Buckets holding more locations than the *index filtering
-//! threshold* (default 500, §5.2) are emptied at construction time; reads
-//! whose seeds land in filtered buckets fall back to the DP pipeline.
+//! base codes; the index is generic over the hash family ([`SeedHasher`]),
+//! so the murmur3 alternative ([`Murmur3Builder`]) can be validated on a
+//! real index via [`SeedMap::build_with`]. Buckets holding more locations
+//! than the *index filtering threshold* (default 500, §5.2) are emptied at
+//! construction time; reads whose seeds land in filtered buckets fall back
+//! to the DP pipeline.
 //!
 //! ```
 //! use gx_genome::random::RandomGenomeBuilder;
@@ -32,9 +35,9 @@ mod seedmap;
 mod serialize;
 mod xxhash;
 
-pub use hasher::{Xxh32Builder, Xxh32Hasher};
+pub use hasher::{SeedHasher, Xxh32Builder, Xxh32Hasher};
 pub use merge::{merge_sorted, merge_sorted_with_offsets};
 pub use murmur::{murmur3_32, Murmur3Builder, Murmur3Hasher};
 pub use seedmap::{default_bucket_bits, SeedMap, SeedMapConfig, SeedMapStats};
-pub use serialize::{read_seedmap, write_seedmap, SerializeError};
+pub use serialize::{read_seedmap, read_seedmap_as, write_seedmap, SerializeError};
 pub use xxhash::xxh32;

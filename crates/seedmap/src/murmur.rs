@@ -7,6 +7,7 @@
 //! (`ablation_seedhash`) A/B bucket occupancy and seed-hit counts without
 //! touching SeedMap call sites.
 
+use crate::hasher::SeedHasher;
 use std::hash::{BuildHasher, Hasher};
 
 /// MurmurHash3 x86 32-bit of `data` with `seed`.
@@ -70,6 +71,19 @@ impl BuildHasher for Murmur3Builder {
             seed: self.seed,
             buf: Vec::new(),
         }
+    }
+}
+
+impl SeedHasher for Murmur3Builder {
+    const ID: u32 = 2;
+    const NAME: &'static str = "murmur3";
+
+    fn with_seed(seed: u32) -> Murmur3Builder {
+        Murmur3Builder::with_seed(seed)
+    }
+
+    fn hash_codes(&self, codes: &[u8]) -> u32 {
+        Murmur3Builder::hash_codes(self, codes)
     }
 }
 

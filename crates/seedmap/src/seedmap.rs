@@ -1,4 +1,4 @@
-use crate::Xxh32Builder;
+use crate::{SeedHasher, Xxh32Builder};
 use gx_genome::{GlobalPos, ReferenceGenome};
 
 /// Configuration of SeedMap construction.
@@ -83,10 +83,18 @@ impl SeedMapStats {
 /// See the [crate documentation](crate) for the layout. All reference
 /// positions (stride 1) are indexed so that read seeds extracted at
 /// arbitrary offsets find their exact matches.
+///
+/// The index is generic over its seed-hash family `H` (default: the
+/// paper's xxHash via [`Xxh32Builder`]), so an alternative hasher such as
+/// [`Murmur3Builder`](crate::Murmur3Builder) can be validated on the real
+/// bucket layout with real queries — build one with
+/// [`SeedMap::build_with`]. Every query path (including the mapper and the
+/// NMSL workload extractor) is generic too; only the hashes change, never
+/// the table mechanics.
 #[derive(Clone, Debug)]
-pub struct SeedMap {
+pub struct SeedMap<H: SeedHasher = Xxh32Builder> {
     config: SeedMapConfig,
-    hasher: Xxh32Builder,
+    hasher: H,
     mask: u32,
     /// `seed_table[i]` = end offset of bucket `i` in `location_table`.
     seed_table: Vec<u32>,
@@ -96,7 +104,22 @@ pub struct SeedMap {
 }
 
 impl SeedMap {
-    /// Builds the index over `genome` (the paper's offline stage).
+    /// Builds the default (xxh32) index over `genome` — the paper's offline
+    /// stage with the paper's hash. Equivalent to
+    /// [`SeedMap::build_with::<Xxh32Builder>`](SeedMap::build_with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seed_len` is zero or larger than 256 (hardware seeds are
+    /// bounded), or if the genome is empty.
+    pub fn build(genome: &ReferenceGenome, config: &SeedMapConfig) -> SeedMap {
+        SeedMap::build_with(genome, config)
+    }
+}
+
+impl<H: SeedHasher> SeedMap<H> {
+    /// Builds the index over `genome` with seed-hash family `H` (the
+    /// paper's offline stage).
     ///
     /// Two passes: count bucket sizes, apply the filter threshold, prefix-sum
     /// into end offsets, then place positions — a counting sort that leaves
@@ -106,7 +129,7 @@ impl SeedMap {
     ///
     /// Panics if `seed_len` is zero or larger than 256 (hardware seeds are
     /// bounded), or if the genome is empty.
-    pub fn build(genome: &ReferenceGenome, config: &SeedMapConfig) -> SeedMap {
+    pub fn build_with(genome: &ReferenceGenome, config: &SeedMapConfig) -> SeedMap<H> {
         assert!(
             config.seed_len > 0 && config.seed_len <= 256,
             "unsupported seed length"
@@ -117,7 +140,7 @@ impl SeedMap {
             .unwrap_or_else(|| default_bucket_bits(genome.total_len()));
         let buckets = 1usize << bucket_bits;
         let mask = (buckets - 1) as u32;
-        let hasher = Xxh32Builder::with_seed(config.hash_seed);
+        let hasher = H::with_seed(config.hash_seed);
 
         // Pass 1: hash every seed window, remember its bucket, count sizes.
         let mut bucket_of: Vec<u32> = Vec::new();
@@ -187,7 +210,7 @@ impl SeedMap {
             filtered_locations,
             skipped_n_windows: skipped_n,
         };
-        SeedMap {
+        SeedMap::<H> {
             config: *config,
             hasher,
             mask,
@@ -205,7 +228,7 @@ impl SeedMap {
     /// The seeded hash builder used for every seed lookup. Callers that
     /// batch-hash seeds (e.g. the pipeline front-end) should reuse this so
     /// their hashes agree with the index.
-    pub fn hasher(&self) -> &Xxh32Builder {
+    pub fn hasher(&self) -> &H {
         &self.hasher
     }
 
@@ -300,14 +323,14 @@ impl SeedMap {
         seed_table: Vec<u32>,
         location_table: Vec<GlobalPos>,
         stats: SeedMapStats,
-    ) -> SeedMap {
+    ) -> SeedMap<H> {
         assert!(
             seed_table.len().is_power_of_two(),
             "seed table must be a power of two"
         );
-        SeedMap {
+        SeedMap::<H> {
             mask: (seed_table.len() - 1) as u32,
-            hasher: Xxh32Builder::with_seed(config.hash_seed),
+            hasher: H::with_seed(config.hash_seed),
             config,
             seed_table,
             location_table,
@@ -342,6 +365,26 @@ mod tests {
                 "position {pos} missing from bucket {hits:?}"
             );
         }
+    }
+
+    #[test]
+    fn murmur_backed_index_finds_every_position() {
+        // The murmur3 family validated *in-index*: same table mechanics,
+        // different hash — every reference position must still be findable.
+        let genome = RandomGenomeBuilder::new(5_000).seed(1).build();
+        let map = SeedMap::<crate::Murmur3Builder>::build_with(&genome, &small_config());
+        let xx = SeedMap::build(&genome, &small_config());
+        let seq = genome.chromosome(0).seq();
+        for pos in (0..seq.len() - 8).step_by(97) {
+            let codes = seq.subseq(pos..pos + 8).to_codes();
+            assert!(
+                map.query(&codes).contains(&(pos as u32)),
+                "position {pos} missing from murmur bucket"
+            );
+        }
+        // Same seeds stored, different bucket layout.
+        assert_eq!(map.stats().stored_locations, xx.stats().stored_locations);
+        assert_ne!(map.bucket_size_histogram(8), xx.bucket_size_histogram(8));
     }
 
     #[test]

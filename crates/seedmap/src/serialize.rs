@@ -1,15 +1,18 @@
 //! Binary serialization of [`SeedMap`].
 //!
 //! The offline stage builds SeedMap once per reference (paper §4.2); mapping
-//! runs reload it. Format: magic + version + config + stats header, then the
-//! two tables as little-endian `u32` arrays.
+//! runs reload it. Format: magic + version + config + hasher-id + stats
+//! header, then the two tables as little-endian `u32` arrays. The hasher id
+//! ([`SeedHasher::ID`]) is checked on load, so an index can never be
+//! silently queried with the wrong hash family.
 
-use crate::{SeedMap, SeedMapConfig, SeedMapStats};
+use crate::{SeedHasher, SeedMap, SeedMapConfig, SeedMapStats};
 use bytes::{Buf, BufMut};
 use std::io::{Read, Write};
 
 const MAGIC: u32 = 0x5347_4d58; // "SGMX"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const HEADER_BYTES: usize = 68;
 
 /// Serialization failures.
 #[derive(Debug)]
@@ -37,19 +40,23 @@ impl From<std::io::Error> for SerializeError {
     }
 }
 
-/// Writes `map` to `writer`.
+/// Writes `map` to `writer`, recording the seed-hash family id.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures.
-pub fn write_seedmap<W: Write>(map: &SeedMap, mut writer: W) -> Result<(), SerializeError> {
+pub fn write_seedmap<H: SeedHasher, W: Write>(
+    map: &SeedMap<H>,
+    mut writer: W,
+) -> Result<(), SerializeError> {
     let (config, seed_table, location_table, stats) = map.raw_parts();
-    let mut header = Vec::with_capacity(96);
+    let mut header = Vec::with_capacity(HEADER_BYTES);
     header.put_u32_le(MAGIC);
     header.put_u32_le(VERSION);
     header.put_u32_le(config.seed_len as u32);
     header.put_u32_le(config.filter_threshold);
     header.put_u32_le(config.hash_seed);
+    header.put_u32_le(H::ID);
     header.put_u32_le(seed_table.len() as u32);
     header.put_u64_le(location_table.len() as u64);
     header.put_u64_le(stats.used_buckets);
@@ -75,14 +82,30 @@ pub fn write_seedmap<W: Write>(map: &SeedMap, mut writer: W) -> Result<(), Seria
     Ok(())
 }
 
-/// Reads a [`SeedMap`] previously written by [`write_seedmap`].
+/// Reads a default (xxh32-hashed) [`SeedMap`] previously written by
+/// [`write_seedmap`]. Shorthand for [`read_seedmap_as`] at the default
+/// hasher.
 ///
 /// # Errors
 ///
-/// Returns [`SerializeError::Corrupt`] on bad magic, version or sizes, and
-/// [`SerializeError::Io`] on truncated input.
-pub fn read_seedmap<R: Read>(mut reader: R) -> Result<SeedMap, SerializeError> {
-    let mut header = [0u8; 64];
+/// See [`read_seedmap_as`].
+pub fn read_seedmap<R: Read>(reader: R) -> Result<SeedMap, SerializeError> {
+    read_seedmap_as(reader)
+}
+
+/// Reads a [`SeedMap`] previously written by [`write_seedmap`], verifying
+/// that the serialized index was built with hash family `H`.
+///
+/// # Errors
+///
+/// Returns [`SerializeError::Corrupt`] on bad magic, version or sizes, or
+/// when the stored hasher id differs from `H::ID` (an index must be queried
+/// with the family that built it), and [`SerializeError::Io`] on truncated
+/// input.
+pub fn read_seedmap_as<H: SeedHasher, R: Read>(
+    mut reader: R,
+) -> Result<SeedMap<H>, SerializeError> {
+    let mut header = [0u8; HEADER_BYTES];
     reader.read_exact(&mut header)?;
     let mut h = &header[..];
     if h.get_u32_le() != MAGIC {
@@ -94,6 +117,14 @@ pub fn read_seedmap<R: Read>(mut reader: R) -> Result<SeedMap, SerializeError> {
     let seed_len = h.get_u32_le() as usize;
     let filter_threshold = h.get_u32_le();
     let hash_seed = h.get_u32_le();
+    let hasher_id = h.get_u32_le();
+    if hasher_id != H::ID {
+        return Err(SerializeError::Corrupt(format!(
+            "index was built with seed-hasher id {hasher_id}, not {} ({})",
+            H::ID,
+            H::NAME
+        )));
+    }
     let buckets = h.get_u32_le() as usize;
     let locations = h.get_u64_le() as usize;
     let used_buckets = h.get_u64_le();
@@ -143,6 +174,7 @@ pub fn read_seedmap<R: Read>(mut reader: R) -> Result<SeedMap, SerializeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Murmur3Builder;
     use gx_genome::random::RandomGenomeBuilder;
 
     #[test]
@@ -165,8 +197,46 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_murmur_backed_index() {
+        let genome = RandomGenomeBuilder::new(8_000).seed(16).build();
+        let cfg = SeedMapConfig {
+            seed_len: 12,
+            ..SeedMapConfig::default()
+        };
+        let map = SeedMap::<Murmur3Builder>::build_with(&genome, &cfg);
+        let mut buf = Vec::new();
+        write_seedmap(&map, &mut buf).unwrap();
+        let back = read_seedmap_as::<Murmur3Builder, _>(buf.as_slice()).unwrap();
+        assert_eq!(back.stats(), map.stats());
+        let seq = genome.chromosome(0).seq();
+        for pos in (0..seq.len() - 12).step_by(131) {
+            let codes = seq.subseq(pos..pos + 12).to_codes();
+            assert_eq!(back.query(&codes), map.query(&codes));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_hash_family() {
+        // Loading a murmur-built index as the default xxh32 index must fail
+        // loudly, never return an index whose queries silently miss.
+        let genome = RandomGenomeBuilder::new(3_000).seed(17).build();
+        let cfg = SeedMapConfig {
+            seed_len: 10,
+            ..SeedMapConfig::default()
+        };
+        let map = SeedMap::<Murmur3Builder>::build_with(&genome, &cfg);
+        let mut buf = Vec::new();
+        write_seedmap(&map, &mut buf).unwrap();
+        let err = read_seedmap(buf.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("seed-hasher"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
     fn rejects_bad_magic() {
-        let bytes = vec![0u8; 64];
+        let bytes = vec![0u8; HEADER_BYTES];
         assert!(matches!(
             read_seedmap(bytes.as_slice()),
             Err(SerializeError::Corrupt(_))

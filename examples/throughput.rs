@@ -84,14 +84,32 @@ fn main() {
         serial.elapsed.as_secs_f64() / report.elapsed.as_secs_f64()
     );
     if report.backend.sim_cycles > 0 {
-        println!("sim cycles:       {}", report.backend.sim_cycles);
+        let b = &report.backend;
+        println!("-- modeled accelerator cost, by stage --");
         println!(
-            "modeled reads/sec: {:.0}",
-            report.backend.modeled_reads_per_sec()
+            "seeding (NMSL):   {} cycles, {:.1} nJ",
+            b.seed_cycles,
+            b.seed_energy_pj / 1e3
+        );
+        println!(
+            "fallback (GenDP): {} cycles, {:.3} nJ",
+            b.fallback_cycles,
+            b.fallback_energy_pj / 1e3
+        );
+        println!(
+            "host transfer:    {:.3} µs ({} B in, {} B out)",
+            b.transfer_seconds * 1e6,
+            b.input_bytes,
+            b.output_bytes
+        );
+        println!(
+            "modeled reads/sec: {:.0} (accelerator), {:.0} (system incl. transfer)",
+            b.modeled_reads_per_sec(),
+            b.system_reads_per_sec()
         );
         println!(
             "modeled energy:   {:.1} nJ/pair",
-            report.backend.energy_pj_per_pair() / 1e3
+            b.energy_pj_per_pair() / 1e3
         );
     }
     assert_eq!(

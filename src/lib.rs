@@ -13,9 +13,11 @@
 //!   filtering, light alignment, fallback plumbing).
 //! * [`pipeline`] — the throughput engine: batching front-end, worker pool
 //!   with sharded statistics, and an ordered SAM emitter (see below).
-//! * [`backend`] — pluggable mapping backends behind one
-//!   [`backend::MapBackend`] trait: the software reference and the NMSL
-//!   accelerator timing model, interchangeable under the pipeline.
+//! * [`backend`] — pluggable mapping backends behind the
+//!   [`backend::MapBackend`] factory / [`backend::MapSession`] session
+//!   split: the software reference and the NMSL accelerator system model
+//!   (warm per-worker simulator state, GenDP fallback costing, host-link
+//!   transfer accounting), interchangeable under the pipeline.
 //! * [`baseline`] — minimap2-style software mapper and comparator models.
 //! * [`memsim`] — cycle-level DRAM simulator (HBM2e/DDR5/GDDR6) and SRAM
 //!   cost models.
@@ -80,10 +82,12 @@
 //! # Mapping backends: software vs accelerator on identical workloads
 //!
 //! `.engine(&mapper)` is shorthand for attaching the software backend. The
-//! same engine drives the GenPairX accelerator model instead — mapping
-//! results (and therefore SAM bytes) are identical, but the report gains
-//! cycle-accurate simulated latency and DRAM energy from the NMSL +
-//! `gx-memsim` timing model:
+//! same engine drives the GenPairX accelerator system model instead —
+//! mapping results (and therefore SAM bytes) are identical, but the report
+//! gains a per-stage modeled cost breakdown: NMSL seeding cycles and DRAM
+//! energy from a **warm** per-worker simulator whose state persists across
+//! batches, GenDP cycles for every pair that left the fast path, and
+//! host-link transfer seconds for every batch's bytes:
 //!
 //! ```
 //! use genpairx::genome::random::RandomGenomeBuilder;
@@ -107,8 +111,9 @@
 //!     .backend(NmslBackend::new(&mapper));
 //! let (_, report) = engine.run_collect(pairs);
 //! assert_eq!(report.backend_name, "nmsl");
-//! assert!(report.backend.sim_cycles > 0);
+//! assert!(report.backend.seed_cycles > 0);
 //! assert!(report.backend.energy_pj > 0.0);
+//! assert!(report.backend.transfer_seconds > 0.0);
 //! ```
 
 pub use gx_accel as accel;

@@ -6,7 +6,7 @@
 //! extends the same guarantee to the NMSL accelerator backend: identical
 //! SAM bytes, diverging only in reported (simulated) cost.
 
-use genpairx::backend::NmslBackend;
+use genpairx::backend::{DispatchMode, NmslBackend};
 use genpairx::core::{GenPairConfig, GenPairMapper, PipelineStats};
 use genpairx::genome::ReferenceGenome;
 use genpairx::pipeline::{
@@ -72,10 +72,12 @@ fn parallel_sam_is_byte_identical_to_serial() {
 #[test]
 fn nmsl_backend_sam_is_byte_identical_to_software() {
     // The co-design contract: the accelerator backend maps with the same
-    // algorithm, so for any thread count and batch size its ordered SAM
-    // stream equals the software backend's — only the reported cost model
-    // differs. Batch size 1 exercises one NMSL dispatch per pair; 64 gives
-    // multi-pair sliding-window dispatches.
+    // algorithm, so for any thread count, batch size and dispatch mode its
+    // ordered SAM stream equals the software backend's — only the reported
+    // cost model differs. Warm sessions carry simulator state across the
+    // batches each worker maps; this must never influence results. Batch
+    // size 1 exercises one NMSL dispatch per pair; 64 gives multi-pair
+    // sliding-window dispatches.
     let genome = standard_genome(180_000, 12);
     let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
     let pairs: Vec<ReadPair> = simulate_dataset(&genome, &DATASETS[0], 70)
@@ -86,34 +88,135 @@ fn nmsl_backend_sam_is_byte_identical_to_software() {
     let (expected, software_stats) =
         serial_sam(&genome, &mapper, &pairs, FallbackPolicy::EmitUnmapped);
 
-    for threads in [1usize, 4] {
-        for batch_size in [1usize, 64] {
-            let engine = PipelineBuilder::new()
-                .threads(threads)
-                .batch_size(batch_size)
-                .backend(NmslBackend::new(&mapper));
-            let mut sink = SamTextSink::with_header(&genome, Vec::new()).unwrap();
-            let report = engine.run(pairs.iter().cloned(), &mut sink).unwrap();
-            let got = sink.into_inner().unwrap();
-            assert!(
-                got == expected,
-                "NMSL SAM bytes diverge at threads={threads} batch_size={batch_size}"
-            );
-            assert_eq!(
-                report.stats, software_stats,
-                "algorithm stats diverge at threads={threads} batch_size={batch_size}"
-            );
-            // The accelerator model actually ran: per-batch dispatches with
-            // nonzero simulated cost.
-            assert_eq!(report.backend_name, "nmsl");
-            assert_eq!(report.backend.batches, report.batches);
-            assert_eq!(report.backend.pairs, pairs.len() as u64);
-            assert!(
-                report.backend.sim_cycles > 0 && report.backend.energy_pj > 0.0,
-                "missing simulated cost at threads={threads} batch_size={batch_size}"
-            );
+    for mode in [DispatchMode::Warm, DispatchMode::Cold] {
+        for threads in [1usize, 4] {
+            for batch_size in [1usize, 64] {
+                let engine = PipelineBuilder::new()
+                    .threads(threads)
+                    .batch_size(batch_size)
+                    .backend(NmslBackend::new(&mapper).dispatch_mode(mode));
+                let mut sink = SamTextSink::with_header(&genome, Vec::new()).unwrap();
+                let report = engine.run(pairs.iter().cloned(), &mut sink).unwrap();
+                let got = sink.into_inner().unwrap();
+                assert!(
+                    got == expected,
+                    "NMSL SAM bytes diverge at threads={threads} batch_size={batch_size} {mode:?}"
+                );
+                assert_eq!(
+                    report.stats, software_stats,
+                    "algorithm stats diverge at threads={threads} batch_size={batch_size} {mode:?}"
+                );
+                // The accelerator model actually ran: per-batch dispatches
+                // with nonzero simulated cost in every stage.
+                assert_eq!(report.backend_name, "nmsl");
+                assert_eq!(report.backend.batches, report.batches);
+                assert_eq!(report.backend.pairs, pairs.len() as u64);
+                assert!(
+                    report.backend.seed_cycles > 0 && report.backend.energy_pj > 0.0,
+                    "missing simulated cost at threads={threads} batch_size={batch_size} {mode:?}"
+                );
+                assert_eq!(
+                    report.backend.sim_cycles,
+                    report.backend.seed_cycles + report.backend.fallback_cycles
+                );
+                assert!(
+                    report.backend.transfer_seconds > 0.0,
+                    "host transfer unaccounted at threads={threads} batch_size={batch_size}"
+                );
+                assert!(report.backend.input_bytes > 0 && report.backend.output_bytes > 0);
+            }
         }
     }
+}
+
+#[test]
+fn warm_dispatch_cycles_never_exceed_cold() {
+    // The warm-state regression the backend refactor exists for: one
+    // worker streaming batches through a persistent simulator must model
+    // no more seeding cycles than the cold per-batch sum on the same
+    // workload — the overlapped drain can only help. Fallback and transfer
+    // stages are dispatch-mode independent.
+    let genome = standard_genome(200_000, 14);
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+    let pairs: Vec<ReadPair> = simulate_dataset(&genome, &DATASETS[0], 120)
+        .into_iter()
+        .map(|p| ReadPair::new(p.id, p.r1.seq, p.r2.seq))
+        .collect();
+
+    let run_mode = |mode: DispatchMode| {
+        let engine = PipelineBuilder::new()
+            .threads(1)
+            .batch_size(16)
+            .backend(NmslBackend::new(&mapper).dispatch_mode(mode));
+        let (_, report) = engine.run_collect(pairs.clone());
+        report.backend
+    };
+    let warm = run_mode(DispatchMode::Warm);
+    let cold = run_mode(DispatchMode::Cold);
+    assert_eq!(warm.pairs, cold.pairs);
+    assert!(warm.seed_cycles > 0);
+    assert!(
+        warm.seed_cycles <= cold.seed_cycles,
+        "warm {} vs cold {} seeding cycles",
+        warm.seed_cycles,
+        cold.seed_cycles
+    );
+    assert_eq!(warm.fallback_cycles, cold.fallback_cycles);
+    assert_eq!(warm.input_bytes, cold.input_bytes);
+    assert_eq!(warm.output_bytes, cold.output_bytes);
+    // Identical DRAM traffic: warm changes *when* requests run, not what
+    // runs.
+    assert_eq!(warm.dram_bytes, cold.dram_bytes);
+    assert_eq!(warm.dram_requests, cold.dram_requests);
+}
+
+#[test]
+fn gendp_charged_exactly_for_the_fallback_share() {
+    // Hand-crafted exact pairs stay on the light path: no pair reaches
+    // GenDP, so the fallback stage must report zero. Adding a foreign pair
+    // (which must fall back) makes it nonzero — the stage accounting
+    // follows `fallback.is_some()` exactly.
+    let genome = genpairx::genome::random::RandomGenomeBuilder::new(150_000)
+        .seed(15)
+        .build();
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+    let seq = genome.chromosome(0).seq();
+    let clean: Vec<ReadPair> = (0..24)
+        .map(|i| {
+            let s = 2_000 + i * 5_000;
+            ReadPair::new(
+                format!("c{i}"),
+                seq.subseq(s..s + 150),
+                seq.subseq(s + 250..s + 400).revcomp(),
+            )
+        })
+        .collect();
+
+    let engine = PipelineBuilder::new()
+        .threads(2)
+        .batch_size(8)
+        .backend(NmslBackend::new(&mapper));
+    let (_, clean_report) = engine.run_collect(clean.clone());
+    assert_eq!(clean_report.stats.fallback_total(), 0);
+    assert_eq!(clean_report.backend.fallback_cycles, 0);
+    assert_eq!(clean_report.backend.fallback_seconds, 0.0);
+    assert_eq!(clean_report.backend.fallback_energy_pj, 0.0);
+    // Seeding and transfer still charged for every pair.
+    assert!(clean_report.backend.seed_cycles > 0);
+    assert!(clean_report.backend.transfer_seconds > 0.0);
+
+    let foreign = standard_genome(8_000, 0xFEED);
+    let oseq = foreign.chromosome(0).seq();
+    let mut with_alien = clean;
+    with_alien.push(ReadPair::new(
+        "alien",
+        oseq.subseq(100..250),
+        oseq.subseq(300..450).revcomp(),
+    ));
+    let (_, dirty_report) = engine.run_collect(with_alien);
+    assert!(dirty_report.stats.fallback_total() > 0);
+    assert!(dirty_report.backend.fallback_cycles > 0);
+    assert!(dirty_report.backend.fallback_energy_pj > 0.0);
 }
 
 #[test]
