@@ -1,4 +1,10 @@
-//! GenDP fallback accelerator model (paper §7.4).
+//! GenDP fallback accelerator model (paper §7.4, Table 4).
+//!
+//! This module reproduces the paper's **Table 4** sizing of the GenDP
+//! fallback engines (area/power per chaining and alignment PE array at the
+//! 192.7 MPair/s operating point); the backend layer uses the same
+//! instance to *price* fallback pairs (cells → cycles and picojoules) in
+//! the end-to-end system accounting behind Fig. 11.
 //!
 //! GenDP is the DP accelerator that handles GenPair's residual read pairs
 //! (chaining for full fallbacks, banded Smith–Waterman for alignment
@@ -106,7 +112,7 @@ fn banded_cells(read_len: usize) -> u64 {
 ///   path ran its banded DP, otherwise the banded estimate for both ends;
 /// * [`FallbackStage::SeedMapMiss`] / [`FallbackStage::PaFilter`] — the full
 ///   traditional pipeline: chaining over the pair's candidate anchors
-///   (quadratic in the anchor count, floored at [`MIN_CHAIN_ANCHORS`])
+///   (quadratic in the anchor count, floored at `MIN_CHAIN_ANCHORS` = 8)
 ///   plus banded alignment of both ends.
 pub fn fallback_cells(res: &PairMapResult, r1_len: usize, r2_len: usize) -> FallbackCells {
     match res.fallback {

@@ -5,6 +5,14 @@
 //! 14.5 GB/s of read data in and 5.4 GB/s of locations + CIGARs out; both
 //! fit a 16-lane PCIe Gen3/Gen4 link, so host bandwidth is not the
 //! bottleneck.
+//!
+//! Besides the bandwidth feasibility check, this module holds the two
+//! host-link *time* primitives the backend layer charges actual batches
+//! with: [`HostTraffic::transfer_seconds`] (raw full-duplex link time for a
+//! batch's bytes) and [`HostTraffic::exposed_transfer_seconds`] (the serial
+//! residue of that time once double-buffered DMA overlaps a batch's
+//! transfer with the previous batch's compute — the deployment the paper's
+//! Fig. 11 end-to-end numbers assume).
 
 /// Usable bandwidth of a 16-lane PCIe Gen 3 link in GB/s (8 GT/s,
 /// 128b/130b encoding, ~85% protocol efficiency).
@@ -66,6 +74,24 @@ impl HostTraffic {
         }
         input_bytes.max(output_bytes) as f64 / (link_gbs * 1e9)
     }
+
+    /// The *exposed* (serial) share of a batch transfer under
+    /// double-buffered DMA: while the accelerator computes on batch N−1 for
+    /// `overlap_compute_seconds`, batch N's `transfer_seconds` streams
+    /// concurrently, so only the excess `max(transfer − compute, 0)` extends
+    /// the end-to-end timeline. A pipeline's total system time is then
+    /// `Σ compute + Σ exposed` instead of the fully serialized
+    /// `Σ compute + Σ transfer`:
+    ///
+    /// * transfer-bound batches (`transfer > compute`) expose the
+    ///   difference;
+    /// * compute-bound batches (`transfer ≤ compute`) hide the transfer
+    ///   entirely and expose nothing;
+    /// * the stream's first batch has no previous compute to hide behind
+    ///   (callers pass 0 and get the full transfer back).
+    pub fn exposed_transfer_seconds(transfer_seconds: f64, overlap_compute_seconds: f64) -> f64 {
+        (transfer_seconds - overlap_compute_seconds).max(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -124,5 +150,22 @@ mod tests {
             HostTraffic::transfer_seconds(0, 5_000, 1.0)
         );
         assert_eq!(HostTraffic::transfer_seconds(100, 100, 0.0), 0.0);
+    }
+
+    #[test]
+    fn exposed_transfer_is_the_serial_residue() {
+        // Transfer-bound: the excess beyond the overlapped compute leaks out.
+        assert!((HostTraffic::exposed_transfer_seconds(5e-4, 2e-4) - 3e-4).abs() < 1e-18);
+        // Compute-bound: the transfer hides completely.
+        assert_eq!(HostTraffic::exposed_transfer_seconds(2e-4, 5e-4), 0.0);
+        // Exact balance: nothing exposed.
+        assert_eq!(HostTraffic::exposed_transfer_seconds(3e-4, 3e-4), 0.0);
+        // First batch of a stream: no previous compute, fully exposed.
+        assert_eq!(HostTraffic::exposed_transfer_seconds(7e-4, 0.0), 7e-4);
+        // Exposed time never exceeds the raw transfer and is never negative.
+        for &(t, c) in &[(1e-3, 0.0), (1e-3, 1e-4), (1e-4, 1e-3), (0.0, 1e-3)] {
+            let e = HostTraffic::exposed_transfer_seconds(t, c);
+            assert!((0.0..=t).contains(&e), "t={t} c={c} e={e}");
+        }
     }
 }

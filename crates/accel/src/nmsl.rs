@@ -1,5 +1,13 @@
 //! The Near-Memory Seed Locator (paper §5.2, Fig. 7/8).
 //!
+//! This module reproduces the paper's NMSL microarchitecture claims: the
+//! **Fig. 8** sliding-window sweep (`fig08_window_sweep`), the **Fig. 9**
+//! NMSL-vs-CPU seeding comparison (`fig09_nmsl_compare`), the Table 6
+//! memory-technology scaling study (`table06_memory_tech`), and — through
+//! the persistent streaming interface the backend layer drives — the
+//! warm-dispatch seeding share of the **Fig. 11** end-to-end system
+//! numbers.
+//!
 //! NMSL partitions the Seed and Location Tables across all memory channels
 //! (channel = seed hash mod channels), feeds each channel through an input
 //! FIFO, and bounds the number of in-flight read pairs with a *sliding

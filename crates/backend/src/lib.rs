@@ -51,6 +51,12 @@
 //! assert!(hw_stats.seed_cycles > 0);
 //! assert!(hw_stats.transfer_seconds > 0.0);
 //! ```
+//!
+//! The subsystem map — which crate owns which stage, and how a pair flows
+//! from FASTQ to SAM plus stats — lives in the repository-root
+//! `ARCHITECTURE.md`.
+
+#![warn(missing_docs)]
 
 mod nmsl;
 mod software;

@@ -13,19 +13,27 @@
 //!   ([`gx_core::seeding::query_read`]) — in-genome seeds must hit (both
 //!   hashers deliver this by construction), while *foreign* reads measure
 //!   the collision-induced false-hit rate that sends junk down the PA
-//!   filter.
+//!   filter;
+//! * **end-to-end mapping accuracy** — [`GenPairMapper`] itself is generic
+//!   over the hash family, so the same dataset is mapped through the *real*
+//!   pipeline (seeding → query → PA filter → light align → fallbacks) once
+//!   per hasher, and per-family light-path / mapped / fallback rates come
+//!   out of [`PipelineStats`].
 //!
-//! One JSON line per hasher:
+//! One JSON line per hasher and section:
 //!
 //! ```text
-//! {"harness":"ablation_seedhash","hasher":"xxh32","in_index":true,...}
+//! {"harness":"ablation_seedhash","section":"index","hasher":"xxh32",...}
+//! {"harness":"ablation_seedhash","section":"end_to_end","hasher":"xxh32",...}
 //! ```
 //!
 //! Knobs: `GX_GENOME_SIZE`, `GX_PAIRS`.
 
 use gx_bench::{bench_genome, env_usize};
 use gx_core::seeding::query_read;
+use gx_core::{GenPairConfig, GenPairMapper, PipelineStats};
 use gx_genome::DnaSeq;
+use gx_readsim::SimulatedPair;
 use gx_seedmap::{Murmur3Builder, SeedHasher, SeedMap, SeedMapConfig, Xxh32Builder};
 
 /// Counts reads' partitioned seeds that hit at least one location in the
@@ -53,7 +61,7 @@ fn report<H: SeedHasher>(map: &SeedMap<H>, native: &[DnaSeq], foreign: &[DnaSeq]
     let (foreign_hits, foreign_total) = seed_hits(foreign, map);
     println!(
         concat!(
-            "{{\"harness\":\"ablation_seedhash\",\"hasher\":\"{}\",\"in_index\":true,",
+            "{{\"harness\":\"ablation_seedhash\",\"section\":\"index\",\"hasher\":\"{}\",",
             "\"buckets\":{},\"used_buckets\":{},\"stored_locations\":{},",
             "\"max_bucket\":{},\"mean_locs_per_used_bucket\":{:.3},",
             "\"filtered_buckets\":{},\"filtered_locations\":{},",
@@ -77,6 +85,37 @@ fn report<H: SeedHasher>(map: &SeedMap<H>, native: &[DnaSeq], foreign: &[DnaSeq]
     );
 }
 
+/// Maps the dataset end to end through a mapper built on hash family `H`
+/// and prints its pipeline statistics.
+fn report_end_to_end<H: SeedHasher>(
+    genome: &gx_genome::ReferenceGenome,
+    pairs: &[SimulatedPair],
+) -> PipelineStats {
+    let mapper = GenPairMapper::<H>::build_with(genome, &GenPairConfig::default());
+    let mut stats = PipelineStats::new();
+    for p in pairs {
+        stats.record(&mapper.map_pair(&p.r1.seq, &p.r2.seq));
+    }
+    println!(
+        concat!(
+            "{{\"harness\":\"ablation_seedhash\",\"section\":\"end_to_end\",\"hasher\":\"{}\",",
+            "\"pairs\":{},\"light_mapped\":{},\"light_pct\":{:.2},",
+            "\"mapped_pct\":{:.2},\"fallback_total\":{},",
+            "\"seedmap_miss\":{},\"pa_filter\":{},\"dp_aligned\":{}}}"
+        ),
+        H::NAME,
+        stats.pairs,
+        stats.light_mapped,
+        stats.light_mapped_pct(),
+        stats.mapped_pct(),
+        stats.fallback_total(),
+        stats.fallback_seedmap,
+        stats.fallback_pafilter,
+        stats.dp_aligned,
+    );
+    stats
+}
+
 fn main() {
     use gx_readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
 
@@ -91,9 +130,10 @@ fn main() {
     // In-genome reads: every seed has a true location, so the hit rate
     // measures nothing but plumbing (must be ~1.0 for both hashers).
     // Foreign reads: no true locations, so every hit is a hash collision.
-    let native: Vec<DnaSeq> = simulate_dataset(&genome, &DATASETS[0], n_pairs)
-        .into_iter()
-        .flat_map(|p| [p.r1.seq, p.r2.seq])
+    let native_pairs = simulate_dataset(&genome, &DATASETS[0], n_pairs);
+    let native: Vec<DnaSeq> = native_pairs
+        .iter()
+        .flat_map(|p| [p.r1.seq.clone(), p.r2.seq.clone()])
         .collect();
     let foreign_genome = standard_genome(genome.total_len(), 0xDEAD_BEEF);
     let foreign: Vec<DnaSeq> = simulate_dataset(&foreign_genome, &DATASETS[0], n_pairs)
@@ -114,4 +154,20 @@ fn main() {
         mm.stats().stored_locations + mm.stats().filtered_locations,
         "both indexes must see every genome seed window"
     );
+
+    // End-to-end accuracy A/B: the mapper itself is generic over the hash
+    // family (ROADMAP's "route GenPairMapper over SeedMap<H>" item), so
+    // per-family mapping rates come from the real pipeline, not a model.
+    let xx_stats = report_end_to_end::<Xxh32Builder>(&genome, &native_pairs);
+    let mm_stats = report_end_to_end::<Murmur3Builder>(&genome, &native_pairs);
+    assert_eq!(xx_stats.pairs, mm_stats.pairs);
+    // In-genome seeds hit under any sound hash family: both mappers must
+    // resolve the overwhelming share of simulated pairs.
+    for (name, stats) in [("xxh32", &xx_stats), ("murmur3", &mm_stats)] {
+        assert!(
+            stats.mapped_pct() > 50.0,
+            "{name} mapped only {:.1}% end to end",
+            stats.mapped_pct()
+        );
+    }
 }

@@ -4,12 +4,20 @@
 //!
 //! ```text
 //! caller thread          worker threads (N)            emitter thread
-//! ┌────────────┐  work   ┌──────────────────┐ results ┌──────────────┐
+//! ┌────────────┐  steal  ┌──────────────────┐ results ┌──────────────┐
 //! │ Batcher    │ ──────► │ backend.map_batch│ ──────► │ reorder by   │
-//! │ (chunking) │  chan   │ + shard stats    │  chan   │ batch index, │
+//! │ (chunking) │  queue  │ + shard stats    │  chan   │ batch index, │
 //! └────────────┘         └──────────────────┘         │ stream SAM   │
 //!                                                     └──────────────┘
 //! ```
+//!
+//! Batches travel from the front-end to the workers through a
+//! [`WorkStealQueue`](crate::WorkStealQueue): a bounded shared injector
+//! plus one stealable deque per worker (owner pops LIFO, thieves steal
+//! FIFO), so the common hand-off takes one per-worker lock instead of
+//! serializing every dispatch on a single shared channel lock. Stealing
+//! reshuffles only *which worker* maps a batch — the ordered emitter makes
+//! the output independent of that, as it always was of scheduler timing.
 //!
 //! The engine is generic over a [`MapBackend`]: the same worker pool drives
 //! the software reference ([`SoftwareBackend`](gx_backend::SoftwareBackend))
@@ -36,6 +44,7 @@
 use crate::batch::{Batch, Batcher};
 use crate::config::{FallbackPolicy, PipelineConfig};
 use crate::sink::{RecordSink, VecSink};
+use crate::steal::WorkStealQueue;
 use gx_backend::{BackendStats, MapBackend, MapSession};
 use gx_core::{pair_mapping_to_sam, GenPairMapper, PairMapResult, PipelineStats, ReadPair};
 use gx_genome::{flags, SamRecord};
@@ -45,10 +54,33 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+/// Batches a worker's refill moves from the injector at once: one to map
+/// immediately plus up to three parked on its deque for itself (LIFO) or
+/// idle thieves (FIFO). Small enough that a straggler worker can only sit
+/// on a few batches — and those are exactly the ones thieves may take.
+const REFILL_CHUNK: usize = 4;
+
 /// One mapped batch travelling from a worker to the emitter.
 struct BatchOutput {
     index: u64,
     records: Vec<SamRecord>,
+}
+
+/// Tears the dispatch queue down if the owning thread unwinds, so no other
+/// thread is left blocked on a queue nobody will ever drain again: a
+/// panicking worker stops popping (the feeder would park forever in
+/// `push` on a full injector), and a panicking feeder stops pushing and
+/// never calls `close` (the workers would park forever in `pop`). The
+/// queue is idempotent under abort-after-close, so the guard is a no-op
+/// on every normal exit path.
+struct AbortOnPanic<'a>(&'a WorkStealQueue<Batch>);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.abort();
+        }
+    }
 }
 
 /// Outcome of a pipeline run.
@@ -217,7 +249,10 @@ impl<B: MapBackend> MappingEngine<B> {
         let backend = &self.backend;
         let started = Instant::now();
 
-        let (work_tx, work_rx) = mpsc::sync_channel::<Batch>(cfg.queue_depth);
+        // Work-stealing dispatch: the injector's capacity is the old
+        // channel's queue depth, so front-end backpressure is unchanged.
+        let queue = WorkStealQueue::<Batch>::new(cfg.threads, cfg.queue_depth, REFILL_CHUNK);
+        let queue = &queue;
         let (result_tx, result_rx) =
             mpsc::sync_channel::<BatchOutput>(cfg.queue_depth + cfg.threads);
         // Caps batches admitted past the last *emitted* one, bounding the
@@ -228,24 +263,22 @@ impl<B: MapBackend> MappingEngine<B> {
         let progress = Arc::new((Mutex::new(0u64), Condvar::new()));
 
         let (stats, backend_stats, write_result, batches) = std::thread::scope(|scope| {
-            let work_rx = Arc::new(Mutex::new(work_rx));
             let mut workers = Vec::with_capacity(cfg.threads);
             for worker_id in 0..cfg.threads {
-                let rx = Arc::clone(&work_rx);
                 let tx = result_tx.clone();
                 workers.push(scope.spawn(move || {
+                    // A panicking worker (backend bug) must not leave the
+                    // feeder parked on a full injector.
+                    let _teardown = AbortOnPanic(queue);
                     let mut shard = PipelineStats::new();
                     let mut backend_shard = BackendStats::new();
                     // One stateful session per worker for the whole run:
                     // accelerator sessions keep their simulator warm across
                     // every batch this worker maps.
                     let mut session = backend.session(worker_id);
-                    loop {
-                        // One worker at a time blocks in recv() holding the
-                        // lock; the sender never takes it, so this cannot
-                        // deadlock and batches are handed out as they arrive.
-                        let batch = rx.lock().expect("work queue poisoned").recv();
-                        let Ok(batch) = batch else { break };
+                    // Own deque LIFO, injector refill, FIFO steal — in that
+                    // order; None once the input is closed and drained.
+                    while let Some(batch) = queue.pop(worker_id) {
                         let out = session.map_batch(&batch.pairs);
                         assert_eq!(
                             out.results.len(),
@@ -265,7 +298,12 @@ impl<B: MapBackend> MappingEngine<B> {
                             })
                             .is_err()
                         {
-                            break; // emitter gone (I/O error): unwind quietly
+                            // Emitter gone (I/O error): tear the dispatch
+                            // queue down so a feeder blocked in push() wakes
+                            // with a failure and siblings drain out, then
+                            // unwind quietly.
+                            queue.abort();
+                            break;
                         }
                     }
                     // Flush the session: warm simulators drain their
@@ -274,10 +312,6 @@ impl<B: MapBackend> MappingEngine<B> {
                     (shard, backend_shard)
                 }));
             }
-            // Only the workers may keep the work queue alive: when they all
-            // exit early (emitter I/O error), the receiver must drop so the
-            // feeder's blocked send wakes with an error instead of hanging.
-            drop(work_rx);
             drop(result_tx); // emitter's recv loop ends when workers finish
 
             let emitter_progress = Arc::clone(&progress);
@@ -312,9 +346,12 @@ impl<B: MapBackend> MappingEngine<B> {
                 result
             });
 
-            // Batching front-end on the calling thread. A send fails only
-            // when every worker has exited early (emitter I/O error); stop
-            // feeding instead of blocking forever.
+            // Batching front-end on the calling thread. A push fails only
+            // when the workers tore the queue down (emitter I/O error);
+            // stop feeding instead of blocking forever. If the *input
+            // iterator* panics, the guard aborts the queue so workers
+            // don't park forever waiting for a close that never comes.
+            let _teardown = AbortOnPanic(queue);
             let mut batches = 0u64;
             for batch in Batcher::new(input.into_iter(), cfg.batch_size) {
                 // Park until the batch fits the in-flight window.
@@ -326,11 +363,11 @@ impl<B: MapBackend> MappingEngine<B> {
                     }
                 }
                 batches += 1;
-                if work_tx.send(batch).is_err() {
+                if !queue.push(batch) {
                     break;
                 }
             }
-            drop(work_tx);
+            queue.close();
 
             let shards: Vec<(PipelineStats, BackendStats)> = workers
                 .into_iter()
@@ -556,6 +593,44 @@ mod tests {
         assert_eq!(report.stats.pairs, 0);
         assert_eq!(report.batches, 0);
         assert_eq!(report.backend.pairs, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapping worker panicked")]
+    fn worker_panic_propagates_instead_of_hanging() {
+        // A backend that panics mid-run must propagate, not deadlock: the
+        // unwinding worker tears the dispatch queue down, so the feeder —
+        // parked on the in-flight window or a full injector — wakes and
+        // stops feeding instead of waiting on pops that will never come.
+        struct PanicBackend;
+        struct PanicSession;
+        impl MapBackend for PanicBackend {
+            type Session<'s>
+                = PanicSession
+            where
+                Self: 's;
+            fn name(&self) -> &'static str {
+                "panic"
+            }
+            fn session(&self, _worker_id: usize) -> PanicSession {
+                PanicSession
+            }
+        }
+        impl MapSession for PanicSession {
+            fn map_batch(&mut self, _pairs: &[ReadPair]) -> gx_backend::BatchResult {
+                panic!("injected backend failure");
+            }
+        }
+        let (_, pairs) = setup();
+        // Tiny queue + one worker: without teardown-on-unwind the feeder
+        // blocks forever and this test times out instead of panicking.
+        let engine = PipelineBuilder::new()
+            .threads(1)
+            .batch_size(1)
+            .queue_depth(1)
+            .backend(PanicBackend);
+        let mut sink = VecSink::new();
+        let _ = engine.run(pairs, &mut sink);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //!   [`read_pairs_from_fastq`]) that chunks read pairs — from simulators or
 //!   mate-paired FASTQ, streamed incrementally so datasets never need to be
 //!   materialized — into fixed-size batches;
-//! * a **worker pool** ([`MappingEngine`]) of OS threads over bounded
-//!   channels, generic over a pluggable [`MapBackend`] (the software
+//! * a **worker pool** ([`MappingEngine`]) of OS threads fed through a
+//!   bounded **work-stealing queue** ([`WorkStealQueue`]: shared injector +
+//!   per-worker deques, owner pops LIFO, thieves steal FIFO), generic over
+//!   a pluggable [`MapBackend`] (the software
 //!   reference [`SoftwareBackend`] or the NMSL accelerator system model
 //!   [`NmslBackend`] from `gx-backend`); each worker opens one stateful
 //!   [`MapSession`] for the whole run (accelerator sessions keep their
@@ -56,10 +58,17 @@
 //! assert_eq!(report.stats.pairs, 8);
 //! ```
 
+//! The subsystem map — which crate owns which stage, and how a pair flows
+//! from FASTQ to SAM plus stats — lives in the repository-root
+//! `ARCHITECTURE.md`.
+
+#![warn(missing_docs)]
+
 mod batch;
 mod config;
 mod engine;
 mod sink;
+mod steal;
 
 pub use batch::{read_pairs_from_fastq, ReadPairStream};
 pub use config::{FallbackPolicy, PipelineBuilder, PipelineConfig};
@@ -69,3 +78,4 @@ pub use gx_backend::{
 };
 pub use gx_core::ReadPair;
 pub use sink::{RecordSink, SamTextSink, VecSink};
+pub use steal::WorkStealQueue;

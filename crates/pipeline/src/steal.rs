@@ -1,0 +1,358 @@
+//! Work-stealing batch dispatch: a bounded shared injector plus one
+//! stealable deque per worker.
+//!
+//! PR 1–3 handed batches to workers through a single `Mutex<Receiver>`,
+//! which serializes every hand-off on one lock — the scaling wall ROADMAP
+//! names once worker counts grow. [`WorkStealQueue`] replaces it with the
+//! classic work-stealing shape, built on `std::sync` only (the container
+//! has no crates.io access, so no `crossbeam-deque`):
+//!
+//! * a bounded **injector** — the global FIFO the batching front-end pushes
+//!   into ([`push`](WorkStealQueue::push) blocks when full, preserving the
+//!   engine's end-to-end backpressure);
+//! * one **deque per worker** — on an empty deque the owner refills from
+//!   the injector in small chunks (one batch to run now, the surplus parked
+//!   locally), then works off its own deque newest-first (**owner pops
+//!   LIFO**, the cache-warm end);
+//! * **thieves steal FIFO** — a worker that finds both its deque and the
+//!   injector empty scans the other workers' deques and takes their
+//!   *oldest* parked batch, the end the owner touches last.
+//!
+//! Contention drops because the common case (owner popping its own deque)
+//! takes only that worker's lock; the injector lock is touched once per
+//! refill chunk instead of once per batch. Batch *completion order* was
+//! never deterministic under the old channel either — the ordered emitter
+//! reassembles output by batch index — so stealing changes nothing
+//! downstream: SAM bytes stay byte-identical for any thread count, batch
+//! size, or steal schedule (`tests/e2e_pipeline.rs` enforces this).
+//!
+//! Lock ordering: the injector lock may be held while taking a deque lock
+//! (refill parks surplus, thieves scan under the injector lock so a parked
+//! batch can never be missed between "injector empty" and "deques empty"),
+//! never the reverse. Owners take their own deque lock alone.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// The injector state guarded by the main lock.
+struct Injector<T> {
+    queue: VecDeque<T>,
+    /// No more pushes will arrive (normal end of input).
+    closed: bool,
+    /// The consumer side is gone (emitter I/O error): pushes must fail
+    /// instead of blocking on a queue nobody will drain.
+    aborted: bool,
+}
+
+/// A bounded multi-producer work-stealing queue of batches.
+///
+/// Dispatch discipline: the feeder [`push`](WorkStealQueue::push)es into a
+/// bounded shared injector; a worker [`pop`](WorkStealQueue::pop)s its own
+/// deque LIFO, refills from the injector in chunks (parking the surplus on
+/// its deque), and failing both steals the *oldest* parked batch of a
+/// sibling (FIFO). See the source module header for the locking rationale.
+///
+/// Shared by reference across the feeder and all worker threads; all
+/// methods take `&self`.
+pub struct WorkStealQueue<T> {
+    injector: Mutex<Injector<T>>,
+    /// Signalled when work arrives or the queue closes/aborts.
+    work_available: Condvar,
+    /// Signalled when injector space frees up (for the blocked feeder).
+    space_available: Condvar,
+    /// Injector capacity in items (the engine passes its queue depth).
+    capacity: usize,
+    /// Items a refill moves from the injector at once (1 to run + the rest
+    /// parked on the owner's deque for itself or thieves).
+    refill_chunk: usize,
+    /// One stealable deque per worker: owner pops the back (LIFO), thieves
+    /// pop the front (FIFO).
+    deques: Vec<Mutex<VecDeque<T>>>,
+    /// Batches obtained by stealing from another worker's deque.
+    steals: AtomicU64,
+    /// Injector→deque refill transactions.
+    refills: AtomicU64,
+}
+
+impl<T> WorkStealQueue<T> {
+    /// A queue for `workers` workers with the given injector `capacity` and
+    /// `refill_chunk` (both clamped to at least 1).
+    pub fn new(workers: usize, capacity: usize, refill_chunk: usize) -> WorkStealQueue<T> {
+        WorkStealQueue {
+            injector: Mutex::new(Injector {
+                queue: VecDeque::new(),
+                closed: false,
+                aborted: false,
+            }),
+            work_available: Condvar::new(),
+            space_available: Condvar::new(),
+            capacity: capacity.max(1),
+            refill_chunk: refill_chunk.max(1),
+            deques: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            steals: AtomicU64::new(0),
+            refills: AtomicU64::new(0),
+        }
+    }
+
+    /// Pushes one item into the injector, blocking while it is full.
+    /// Returns `false` (dropping `item`) if the queue was aborted — the
+    /// worker side has unwound and will never drain it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`close`](WorkStealQueue::close).
+    pub fn push(&self, item: T) -> bool {
+        let mut inj = self.injector.lock().expect("injector poisoned");
+        if inj.aborted {
+            return false;
+        }
+        assert!(!inj.closed, "push after close");
+        while inj.queue.len() >= self.capacity && !inj.aborted {
+            inj = self.space_available.wait(inj).expect("injector poisoned");
+        }
+        if inj.aborted {
+            return false;
+        }
+        inj.queue.push_back(item);
+        drop(inj);
+        self.work_available.notify_one();
+        true
+    }
+
+    /// Marks the end of input: once the injector and every deque drain,
+    /// [`pop`](WorkStealQueue::pop) returns `None`.
+    pub fn close(&self) {
+        self.injector.lock().expect("injector poisoned").closed = true;
+        self.work_available.notify_all();
+    }
+
+    /// Tears the queue down (emitter I/O error, or a thread unwinding):
+    /// wakes a feeder blocked in [`push`](WorkStealQueue::push), makes
+    /// further pushes fail, and drops every undrained item — injector and
+    /// parked deque surplus alike. (A batch a worker already popped, or is
+    /// popping concurrently with the abort, may still be mapped; its
+    /// result is discarded downstream.)
+    pub fn abort(&self) {
+        let mut inj = self.injector.lock().expect("injector poisoned");
+        inj.aborted = true;
+        inj.closed = true;
+        inj.queue.clear();
+        // Deques after the injector (the lock order thieves use), so no
+        // refill can re-park work behind this sweep.
+        for deque in &self.deques {
+            deque.lock().expect("deque poisoned").clear();
+        }
+        drop(inj);
+        self.space_available.notify_all();
+        self.work_available.notify_all();
+    }
+
+    /// Takes the next batch for `worker`: own deque newest-first, else a
+    /// chunked refill from the injector, else the oldest parked batch of
+    /// another worker. Blocks while everything is empty but input may still
+    /// arrive; returns `None` once the queue is closed and fully drained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        // Fast path: the owner's own deque, LIFO (most recently parked).
+        if let Some(item) = self.deques[worker]
+            .lock()
+            .expect("deque poisoned")
+            .pop_back()
+        {
+            return Some(item);
+        }
+        let mut inj = self.injector.lock().expect("injector poisoned");
+        loop {
+            // Refill from the injector: first item runs now, the surplus
+            // parks on the owner's deque (still under the injector lock, so
+            // a thief scanning below can never miss it).
+            if let Some(item) = inj.queue.pop_front() {
+                let surplus = self.refill_chunk.saturating_sub(1).min(inj.queue.len());
+                if surplus > 0 {
+                    let mut deque = self.deques[worker].lock().expect("deque poisoned");
+                    for _ in 0..surplus {
+                        deque.push_back(inj.queue.pop_front().expect("surplus counted"));
+                    }
+                }
+                self.refills.fetch_add(1, Ordering::Relaxed);
+                drop(inj);
+                self.space_available.notify_all();
+                if surplus > 0 {
+                    // Parked work is stealable: wake idle siblings.
+                    self.work_available.notify_all();
+                }
+                return Some(item);
+            }
+            // Steal: scan the other workers' deques (under the injector
+            // lock — see the module docs on ordering) and take the oldest.
+            for (victim, deque) in self.deques.iter().enumerate() {
+                if victim == worker {
+                    continue;
+                }
+                if let Some(item) = deque.lock().expect("deque poisoned").pop_front() {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(item);
+                }
+            }
+            if inj.closed {
+                return None;
+            }
+            // Nothing anywhere and input may still arrive: park. The
+            // timeout is belt-and-braces liveness only — every
+            // work-producing transition notifies under the injector lock.
+            let (guard, _) = self
+                .work_available
+                .wait_timeout(inj, Duration::from_millis(10))
+                .expect("injector poisoned");
+            inj = guard;
+        }
+    }
+
+    /// Batches obtained by stealing from a sibling's deque.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Injector→deque refill transactions performed.
+    pub fn refills(&self) -> u64 {
+        self.refills.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        // Deterministic single-threaded schedule pinning the dispatch
+        // discipline: worker 0 refills (chunk 4) from items [1,2,3,4] —
+        // runs 1, parks [2,3,4]; worker 1 steals the OLDEST parked item
+        // (2); worker 0 resumes NEWEST-first (4, then 3).
+        let q = WorkStealQueue::new(2, 8, 4);
+        for i in 1..=4 {
+            assert!(q.push(i));
+        }
+        q.close();
+        assert_eq!(q.pop(0), Some(1));
+        assert_eq!(q.pop(1), Some(2));
+        assert_eq!(q.steals(), 1);
+        assert_eq!(q.pop(0), Some(4));
+        assert_eq!(q.pop(0), Some(3));
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
+        assert_eq!(q.refills(), 1);
+    }
+
+    #[test]
+    fn refill_chunk_one_degenerates_to_a_shared_queue() {
+        let q = WorkStealQueue::new(3, 4, 1);
+        for i in 0..4 {
+            assert!(q.push(i));
+        }
+        q.close();
+        // No surplus is ever parked, so every pop is FIFO off the injector.
+        assert_eq!(q.pop(2), Some(0));
+        assert_eq!(q.pop(0), Some(1));
+        assert_eq!(q.pop(1), Some(2));
+        assert_eq!(q.pop(1), Some(3));
+        assert_eq!(q.steals(), 0);
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn every_item_dispatched_exactly_once_across_threads() {
+        const ITEMS: usize = 500;
+        const WORKERS: usize = 4;
+        let q = WorkStealQueue::new(WORKERS, 8, 4);
+        let seen = AtomicUsize::new(0);
+        let sum = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                let (q, seen, sum) = (&q, &seen, &sum);
+                scope.spawn(move || {
+                    while let Some(item) = q.pop(w) {
+                        seen.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(item, Ordering::Relaxed);
+                    }
+                });
+            }
+            for i in 0..ITEMS as u64 {
+                assert!(q.push(i));
+            }
+            q.close();
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), ITEMS);
+        // Each item delivered exactly once (sum is duplication-sensitive).
+        assert_eq!(
+            sum.load(Ordering::Relaxed),
+            (ITEMS as u64 - 1) * ITEMS as u64 / 2
+        );
+    }
+
+    #[test]
+    fn bounded_injector_applies_backpressure_and_abort_releases_it() {
+        let q: WorkStealQueue<u32> = WorkStealQueue::new(1, 2, 1);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        // A third push must block: run it on another thread and assert it
+        // completes only after a pop frees space.
+        let pushed_cell = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let pushed = &pushed_cell;
+            let qr = &q;
+            scope.spawn(move || {
+                assert!(qr.push(3));
+                pushed.store(1, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            assert_eq!(pushed.load(Ordering::SeqCst), 0, "push did not block");
+            assert_eq!(q.pop(0), Some(1));
+            while pushed.load(Ordering::SeqCst) == 0 {
+                std::thread::yield_now();
+            }
+        });
+        // Abort drops queued work and fails further pushes immediately.
+        q.abort();
+        assert!(!q.push(9));
+        assert_eq!(q.pop(0), None);
+    }
+
+    #[test]
+    fn abort_drops_parked_deque_surplus() {
+        let q = WorkStealQueue::new(2, 8, 4);
+        for i in 1..=4 {
+            assert!(q.push(i));
+        }
+        assert_eq!(q.pop(0), Some(1)); // parks 2,3,4 on worker 0's deque
+        q.abort();
+        // The parked surplus is gone along with the injector contents.
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
+        assert!(!q.push(9));
+    }
+
+    #[test]
+    fn pop_blocks_until_work_or_close() {
+        let q: WorkStealQueue<u32> = WorkStealQueue::new(2, 4, 2);
+        std::thread::scope(|scope| {
+            let qr = &q;
+            let got = scope.spawn(move || qr.pop(1));
+            std::thread::sleep(Duration::from_millis(20));
+            assert!(q.push(7));
+            assert_eq!(got.join().unwrap(), Some(7));
+            let done = scope.spawn(move || qr.pop(0));
+            std::thread::sleep(Duration::from_millis(20));
+            q.close();
+            assert_eq!(done.join().unwrap(), None);
+        });
+    }
+}

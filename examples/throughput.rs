@@ -97,15 +97,17 @@ fn main() {
             b.fallback_energy_pj / 1e3
         );
         println!(
-            "host transfer:    {:.3} µs ({} B in, {} B out)",
+            "host transfer:    {:.3} µs raw, {:.3} µs exposed after DMA overlap ({} B in, {} B out)",
             b.transfer_seconds * 1e6,
+            b.exposed_transfer_seconds * 1e6,
             b.input_bytes,
             b.output_bytes
         );
         println!(
-            "modeled reads/sec: {:.0} (accelerator), {:.0} (system incl. transfer)",
+            "modeled reads/sec: {:.0} (accelerator), {:.0} (system, overlapped), {:.0} (system, serialized)",
             b.modeled_reads_per_sec(),
-            b.system_reads_per_sec()
+            b.system_reads_per_sec(),
+            b.serial_system_reads_per_sec()
         );
         println!(
             "modeled energy:   {:.1} nJ/pair",

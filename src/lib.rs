@@ -3,7 +3,9 @@
 //!
 //! This facade crate re-exports every workspace crate under one roof so that
 //! examples, integration tests and downstream users can depend on a single
-//! `genpairx` crate:
+//! `genpairx` crate. The full subsystem map — who owns which stage, the
+//! FASTQ→SAM data-flow diagram, and the results-vs-timing contract — is
+//! the repository-root `ARCHITECTURE.md`; the crates in dependency order:
 //!
 //! * [`genome`] — DNA substrate (sequences, references, CIGAR, variants).
 //! * [`align`] — scoring and dynamic-programming aligners.
@@ -11,13 +13,16 @@
 //! * [`readsim`] — Mason-like paired-end and long-read simulators.
 //! * [`core`] — the GenPair algorithm (seeding, query, paired-adjacency
 //!   filtering, light alignment, fallback plumbing).
-//! * [`pipeline`] — the throughput engine: batching front-end, worker pool
-//!   with sharded statistics, and an ordered SAM emitter (see below).
+//! * [`pipeline`] — the throughput engine: batching front-end, a worker
+//!   pool fed through a work-stealing queue
+//!   ([`pipeline::WorkStealQueue`]) with sharded statistics, and an
+//!   ordered SAM emitter (see below).
 //! * [`backend`] — pluggable mapping backends behind the
 //!   [`backend::MapBackend`] factory / [`backend::MapSession`] session
 //!   split: the software reference and the NMSL accelerator system model
 //!   (warm per-worker simulator state, GenDP fallback costing, host-link
-//!   transfer accounting), interchangeable under the pipeline.
+//!   transfer accounting with double-buffered DMA overlap),
+//!   interchangeable under the pipeline.
 //! * [`baseline`] — minimap2-style software mapper and comparator models.
 //! * [`memsim`] — cycle-level DRAM simulator (HBM2e/DDR5/GDDR6) and SRAM
 //!   cost models.

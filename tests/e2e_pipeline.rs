@@ -171,6 +171,75 @@ fn warm_dispatch_cycles_never_exceed_cold() {
 }
 
 #[test]
+fn overlapped_dma_emits_identical_sam_and_never_slows_the_system() {
+    // The double-buffered DMA model is timing-only: SAM bytes must be
+    // identical across overlap modes, and the overlapped system timeline
+    // can only be at most the serialized one — transfer time is hidden
+    // behind compute, never invented. Exercised end to end through the
+    // engine (work-stealing dispatch, per-worker warm sessions) at the
+    // acceptance thread counts {1, 4}.
+    let genome = standard_genome(200_000, 18);
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+    let pairs: Vec<ReadPair> = simulate_dataset(&genome, &DATASETS[0], 160)
+        .into_iter()
+        .map(|p| ReadPair::new(p.id, p.r1.seq, p.r2.seq))
+        .collect();
+
+    for threads in [1usize, 4] {
+        let run_overlap = |overlap: bool| {
+            let engine = PipelineBuilder::new()
+                .threads(threads)
+                .batch_size(16)
+                .backend(NmslBackend::new(&mapper).overlap(overlap));
+            let mut sink = SamTextSink::with_header(&genome, Vec::new()).unwrap();
+            let report = engine.run(pairs.iter().cloned(), &mut sink).unwrap();
+            (sink.into_inner().unwrap(), report.backend)
+        };
+        let (on_bytes, on) = run_overlap(true);
+        let (off_bytes, off) = run_overlap(false);
+        assert!(
+            on_bytes == off_bytes,
+            "SAM bytes diverge across overlap modes at threads={threads}"
+        );
+        // Raw host traffic is mode-independent; only the exposure differs.
+        // (f64 tolerance: shard-merge order varies across runs at >1
+        // thread, so the sums can differ by ulps.)
+        assert!(
+            (on.transfer_seconds - off.transfer_seconds).abs() <= 1e-9 * on.transfer_seconds,
+            "raw transfer diverged across overlap modes at threads={threads}"
+        );
+        assert_eq!(on.input_bytes, off.input_bytes);
+        assert_eq!(off.exposed_transfer_seconds, off.transfer_seconds);
+        assert!(
+            on.exposed_transfer_seconds <= on.transfer_seconds,
+            "exposed {} > raw {} at threads={threads}",
+            on.exposed_transfer_seconds,
+            on.transfer_seconds
+        );
+        // The tentpole inequality, end to end: overlapped system time ≤
+        // serial system time (equivalently throughput ≥).
+        assert!(
+            on.modeled_system_seconds() <= on.serial_system_seconds(),
+            "threads={threads}"
+        );
+        assert!(
+            on.system_reads_per_sec() >= off.serial_system_reads_per_sec()
+                || (on.seed_cycles != off.seed_cycles),
+            "overlap lowered system throughput at threads={threads}"
+        );
+        if threads == 1 {
+            // One worker = one deterministic stream with 10 batches: real
+            // overlap must occur (some batch's transfer hid behind the
+            // previous batch's drain).
+            assert!(
+                on.exposed_transfer_seconds < on.transfer_seconds,
+                "no transfer was hidden on a single warm stream"
+            );
+        }
+    }
+}
+
+#[test]
 fn gendp_charged_exactly_for_the_fallback_share() {
     // Hand-crafted exact pairs stay on the light path: no pair reaches
     // GenDP, so the fallback stage must report zero. Adding a foreign pair

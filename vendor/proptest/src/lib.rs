@@ -202,7 +202,7 @@ impl_tuple_strategy! {
     (A 0, B 1, C 2, D 3)
 }
 
-/// Collection size bounds accepted by [`collection::vec`].
+/// Collection size bounds accepted by [`collection::vec`](fn@collection::vec).
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     lo: usize,
@@ -259,7 +259,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec`](fn@vec).
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
