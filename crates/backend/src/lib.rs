@@ -13,10 +13,13 @@
 //! * [`NmslBackend`] — the accelerator system model: produces the **same
 //!   mapping results** through the same software path (so SAM output stays
 //!   byte-identical across backends), while *additionally* charging every
-//!   pair to a modeled hardware stage — NMSL seeding through a per-worker
-//!   **warm** [`NmslSim`](gx_accel::NmslSim) + [`gx_memsim`] DRAM model
-//!   whose state persists across batches, GenDP fallback DP for pairs that
-//!   left the fast path, and host-link transfer for every batch's bytes.
+//!   pair to a modeled hardware stage — NMSL seeding through one **shared,
+//!   channel-sharded warm** device ([`NmslSim`](gx_accel::NmslSim) lanes +
+//!   the [`gx_memsim`] DRAM model) that every worker admits into, GenDP
+//!   fallback DP for pairs that left the fast path, and host-link transfer
+//!   for every batch's bytes. Pairs route to lanes by a deterministic
+//!   workload key and stream in input order, so warm totals are invariant
+//!   to thread count, batch size and steal schedule.
 //!
 //! The split mirrors how SeGraM (ISCA 2022) and the PIM read-mapping line
 //! evaluate accelerators: *results* come from the algorithm, *timing* comes
@@ -43,7 +46,8 @@
 //! let mut hw = nmsl.session(0);
 //! let sw_out = sw.map_batch(&batch);
 //! let mut hw_stats = hw.map_batch(&batch).stats;
-//! hw_stats.merge(&hw.finish()); // drain the warm simulator's tail
+//! hw_stats.merge(&hw.finish());
+//! hw_stats.merge(&nmsl.flush()); // drain the shared warm device
 //! // Identical mapping results...
 //! assert_eq!(sw_out.results[0].is_mapped(), true);
 //! // ...but only the accelerator backend reports simulated cost.
@@ -62,6 +66,8 @@ mod nmsl;
 mod software;
 mod traits;
 
-pub use nmsl::{DispatchMode, NmslBackend, NmslSession};
+pub use nmsl::{
+    DispatchMode, NmslBackend, NmslSession, DEFAULT_CHANNELS, DEFAULT_DISPATCH_QUANTUM,
+};
 pub use software::{SoftwareBackend, SoftwareSession};
 pub use traits::{BackendStats, BatchResult, MapBackend, MapSession};

@@ -1,25 +1,49 @@
 //! The NMSL accelerator backend: software results, hardware timing.
+//!
+//! Since PR 5 the warm dispatch model is a **shared, channel-sharded
+//! device**: one [`NmslBackend`] owns `channels` simulator lanes (each a
+//! persistent [`NmslSim`] with its own DRAM row-buffer state and sliding
+//! window), and *every* worker session admits into the same device. Pairs
+//! are routed to lanes by a deterministic workload key
+//! ([`shard_for_workload`]: the pair's first seed bucket, never the worker
+//! id) and admitted in **input order** (the engine's batch indices sequence
+//! admissions through a contiguity frontier), so warm totals are a function
+//! of the workload and the channel count alone — bit-identical across
+//! thread counts, batch sizes and steal schedules. The per-worker private
+//! simulators of PR 3/4 are gone; `tests/e2e_warm_invariance.rs` holds the
+//! line.
 
 use crate::{BackendStats, BatchResult, MapBackend, MapSession};
 use gx_accel::workload::pair_workload;
 use gx_accel::{
-    fallback_cells, FallbackCells, GenDpInstance, HostTraffic, NmslConfig, NmslSim, PairWorkload,
-    ACCEL_CLOCK_GHZ,
+    fallback_cells, shard_for_workload, FallbackCells, GenDpInstance, HostTraffic, LaneDelta,
+    NmslConfig, NmslLane, NmslSim, PairWorkload, ACCEL_CLOCK_GHZ,
 };
 use gx_core::{GenPairMapper, ReadPair};
-use gx_memsim::{DramConfig, DramPowerModel, DramStats};
-use std::collections::VecDeque;
+use gx_memsim::{DramConfig, DramPowerModel};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Default simulator lanes of the shared warm device (see
+/// [`NmslBackend::channels`]).
+pub const DEFAULT_CHANNELS: usize = 4;
+
+/// Default dispatch quantum of the shared warm device in pairs (see
+/// [`NmslBackend::dispatch_quantum`]).
+pub const DEFAULT_DISPATCH_QUANTUM: usize = 64;
 
 /// How an [`NmslSession`] drives the simulator across batches.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum DispatchMode {
-    /// One persistent simulator per worker session: DRAM row-buffer state
-    /// and the read-pair sliding window stay **warm** across batches, and
-    /// each dispatch overlaps the previous batch's drain (the session runs
-    /// the simulator one batch behind its admissions, like a
-    /// double-buffered device queue). This is the default and the model
-    /// closest to how the hardware would actually stream batches.
+    /// One **shared, channel-sharded** device for the whole run: admissions
+    /// from every worker are routed to `channels` persistent simulator
+    /// lanes by a deterministic workload key and streamed in input order,
+    /// each lane running one dispatch quantum behind its admissions (the
+    /// double-buffered drain overlap). Warm totals depend only on the
+    /// workload and the channel count — not on thread count, batch size or
+    /// steal schedule. This is the default and the model closest to one
+    /// physical device serving all host threads.
     #[default]
     Warm,
     /// One fresh simulator per batch (PR 2's model): every dispatch
@@ -29,8 +53,320 @@ pub enum DispatchMode {
     Cold,
 }
 
-/// The GenPairX accelerator backend: a config bundle whose per-worker
-/// [`NmslSession`]s do three independent things per batch:
+/// One pair's admission record: everything the shared device needs to
+/// price and stream it, all computed from the workload (deterministic).
+struct AdmittedPair {
+    workload: PairWorkload,
+    input_bytes: u64,
+    output_bytes: u64,
+    cells: FallbackCells,
+}
+
+/// The sequencing front half of the shared device, guarded by one lock.
+///
+/// Admissions arrive as engine batches in arbitrary order (work stealing);
+/// the frontier releases them to the lanes strictly by batch index, pricing
+/// GenDP fallback work per pair along the way — so every float it
+/// accumulates is summed in input order regardless of scheduling.
+struct Frontier {
+    /// Next batch index the contiguity frontier will release.
+    next_batch: u64,
+    /// Self-assigned index for unsequenced (`map_batch`) admissions.
+    auto_next: u64,
+    /// Batches admitted ahead of the frontier, keyed by index.
+    pending: BTreeMap<u64, Vec<AdmittedPair>>,
+    /// Pairs released to lanes so far (the seedless-pair routing key).
+    pairs_released: u64,
+    /// Per-lane staging queues in release order; consumed under the lane
+    /// lock (see the locking note on [`SharedNmslDevice`]).
+    staged: Vec<VecDeque<AdmittedPair>>,
+    /// Cumulative GenDP seconds in release order.
+    fallback_seconds_total: f64,
+    /// GenDP cycles already emitted as integer deltas of the cumulative.
+    fallback_cycles_emitted: u64,
+    /// Cumulative GenDP energy in release order.
+    fallback_energy_pj: f64,
+}
+
+impl Frontier {
+    fn new(lanes: usize) -> Frontier {
+        Frontier {
+            next_batch: 0,
+            auto_next: 0,
+            pending: BTreeMap::new(),
+            pairs_released: 0,
+            staged: (0..lanes).map(|_| VecDeque::new()).collect(),
+            fallback_seconds_total: 0.0,
+            fallback_cycles_emitted: 0,
+            fallback_energy_pj: 0.0,
+        }
+    }
+}
+
+/// One simulator lane plus its deterministic-order accounting, guarded by
+/// its own lock so distinct lanes stream in parallel.
+struct LaneState {
+    lane: NmslLane,
+    /// Host-link bytes of the quantum currently filling.
+    q_input: u64,
+    q_output: u64,
+    /// Float accounting accumulated strictly in this lane's op order.
+    seconds: f64,
+    energy_pj: f64,
+    transfer_seconds: f64,
+    exposed_seconds: f64,
+}
+
+impl LaneState {
+    fn new(dram: DramConfig, nmsl: NmslConfig, quantum: usize) -> LaneState {
+        LaneState {
+            lane: NmslLane::new(dram, nmsl, quantum),
+            q_input: 0,
+            q_output: 0,
+            seconds: 0.0,
+            energy_pj: 0.0,
+            transfer_seconds: 0.0,
+            exposed_seconds: 0.0,
+        }
+    }
+}
+
+/// The shared channel-sharded warm device: a sequencing [`Frontier`] plus
+/// `channels` independently locked simulator lanes.
+///
+/// # Locking
+///
+/// Two small locks orders exist and never cycle:
+///
+/// * admission phase: the **frontier lock alone** — sequence the batch,
+///   price fallbacks, route pairs into per-lane staging queues;
+/// * pump phase: a **lane lock, then briefly the frontier lock** to move
+///   that lane's staged pairs out — the entire staged run is processed
+///   under the lane lock before anyone else can take from the queue, so
+///   pairs enter each simulator exactly in frontier-release order no
+///   matter which worker thread does the work.
+///
+/// Determinism falls out: per lane, the (admit, run) op sequence and every
+/// float accumulation order depend only on the released pair order, which
+/// the frontier fixes to input order.
+struct SharedNmslDevice {
+    frontier: Mutex<Frontier>,
+    lanes: Vec<Mutex<LaneState>>,
+    power: DramPowerModel,
+}
+
+impl SharedNmslDevice {
+    fn new(
+        dram: DramConfig,
+        nmsl: NmslConfig,
+        channels: usize,
+        quantum: usize,
+    ) -> SharedNmslDevice {
+        let channels = channels.max(1);
+        SharedNmslDevice {
+            frontier: Mutex::new(Frontier::new(channels)),
+            lanes: (0..channels)
+                .map(|_| Mutex::new(LaneState::new(dram, nmsl, quantum)))
+                .collect(),
+            power: DramPowerModel::for_config(&dram),
+        }
+    }
+
+    /// Releases one pair past the frontier: price its GenDP work (emitting
+    /// integer cycle deltas to `stats`) and stage it on its lane, returning
+    /// the lane index. Caller holds the frontier lock.
+    fn release_pair(
+        &self,
+        f: &mut Frontier,
+        backend: &NmslBackend<'_, '_>,
+        pair: AdmittedPair,
+        stats: &mut BackendStats,
+    ) -> usize {
+        let cost = backend.gendp.cost(pair.cells);
+        f.fallback_seconds_total += cost.seconds();
+        f.fallback_energy_pj += cost.energy_pj;
+        let cumulative = (f.fallback_seconds_total * ACCEL_CLOCK_GHZ * 1e9).ceil() as u64;
+        stats.fallback_cycles += cumulative - f.fallback_cycles_emitted;
+        f.fallback_cycles_emitted = cumulative;
+        let lane = shard_for_workload(&pair.workload, f.pairs_released, self.lanes.len());
+        f.pairs_released += 1;
+        f.staged[lane].push_back(pair);
+        lane
+    }
+
+    /// Accounts one lane run: integer deltas go to the calling worker's
+    /// `stats` (addition is exact, so totals are schedule-independent);
+    /// floats accumulate on the lane in op order and surface at
+    /// [`flush`](SharedNmslDevice::flush).
+    fn account_run(
+        &self,
+        backend: &NmslBackend<'_, '_>,
+        l: &mut LaneState,
+        transfer: f64,
+        delta: &LaneDelta,
+        stats: &mut BackendStats,
+    ) {
+        stats.seed_cycles += delta.cycles;
+        stats.dram_bytes += delta.dram.bytes;
+        stats.dram_requests += delta.dram.completed;
+        l.seconds += delta.seconds;
+        l.energy_pj += self
+            .power
+            .energy_mj(&delta.dram, &backend.dram, delta.seconds)
+            * 1e9;
+        l.transfer_seconds += transfer;
+        l.exposed_seconds += if backend.overlap {
+            HostTraffic::exposed_transfer_seconds(transfer, delta.seconds)
+        } else {
+            transfer
+        };
+    }
+
+    /// Streams every staged pair of lane `idx` through its simulator,
+    /// charging quantum transfers and running one quantum behind.
+    ///
+    /// Non-`blocking` callers (the admission path) skip a lane whose lock
+    /// is held rather than convoying behind its simulator run: the holder
+    /// re-checks the staging queue before releasing, a later admission
+    /// touching the lane pumps it, and [`flush`](SharedNmslDevice::flush)
+    /// (which pumps blocking) drains any residue — deferring *when* staged
+    /// pairs stream never changes the per-lane op order, so totals are
+    /// unaffected.
+    fn pump_lane(
+        &self,
+        backend: &NmslBackend<'_, '_>,
+        idx: usize,
+        blocking: bool,
+        stats: &mut BackendStats,
+    ) {
+        let mut l = if blocking {
+            self.lanes[idx].lock().expect("lane lock poisoned")
+        } else {
+            match self.lanes[idx].try_lock() {
+                Ok(guard) => guard,
+                Err(std::sync::TryLockError::WouldBlock) => return,
+                Err(std::sync::TryLockError::Poisoned(_)) => panic!("lane lock poisoned"),
+            }
+        };
+        loop {
+            let staged = {
+                let mut f = self.frontier.lock().expect("frontier lock poisoned");
+                std::mem::take(&mut f.staged[idx])
+            };
+            if staged.is_empty() {
+                return;
+            }
+            for pair in staged {
+                l.q_input += pair.input_bytes;
+                l.q_output += pair.output_bytes;
+                if l.lane.admit(pair.workload) {
+                    let transfer =
+                        HostTraffic::transfer_seconds(l.q_input, l.q_output, backend.link_gbs);
+                    l.q_input = 0;
+                    l.q_output = 0;
+                    let delta = l.lane.run_lagged();
+                    self.account_run(backend, &mut l, transfer, &delta, stats);
+                }
+            }
+        }
+    }
+
+    /// Admits one batch: sequence it at `index` (or self-assign), release
+    /// everything the contiguity frontier now covers, then pump the lanes
+    /// this admission staged work onto (skipping lanes another worker is
+    /// already streaming — see [`pump_lane`](SharedNmslDevice::pump_lane)).
+    fn admit(
+        &self,
+        backend: &NmslBackend<'_, '_>,
+        index: Option<u64>,
+        pairs: Vec<AdmittedPair>,
+        stats: &mut BackendStats,
+    ) {
+        let mut touched = vec![false; self.lanes.len()];
+        {
+            let mut f = self.frontier.lock().expect("frontier lock poisoned");
+            let index = index.unwrap_or_else(|| {
+                let i = f.auto_next;
+                f.auto_next += 1;
+                i
+            });
+            f.auto_next = f.auto_next.max(index + 1);
+            f.pending.insert(index, pairs);
+            while let Some(batch) = {
+                let next = f.next_batch;
+                f.pending.remove(&next)
+            } {
+                for pair in batch {
+                    touched[self.release_pair(&mut f, backend, pair, stats)] = true;
+                }
+                f.next_batch += 1;
+            }
+        }
+        for (idx, touched) in touched.into_iter().enumerate() {
+            if touched {
+                self.pump_lane(backend, idx, false, stats);
+            }
+        }
+    }
+
+    /// Drains the whole device in deterministic order, returns the float
+    /// stage totals plus the residual integer deltas, and resets every lane
+    /// and the frontier for the next run.
+    fn flush(&self, backend: &NmslBackend<'_, '_>) -> BackendStats {
+        let mut stats = BackendStats::new();
+        {
+            // Release anything still pending. On a normal run the frontier
+            // has released everything; after an aborted run (sink error)
+            // indices may have gaps — release in index order regardless,
+            // so the device always resets clean.
+            let mut f = self.frontier.lock().expect("frontier lock poisoned");
+            let leftover: Vec<Vec<AdmittedPair>> =
+                std::mem::take(&mut f.pending).into_values().collect();
+            for batch in leftover {
+                for pair in batch {
+                    let _ = self.release_pair(&mut f, backend, pair, &mut stats);
+                }
+            }
+            stats.fallback_seconds = f.fallback_seconds_total;
+            stats.fallback_energy_pj = f.fallback_energy_pj;
+            stats.sim_seconds += f.fallback_seconds_total;
+        }
+        for idx in 0..self.lanes.len() {
+            self.pump_lane(backend, idx, true, &mut stats);
+            let mut l = self.lanes[idx].lock().expect("lane lock poisoned");
+            if l.q_input > 0 || l.q_output > 0 {
+                // A trailing partial quantum: its transfer streams under the
+                // drain of the last *full* quantum, which is still lagged.
+                let transfer =
+                    HostTraffic::transfer_seconds(l.q_input, l.q_output, backend.link_gbs);
+                l.q_input = 0;
+                l.q_output = 0;
+                let quantum = l.lane.quantum();
+                let full_target = l.lane.admitted() / quantum * quantum;
+                let delta = l.lane.run_to(full_target);
+                self.account_run(backend, &mut l, transfer, &delta, &mut stats);
+            }
+            // Final drain: pure compute, no transfer left to hide.
+            let tail = l.lane.drain();
+            self.account_run(backend, &mut l, 0.0, &tail, &mut stats);
+            stats.sim_seconds += l.seconds;
+            stats.seed_energy_pj += l.energy_pj;
+            stats.transfer_seconds += l.transfer_seconds;
+            stats.exposed_transfer_seconds += l.exposed_seconds;
+            *l = LaneState::new(backend.dram, backend.nmsl, backend.quantum);
+        }
+        let mut f = self.frontier.lock().expect("frontier lock poisoned");
+        *f = Frontier::new(self.lanes.len());
+        drop(f);
+        stats.sim_cycles = stats.seed_cycles + stats.fallback_cycles;
+        stats.energy_pj = stats.seed_energy_pj + stats.fallback_energy_pj;
+        stats
+    }
+}
+
+/// The GenPairX accelerator backend: a config bundle plus (in warm
+/// dispatch) the **shared channel-sharded device** every worker session
+/// admits into. Per batch, sessions do three independent things:
 ///
 /// 1. **Results** — map every pair through the *software* path
 ///    ([`GenPairMapper::map_pair`]), exactly like
@@ -41,20 +377,35 @@ pub enum DispatchMode {
 /// 2. **Seeding cost** — extract the batch's NMSL memory workload (six
 ///    seed-table reads plus location bursts per pair, via [`pair_workload`])
 ///    and replay it through [`NmslSim`] over the configured DRAM
-///    technology: warm (persistent, overlapped) or cold (per-batch) per
-///    [`DispatchMode`].
+///    technology. Warm dispatch streams it through the shared device's
+///    lanes in input order; cold dispatch cold-starts one simulator per
+///    batch ([`DispatchMode`]).
 /// 3. **Fallback + transfer cost** — price every pair that left the fast
 ///    path on the [`GenDpInstance`] fallback model
-///    (chaining/alignment cells → cycles and energy), and charge the
-///    batch's input/output bytes to the host link as transfer seconds — so
+///    (chaining/alignment cells → cycles and energy), and charge each
+///    pair's input/result bytes to the host link as transfer seconds — so
 ///    *every* pair is accounted to some stage and the stats reproduce the
 ///    paper's end-to-end system comparison rather than a seeding-only
 ///    number. In warm dispatch the host link is modeled as **double-buffered
-///    DMA**: batch N's transfer streams while batch N−1 computes, so only
-///    the exposed residue `max(transfer − compute, 0)` extends the system
-///    timeline (`BackendStats::exposed_transfer_seconds`); disable with
+///    DMA** per lane: one dispatch quantum's transfer streams under the
+///    previous quantum's drain, so only the exposed residue
+///    `max(transfer − compute, 0)` extends the system timeline
+///    (`BackendStats::exposed_transfer_seconds`); disable with
 ///    [`overlap(false)`](NmslBackend::overlap) to recover the fully
 ///    serialized accounting as an A/B baseline.
+///
+/// # Warm accounting is sharding-invariant
+///
+/// For a fixed workload, [`channels`](NmslBackend::channels) and
+/// [`dispatch_quantum`](NmslBackend::dispatch_quantum), the warm
+/// `sim_cycles`, `seed_cycles`, `energy_pj` and `exposed_transfer_seconds`
+/// totals (per-call attributions merged with the engine's
+/// [`flush`](MapBackend::flush)) are **bit-identical** for any thread
+/// count, batch size or steal schedule: integer deltas are attributed to
+/// whichever worker ran them (addition is exact), while every float is
+/// accumulated inside the device in input/lane-op order. Consecutive runs
+/// on one backend are independent — `flush` resets the device — but must
+/// not overlap in time.
 pub struct NmslBackend<'m, 'g> {
     mapper: &'m GenPairMapper<'g>,
     dram: DramConfig,
@@ -63,12 +414,17 @@ pub struct NmslBackend<'m, 'g> {
     gendp: GenDpInstance,
     link_gbs: f64,
     overlap: bool,
+    channels: usize,
+    quantum: usize,
+    device: SharedNmslDevice,
 }
 
 impl<'m, 'g> NmslBackend<'m, 'g> {
     /// An NMSL backend over the paper's default configuration: HBM2e with 32
-    /// channels, 1024-pair sliding window, warm dispatch, the Table-4 GenDP
-    /// for fallbacks and a PCIe Gen4 ×16 host link.
+    /// memory channels, 1024-pair sliding window, warm dispatch through a
+    /// shared [`DEFAULT_CHANNELS`]-lane device on a
+    /// [`DEFAULT_DISPATCH_QUANTUM`]-pair quantum, the Table-4 GenDP for
+    /// fallbacks and a PCIe Gen4 ×16 host link.
     pub fn new(mapper: &'m GenPairMapper<'g>) -> NmslBackend<'m, 'g> {
         NmslBackend::with_configs(mapper, DramConfig::hbm2e_32ch(), NmslConfig::default())
     }
@@ -80,6 +436,8 @@ impl<'m, 'g> NmslBackend<'m, 'g> {
         dram: DramConfig,
         nmsl: NmslConfig,
     ) -> NmslBackend<'m, 'g> {
+        let channels = DEFAULT_CHANNELS;
+        let quantum = DEFAULT_DISPATCH_QUANTUM;
         NmslBackend {
             mapper,
             dram,
@@ -88,6 +446,9 @@ impl<'m, 'g> NmslBackend<'m, 'g> {
             gendp: GenDpInstance::paper_table4(),
             link_gbs: gx_accel::host::PCIE4_X16_GBS,
             overlap: true,
+            channels,
+            quantum,
+            device: SharedNmslDevice::new(dram, nmsl, channels, quantum),
         }
     }
 
@@ -97,10 +458,29 @@ impl<'m, 'g> NmslBackend<'m, 'g> {
         self
     }
 
+    /// Sets the shared warm device's lane count (clamped to at least 1).
+    /// Warm totals are comparable only at a fixed channel count — the lane
+    /// partition is part of the modeled hardware, like the DRAM technology.
+    pub fn channels(mut self, channels: usize) -> NmslBackend<'m, 'g> {
+        self.channels = channels.max(1);
+        self.device = SharedNmslDevice::new(self.dram, self.nmsl, self.channels, self.quantum);
+        self
+    }
+
+    /// Sets the shared warm device's dispatch quantum in pairs (clamped to
+    /// at least 1): how many admissions a lane groups into one device
+    /// dispatch. The quantum replaces the client batch size in the warm
+    /// model — that is what makes warm totals batch-size-invariant.
+    pub fn dispatch_quantum(mut self, quantum: usize) -> NmslBackend<'m, 'g> {
+        self.quantum = quantum.max(1);
+        self.device = SharedNmslDevice::new(self.dram, self.nmsl, self.channels, self.quantum);
+        self
+    }
+
     /// Enables or disables double-buffered DMA overlap in warm dispatch
     /// (default: enabled). With overlap off — or in
     /// [`DispatchMode::Cold`], which dispatches serially by definition —
-    /// every batch's full transfer time is exposed
+    /// every transfer is fully exposed
     /// (`exposed_transfer_seconds == transfer_seconds`), reproducing the
     /// conservative serialized accounting as the A/B baseline for
     /// `backend_compare --no-overlap`.
@@ -142,6 +522,16 @@ impl<'m, 'g> NmslBackend<'m, 'g> {
         self.mode
     }
 
+    /// The shared warm device's lane count.
+    pub fn channel_count(&self) -> usize {
+        self.channels
+    }
+
+    /// The shared warm device's dispatch quantum in pairs.
+    pub fn dispatch_quantum_pairs(&self) -> usize {
+        self.quantum
+    }
+
     /// Whether sessions model double-buffered DMA overlap (warm dispatch
     /// only; see [`overlap`](NmslBackend::overlap)).
     pub fn overlap_enabled(&self) -> bool {
@@ -162,107 +552,54 @@ impl MapBackend for NmslBackend<'_, '_> {
     fn session(&self, _worker_id: usize) -> NmslSession<'_> {
         NmslSession {
             backend: self,
-            sim: NmslSim::new(self.dram, self.nmsl),
-            pending: VecDeque::new(),
-            last_cycle: 0,
-            last_dram: DramStats::default(),
             fallback_seconds_total: 0.0,
             fallback_cycles_emitted: 0,
-            prev_fallback_seconds: 0.0,
+        }
+    }
+
+    fn flush(&self) -> BackendStats {
+        match self.mode {
+            DispatchMode::Warm => self.device.flush(self),
+            DispatchMode::Cold => BackendStats::new(),
         }
     }
 }
 
 /// A per-worker NMSL mapping session (see [`NmslBackend`]).
 ///
-/// In [`DispatchMode::Warm`] the session owns one persistent [`NmslSim`]
-/// for its whole lifetime. Each `map_batch` call *admits* the batch's
-/// workload and then runs the simulator only until the **previous** batch's
-/// pairs have completed — so one batch's drain always overlaps the next
-/// batch's seed reads, exactly like a double-buffered device queue — and
-/// reports the cycles that elapsed during the call. The final batch's tail
-/// is drained and reported by [`finish`](MapSession::finish); session
-/// totals are exact once that residual is merged.
-///
-/// The same one-batch lag drives the **DMA overlap accounting**: the sim
-/// delta a call attributes *is* the compute of the previous batch — exactly
-/// what the current batch's host-link transfer streams concurrently with in
-/// a double-buffered deployment. Each call therefore exposes only
-/// `max(transfer − (previous batch's seeding drain + previous batch's GenDP
-/// work), 0)` as serial time; the first batch of a stream has nothing to
-/// hide behind and exposes its full transfer.
+/// In [`DispatchMode::Warm`] the session is a thin handle into the
+/// backend's **shared channel-sharded device**: each `map_batch` call maps
+/// its pairs through the software path, then admits their workloads at the
+/// batch's input-stream position (the engine supplies the index via
+/// [`MapSession::map_sequenced_batch`]; direct `map_batch` callers get the
+/// device's running sequence). The device routes pairs to simulator lanes
+/// by workload key and streams each lane one dispatch quantum behind its
+/// admissions, so the calling worker is attributed whatever integer-valued
+/// simulator progress (cycles, DRAM traffic, GenDP cycle deltas) its call
+/// happened to drive — which batches those cycles *belong to* is
+/// intentionally not a per-worker notion anymore. Float-valued stage totals
+/// (seconds, energy, transfer and its exposed residue) accumulate inside
+/// the device in deterministic order and are reported once by
+/// [`MapBackend::flush`]; [`finish`](MapSession::finish) returns nothing
+/// because a finished worker must not drain state other workers still feed.
 ///
 /// In [`DispatchMode::Cold`] every call builds a fresh simulator and runs
 /// it to completion (the PR 2 model), dispatches are serial so the full
-/// transfer is always exposed, and `finish` returns zero.
+/// transfer is always exposed, and both `finish` and the backend `flush`
+/// return zero.
 pub struct NmslSession<'s> {
     backend: &'s NmslBackend<'s, 's>,
-    sim: NmslSim,
-    /// Warm mode: completion targets of admitted-but-undrained batches.
-    pending: VecDeque<u64>,
-    /// Warm mode: simulator cycle at the last attribution point.
-    last_cycle: u64,
-    /// Warm mode: DRAM stats snapshot at the last attribution point.
-    last_dram: DramStats,
-    /// Cumulative GenDP seconds this session, so `fallback_cycles` can be
-    /// emitted as integer deltas of the running total — total cycles then
-    /// depend only on total work, never on how it was batched.
+    /// Cold mode: cumulative GenDP seconds this session, so
+    /// `fallback_cycles` can be emitted as integer deltas of the running
+    /// total (accumulated per pair, matching the warm device's frontier
+    /// accounting order at one worker).
     fallback_seconds_total: f64,
-    /// GenDP cycles already attributed to earlier batches.
+    /// Cold mode: GenDP cycles already attributed to earlier batches.
     fallback_cycles_emitted: u64,
-    /// GenDP seconds of the previous batch: compute the current batch's
-    /// transfer can hide behind (the seeding share arrives via the
-    /// one-batch-lagged sim delta instead).
-    prev_fallback_seconds: f64,
 }
 
 impl NmslSession<'_> {
-    /// Attributes simulator progress since the last snapshot to `stats`.
-    fn take_sim_delta(&mut self, stats: &mut BackendStats) {
-        let cycle = self.sim.cycle();
-        let dram = self.sim.dram_stats();
-        let delta = dram.since(&self.last_dram);
-        let cycles = cycle - self.last_cycle;
-        let seconds = cycles as f64 / (self.backend.dram.clock_ghz * 1e9);
-        let power = DramPowerModel::for_config(&self.backend.dram);
-        stats.seed_cycles += cycles;
-        stats.seed_energy_pj += power.energy_mj(&delta, &self.backend.dram, seconds) * 1e9;
-        stats.sim_seconds += seconds;
-        stats.dram_bytes += delta.bytes;
-        stats.dram_requests += delta.completed;
-        self.last_cycle = cycle;
-        self.last_dram = dram;
-    }
-
-    /// Charges the GenDP fallback cells and the host-link bytes of one
-    /// batch. Fallback cycles are emitted as deltas of the session's
-    /// cumulative GenDP time (rounded up once), so session-total cycles are
-    /// identical for any batching of the same pairs — per-batch `ceil`ing
-    /// would inflate totals at small batch sizes.
-    fn charge_fallback_and_transfer(
-        &mut self,
-        stats: &mut BackendStats,
-        cells: FallbackCells,
-        input_bytes: u64,
-        output_bytes: u64,
-    ) {
-        let cost = self.backend.gendp.cost(cells);
-        self.fallback_seconds_total += cost.seconds();
-        let cumulative = (self.fallback_seconds_total * ACCEL_CLOCK_GHZ * 1e9).ceil() as u64;
-        stats.fallback_cycles += cumulative - self.fallback_cycles_emitted;
-        self.fallback_cycles_emitted = cumulative;
-        stats.fallback_seconds += cost.seconds();
-        stats.fallback_energy_pj += cost.energy_pj;
-        stats.sim_seconds += cost.seconds();
-        stats.transfer_seconds +=
-            HostTraffic::transfer_seconds(input_bytes, output_bytes, self.backend.link_gbs);
-        stats.input_bytes += input_bytes;
-        stats.output_bytes += output_bytes;
-    }
-}
-
-impl MapSession for NmslSession<'_> {
-    fn map_batch(&mut self, pairs: &[ReadPair]) -> BatchResult {
+    fn map_inner(&mut self, index: Option<u64>, pairs: &[ReadPair]) -> BatchResult {
         let started = Instant::now();
         // Results: the software path (identical bytes across backends and
         // dispatch modes).
@@ -277,73 +614,30 @@ impl MapSession for NmslSession<'_> {
             ..BackendStats::default()
         };
 
-        // Fallback + transfer accounting: every pair is charged to a stage.
-        let mut cells = FallbackCells::default();
-        let mut input_bytes = 0u64;
-        let mut output_bytes = 0u64;
-        for (pair, res) in pairs.iter().zip(&results) {
-            cells.add(fallback_cells(res, pair.r1.len(), pair.r2.len()));
-            let (i, o) = HostTraffic::pair_bytes(pair.r1.len(), pair.r2.len());
-            input_bytes += i;
-            output_bytes += o;
-        }
-        self.charge_fallback_and_transfer(&mut stats, cells, input_bytes, output_bytes);
-
-        // Seeding cost: replay this batch's memory workload through the
-        // NMSL model, warm or cold.
-        let workloads: Vec<PairWorkload> = pairs
-            .iter()
-            .map(|p| pair_workload(&p.r1, &p.r2, self.backend.mapper.seedmap()))
-            .collect();
         match self.backend.mode {
             DispatchMode::Warm => {
-                for w in workloads {
-                    self.sim.push(w);
+                // One pass computes the host-link bytes for the per-call
+                // stats AND the admission records the device charges
+                // transfer from — one source of truth for the formula.
+                let mut admissions = Vec::with_capacity(pairs.len());
+                for (pair, res) in pairs.iter().zip(&results) {
+                    let (input_bytes, output_bytes) =
+                        HostTraffic::pair_bytes(pair.r1.len(), pair.r2.len());
+                    stats.input_bytes += input_bytes;
+                    stats.output_bytes += output_bytes;
+                    admissions.push(AdmittedPair {
+                        workload: pair_workload(&pair.r1, &pair.r2, self.backend.mapper.seedmap()),
+                        input_bytes,
+                        output_bytes,
+                        cells: fallback_cells(res, pair.r1.len(), pair.r2.len()),
+                    });
                 }
-                self.pending.push_back(self.sim.submitted());
-                // Run one batch behind the admissions: the previous batch
-                // drains while this one's seed reads are already in flight.
-                if self.pending.len() > 1 {
-                    let target = self.pending.pop_front().expect("pending non-empty");
-                    self.sim.run_until_completed(target);
-                }
-                self.take_sim_delta(&mut stats);
+                self.backend
+                    .device
+                    .admit(self.backend, index, admissions, &mut stats);
             }
-            DispatchMode::Cold => {
-                if !workloads.is_empty() {
-                    // Fresh simulator per batch; workloads move in, so the
-                    // cold path allocates nothing beyond the sim itself.
-                    let mut sim = NmslSim::new(self.backend.dram, self.backend.nmsl);
-                    for w in workloads {
-                        sim.push(w);
-                    }
-                    sim.drain();
-                    let cycles = sim.cycle();
-                    let elapsed = cycles as f64 / (self.backend.dram.clock_ghz * 1e9);
-                    let dram = sim.dram_stats();
-                    let power = DramPowerModel::for_config(&self.backend.dram);
-                    stats.seed_cycles = cycles;
-                    stats.seed_energy_pj =
-                        power.energy_mj(&dram, &self.backend.dram, elapsed) * 1e9;
-                    stats.sim_seconds += elapsed;
-                    stats.dram_bytes = dram.bytes;
-                    stats.dram_requests = dram.completed;
-                }
-            }
+            DispatchMode::Cold => self.map_cold(pairs, &results, &mut stats),
         }
-        // Host-link overlap: in warm dispatch the sim delta attributed
-        // above is the *previous* batch's drain, which is exactly the
-        // compute window this batch's double-buffered DMA streams under.
-        // Cold dispatch and `overlap(false)` expose the full transfer.
-        let overlappable = if self.backend.mode == DispatchMode::Warm && self.backend.overlap {
-            let seed_seconds = stats.sim_seconds - stats.fallback_seconds;
-            seed_seconds + self.prev_fallback_seconds
-        } else {
-            0.0
-        };
-        stats.exposed_transfer_seconds =
-            HostTraffic::exposed_transfer_seconds(stats.transfer_seconds, overlappable);
-        self.prev_fallback_seconds = stats.fallback_seconds;
 
         stats.sim_cycles = stats.seed_cycles + stats.fallback_cycles;
         stats.energy_pj = stats.seed_energy_pj + stats.fallback_energy_pj;
@@ -351,16 +645,81 @@ impl MapSession for NmslSession<'_> {
         BatchResult { results, stats }
     }
 
-    fn finish(&mut self) -> BackendStats {
-        let mut stats = BackendStats::new();
-        if self.backend.mode == DispatchMode::Warm {
-            self.sim.drain();
-            self.pending.clear();
-            self.take_sim_delta(&mut stats);
-            stats.sim_cycles = stats.seed_cycles;
-            stats.energy_pj = stats.seed_energy_pj;
+    /// The cold path: GenDP + transfer charged per batch, a fresh simulator
+    /// drained to completion, everything fully exposed.
+    fn map_cold(
+        &mut self,
+        pairs: &[ReadPair],
+        results: &[gx_core::PairMapResult],
+        stats: &mut BackendStats,
+    ) {
+        // GenDP pricing per pair in input order (the same accumulation
+        // order the warm device uses, so warm and cold fallback cycles
+        // agree bit-exactly on the same stream); host-link bytes tallied
+        // in the same pass.
+        for (pair, res) in pairs.iter().zip(results) {
+            let (input_bytes, output_bytes) = HostTraffic::pair_bytes(pair.r1.len(), pair.r2.len());
+            stats.input_bytes += input_bytes;
+            stats.output_bytes += output_bytes;
+            let cost = self
+                .backend
+                .gendp
+                .cost(fallback_cells(res, pair.r1.len(), pair.r2.len()));
+            self.fallback_seconds_total += cost.seconds();
+            let cumulative = (self.fallback_seconds_total * ACCEL_CLOCK_GHZ * 1e9).ceil() as u64;
+            stats.fallback_cycles += cumulative - self.fallback_cycles_emitted;
+            self.fallback_cycles_emitted = cumulative;
+            stats.fallback_seconds += cost.seconds();
+            stats.fallback_energy_pj += cost.energy_pj;
+            stats.sim_seconds += cost.seconds();
         }
-        stats
+        stats.transfer_seconds = HostTraffic::transfer_seconds(
+            stats.input_bytes,
+            stats.output_bytes,
+            self.backend.link_gbs,
+        );
+
+        if !pairs.is_empty() {
+            // Fresh simulator per batch; workloads move in, so the cold
+            // path allocates nothing beyond the sim itself.
+            let mut sim = NmslSim::new(self.backend.dram, self.backend.nmsl);
+            for pair in pairs {
+                sim.push(pair_workload(
+                    &pair.r1,
+                    &pair.r2,
+                    self.backend.mapper.seedmap(),
+                ));
+            }
+            sim.drain();
+            let cycles = sim.cycle();
+            let elapsed = cycles as f64 / (self.backend.dram.clock_ghz * 1e9);
+            let dram = sim.dram_stats();
+            let power = DramPowerModel::for_config(&self.backend.dram);
+            stats.seed_cycles = cycles;
+            stats.seed_energy_pj = power.energy_mj(&dram, &self.backend.dram, elapsed) * 1e9;
+            stats.sim_seconds += elapsed;
+            stats.dram_bytes = dram.bytes;
+            stats.dram_requests = dram.completed;
+        }
+        // Serial dispatch: nothing overlaps, the full transfer is exposed.
+        stats.exposed_transfer_seconds = stats.transfer_seconds;
+    }
+}
+
+impl MapSession for NmslSession<'_> {
+    fn map_batch(&mut self, pairs: &[ReadPair]) -> BatchResult {
+        self.map_inner(None, pairs)
+    }
+
+    fn map_sequenced_batch(&mut self, batch_index: u64, pairs: &[ReadPair]) -> BatchResult {
+        self.map_inner(Some(batch_index), pairs)
+    }
+
+    fn finish(&mut self) -> BackendStats {
+        // Warm state is device-wide now: the engine (or a direct caller)
+        // drains it through `MapBackend::flush` once *every* session is
+        // done. Cold sessions have nothing in flight either way.
+        BackendStats::new()
     }
 }
 
@@ -391,7 +750,7 @@ mod tests {
     }
 
     /// Maps `pairs` in `chunk`-sized batches through one session and
-    /// returns the session-total stats (including the finish residual).
+    /// returns the run-total stats (session residual + device flush).
     fn run_session<'m>(
         backend: &NmslBackend<'m, 'm>,
         pairs: &[ReadPair],
@@ -403,6 +762,7 @@ mod tests {
             total.merge(&session.map_batch(batch).stats);
         }
         total.merge(&session.finish());
+        total.merge(&backend.flush());
         total
     }
 
@@ -478,9 +838,11 @@ mod tests {
     }
 
     #[test]
-    fn warm_session_totals_are_exact_after_finish() {
-        // DRAM traffic must be identical however the stream is batched;
-        // only cycle attribution shifts.
+    fn warm_totals_are_batching_invariant() {
+        // The shared device streams on its own dispatch quantum, so the
+        // client batch size must not change ANY warm total — not just DRAM
+        // traffic (as in the old per-worker model) but cycles, energy and
+        // the exposed transfer, bit for bit.
         let (genome, pairs) = setup();
         let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
         let backend = NmslBackend::new(&mapper);
@@ -489,6 +851,60 @@ mod tests {
         assert_eq!(one.dram_bytes, many.dram_bytes);
         assert_eq!(one.dram_requests, many.dram_requests);
         assert_eq!(one.pairs, many.pairs);
+        assert_eq!(one.seed_cycles, many.seed_cycles);
+        assert_eq!(one.sim_cycles, many.sim_cycles);
+        assert_eq!(one.energy_pj.to_bits(), many.energy_pj.to_bits());
+        assert_eq!(
+            one.exposed_transfer_seconds.to_bits(),
+            many.exposed_transfer_seconds.to_bits()
+        );
+        assert_eq!(
+            one.transfer_seconds.to_bits(),
+            many.transfer_seconds.to_bits()
+        );
+    }
+
+    #[test]
+    fn out_of_order_sequenced_admission_matches_in_order() {
+        // Two sessions admitting interleaved batch indices out of order
+        // (what stealing workers do) must produce the same run totals as
+        // one session admitting in order: the frontier re-sequences.
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let backend = NmslBackend::new(&mapper).dispatch_quantum(4);
+        let chunks: Vec<&[ReadPair]> = pairs.chunks(3).collect();
+
+        let mut in_order = BackendStats::new();
+        let mut session = backend.session(0);
+        for (i, chunk) in chunks.iter().enumerate() {
+            in_order.merge(&session.map_sequenced_batch(i as u64, chunk).stats);
+        }
+        in_order.merge(&session.finish());
+        in_order.merge(&backend.flush());
+
+        let mut shuffled = BackendStats::new();
+        let mut a = backend.session(0);
+        let mut b = backend.session(1);
+        // Admission order 2, 0, 3, 1 across two sessions.
+        shuffled.merge(&a.map_sequenced_batch(2, chunks[2]).stats);
+        shuffled.merge(&b.map_sequenced_batch(0, chunks[0]).stats);
+        shuffled.merge(&a.map_sequenced_batch(3, chunks[3]).stats);
+        shuffled.merge(&b.map_sequenced_batch(1, chunks[1]).stats);
+        shuffled.merge(&a.finish());
+        shuffled.merge(&b.finish());
+        shuffled.merge(&backend.flush());
+
+        assert_eq!(in_order.pairs, shuffled.pairs);
+        assert_eq!(in_order.seed_cycles, shuffled.seed_cycles);
+        assert_eq!(in_order.sim_cycles, shuffled.sim_cycles);
+        assert_eq!(in_order.fallback_cycles, shuffled.fallback_cycles);
+        assert_eq!(in_order.dram_bytes, shuffled.dram_bytes);
+        assert_eq!(in_order.dram_requests, shuffled.dram_requests);
+        assert_eq!(in_order.energy_pj.to_bits(), shuffled.energy_pj.to_bits());
+        assert_eq!(
+            in_order.exposed_transfer_seconds.to_bits(),
+            shuffled.exposed_transfer_seconds.to_bits()
+        );
     }
 
     #[test]
@@ -518,83 +934,83 @@ mod tests {
             let mut session = backend.session(0);
             let out = session.map_batch(&[]);
             let residual = session.finish();
+            let flushed = backend.flush();
             assert!(out.results.is_empty());
-            assert_eq!(out.stats.sim_cycles + residual.sim_cycles, 0, "{mode:?}");
+            assert_eq!(
+                out.stats.sim_cycles + residual.sim_cycles + flushed.sim_cycles,
+                0,
+                "{mode:?}"
+            );
             assert_eq!(out.stats.transfer_seconds, 0.0);
+            assert_eq!(flushed.transfer_seconds, 0.0);
         }
-    }
-
-    /// Maps `pairs` in `chunk`-sized batches, returning each call's stats
-    /// plus the finish residual separately (overlap accounting is per-call).
-    fn run_session_per_batch<'m>(
-        backend: &NmslBackend<'m, 'm>,
-        pairs: &[ReadPair],
-        chunk: usize,
-    ) -> (Vec<BackendStats>, BackendStats) {
-        let mut session = backend.session(0);
-        let per_call: Vec<BackendStats> = pairs
-            .chunks(chunk)
-            .map(|batch| session.map_batch(batch).stats)
-            .collect();
-        let residual = session.finish();
-        (per_call, residual)
     }
 
     #[test]
-    fn compute_bound_stream_exposes_exactly_the_first_transfer() {
-        // On the default PCIe Gen4 link the per-batch transfer is tens of
-        // nanoseconds while the seeding drain is microseconds: every batch
-        // after the first hides its DMA completely, so the session's exposed
-        // transfer is *analytically* the first batch's raw transfer (which
-        // has no previous compute to stream under).
+    fn small_streams_expose_their_full_transfer() {
+        // A stream shorter than one dispatch quantum is a single partial
+        // quantum: its transfer has no previous quantum's drain to stream
+        // under, so everything is exposed — the sharded analogue of "the
+        // first batch of a stream exposes its full transfer".
         let (genome, pairs) = setup();
         let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
-        let backend = NmslBackend::new(&mapper);
-        let (per_call, residual) = run_session_per_batch(&backend, &pairs, 3);
-        assert!(per_call.len() > 2);
-        let total = BackendStats::merged(per_call.iter().chain([&residual]));
-        let first_transfer = per_call[0].transfer_seconds;
+        let backend = NmslBackend::new(&mapper); // quantum 64 > 12 pairs
+        let stats = run_session(&backend, &pairs, 3);
+        assert!(stats.transfer_seconds > 0.0);
+        assert_eq!(
+            stats.exposed_transfer_seconds.to_bits(),
+            stats.transfer_seconds.to_bits()
+        );
+    }
+
+    #[test]
+    fn compute_bound_stream_hides_all_but_the_first_quantum() {
+        // One lane, quantum 3, 12 pairs → 4 quanta in input order. On the
+        // default PCIe Gen4 link every quantum's transfer is tens of
+        // nanoseconds while a quantum's drain is microseconds, so every
+        // quantum after the first hides its DMA completely: the exposed
+        // total is *analytically* the first quantum's raw transfer.
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let backend = NmslBackend::new(&mapper).channels(1).dispatch_quantum(3);
+        let stats = run_session(&backend, &pairs, 5);
+        let (q_in, q_out) = pairs[..3].iter().fold((0u64, 0u64), |(i, o), p| {
+            let (pi, po) = HostTraffic::pair_bytes(p.r1.len(), p.r2.len());
+            (i + pi, o + po)
+        });
+        let first_transfer =
+            HostTraffic::transfer_seconds(q_in, q_out, gx_accel::host::PCIE4_X16_GBS);
         assert!(first_transfer > 0.0);
-        // Every later call is compute-bound: transfer < that call's sim
-        // delta (the previous batch's drain).
-        for (i, s) in per_call.iter().enumerate().skip(1) {
-            assert!(
-                s.transfer_seconds < s.sim_seconds,
-                "batch {i} not compute-bound: t={} c={}",
-                s.transfer_seconds,
-                s.sim_seconds
-            );
-            assert_eq!(s.exposed_transfer_seconds, 0.0, "batch {i}");
-        }
-        assert_eq!(per_call[0].exposed_transfer_seconds, first_transfer);
-        assert_eq!(total.exposed_transfer_seconds, first_transfer);
-        assert!(total.exposed_transfer_seconds < total.transfer_seconds);
-        assert!(total.modeled_system_seconds() < total.serial_system_seconds());
+        assert_eq!(
+            stats.exposed_transfer_seconds.to_bits(),
+            first_transfer.to_bits(),
+            "exposed {} vs first quantum transfer {}",
+            stats.exposed_transfer_seconds,
+            first_transfer
+        );
+        assert!(stats.exposed_transfer_seconds < stats.transfer_seconds);
+        assert!(stats.modeled_system_seconds() < stats.serial_system_seconds());
     }
 
     #[test]
     fn transfer_bound_stream_exposes_the_analytic_residue() {
-        // A pathologically slow link makes every batch transfer-bound:
-        // each call exposes exactly `transfer − overlappable compute`, so
-        // the session total is `Σ transfer − Σ per-call compute` (the clean
-        // dataset has no GenDP work, so per-call compute is the sim delta).
+        // A pathologically slow link makes every quantum transfer-bound:
+        // each one exposes `transfer − the drain it streamed under`, so the
+        // exposed total is bounded below by `Σ transfer − total compute`
+        // (the final drain has no transfer charged against it) and stays
+        // strictly under the raw total.
         let (genome, pairs) = setup();
         let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
-        let backend = NmslBackend::new(&mapper).link_gbs(1e-6);
-        let (per_call, _residual) = run_session_per_batch(&backend, &pairs, 3);
-        let mut expected = 0.0;
-        let mut exposed = 0.0;
-        for (i, s) in per_call.iter().enumerate() {
-            assert_eq!(s.fallback_seconds, 0.0, "clean dataset fell back");
-            assert!(
-                s.transfer_seconds > s.sim_seconds,
-                "batch {i} not transfer-bound"
-            );
-            expected += s.transfer_seconds - s.sim_seconds;
-            exposed += s.exposed_transfer_seconds;
-        }
-        assert!(exposed > 0.0);
-        assert!((exposed - expected).abs() <= 1e-12 * expected);
+        let backend = NmslBackend::new(&mapper)
+            .channels(1)
+            .dispatch_quantum(3)
+            .link_gbs(1e-6);
+        let stats = run_session(&backend, &pairs, 4);
+        assert_eq!(stats.fallback_seconds, 0.0, "clean dataset fell back");
+        assert!(stats.transfer_seconds > stats.sim_seconds);
+        assert!(stats.exposed_transfer_seconds > 0.0);
+        assert!(stats.exposed_transfer_seconds >= stats.transfer_seconds - stats.sim_seconds);
+        assert!(stats.exposed_transfer_seconds < stats.transfer_seconds);
     }
 
     #[test]
@@ -617,15 +1033,22 @@ mod tests {
 
     #[test]
     fn overlapped_system_time_never_exceeds_serial() {
-        // The tentpole regression: for any link speed the overlapped
-        // timeline is at most the serialized one, and raw transfer (what
-        // the link is busy for) is identical across the A/B.
+        // The PR 4 regression, on the shared device: for any link speed the
+        // overlapped timeline is at most the serialized one, and raw
+        // transfer (what the link is busy for) is identical across the A/B.
         let (genome, pairs) = setup();
         let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
         for link in [1e-6, 1e-3, 1.0, gx_accel::host::PCIE4_X16_GBS] {
-            let on = run_session(&NmslBackend::new(&mapper).link_gbs(link), &pairs, 4);
+            let on = run_session(
+                &NmslBackend::new(&mapper).dispatch_quantum(3).link_gbs(link),
+                &pairs,
+                4,
+            );
             let off = run_session(
-                &NmslBackend::new(&mapper).link_gbs(link).overlap(false),
+                &NmslBackend::new(&mapper)
+                    .dispatch_quantum(3)
+                    .link_gbs(link)
+                    .overlap(false),
                 &pairs,
                 4,
             );
@@ -650,11 +1073,10 @@ mod tests {
         let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
         let backend = NmslBackend::new(&mapper);
         // Perfectly simulated in-genome pairs: all light-path, no fallback.
-        let mut session = backend.session(0);
-        let clean = session.map_batch(&pairs);
-        assert!(clean.results.iter().all(|r| r.fallback.is_none()));
-        assert_eq!(clean.stats.fallback_cycles, 0);
-        assert_eq!(clean.stats.fallback_energy_pj, 0.0);
+        let clean = run_session(&backend, &pairs, pairs.len());
+        assert_eq!(clean.fallback_cycles, 0);
+        assert_eq!(clean.fallback_energy_pj, 0.0);
+        assert_eq!(clean.fallback_seconds, 0.0);
 
         // A foreign pair must take a fallback and be charged to GenDP.
         let other = RandomGenomeBuilder::new(8_000).seed(991).build();
@@ -664,9 +1086,16 @@ mod tests {
             oseq.subseq(100..250),
             oseq.subseq(300..450).revcomp(),
         );
-        let dirty = session.map_batch(&[alien]);
-        assert!(dirty.results[0].fallback.is_some());
-        assert!(dirty.stats.fallback_cycles > 0);
-        assert!(dirty.stats.fallback_energy_pj > 0.0);
+        let mut session = backend.session(0);
+        let fallback_result = session.map_batch(&[alien]);
+        assert!(fallback_result.results[0].fallback.is_some());
+        // The integer cycle delta is attributed to the admitting call...
+        assert!(fallback_result.stats.fallback_cycles > 0);
+        // ...while the float energy/seconds surface at the device flush.
+        let mut dirty = fallback_result.stats;
+        dirty.merge(&session.finish());
+        dirty.merge(&backend.flush());
+        assert!(dirty.fallback_energy_pj > 0.0);
+        assert!(dirty.fallback_seconds > 0.0);
     }
 }

@@ -236,8 +236,10 @@ pub trait MapBackend: Sync {
     fn name(&self) -> &'static str;
 
     /// Opens the per-worker mapping session for worker `worker_id`
-    /// (0-based). Called once per worker thread; the session carries all
-    /// mutable state (simulators, accumulators) privately.
+    /// (0-based). Called once per worker thread; the session carries the
+    /// worker's mutable state privately (shared-device backends additionally
+    /// keep state behind the backend itself — see
+    /// [`flush`](MapBackend::flush)).
     ///
     /// ```
     /// use gx_backend::{BackendStats, MapBackend, MapSession, NmslBackend};
@@ -254,19 +256,38 @@ pub trait MapBackend: Sync {
     /// )];
     ///
     /// // The worker-thread lifecycle: open once, map every batch through
-    /// // the same (stateful) session, flush once at the end.
+    /// // the same (stateful) session, flush the session after its last
+    /// // batch — then flush the backend once all sessions are done (the
+    /// // warm NMSL device drains its shared simulator lanes there).
     /// let backend = NmslBackend::new(&mapper);
     /// let mut session = backend.session(0);
     /// let mut totals = BackendStats::new();
     /// for _ in 0..3 {
     ///     totals.merge(&session.map_batch(&batch).stats);
     /// }
-    /// totals.merge(&session.finish()); // drain the warm simulator's tail
+    /// totals.merge(&session.finish());
+    /// totals.merge(&backend.flush()); // drain the shared device
     /// assert_eq!(totals.pairs, 3);
     /// assert!(totals.seed_cycles > 0);
     /// assert!(totals.exposed_transfer_seconds <= totals.transfer_seconds);
     /// ```
     fn session(&self, worker_id: usize) -> Self::Session<'_>;
+
+    /// Flushes backend-wide (cross-session) state after **every** session
+    /// has finished, returning accounting not attributable to any single
+    /// worker — for the warm NMSL backend, the shared channel-sharded
+    /// device drains its simulator lanes here and reports the float-valued
+    /// stage totals it accumulated in deterministic admission order. The
+    /// engine calls this exactly once per run, after joining the workers,
+    /// and merges the result into the run's [`BackendStats`]; stateless
+    /// backends keep the default no-op.
+    ///
+    /// Flushing also resets the cross-session state, so a backend can drive
+    /// consecutive runs with each run accounted independently. Runs sharing
+    /// one backend must not overlap in time.
+    fn flush(&self) -> BackendStats {
+        BackendStats::new()
+    }
 }
 
 /// A per-worker mapping session: owns whatever mutable state mapping
@@ -277,14 +298,41 @@ pub trait MapSession {
     ///
     /// Must return exactly one result per input pair, in input order.
     /// Per-batch *stats* may be attributed with bounded lag (warm
-    /// accelerator sessions report a batch's simulation cost on the next
-    /// call), but session-total stats are exact after
-    /// [`finish`](MapSession::finish).
+    /// accelerator sessions report simulation cost as the shared device
+    /// makes progress, not strictly per batch), but run-total stats are
+    /// exact once [`finish`](MapSession::finish) and the backend's
+    /// [`flush`](MapBackend::flush) have both been merged.
+    ///
+    /// Calling this directly (outside the engine) admits the batch at the
+    /// backend's own running sequence position — fine for single-session
+    /// use; multi-session callers that care about deterministic totals
+    /// should use [`map_sequenced_batch`](MapSession::map_sequenced_batch).
     fn map_batch(&mut self, pairs: &[ReadPair]) -> BatchResult;
 
+    /// Maps the batch at a known position in the input stream:
+    /// `batch_index` is the 0-based, contiguous index the engine's batching
+    /// front-end assigned. Backends with cross-worker shared state (the
+    /// warm NMSL device) use it to admit work in *input order* regardless
+    /// of which worker got the batch or when — the property that makes
+    /// their warm totals independent of thread count, batch size and steal
+    /// schedule. The default ignores the index and defers to
+    /// [`map_batch`](MapSession::map_batch).
+    ///
+    /// Within one backend run, every index from 0 up to the highest
+    /// admitted must be submitted exactly once (the engine's `Batcher`
+    /// guarantees this); a gap would leave a sequencing backend waiting for
+    /// the missing batch until [`MapBackend::flush`].
+    fn map_sequenced_batch(&mut self, batch_index: u64, pairs: &[ReadPair]) -> BatchResult {
+        let _ = batch_index;
+        self.map_batch(pairs)
+    }
+
     /// Flushes the session, returning any accounting not yet attributed to
-    /// a batch (a warm session drains its in-flight simulator here).
-    /// Called exactly once, after the last `map_batch`.
+    /// a batch. Called exactly once, after the last `map_batch`. Note the
+    /// shared warm NMSL device intentionally does **not** drain here — a
+    /// finished worker must not advance simulator state other workers'
+    /// admissions still interleave with; the device drains in
+    /// [`MapBackend::flush`] instead.
     fn finish(&mut self) -> BackendStats {
         BackendStats::new()
     }

@@ -80,6 +80,17 @@ impl DramStats {
             completed: self.completed - earlier.completed,
         }
     }
+
+    /// Adds another delta's counters into this one (the inverse of
+    /// [`since`](DramStats::since): folding per-dispatch deltas back into a
+    /// running total).
+    pub fn accumulate(&mut self, other: &DramStats) {
+        self.bursts += other.bursts;
+        self.activations += other.activations;
+        self.precharges += other.precharges;
+        self.bytes += other.bytes;
+        self.completed += other.completed;
+    }
 }
 
 #[derive(Clone, Copy, Debug)]

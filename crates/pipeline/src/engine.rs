@@ -279,7 +279,11 @@ impl<B: MapBackend> MappingEngine<B> {
                     // Own deque LIFO, injector refill, FIFO steal — in that
                     // order; None once the input is closed and drained.
                     while let Some(batch) = queue.pop(worker_id) {
-                        let out = session.map_batch(&batch.pairs);
+                        // Sequenced by batch index: shared-device backends
+                        // admit in input order no matter which worker got
+                        // the batch or when (warm totals stay invariant to
+                        // the steal schedule).
+                        let out = session.map_sequenced_batch(batch.index, &batch.pairs);
                         assert_eq!(
                             out.results.len(),
                             batch.pairs.len(),
@@ -374,7 +378,12 @@ impl<B: MapBackend> MappingEngine<B> {
                 .map(|w| w.join().expect("mapping worker panicked"))
                 .collect();
             let stats = PipelineStats::merged(shards.iter().map(|(s, _)| s));
-            let backend_stats = BackendStats::merged(shards.iter().map(|(_, b)| b));
+            let mut backend_stats = BackendStats::merged(shards.iter().map(|(_, b)| b));
+            // Backend-wide flush, strictly after every session finished:
+            // the warm NMSL device drains its shared simulator lanes here
+            // (and resets for the next run). Runs on the error path too, so
+            // an aborted run never leaves the device dirty.
+            backend_stats.merge(&backend.flush());
             let write_result = emitter.join().expect("emitter panicked");
             (stats, backend_stats, write_result, batches)
         });

@@ -1,0 +1,177 @@
+//! Property tests for [`WorkStealQueue`]: the dispatch discipline under
+//! randomized schedules.
+//!
+//! The example-based unit tests in `steal.rs` pin specific schedules
+//! (LIFO/FIFO order, one blocked push, one abort). These properties cover
+//! the space those examples sample: for *random* worker counts, capacities,
+//! refill chunks and push/steal/abort interleavings —
+//!
+//! * no item is ever lost,
+//! * no item is ever delivered twice,
+//! * `abort` wakes every parked worker (and a parked feeder), so teardown
+//!   can never deadlock.
+//!
+//! Items are distinct `u64`s, so "multiset equality with the input" is both
+//! loss- and duplication-sensitive.
+
+use gx_pipeline::WorkStealQueue;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Pops everything the queue will ever deliver to `worker`, tagging each
+/// item; plain `assert!` (not `prop_assert!`) because this runs on spawned
+/// threads, where a panic propagates through the scope join.
+fn drain_worker(q: &WorkStealQueue<u64>, worker: usize) -> Vec<u64> {
+    let mut got = Vec::new();
+    while let Some(item) = q.pop(worker) {
+        got.push(item);
+    }
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concurrent workers racing a live feeder: every pushed item is
+    /// delivered exactly once, for any worker count / capacity / refill
+    /// chunk. (Thread interleaving adds real nondeterminism on top of the
+    /// generated parameters, so each case explores a fresh schedule.)
+    #[test]
+    fn nothing_lost_nothing_duplicated(
+        workers in 1usize..6,
+        items in 0u64..400,
+        capacity in 1usize..12,
+        refill in 1usize..7,
+    ) {
+        let q = WorkStealQueue::new(workers, capacity, refill);
+        let collected: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let q = &q;
+                    scope.spawn(move || drain_worker(q, w))
+                })
+                .collect();
+            for i in 0..items {
+                assert!(q.push(i), "push failed on a live queue");
+            }
+            q.close();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut all: Vec<u64> = collected.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..items).collect();
+        prop_assert_eq!(all, expected, "delivered multiset != pushed multiset");
+    }
+
+    /// Single-threaded random schedules (the deterministic counterpart):
+    /// pops from arbitrary workers — exercising refill parking and FIFO
+    /// steals — never lose or duplicate, and fully drain after close.
+    #[test]
+    fn random_pop_schedules_drain_exactly_once(
+        workers in 1usize..5,
+        items in 0u64..120,
+        capacity in 4usize..40,
+        refill in 1usize..7,
+        schedule in prop::collection::vec(0usize..4, 0..140),
+    ) {
+        // The injector must fit everything up front: a single-threaded
+        // schedule cannot service a blocked push.
+        let q = WorkStealQueue::new(workers, capacity.max(items as usize + 1), refill);
+        for i in 0..items {
+            assert!(q.push(i));
+        }
+        q.close();
+        let mut got = Vec::new();
+        // Random pop order across workers; after close, pop never blocks.
+        for w in schedule {
+            if let Some(item) = q.pop(w % workers) {
+                got.push(item);
+            }
+        }
+        // Whatever the schedule left, a final sweep drains.
+        for w in 0..workers {
+            got.extend(drain_worker(&q, w));
+        }
+        got.sort_unstable();
+        let expected: Vec<u64> = (0..items).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Abort wakes every parked worker: workers blocked in `pop` on an
+    /// open-but-empty queue all return `None` after `abort`, and the items
+    /// delivered before the abort are still duplicate-free. If abort failed
+    /// to wake a parker this test would hang, not fail an assertion.
+    #[test]
+    fn abort_wakes_all_parked_workers(
+        workers in 1usize..6,
+        pre_items in 0u64..12,
+        consumed in 0usize..6,
+    ) {
+        let q = WorkStealQueue::new(workers, 16, 2);
+        for i in 0..pre_items {
+            assert!(q.push(i));
+        }
+        // Consume a few on this thread so some workers will find the queue
+        // already empty and park immediately.
+        let consumed = consumed.min(pre_items as usize);
+        let mut eaten = Vec::new();
+        for _ in 0..consumed {
+            eaten.extend(q.pop(0));
+        }
+        let entered = AtomicUsize::new(0);
+        let delivered: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let (q, entered) = (&q, &entered);
+                    scope.spawn(move || {
+                        entered.fetch_add(1, Ordering::SeqCst);
+                        drain_worker(q, w)
+                    })
+                })
+                .collect();
+            // Wait until every worker has started popping, then give them a
+            // moment to drain the leftovers and park on the empty queue.
+            while entered.load(Ordering::SeqCst) < workers {
+                std::thread::yield_now();
+            }
+            std::thread::sleep(Duration::from_millis(2));
+            q.abort();
+            // Every worker must come back; a missed wake-up hangs here.
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Post-abort the queue is dead for feeders and workers alike.
+        prop_assert!(!q.push(999));
+        prop_assert_eq!(q.pop(0), None);
+        let mut all: Vec<u64> = delivered.into_iter().flatten().collect();
+        all.extend(eaten);
+        all.sort_unstable();
+        let before_dedup = all.len();
+        all.dedup();
+        // No duplicates (dedup removed nothing) and nothing invented; items
+        // dropped by the abort are expected and fine.
+        prop_assert_eq!(all.len(), before_dedup, "an item was delivered twice");
+        prop_assert!(all.iter().all(|&i| i < pre_items));
+        prop_assert!(all.len() <= pre_items as usize);
+    }
+
+    /// A feeder parked on a full injector is also released by abort, with
+    /// `push` reporting failure instead of silently dropping on a live
+    /// queue.
+    #[test]
+    fn abort_releases_a_blocked_feeder(capacity in 1usize..4) {
+        let q = WorkStealQueue::new(2, capacity, 2);
+        for i in 0..capacity as u64 {
+            assert!(q.push(i));
+        }
+        std::thread::scope(|scope| {
+            let qr = &q;
+            let blocked = scope.spawn(move || qr.push(capacity as u64));
+            std::thread::sleep(Duration::from_millis(2));
+            q.abort();
+            // The blocked push must return (false) instead of hanging.
+            assert!(!blocked.join().unwrap());
+        });
+        prop_assert_eq!(q.pop(0), None);
+    }
+}

@@ -1,0 +1,144 @@
+//! Golden-fixture regression: a checked-in paired FASTQ plus its expected
+//! SAM, byte-compared on every run.
+//!
+//! The serial-reference oracle (`tests/e2e_pipeline.rs`) proves the engine
+//! agrees with *itself* — parallel output equals what this build's
+//! `map_pair` produces serially. It cannot see cross-PR drift: if a change
+//! silently alters mapping decisions, both sides of that comparison move
+//! together. This suite closes that hole with fixtures under
+//! `tests/fixtures/`: the golden SAM was produced by a past build, so any
+//! PR that changes output bytes — mapper behavior, SAM formatting, genome
+//! synthesis, the vendored RNG stream — fails here and has to regenerate
+//! the fixture *explicitly* (`cargo test --release regenerate_golden_fixture
+//! -- --ignored`), turning silent drift into a reviewed diff.
+//!
+//! Both backends are checked against the same golden bytes, so the
+//! cross-backend identity contract is pinned to a durable artifact too.
+
+use genpairx::backend::NmslBackend;
+use genpairx::core::{GenPairConfig, GenPairMapper};
+use genpairx::pipeline::{read_pairs_from_fastq, PipelineBuilder, ReadPair, SamTextSink};
+use genpairx::readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Fixture genome: must stay byte-for-byte what produced the checked-in
+/// files (the genome is rebuilt here, not checked in — its synthesis is
+/// part of what the golden guards).
+const GENOME_SIZE: u64 = 120_000;
+const GENOME_SEED: u64 = 0x601D;
+const N_PAIRS: usize = 48;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+fn fixture_genome() -> genpairx::genome::ReferenceGenome {
+    standard_genome(GENOME_SIZE, GENOME_SEED)
+}
+
+/// Renders the fixture dataset as mate-paired FASTQ text (constant quality:
+/// the mapper ignores qualities and SAM output carries the sequence only).
+fn render_fastq(pairs: &[ReadPair]) -> (String, String) {
+    let mut r1 = String::new();
+    let mut r2 = String::new();
+    for p in pairs {
+        writeln!(r1, "@{}/1\n{}\n+\n{}", p.id, p.r1, "I".repeat(p.r1.len())).unwrap();
+        writeln!(r2, "@{}/2\n{}\n+\n{}", p.id, p.r2, "I".repeat(p.r2.len())).unwrap();
+    }
+    (r1, r2)
+}
+
+fn simulate_fixture_pairs(genome: &genpairx::genome::ReferenceGenome) -> Vec<ReadPair> {
+    simulate_dataset(genome, &DATASETS[0], N_PAIRS)
+        .into_iter()
+        .map(|p| ReadPair::new(p.id, p.r1.seq, p.r2.seq))
+        .collect()
+}
+
+fn map_to_sam<B: genpairx::backend::MapBackend>(
+    genome: &genpairx::genome::ReferenceGenome,
+    backend: B,
+    pairs: Vec<ReadPair>,
+) -> Vec<u8> {
+    let engine = PipelineBuilder::new()
+        .threads(2)
+        .batch_size(16)
+        .backend(backend);
+    let mut sink = SamTextSink::with_header(genome, Vec::new()).unwrap();
+    engine.run(pairs, &mut sink).unwrap();
+    sink.into_inner().unwrap()
+}
+
+#[test]
+fn golden_fastq_maps_to_golden_sam_on_both_backends() {
+    let dir = fixture_dir();
+    let r1 = std::fs::read(dir.join("golden_R1.fastq")).expect("missing fixture golden_R1.fastq");
+    let r2 = std::fs::read(dir.join("golden_R2.fastq")).expect("missing fixture golden_R2.fastq");
+    let golden_sam = std::fs::read(dir.join("golden.sam")).expect("missing fixture golden.sam");
+
+    let pairs = read_pairs_from_fastq(&r1[..], &r2[..]).expect("fixture FASTQ must parse");
+    assert_eq!(pairs.len(), N_PAIRS, "fixture pair count drifted");
+
+    let genome = fixture_genome();
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+
+    let software = map_to_sam(
+        &genome,
+        genpairx::backend::SoftwareBackend::new(&mapper),
+        pairs.clone(),
+    );
+    assert!(
+        software == golden_sam,
+        "software backend SAM drifted from the checked-in golden \
+         (intentional change? regenerate with \
+         `cargo test --release regenerate_golden_fixture -- --ignored`)"
+    );
+
+    let nmsl = map_to_sam(&genome, NmslBackend::new(&mapper), pairs);
+    assert!(
+        nmsl == golden_sam,
+        "NMSL backend SAM drifted from the checked-in golden"
+    );
+}
+
+#[test]
+fn fixture_fastq_matches_its_generator() {
+    // The FASTQ files themselves are fixtures too: if read simulation or
+    // the vendored RNG stream changes, the *inputs* drift silently even if
+    // mapping does not. Re-derive them and compare.
+    let dir = fixture_dir();
+    let genome = fixture_genome();
+    let (r1, r2) = render_fastq(&simulate_fixture_pairs(&genome));
+    let on_disk_r1 = std::fs::read(dir.join("golden_R1.fastq")).unwrap();
+    let on_disk_r2 = std::fs::read(dir.join("golden_R2.fastq")).unwrap();
+    assert!(r1.as_bytes() == on_disk_r1, "golden_R1.fastq drifted");
+    assert!(r2.as_bytes() == on_disk_r2, "golden_R2.fastq drifted");
+}
+
+/// Regenerates the fixtures from the current build. Run explicitly after an
+/// *intentional* output change, then review the fixture diff in the PR:
+///
+/// ```text
+/// cargo test --release regenerate_golden_fixture -- --ignored
+/// ```
+#[test]
+#[ignore = "writes tests/fixtures/; run explicitly after intentional output changes"]
+fn regenerate_golden_fixture() {
+    let dir = fixture_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let genome = fixture_genome();
+    let pairs = simulate_fixture_pairs(&genome);
+    let (r1, r2) = render_fastq(&pairs);
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+    let sam = map_to_sam(
+        &genome,
+        genpairx::backend::SoftwareBackend::new(&mapper),
+        pairs,
+    );
+    std::fs::write(dir.join("golden_R1.fastq"), r1).unwrap();
+    std::fs::write(dir.join("golden_R2.fastq"), r2).unwrap();
+    std::fs::write(dir.join("golden.sam"), sam).unwrap();
+}
