@@ -19,11 +19,17 @@ use gx_accel::{
     fallback_cells, shard_for_workload, FallbackCells, GenDpInstance, HostTraffic, LaneDelta,
     NmslConfig, NmslLane, NmslSim, PairWorkload, ACCEL_CLOCK_GHZ,
 };
-use gx_core::{GenPairMapper, ReadPair};
+use gx_core::{FallbackStage, GenPairMapper, ReadPair};
 use gx_memsim::{DramConfig, DramPowerModel};
+use gx_telemetry::{CounterId, GaugeId, HistogramId, Recorder, Telemetry};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Base span track for the shared device's simulator lanes (lane `i`
+/// renders as track `LANE_TRACK_BASE + i`), far above the pipeline's
+/// worker/feeder/emitter tracks so traces never collide.
+const LANE_TRACK_BASE: u32 = 2000;
 
 /// Default simulator lanes of the shared warm device (see
 /// [`NmslBackend::channels`]).
@@ -86,10 +92,13 @@ struct Frontier {
     fallback_cycles_emitted: u64,
     /// Cumulative GenDP energy in release order.
     fallback_energy_pj: f64,
+    /// Telemetry shard for the frontier-depth gauge (no-op when telemetry
+    /// is disabled; observational only, never read back into accounting).
+    rec: Recorder,
 }
 
 impl Frontier {
-    fn new(lanes: usize) -> Frontier {
+    fn new(lanes: usize, rec: Recorder) -> Frontier {
         Frontier {
             next_batch: 0,
             auto_next: 0,
@@ -99,6 +108,7 @@ impl Frontier {
             fallback_seconds_total: 0.0,
             fallback_cycles_emitted: 0,
             fallback_energy_pj: 0.0,
+            rec,
         }
     }
 }
@@ -115,10 +125,15 @@ struct LaneState {
     energy_pj: f64,
     transfer_seconds: f64,
     exposed_seconds: f64,
+    /// Telemetry shard + span ring for this lane (track
+    /// `LANE_TRACK_BASE + idx`); a no-op handle when telemetry is
+    /// disabled. Observational only — nothing recorded here is ever read
+    /// back into the modeled totals above.
+    rec: Recorder,
 }
 
 impl LaneState {
-    fn new(dram: DramConfig, nmsl: NmslConfig, quantum: usize) -> LaneState {
+    fn new(dram: DramConfig, nmsl: NmslConfig, quantum: usize, rec: Recorder) -> LaneState {
         LaneState {
             lane: NmslLane::new(dram, nmsl, quantum),
             q_input: 0,
@@ -127,6 +142,7 @@ impl LaneState {
             energy_pj: 0.0,
             transfer_seconds: 0.0,
             exposed_seconds: 0.0,
+            rec,
         }
     }
 }
@@ -149,10 +165,28 @@ impl LaneState {
 /// Determinism falls out: per lane, the (admit, run) op sequence and every
 /// float accumulation order depend only on the released pair order, which
 /// the frontier fixes to input order.
+/// The device's registered metric ids (dummy ids on a disabled handle —
+/// recording through them is a no-op either way).
+#[derive(Clone, Copy, Debug)]
+struct DeviceMetrics {
+    /// `gx_lane_drain_ns`: wall-clock latency of one lane quantum drain.
+    drain_h: HistogramId,
+    /// `gx_exposed_transfer_ns`: per-quantum *modeled* exposed-transfer
+    /// residue, in integer nanoseconds of modeled time.
+    exposed_h: HistogramId,
+    /// `gx_nmsl_lane_occupancy`: workloads pending in a lane's simulator.
+    occupancy_g: GaugeId,
+    /// `gx_frontier_depth`: batches buffered ahead of the contiguity
+    /// frontier.
+    frontier_g: GaugeId,
+}
+
 struct SharedNmslDevice {
     frontier: Mutex<Frontier>,
     lanes: Vec<Mutex<LaneState>>,
     power: DramPowerModel,
+    telemetry: Telemetry,
+    metrics: DeviceMetrics,
 }
 
 impl SharedNmslDevice {
@@ -161,14 +195,45 @@ impl SharedNmslDevice {
         nmsl: NmslConfig,
         channels: usize,
         quantum: usize,
+        telemetry: Telemetry,
     ) -> SharedNmslDevice {
         let channels = channels.max(1);
+        let metrics = DeviceMetrics {
+            drain_h: telemetry.histogram(
+                "gx_lane_drain_ns",
+                "wall-clock latency of one NMSL lane quantum drain, ns",
+            ),
+            exposed_h: telemetry.histogram(
+                "gx_exposed_transfer_ns",
+                "modeled exposed-transfer residue per lane quantum, ns of modeled time",
+            ),
+            occupancy_g: telemetry.gauge(
+                "gx_nmsl_lane_occupancy",
+                "workloads pending in the lane simulators (sum across lanes; max is per-lane)",
+            ),
+            frontier_g: telemetry.gauge(
+                "gx_frontier_depth",
+                "batches buffered ahead of the shared device's contiguity frontier",
+            ),
+        };
+        for idx in 0..channels {
+            telemetry.label_track(LANE_TRACK_BASE + idx as u32, &format!("nmsl lane {idx}"));
+        }
         SharedNmslDevice {
-            frontier: Mutex::new(Frontier::new(channels)),
+            frontier: Mutex::new(Frontier::new(channels, telemetry.recorder(LANE_TRACK_BASE))),
             lanes: (0..channels)
-                .map(|_| Mutex::new(LaneState::new(dram, nmsl, quantum)))
+                .map(|idx| {
+                    Mutex::new(LaneState::new(
+                        dram,
+                        nmsl,
+                        quantum,
+                        telemetry.recorder(LANE_TRACK_BASE + idx as u32),
+                    ))
+                })
                 .collect(),
             power: DramPowerModel::for_config(&dram),
+            telemetry,
+            metrics,
         }
     }
 
@@ -215,11 +280,17 @@ impl SharedNmslDevice {
             .energy_mj(&delta.dram, &backend.dram, delta.seconds)
             * 1e9;
         l.transfer_seconds += transfer;
-        l.exposed_seconds += if backend.overlap {
+        let exposed = if backend.overlap {
             HostTraffic::exposed_transfer_seconds(transfer, delta.seconds)
         } else {
             transfer
         };
+        l.exposed_seconds += exposed;
+        // Telemetry taps the already-computed modeled values (converted to
+        // integer ns); the accumulators above never read telemetry back.
+        l.rec.record(self.metrics.exposed_h, (exposed * 1e9) as u64);
+        l.rec
+            .gauge_set(self.metrics.occupancy_g, l.lane.sim().pending());
     }
 
     /// Streams every staged pair of lane `idx` through its simulator,
@@ -264,7 +335,10 @@ impl SharedNmslDevice {
                         HostTraffic::transfer_seconds(l.q_input, l.q_output, backend.link_gbs);
                     l.q_input = 0;
                     l.q_output = 0;
+                    let t_drain = l.rec.start();
                     let delta = l.lane.run_lagged();
+                    let drain_ns = l.rec.span_arg("lane_drain", t_drain, idx as u64);
+                    l.rec.record(self.metrics.drain_h, drain_ns);
                     self.account_run(backend, &mut l, transfer, &delta, stats);
                 }
             }
@@ -292,6 +366,10 @@ impl SharedNmslDevice {
             });
             f.auto_next = f.auto_next.max(index + 1);
             f.pending.insert(index, pairs);
+            // Peak depth (before the frontier releases what it now covers);
+            // the gauge's high-water mark records the worst reordering.
+            let depth = f.pending.len() as u64;
+            f.rec.gauge_set(self.metrics.frontier_g, depth);
             while let Some(batch) = {
                 let next = f.next_batch;
                 f.pending.remove(&next)
@@ -301,6 +379,8 @@ impl SharedNmslDevice {
                 }
                 f.next_batch += 1;
             }
+            let depth = f.pending.len() as u64;
+            f.rec.gauge_set(self.metrics.frontier_g, depth);
         }
         for (idx, touched) in touched.into_iter().enumerate() {
             if touched {
@@ -343,20 +423,33 @@ impl SharedNmslDevice {
                 l.q_output = 0;
                 let quantum = l.lane.quantum();
                 let full_target = l.lane.admitted() / quantum * quantum;
+                let t_drain = l.rec.start();
                 let delta = l.lane.run_to(full_target);
+                let drain_ns = l.rec.span_arg("lane_drain", t_drain, idx as u64);
+                l.rec.record(self.metrics.drain_h, drain_ns);
                 self.account_run(backend, &mut l, transfer, &delta, &mut stats);
             }
             // Final drain: pure compute, no transfer left to hide.
+            let t_drain = l.rec.start();
             let tail = l.lane.drain();
+            let drain_ns = l.rec.span_arg("lane_drain", t_drain, idx as u64);
+            l.rec.record(self.metrics.drain_h, drain_ns);
             self.account_run(backend, &mut l, 0.0, &tail, &mut stats);
             stats.sim_seconds += l.seconds;
             stats.seed_energy_pj += l.energy_pj;
             stats.transfer_seconds += l.transfer_seconds;
             stats.exposed_transfer_seconds += l.exposed_seconds;
-            *l = LaneState::new(backend.dram, backend.nmsl, backend.quantum);
+            // Replacing the lane state drops (and thereby flushes) its
+            // telemetry recorder; the fresh one starts with an empty ring.
+            *l = LaneState::new(
+                backend.dram,
+                backend.nmsl,
+                backend.quantum,
+                self.telemetry.recorder(LANE_TRACK_BASE + idx as u32),
+            );
         }
         let mut f = self.frontier.lock().expect("frontier lock poisoned");
-        *f = Frontier::new(self.lanes.len());
+        *f = Frontier::new(self.lanes.len(), self.telemetry.recorder(LANE_TRACK_BASE));
         drop(f);
         stats.sim_cycles = stats.seed_cycles + stats.fallback_cycles;
         stats.energy_pj = stats.seed_energy_pj + stats.fallback_energy_pj;
@@ -416,6 +509,7 @@ pub struct NmslBackend<'m, 'g> {
     overlap: bool,
     channels: usize,
     quantum: usize,
+    telemetry: Telemetry,
     device: SharedNmslDevice,
 }
 
@@ -448,7 +542,8 @@ impl<'m, 'g> NmslBackend<'m, 'g> {
             overlap: true,
             channels,
             quantum,
-            device: SharedNmslDevice::new(dram, nmsl, channels, quantum),
+            telemetry: Telemetry::disabled(),
+            device: SharedNmslDevice::new(dram, nmsl, channels, quantum, Telemetry::disabled()),
         }
     }
 
@@ -463,7 +558,13 @@ impl<'m, 'g> NmslBackend<'m, 'g> {
     /// partition is part of the modeled hardware, like the DRAM technology.
     pub fn channels(mut self, channels: usize) -> NmslBackend<'m, 'g> {
         self.channels = channels.max(1);
-        self.device = SharedNmslDevice::new(self.dram, self.nmsl, self.channels, self.quantum);
+        self.device = SharedNmslDevice::new(
+            self.dram,
+            self.nmsl,
+            self.channels,
+            self.quantum,
+            self.telemetry.clone(),
+        );
         self
     }
 
@@ -473,7 +574,34 @@ impl<'m, 'g> NmslBackend<'m, 'g> {
     /// model — that is what makes warm totals batch-size-invariant.
     pub fn dispatch_quantum(mut self, quantum: usize) -> NmslBackend<'m, 'g> {
         self.quantum = quantum.max(1);
-        self.device = SharedNmslDevice::new(self.dram, self.nmsl, self.channels, self.quantum);
+        self.device = SharedNmslDevice::new(
+            self.dram,
+            self.nmsl,
+            self.channels,
+            self.quantum,
+            self.telemetry.clone(),
+        );
+        self
+    }
+
+    /// Attaches a telemetry handle: the shared warm device then records
+    /// per-lane `lane_drain` spans and drain-latency histograms, the
+    /// per-quantum modeled exposed-transfer residue, lane-occupancy and
+    /// frontier-depth gauges, and sessions count GenDP fallbacks per stage.
+    /// Like [`channels`](NmslBackend::channels), this recreates the shared
+    /// device (so only call it while no sessions are live). Telemetry is
+    /// **accounting-inert**: it taps already-computed modeled values and
+    /// wall-clock reads, and nothing it records feeds back into
+    /// [`BackendStats`] — warm totals stay bit-identical with tracing on.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> NmslBackend<'m, 'g> {
+        self.telemetry = telemetry;
+        self.device = SharedNmslDevice::new(
+            self.dram,
+            self.nmsl,
+            self.channels,
+            self.quantum,
+            self.telemetry.clone(),
+        );
         self
     }
 
@@ -549,11 +677,24 @@ impl MapBackend for NmslBackend<'_, '_> {
         "nmsl"
     }
 
-    fn session(&self, _worker_id: usize) -> NmslSession<'_> {
+    fn session(&self, worker_id: usize) -> NmslSession<'_> {
         NmslSession {
             backend: self,
             fallback_seconds_total: 0.0,
             fallback_cycles_emitted: 0,
+            rec: self.telemetry.recorder(1000 + worker_id as u32),
+            seedmap_c: self.telemetry.counter(
+                "gx_fallback_seedmap_total",
+                "pairs priced on GenDP because no SeedMap entry matched",
+            ),
+            pafilter_c: self.telemetry.counter(
+                "gx_fallback_pafilter_total",
+                "pairs priced on GenDP because the paired-adjacency filter emptied",
+            ),
+            lightalign_c: self.telemetry.counter(
+                "gx_fallback_lightalign_total",
+                "pairs needing DP alignment because light alignment failed",
+            ),
         }
     }
 
@@ -596,6 +737,15 @@ pub struct NmslSession<'s> {
     fallback_seconds_total: f64,
     /// Cold mode: GenDP cycles already attributed to earlier batches.
     fallback_cycles_emitted: u64,
+    /// Telemetry shard for the per-stage fallback counters (no-op when
+    /// telemetry is disabled).
+    rec: Recorder,
+    /// Counter id: [`FallbackStage::SeedMapMiss`] occurrences.
+    seedmap_c: CounterId,
+    /// Counter id: [`FallbackStage::PaFilter`] occurrences.
+    pafilter_c: CounterId,
+    /// Counter id: [`FallbackStage::LightAlign`] occurrences.
+    lightalign_c: CounterId,
 }
 
 impl NmslSession<'_> {
@@ -607,6 +757,17 @@ impl NmslSession<'_> {
             .iter()
             .map(|p| self.backend.mapper.map_pair(&p.r1, &p.r2))
             .collect();
+
+        if self.rec.is_enabled() {
+            for res in &results {
+                match res.fallback {
+                    Some(FallbackStage::SeedMapMiss) => self.rec.counter_add(self.seedmap_c, 1),
+                    Some(FallbackStage::PaFilter) => self.rec.counter_add(self.pafilter_c, 1),
+                    Some(FallbackStage::LightAlign) => self.rec.counter_add(self.lightalign_c, 1),
+                    None => {}
+                }
+            }
+        }
 
         let mut stats = BackendStats {
             batches: 1,

@@ -18,6 +18,24 @@ use gx_core::{PairMapResult, ReadPair};
 /// bound. Wall-clock and modeled time deliberately coexist: their ratio is
 /// the end-to-end software-vs-hardware trajectory number the
 /// `backend_compare` harness tracks.
+///
+/// # Warm attribution: integers per call, floats at flush
+///
+/// Under the shared warm NMSL device, *when* each field is populated
+/// depends on its type. Integer fields (`seed_cycles`, `fallback_cycles`,
+/// `dram_bytes`, `dram_requests`) are emitted as exact deltas to whichever
+/// worker's call happened to drive the device — integer addition is exact,
+/// so the merged totals are schedule-independent even though per-batch
+/// attributions are not (`sim_cycles`, being `seed_cycles +
+/// fallback_cycles`, rides along per call). Float-valued stage totals
+/// (`sim_seconds`, `seed_energy_pj`, `fallback_seconds`,
+/// `fallback_energy_pj`, `transfer_seconds`, `exposed_transfer_seconds`,
+/// and the `energy_pj` roll-up over them) are accumulated *inside* the
+/// device in deterministic input/lane-op order and reported in one piece
+/// by [`MapBackend::flush`] — per-batch [`BatchResult::stats`] carry zeros
+/// there. Cold dispatch has no shared state, so every field is populated
+/// per batch. Run totals (per-call stats merged with `finish` and `flush`)
+/// are exact and bit-identical across schedules either way.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct BackendStats {
     /// Batches mapped.
@@ -32,28 +50,41 @@ pub struct BackendStats {
     pub sim_cycles: u64,
     /// Total modeled accelerator seconds (seeding at the memory clock plus
     /// fallback DP at the accelerator clock; excludes host transfer).
+    /// Warm dispatch reports this at [`MapBackend::flush`], not per batch.
     pub sim_seconds: f64,
     /// Total modeled energy in picojoules (`seed_energy_pj +
-    /// fallback_energy_pj`).
+    /// fallback_energy_pj`). Warm dispatch reports this at
+    /// [`MapBackend::flush`], not per batch.
     pub energy_pj: f64,
-    /// Bytes moved by the modeled DRAM.
+    /// Bytes moved by the modeled DRAM (exact integer deltas per call).
     pub dram_bytes: u64,
-    /// DRAM requests completed by the model.
+    /// DRAM requests completed by the model (exact integer deltas per
+    /// call).
     pub dram_requests: u64,
-    /// NMSL seeding stage: simulated memory cycles.
+    /// NMSL seeding stage: simulated memory cycles. Warm dispatch emits
+    /// these as integer deltas to the worker whose call drove the lane —
+    /// exact in total, schedule-dependent per batch.
     pub seed_cycles: u64,
-    /// NMSL seeding stage: modeled DRAM energy in picojoules.
+    /// NMSL seeding stage: modeled DRAM energy in picojoules. Warm
+    /// dispatch accumulates this inside the device (per-lane, in lane-op
+    /// order) and reports it at [`MapBackend::flush`].
     pub seed_energy_pj: f64,
-    /// GenDP fallback stage: accelerator cycles spent on fallback DP.
+    /// GenDP fallback stage: accelerator cycles spent on fallback DP,
+    /// emitted as integer deltas of the device's running cumulative total
+    /// (so rounding never double-counts a cycle across calls).
     pub fallback_cycles: u64,
-    /// GenDP fallback stage: modeled seconds.
+    /// GenDP fallback stage: modeled seconds, priced per pair in input
+    /// order. Warm dispatch reports this at [`MapBackend::flush`].
     pub fallback_seconds: f64,
-    /// GenDP fallback stage: modeled energy in picojoules.
+    /// GenDP fallback stage: modeled energy in picojoules. Warm dispatch
+    /// reports this at [`MapBackend::flush`].
     pub fallback_energy_pj: f64,
     /// Host-link stage: raw seconds moving batch input/output over the
     /// host↔accelerator link (full duplex, so the slower direction bounds
     /// each batch). This is the *pre-overlap* figure: what the link is busy
-    /// for, regardless of whether compute hides it.
+    /// for, regardless of whether compute hides it. Warm dispatch charges
+    /// transfer per dispatch quantum (not per client batch) and reports the
+    /// total at [`MapBackend::flush`].
     pub transfer_seconds: f64,
     /// Host-link stage: the *exposed* share of
     /// [`transfer_seconds`](BackendStats::transfer_seconds) — the serial
@@ -62,7 +93,9 @@ pub struct BackendStats {
     /// ([`HostTraffic::exposed_transfer_seconds`](gx_accel::HostTraffic::exposed_transfer_seconds)).
     /// Always `≤ transfer_seconds`; equal to it when the backend models no
     /// overlap (serial dispatch, overlap disabled, or the stream's first
-    /// batch, which has nothing to hide behind).
+    /// quantum, which has nothing to hide behind). Warm dispatch computes
+    /// the residue per dispatch quantum per lane and reports the total at
+    /// [`MapBackend::flush`].
     pub exposed_transfer_seconds: f64,
     /// Host-link stage: bytes streamed into the accelerator.
     pub input_bytes: u64,

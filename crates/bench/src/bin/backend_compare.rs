@@ -48,14 +48,20 @@
 //! seconds-scale CI run, `--warm` / `--cold` to restrict the NMSL A/B to
 //! one dispatch mode, `--no-overlap` to report the serialized host-link
 //! accounting (`exposed == transfer`) as the baseline, `--channels N` to
-//! size the shared warm device's lane partition.
+//! size the shared warm device's lane partition, and `--trace out.json`
+//! (or `GX_TRACE=out.json`) to attach a [`Telemetry`] handle to the warm
+//! NMSL runs and export the last one's span timeline — pipeline stages
+//! plus per-lane `lane_drain` spans — as Chrome trace-event JSON.
+//! Telemetry is accounting-inert, so traced runs still satisfy every
+//! invariant above, including byte-identical SAM and the warm sharding
+//! fingerprint.
 
 use gx_backend::{DispatchMode, MapBackend, NmslBackend, SoftwareBackend, DEFAULT_CHANNELS};
 use gx_bench::env_usize;
 use gx_core::{GenPairConfig, GenPairMapper};
 use gx_genome::ReferenceGenome;
 use gx_pipeline::PipelineBuilder;
-use gx_pipeline::{MappingEngine, PipelineReport, ReadPair, SamTextSink};
+use gx_pipeline::{MappingEngine, PipelineReport, ReadPair, SamTextSink, Telemetry};
 use gx_readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
 
 fn run<B: MapBackend>(
@@ -149,6 +155,19 @@ fn flag_value(args: &[String], flag: &str) -> Option<usize> {
     })
 }
 
+/// Resolves the Chrome-trace output path: `--trace PATH` wins, then the
+/// `GX_TRACE` env var, else tracing stays off.
+fn trace_path(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--trace")
+        .map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| panic!("--trace requires an output path argument"))
+        })
+        .or_else(|| std::env::var("GX_TRACE").ok())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -156,6 +175,7 @@ fn main() {
     let cold_only = args.iter().any(|a| a == "--cold");
     let no_overlap = args.iter().any(|a| a == "--no-overlap");
     let channels = flag_value(&args, "--channels").unwrap_or(DEFAULT_CHANNELS);
+    let trace = trace_path(&args);
     let modes: &[DispatchMode] = match (warm_only, cold_only) {
         (true, false) => &[DispatchMode::Warm],
         (false, true) => &[DispatchMode::Cold],
@@ -183,6 +203,7 @@ fn main() {
 
     let thread_counts = [1usize, 2, 4];
     let mut warm_fingerprints: Vec<(usize, WarmFingerprint)> = Vec::new();
+    let mut last_trace: Option<String> = None;
     for threads in thread_counts {
         let sw_engine = PipelineBuilder::new()
             .threads(threads)
@@ -196,16 +217,30 @@ fn main() {
         let mut cold_seed_cycles = None;
         for &mode in modes {
             let overlap = mode == DispatchMode::Warm && !no_overlap;
+            // Trace the warm runs only: they exercise the shared device, so
+            // the export carries both the pipeline tracks and the per-lane
+            // `lane_drain` spans. Telemetry is accounting-inert, so the
+            // traced run still feeds the sharding-invariance fingerprint.
+            let telemetry = if trace.is_some() && mode == DispatchMode::Warm {
+                Telemetry::enabled()
+            } else {
+                Telemetry::disabled()
+            };
             let hw_engine = PipelineBuilder::new()
                 .threads(threads)
                 .batch_size(batch)
+                .telemetry(telemetry.clone())
                 .backend(
                     NmslBackend::new(&mapper)
                         .channels(channels)
                         .dispatch_mode(mode)
-                        .overlap(overlap),
+                        .overlap(overlap)
+                        .telemetry(telemetry.clone()),
                 );
             let (hw_bytes, hw_report) = run(&hw_engine, &genome, &pairs);
+            if telemetry.is_enabled() {
+                last_trace = telemetry.chrome_trace();
+            }
             // The co-design contract: both backends must emit identical SAM
             // bytes on this workload (warm or cold), or the throughput
             // comparison is meaningless.
@@ -330,5 +365,12 @@ fn main() {
             "warm accounting diverged across thread counts at channels={channels}: \
              {warm_fingerprints:?}"
         );
+    }
+
+    if let Some(path) = &trace {
+        let json = last_trace
+            .expect("--trace requires at least one warm run (drop --cold, or pass --warm)");
+        std::fs::write(path, json).expect("trace file must be writable");
+        eprintln!("# wrote Chrome trace to {path}");
     }
 }

@@ -7,8 +7,19 @@
 //!
 //! ```text
 //! {"harness":"pipeline_throughput","threads":4,"pairs":20000,
-//!  "reads_per_sec":123456.7,"speedup_vs_serial":3.41,...}
+//!  "reads_per_sec":123456.7,"speedup_vs_serial":3.41,
+//!  "steals":12,"refills":80,"queue_wait_p50_ns":2047,...}
 //! ```
+//!
+//! Each parallel run attaches a fresh [`Telemetry`] handle, so the line
+//! also carries the run's work-stealing counters (`steals`, `refills` from
+//! [`gx_pipeline::PipelineReport`]) and the p50/p90/p99 of the queue-wait and map-batch
+//! latency histograms (log2 buckets, so quantiles are bucket upper bounds
+//! in nanoseconds). Pass `--no-telemetry` to run with the disabled handle —
+//! the A/B half of the zero-overhead budget documented in
+//! `crates/bench/README.md` — and `--trace out.json` (or `GX_TRACE=...`)
+//! to export the highest-thread-count run's span timeline as Chrome
+//! trace-event JSON (viewable in Perfetto or `chrome://tracing`).
 //!
 //! The lines are machine-parsable for `BENCH_*.json` trajectory tracking.
 //! Speedups obviously depend on the host's core count: on a multi-core
@@ -17,8 +28,9 @@
 
 use gx_bench::{bench_genome, env_usize};
 use gx_core::{GenPairConfig, GenPairMapper};
-use gx_pipeline::{map_serial, FallbackPolicy, PipelineBuilder, ReadPair, RecordSink};
+use gx_pipeline::{map_serial, FallbackPolicy, PipelineBuilder, ReadPair, RecordSink, Telemetry};
 use gx_readsim::dataset::{simulate_dataset, DATASETS};
+use gx_telemetry::MetricsSnapshot;
 use std::io;
 
 /// Counts records without storing them (keeps the harness allocation-flat).
@@ -34,6 +46,16 @@ impl RecordSink for CountSink {
     }
 }
 
+/// p50/p90/p99 of a named latency histogram, zeros when absent (serial
+/// line, `--no-telemetry` runs).
+fn quantiles(snap: Option<&MetricsSnapshot>, name: &str) -> (u64, u64, u64) {
+    match snap.and_then(|s| s.histogram(name)) {
+        Some(h) => (h.quantile(0.50), h.quantile(0.90), h.quantile(0.99)),
+        None => (0, 0, 0),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn json_line(
     threads: usize,
     pairs: u64,
@@ -41,13 +63,22 @@ fn json_line(
     records: u64,
     mapped_pct: f64,
     serial_secs: f64,
+    steals: u64,
+    refills: u64,
+    snap: Option<&MetricsSnapshot>,
 ) -> String {
     let reads_per_sec = pairs as f64 * 2.0 / secs;
+    let (qw50, qw90, qw99) = quantiles(snap, "gx_queue_wait_ns");
+    let (mb50, mb90, mb99) = quantiles(snap, "gx_map_batch_ns");
     format!(
         concat!(
             "{{\"harness\":\"pipeline_throughput\",\"threads\":{},\"pairs\":{},",
             "\"seconds\":{:.4},\"reads_per_sec\":{:.1},\"records\":{},",
-            "\"mapped_pct\":{:.2},\"speedup_vs_serial\":{:.3}}}"
+            "\"mapped_pct\":{:.2},\"speedup_vs_serial\":{:.3},",
+            "\"telemetry\":{},\"steals\":{},\"refills\":{},",
+            "\"queue_wait_p50_ns\":{},\"queue_wait_p90_ns\":{},",
+            "\"queue_wait_p99_ns\":{},\"map_p50_ns\":{},\"map_p90_ns\":{},",
+            "\"map_p99_ns\":{}}}"
         ),
         threads,
         pairs,
@@ -56,10 +87,35 @@ fn json_line(
         records,
         mapped_pct,
         serial_secs / secs,
+        snap.is_some(),
+        steals,
+        refills,
+        qw50,
+        qw90,
+        qw99,
+        mb50,
+        mb90,
+        mb99,
     )
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let no_telemetry = args.iter().any(|a| a == "--no-telemetry");
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| panic!("--trace requires an output path argument"))
+        })
+        .or_else(|| std::env::var("GX_TRACE").ok());
+    assert!(
+        !(no_telemetry && trace_path.is_some()),
+        "--no-telemetry and --trace are mutually exclusive"
+    );
+
     let n_pairs = env_usize("GX_PAIRS", 20_000);
     let genome = bench_genome();
     eprintln!(
@@ -90,14 +146,26 @@ fn main() {
             serial_secs,
             sink.records,
             serial.stats.mapped_pct(),
-            serial_secs
+            serial_secs,
+            0,
+            0,
+            None,
         )
     );
 
+    let mut last_trace: Option<String> = None;
     for threads in [1usize, 2, 4, 8] {
+        // A fresh handle per run keeps each line's histograms and the
+        // exported trace scoped to exactly one configuration.
+        let telemetry = if no_telemetry {
+            Telemetry::disabled()
+        } else {
+            Telemetry::enabled()
+        };
         let engine = PipelineBuilder::new()
             .threads(threads)
             .batch_size(env_usize("GX_BATCH", 256))
+            .telemetry(telemetry.clone())
             .engine(&mapper);
         let mut sink = CountSink::default();
         let report = engine
@@ -107,6 +175,7 @@ fn main() {
             report.stats, serial.stats,
             "parallel stats must match serial"
         );
+        let snap = telemetry.snapshot();
         println!(
             "{}",
             json_line(
@@ -116,7 +185,18 @@ fn main() {
                 sink.records,
                 report.stats.mapped_pct(),
                 serial_secs,
+                report.steals,
+                report.refills,
+                snap.as_ref(),
             )
         );
+        if trace_path.is_some() {
+            last_trace = telemetry.chrome_trace();
+        }
+    }
+
+    if let (Some(path), Some(json)) = (&trace_path, last_trace) {
+        std::fs::write(path, json).expect("trace file must be writable");
+        eprintln!("# wrote Chrome trace to {path}");
     }
 }

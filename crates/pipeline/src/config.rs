@@ -3,6 +3,7 @@
 use crate::MappingEngine;
 use gx_backend::{MapBackend, SoftwareBackend};
 use gx_core::GenPairMapper;
+use gx_telemetry::Telemetry;
 
 /// What the engine does with pairs GenPair could not map (full-pipeline
 /// fallbacks destined for a traditional mapper).
@@ -55,9 +56,10 @@ impl Default for PipelineConfig {
 /// assert_eq!(cfg.threads, 4);
 /// assert_eq!(cfg.batch_size, 128);
 /// ```
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PipelineBuilder {
     cfg: PipelineConfig,
+    telemetry: Telemetry,
 }
 
 impl PipelineBuilder {
@@ -91,6 +93,17 @@ impl PipelineBuilder {
         self
     }
 
+    /// Attaches a telemetry handle: the engine then records queue-wait and
+    /// map-latency histograms, reorder-depth gauges, steal/refill counters
+    /// and batch-lifecycle spans into it. The default is
+    /// [`Telemetry::disabled`] — a no-op handle that costs the hot path a
+    /// predicted branch. Telemetry is observational only: it never feeds
+    /// back into modeled stats or changes the emitted SAM bytes.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> PipelineBuilder {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> PipelineConfig {
         self.cfg
@@ -116,7 +129,7 @@ impl PipelineBuilder {
     /// assert_eq!(engine.backend().mapper().genome().total_len(), 30_000);
     /// ```
     pub fn backend<B: MapBackend>(self, backend: B) -> MappingEngine<B> {
-        MappingEngine::new(backend, self.build())
+        MappingEngine::new(backend, self.cfg).with_telemetry(self.telemetry)
     }
 
     /// Finalizes and attaches the configuration to a mapper through the

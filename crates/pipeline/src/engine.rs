@@ -48,6 +48,7 @@ use crate::steal::WorkStealQueue;
 use gx_backend::{BackendStats, MapBackend, MapSession};
 use gx_core::{pair_mapping_to_sam, GenPairMapper, PairMapResult, PipelineStats, ReadPair};
 use gx_genome::{flags, SamRecord};
+use gx_telemetry::Telemetry;
 use std::collections::HashMap;
 use std::io;
 use std::sync::mpsc;
@@ -101,6 +102,11 @@ pub struct PipelineReport {
     pub threads: usize,
     /// Batch size used.
     pub batch_size: usize,
+    /// Batches a worker took from another worker's deque (from
+    /// [`WorkStealQueue::steals`]); zero in a perfectly balanced run.
+    pub steals: u64,
+    /// Injector→deque refill transfers (from [`WorkStealQueue::refills`]).
+    pub refills: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
@@ -206,12 +212,24 @@ fn emit_pair_records(
 pub struct MappingEngine<B: MapBackend> {
     backend: B,
     cfg: PipelineConfig,
+    telemetry: Telemetry,
 }
 
 impl<B: MapBackend> MappingEngine<B> {
-    /// An engine mapping with `backend` under `cfg`.
+    /// An engine mapping with `backend` under `cfg`, telemetry disabled.
     pub fn new(backend: B, cfg: PipelineConfig) -> MappingEngine<B> {
-        MappingEngine { backend, cfg }
+        MappingEngine {
+            backend,
+            cfg,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Replaces the engine's telemetry handle (see
+    /// [`PipelineBuilder::telemetry`](crate::PipelineBuilder::telemetry)).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> MappingEngine<B> {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The engine's configuration.
@@ -222,6 +240,11 @@ impl<B: MapBackend> MappingEngine<B> {
     /// The engine's backend.
     pub fn backend(&self) -> &B {
         &self.backend
+    }
+
+    /// The engine's telemetry handle (disabled unless attached).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Maps `input` with the worker pool, streaming ordered records into
@@ -248,6 +271,43 @@ impl<B: MapBackend> MappingEngine<B> {
         let cfg = self.cfg;
         let backend = &self.backend;
         let started = Instant::now();
+
+        // Telemetry is observational only: metric ids are registered up
+        // front (no-ops on a disabled handle), wall-clock reads flow into
+        // telemetry buffers exclusively, and nothing below feeds back into
+        // modeled stats or emitted bytes. Span tracks: workers 0..N, the
+        // feeder at N, the emitter at N+1 (NMSL lanes live at 2000+).
+        let telemetry = &self.telemetry;
+        let queue_wait_h = telemetry.histogram(
+            "gx_queue_wait_ns",
+            "worker wait for the next batch (pop from the work-steal queue), ns",
+        );
+        let map_h = telemetry.histogram(
+            "gx_map_batch_ns",
+            "wall-clock latency of one map_sequenced_batch call, ns",
+        );
+        let emit_wait_h = telemetry.histogram(
+            "gx_emit_wait_ns",
+            "emitter wait for the next mapped batch, ns",
+        );
+        let ingest_h = telemetry.histogram(
+            "gx_ingest_ns",
+            "front-end time to pull and chunk one batch of input pairs, ns",
+        );
+        let reorder_g = telemetry.gauge(
+            "gx_reorder_depth",
+            "batches buffered in the emitter's reorder window",
+        );
+        let steals_c = telemetry.counter(
+            "gx_steals_total",
+            "batches taken from another worker's deque",
+        );
+        let refills_c = telemetry.counter("gx_refills_total", "injector-to-deque refill transfers");
+        for w in 0..cfg.threads {
+            telemetry.label_track(w as u32, &format!("worker {w}"));
+        }
+        telemetry.label_track(cfg.threads as u32, "feeder");
+        telemetry.label_track(cfg.threads as u32 + 1, "emitter");
 
         // Work-stealing dispatch: the injector's capacity is the old
         // channel's queue depth, so front-end backpressure is unchanged.
@@ -276,14 +336,24 @@ impl<B: MapBackend> MappingEngine<B> {
                     // accelerator sessions keep their simulator warm across
                     // every batch this worker maps.
                     let mut session = backend.session(worker_id);
+                    let mut rec = telemetry.recorder(worker_id as u32);
                     // Own deque LIFO, injector refill, FIFO steal — in that
                     // order; None once the input is closed and drained.
-                    while let Some(batch) = queue.pop(worker_id) {
+                    loop {
+                        let t_wait = rec.start();
+                        let Some(batch) = queue.pop(worker_id) else {
+                            break;
+                        };
+                        let wait_ns = rec.span("queue_wait", t_wait);
+                        rec.record(queue_wait_h, wait_ns);
                         // Sequenced by batch index: shared-device backends
                         // admit in input order no matter which worker got
                         // the batch or when (warm totals stay invariant to
                         // the steal schedule).
+                        let t_map = rec.start();
                         let out = session.map_sequenced_batch(batch.index, &batch.pairs);
+                        let map_ns = rec.span_arg("map_batch", t_map, batch.index);
+                        rec.record(map_h, map_ns);
                         assert_eq!(
                             out.results.len(),
                             batch.pairs.len(),
@@ -320,12 +390,21 @@ impl<B: MapBackend> MappingEngine<B> {
 
             let emitter_progress = Arc::clone(&progress);
             let emitter = scope.spawn(move || -> io::Result<u64> {
+                let mut erec = telemetry.recorder(cfg.threads as u32 + 1);
+                let erec = &mut erec;
                 let mut emit = || -> io::Result<u64> {
                     let mut next = 0u64;
                     let mut written = 0u64;
                     let mut pending: HashMap<u64, Vec<SamRecord>> = HashMap::new();
-                    while let Ok(out) = result_rx.recv() {
+                    loop {
+                        let t_wait = erec.start();
+                        let Ok(out) = result_rx.recv() else {
+                            break;
+                        };
+                        let wait_ns = erec.span_arg("emit_wait", t_wait, out.index);
+                        erec.record(emit_wait_h, wait_ns);
                         pending.insert(out.index, out.records);
+                        erec.gauge_set(reorder_g, pending.len() as u64);
                         while let Some(records) = pending.remove(&next) {
                             for rec in &records {
                                 sink.write_record(rec)?;
@@ -356,8 +435,16 @@ impl<B: MapBackend> MappingEngine<B> {
             // iterator* panics, the guard aborts the queue so workers
             // don't park forever waiting for a close that never comes.
             let _teardown = AbortOnPanic(queue);
+            let mut frec = telemetry.recorder(cfg.threads as u32);
             let mut batches = 0u64;
-            for batch in Batcher::new(input.into_iter(), cfg.batch_size) {
+            let mut batcher = Batcher::new(input.into_iter(), cfg.batch_size);
+            loop {
+                let t_ingest = frec.start();
+                let Some(batch) = batcher.next() else {
+                    break;
+                };
+                let ingest_ns = frec.span_arg("ingest", t_ingest, batch.index);
+                frec.record(ingest_h, ingest_ns);
                 // Park until the batch fits the in-flight window.
                 {
                     let (lock, cv) = &*progress;
@@ -384,6 +471,10 @@ impl<B: MapBackend> MappingEngine<B> {
             // (and resets for the next run). Runs on the error path too, so
             // an aborted run never leaves the device dirty.
             backend_stats.merge(&backend.flush());
+            // The queue's lifetime counters, surfaced two ways: the report
+            // fields below and (when enabled) the metrics registry.
+            frec.counter_add(steals_c, queue.steals());
+            frec.counter_add(refills_c, queue.refills());
             let write_result = emitter.join().expect("emitter panicked");
             (stats, backend_stats, write_result, batches)
         });
@@ -397,6 +488,8 @@ impl<B: MapBackend> MappingEngine<B> {
             batches,
             threads: cfg.threads,
             batch_size: cfg.batch_size,
+            steals: queue.steals(),
+            refills: queue.refills(),
             elapsed: started.elapsed(),
         })
     }
@@ -469,6 +562,8 @@ where
         batches: pairs, // one logical batch per pair
         threads: 1,
         batch_size: 1,
+        steals: 0,
+        refills: 0,
         elapsed,
     })
 }

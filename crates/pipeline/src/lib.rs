@@ -27,8 +27,13 @@
 //!   ([`map_serial`]) for any backend, thread count and batch size;
 //! * a [`PipelineBuilder`] config surface: threads, batch size, queue
 //!   depth, the [`FallbackPolicy`] for pairs GenPair hands to the
-//!   traditional pipeline, and the backend selection (`.engine(&mapper)`
-//!   for software, `.backend(...)` for anything else).
+//!   traditional pipeline, the backend selection (`.engine(&mapper)`
+//!   for software, `.backend(...)` for anything else), and an optional
+//!   [`Telemetry`] handle (`.telemetry(...)`) that records queue-wait and
+//!   map-latency histograms, reorder-depth gauges, steal/refill counters
+//!   and batch-lifecycle spans — zero-cost when left disabled, and
+//!   accounting-inert by construction (wall-clock reads never feed modeled
+//!   stats, so warm totals and SAM bytes are unchanged by tracing).
 //!
 //! ```
 //! use gx_genome::random::RandomGenomeBuilder;
@@ -77,5 +82,6 @@ pub use gx_backend::{
     BackendStats, BatchResult, DispatchMode, MapBackend, MapSession, NmslBackend, SoftwareBackend,
 };
 pub use gx_core::ReadPair;
+pub use gx_telemetry::{Telemetry, TelemetryConfig};
 pub use sink::{RecordSink, SamTextSink, VecSink};
 pub use steal::WorkStealQueue;

@@ -1,0 +1,435 @@
+//! gx-telemetry — the observability layer for the GenPairX workspace.
+//!
+//! Production mapping-as-a-service (ROADMAP item 1) needs a live window
+//! into the engine: which stage a batch is waiting in, how deep the
+//! emitter's reorder buffer runs, what the NMSL lanes are doing while a
+//! worker blocks. This crate provides that window under two hard rules:
+//!
+//! 1. **Zero-cost when disabled.** [`Telemetry::disabled`] is a `None`
+//!    handle; every recorder method is a branch on that `Option` and
+//!    returns without reading the clock, touching an atomic, or
+//!    allocating. `crates/telemetry/tests/no_alloc.rs` pins the
+//!    no-allocation half; the bench README documents the A/B throughput
+//!    budget for the enabled path.
+//! 2. **Accounting-inert.** Telemetry observes wall-clock time; modeled
+//!    statistics (`BackendStats`, `PipelineStats`) are *simulated* time.
+//!    Wall-clock reads flow only into telemetry buffers, never into
+//!    modeled totals — `tests/e2e_warm_invariance.rs` asserts warm
+//!    accounting stays bit-identical with tracing fully enabled.
+//!
+//! The moving parts:
+//!
+//! * [`MetricsRegistry`] — named counters, gauges and log2 latency
+//!   histograms, sharded one shard per [`Recorder`] (the `PipelineStats`
+//!   idiom) and merged lock-free at [`Telemetry::snapshot`] time.
+//! * [`Recorder`] — a per-thread handle owning one metrics shard and one
+//!   fixed-capacity [`SpanRing`]; recording is lock-free and
+//!   allocation-free.
+//! * [`chrome_trace_json`] — exports collected spans as Chrome
+//!   trace-event JSON, viewable in Perfetto or `chrome://tracing`.
+//! * [`MetricsSnapshot::to_prometheus`] — text exposition for the future
+//!   service front-end's stats endpoint.
+//!
+//! # Example
+//!
+//! ```
+//! use gx_telemetry::Telemetry;
+//!
+//! let telemetry = Telemetry::enabled();
+//! let wait = telemetry.histogram("gx_wait_ns", "time spent waiting");
+//! let mut rec = telemetry.recorder(0);
+//! telemetry.label_track(0, "worker 0");
+//!
+//! let t0 = rec.start();
+//! // ... the timed region ...
+//! let dur_ns = rec.span("queue_wait", t0);
+//! rec.record(wait, dur_ns);
+//! drop(rec); // flushes the span ring
+//!
+//! let snap = telemetry.snapshot().unwrap();
+//! assert_eq!(snap.histogram("gx_wait_ns").unwrap().count, 1);
+//! let json = telemetry.chrome_trace().unwrap();
+//! assert!(json.contains("queue_wait"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod histogram;
+mod registry;
+mod spans;
+mod trace;
+
+pub use histogram::{
+    bucket_index, bucket_upper_bound, AtomicHistogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use registry::{
+    CounterId, CounterValue, GaugeId, GaugeValue, HistogramId, HistogramValue, MetricDesc,
+    MetricsRegistry, MetricsSnapshot, MAX_METRICS,
+};
+pub use spans::{SpanEvent, SpanRing};
+pub use trace::chrome_trace_json;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Tuning for an enabled [`Telemetry`] handle.
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryConfig {
+    /// Span-ring capacity per recorder (events). When a ring fills, the
+    /// oldest events are overwritten — the trace becomes a tail window —
+    /// and the overwrites are counted in [`Telemetry::dropped_events`].
+    pub ring_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            // 16Ki events ≈ 640 KiB per recorder: enough for every batch of
+            // the bench workloads, small enough to never matter.
+            ring_capacity: 16_384,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    config: TelemetryConfig,
+    registry: MetricsRegistry,
+    /// Flushed span events from retired recorders, in flush order.
+    events: Mutex<Vec<SpanEvent>>,
+    /// Human names for span tracks (Chrome-trace thread names).
+    labels: Mutex<Vec<(u32, String)>>,
+    /// Total ring overwrites across all recorders.
+    dropped: AtomicU64,
+}
+
+/// The telemetry handle: either a live collector or an inert no-op.
+///
+/// Cloning is cheap (an `Arc` bump or a `None` copy); every component of a
+/// run shares clones of one handle. A disabled handle makes every recorder
+/// it issues a no-op — no clock reads, no atomics, no allocation — so the
+/// instrumented hot paths cost a predicted branch when telemetry is off.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Telemetry {
+    /// The inert handle: every operation is a no-op, every query `None`.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// A live handle with default [`TelemetryConfig`].
+    pub fn enabled() -> Telemetry {
+        Telemetry::with_config(TelemetryConfig::default())
+    }
+
+    /// A live handle with explicit tuning.
+    pub fn with_config(config: TelemetryConfig) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                config,
+                registry: MetricsRegistry::new(),
+                events: Mutex::new(Vec::new()),
+                labels: Mutex::new(Vec::new()),
+                dropped: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// True when this handle collects anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or looks up) a counter. Returns a dummy id on a disabled
+    /// handle — recording through it is a no-op anyway.
+    pub fn counter(&self, name: &str, help: &str) -> CounterId {
+        match &self.inner {
+            Some(inner) => inner.registry.counter(name, help),
+            None => CounterId(0),
+        }
+    }
+
+    /// Registers (or looks up) a gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> GaugeId {
+        match &self.inner {
+            Some(inner) => inner.registry.gauge(name, help),
+            None => GaugeId(0),
+        }
+    }
+
+    /// Registers (or looks up) a log2 latency histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> HistogramId {
+        match &self.inner {
+            Some(inner) => inner.registry.histogram(name, help),
+            None => HistogramId(0),
+        }
+    }
+
+    /// Creates a recorder for one thread of execution, on span track
+    /// `track`. Each call allocates a fresh metrics shard and span ring;
+    /// dropping the recorder (or calling [`Recorder::flush`]) publishes
+    /// its ring into the central event log.
+    pub fn recorder(&self, track: u32) -> Recorder {
+        Recorder {
+            inner: self.inner.as_ref().map(|inner| RecorderInner {
+                shard: inner.registry.new_shard(),
+                ring: SpanRing::with_capacity(inner.config.ring_capacity),
+                telemetry: Arc::clone(inner),
+                track,
+            }),
+        }
+    }
+
+    /// Names a span track for trace rendering (Chrome-trace thread name).
+    pub fn label_track(&self, track: u32, name: &str) {
+        if let Some(inner) = &self.inner {
+            let mut labels = inner.labels.lock().unwrap();
+            if let Some(slot) = labels.iter_mut().find(|(t, _)| *t == track) {
+                slot.1 = name.to_string();
+            } else {
+                labels.push((track, name.to_string()));
+            }
+        }
+    }
+
+    /// Nanoseconds since this handle was created (0 when disabled).
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Merges every shard into a [`MetricsSnapshot`]; `None` when disabled.
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.inner.as_ref().map(|inner| inner.registry.snapshot())
+    }
+
+    /// Takes (and clears) all span events flushed so far, oldest flush
+    /// first. Live recorders hold their rings until flushed or dropped.
+    pub fn take_events(&self) -> Vec<SpanEvent> {
+        match &self.inner {
+            Some(inner) => std::mem::take(&mut *inner.events.lock().unwrap()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total span events lost to ring overwrites so far.
+    pub fn dropped_events(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.dropped.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Renders all flushed span events (plus track labels) as a Chrome
+    /// trace-event JSON document, *consuming* the flushed events; `None`
+    /// when disabled. Flush or drop recorders first.
+    pub fn chrome_trace(&self) -> Option<String> {
+        let inner = self.inner.as_ref()?;
+        let events = self.take_events();
+        let labels = inner.labels.lock().unwrap().clone();
+        Some(chrome_trace_json(&events, &labels))
+    }
+}
+
+#[derive(Debug)]
+struct RecorderInner {
+    telemetry: Arc<Inner>,
+    shard: Arc<registry::Shard>,
+    ring: SpanRing,
+    track: u32,
+}
+
+/// An opaque span start token from [`Recorder::start`]. On a disabled
+/// recorder it is empty and cost no clock read to produce.
+#[derive(Clone, Copy, Debug)]
+pub struct SpanStart(Option<Instant>);
+
+/// A per-thread recording handle: one metrics shard plus one span ring,
+/// both private to the owner. All methods are no-ops (a predicted branch)
+/// when the parent [`Telemetry`] is disabled.
+///
+/// Dropping the recorder flushes its span ring into the parent's central
+/// event log; call [`flush`](Recorder::flush) to publish earlier.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    inner: Option<RecorderInner>,
+}
+
+impl Recorder {
+    /// A standalone no-op recorder, equivalent to
+    /// `Telemetry::disabled().recorder(0)`. Useful as a field default.
+    pub fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// True when this recorder collects anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Begins a span: reads the clock when enabled, does nothing when not.
+    #[inline]
+    pub fn start(&self) -> SpanStart {
+        SpanStart(self.inner.as_ref().map(|_| Instant::now()))
+    }
+
+    /// Ends a span begun with [`start`](Recorder::start): records it into
+    /// the ring under `name` and returns its duration in nanoseconds (so
+    /// the caller can feed a histogram without a second clock read).
+    /// Returns 0 when disabled.
+    #[inline]
+    pub fn span(&mut self, name: &'static str, start: SpanStart) -> u64 {
+        self.span_arg(name, start, 0)
+    }
+
+    /// Like [`span`](Recorder::span), attaching one integer argument
+    /// (exported as `args.v` in the Chrome trace).
+    #[inline]
+    pub fn span_arg(&mut self, name: &'static str, start: SpanStart, arg: u64) -> u64 {
+        let (Some(inner), Some(t0)) = (self.inner.as_mut(), start.0) else {
+            return 0;
+        };
+        let dur_ns = t0.elapsed().as_nanos() as u64;
+        let start_ns = t0
+            .saturating_duration_since(inner.telemetry.epoch)
+            .as_nanos() as u64;
+        inner.ring.push(SpanEvent {
+            name,
+            track: inner.track,
+            start_ns,
+            dur_ns,
+            arg,
+        });
+        dur_ns
+    }
+
+    /// Adds `n` to counter `id` in this recorder's shard.
+    #[inline]
+    pub fn counter_add(&self, id: CounterId, n: u64) {
+        if let Some(inner) = &self.inner {
+            inner.shard.counter_add(id, n);
+        }
+    }
+
+    /// Sets gauge `id` in this recorder's shard (tracking the high-water
+    /// mark as a side effect).
+    #[inline]
+    pub fn gauge_set(&self, id: GaugeId, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.shard.gauge_set(id, v);
+        }
+    }
+
+    /// Records `v` into histogram `id` in this recorder's shard.
+    #[inline]
+    pub fn record(&self, id: HistogramId, v: u64) {
+        if let Some(inner) = &self.inner {
+            inner.shard.histogram_record(id, v);
+        }
+    }
+
+    /// Publishes the span ring into the parent's central event log and
+    /// adds its overwrite count to [`Telemetry::dropped_events`]. The
+    /// recorder stays usable; `Drop` flushes whatever accumulates after.
+    pub fn flush(&mut self) {
+        if let Some(inner) = self.inner.as_mut() {
+            let dropped = inner.ring.dropped();
+            if dropped > 0 {
+                inner
+                    .telemetry
+                    .dropped
+                    .fetch_add(dropped, Ordering::Relaxed);
+            }
+            let events = inner.ring.drain_ordered();
+            if !events.is_empty() {
+                inner.telemetry.events.lock().unwrap().extend(events);
+            }
+        }
+    }
+}
+
+impl Drop for Recorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        let h = t.histogram("gx_x_ns", "x");
+        let mut rec = t.recorder(0);
+        assert!(!rec.is_enabled());
+        let t0 = rec.start();
+        assert_eq!(rec.span("noop", t0), 0);
+        rec.record(h, 42);
+        assert!(t.snapshot().is_none());
+        assert!(t.chrome_trace().is_none());
+        assert!(t.take_events().is_empty());
+        assert_eq!(t.now_ns(), 0);
+    }
+
+    #[test]
+    fn spans_flow_from_ring_to_trace() {
+        let t = Telemetry::enabled();
+        t.label_track(7, "worker 7");
+        let mut rec = t.recorder(7);
+        let t0 = rec.start();
+        let dur = rec.span_arg("map_batch", t0, 5);
+        rec.flush();
+        let events = t.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "map_batch");
+        assert_eq!(events[0].track, 7);
+        assert_eq!(events[0].arg, 5);
+        assert_eq!(events[0].dur_ns, dur);
+        // After take_events, the trace is empty but still valid JSON.
+        let json = t.chrome_trace().unwrap();
+        assert!(json.contains("worker 7"));
+        assert!(!json.contains("map_batch"));
+    }
+
+    #[test]
+    fn drop_flushes_and_metrics_merge_across_recorders() {
+        let t = Telemetry::enabled();
+        let c = t.counter("gx_batches_total", "batches");
+        {
+            let mut a = t.recorder(0);
+            let b = t.recorder(1);
+            let t0 = a.start();
+            a.span("queue_wait", t0);
+            a.counter_add(c, 2);
+            b.counter_add(c, 3);
+        }
+        assert_eq!(t.snapshot().unwrap().counter("gx_batches_total"), Some(5));
+        let json = t.chrome_trace().unwrap();
+        assert!(json.contains("queue_wait"));
+    }
+
+    #[test]
+    fn ring_overflow_is_counted() {
+        let t = Telemetry::with_config(TelemetryConfig { ring_capacity: 2 });
+        let mut rec = t.recorder(0);
+        for _ in 0..5 {
+            let t0 = rec.start();
+            rec.span("tick", t0);
+        }
+        drop(rec);
+        assert_eq!(t.dropped_events(), 3);
+        assert_eq!(t.take_events().len(), 2);
+    }
+}

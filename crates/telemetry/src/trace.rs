@@ -1,0 +1,111 @@
+//! Chrome trace-event JSON export.
+//!
+//! Serializes collected [`SpanEvent`]s into the Chrome trace-event format
+//! (the `{"traceEvents": [...]}` object form), which both `chrome://tracing`
+//! and Perfetto load directly. Every span becomes a complete duration event
+//! (`"ph":"X"`) with microsecond `ts`/`dur`; each labelled track
+//! additionally gets a `thread_name` metadata record so lanes and pipeline
+//! roles render with human names instead of bare tids.
+//!
+//! Serialization is hand-rolled: the format is a flat list of
+//! five-field objects, and the workspace deliberately has no JSON
+//! dependency (see the build-environment rules in `ROADMAP.md`).
+
+use std::fmt::Write as _;
+
+use crate::spans::SpanEvent;
+
+/// Escapes `s` for inclusion in a JSON string literal.
+fn escape_json(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders `events` (plus `labels`, a `(track, name)` list) as a Chrome
+/// trace-event JSON document. Timestamps are converted from nanoseconds to
+/// fractional microseconds, the unit the viewers expect; all events share
+/// `pid` 0 and use their span track as `tid`.
+pub fn chrome_trace_json(events: &[SpanEvent], labels: &[(u32, String)]) -> String {
+    // ~120 bytes per event once serialized.
+    let mut out = String::with_capacity(64 + events.len() * 120 + labels.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (track, name) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":");
+        let _ = write!(out, "{track}");
+        out.push_str(",\"args\":{\"name\":\"");
+        escape_json(name, &mut out);
+        out.push_str("\"}}");
+    }
+    for e in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("{\"ph\":\"X\",\"name\":\"");
+        escape_json(e.name, &mut out);
+        let _ = write!(
+            out,
+            "\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"v\":{}}}}}",
+            e.track,
+            e.start_ns as f64 / 1000.0,
+            e.dur_ns as f64 / 1000.0,
+            e.arg
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exports_duration_events_and_thread_names() {
+        let events = [SpanEvent {
+            name: "map_batch",
+            track: 3,
+            start_ns: 1_500,
+            dur_ns: 2_000,
+            arg: 7,
+        }];
+        let labels = [(3u32, "worker 3".to_string())];
+        let json = chrome_trace_json(&events, &labels);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"worker 3\""));
+        assert!(json.contains("\"name\":\"map_batch\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.000"));
+        assert!(json.contains("\"args\":{\"v\":7}"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(chrome_trace_json(&[], &[]), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn escapes_label_strings() {
+        let labels = [(0u32, "a\"b\\c\n".to_string())];
+        let json = chrome_trace_json(&[], &labels);
+        assert!(json.contains("a\\\"b\\\\c\\n"));
+    }
+}

@@ -13,6 +13,13 @@
 //! * [`readsim`] — Mason-like paired-end and long-read simulators.
 //! * [`core`] — the GenPair algorithm (seeding, query, paired-adjacency
 //!   filtering, light alignment, fallback plumbing).
+//! * [`telemetry`] — std-only observability: sharded counters/gauges and
+//!   log2 latency histograms merged lock-free at snapshot time, span
+//!   tracing into per-worker ring buffers with a Chrome trace-event JSON
+//!   exporter (Perfetto-viewable), and Prometheus-style text exposition.
+//!   Zero-cost when disabled, and accounting-inert: wall-clock reads never
+//!   feed the modeled stats, so warm totals and SAM bytes are unchanged by
+//!   tracing.
 //! * [`pipeline`] — the throughput engine: batching front-end, a worker
 //!   pool fed through a work-stealing queue
 //!   ([`pipeline::WorkStealQueue`]) with sharded statistics, and an
@@ -131,4 +138,5 @@ pub use gx_memsim as memsim;
 pub use gx_pipeline as pipeline;
 pub use gx_readsim as readsim;
 pub use gx_seedmap as seedmap;
+pub use gx_telemetry as telemetry;
 pub use gx_vcall as vcall;

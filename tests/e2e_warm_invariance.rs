@@ -17,6 +17,7 @@ use genpairx::backend::{DispatchMode, NmslBackend};
 use genpairx::core::{GenPairConfig, GenPairMapper};
 use genpairx::pipeline::{map_serial, FallbackPolicy, PipelineBuilder, ReadPair, SamTextSink};
 use genpairx::readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
+use genpairx::telemetry::Telemetry;
 
 /// The fixed device sharding under test (the CI smoke step runs
 /// `backend_compare --channels 4` against the same partition).
@@ -77,10 +78,36 @@ fn run_warm(
     threads: usize,
     batch_size: usize,
 ) -> (Vec<u8>, genpairx::backend::BackendStats) {
+    run_warm_with(
+        mapper,
+        genome,
+        pairs,
+        threads,
+        batch_size,
+        Telemetry::disabled(),
+    )
+}
+
+/// Like [`run_warm`], with an explicit telemetry handle attached to both
+/// the pipeline and the NMSL backend (the accounting-inertness tests trace
+/// the exact configuration the untraced runs use).
+fn run_warm_with(
+    mapper: &GenPairMapper<'_>,
+    genome: &genpairx::genome::ReferenceGenome,
+    pairs: &[ReadPair],
+    threads: usize,
+    batch_size: usize,
+    telemetry: Telemetry,
+) -> (Vec<u8>, genpairx::backend::BackendStats) {
     let engine = PipelineBuilder::new()
         .threads(threads)
         .batch_size(batch_size)
-        .backend(NmslBackend::new(mapper).channels(CHANNELS));
+        .telemetry(telemetry.clone())
+        .backend(
+            NmslBackend::new(mapper)
+                .channels(CHANNELS)
+                .telemetry(telemetry),
+        );
     let mut sink = SamTextSink::with_header(genome, Vec::new()).unwrap();
     let report = engine.run(pairs.iter().cloned(), &mut sink).unwrap();
     (sink.into_inner().unwrap(), report.backend)
@@ -182,4 +209,59 @@ fn channel_count_is_part_of_the_model() {
     let four = run_channels(4, 2);
     assert_eq!(one_a.dram_bytes, four.dram_bytes, "traffic never changes");
     assert_eq!(one_a.pairs, four.pairs);
+}
+
+#[test]
+fn tracing_is_accounting_inert() {
+    // gx-telemetry's second hard rule: wall-clock observation never feeds
+    // the modeled stats. A fully traced warm run — telemetry on both the
+    // pipeline and the NMSL device — must produce the same SAM bytes and
+    // the same bit-level warm fingerprint as the untraced run, while
+    // actually collecting the spans and metrics it claims to.
+    let (genome, pairs) = dataset();
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+
+    let (plain_sam, plain) = run_warm(&mapper, &genome, &pairs, 4, 64);
+
+    let telemetry = Telemetry::enabled();
+    let (traced_sam, traced) = run_warm_with(&mapper, &genome, &pairs, 4, 64, telemetry.clone());
+
+    assert!(traced_sam == plain_sam, "tracing changed the SAM bytes");
+    assert_eq!(
+        WarmFingerprint::of(&traced),
+        WarmFingerprint::of(&plain),
+        "tracing changed the warm accounting"
+    );
+
+    // The traced run must really have traced: every pipeline stage span
+    // and the device's lane spans are present, and the stage histograms
+    // saw every batch.
+    let trace = telemetry.chrome_trace().expect("telemetry was enabled");
+    for span in [
+        "queue_wait",
+        "map_batch",
+        "emit_wait",
+        "ingest",
+        "lane_drain",
+    ] {
+        assert!(trace.contains(span), "trace is missing {span:?} spans");
+    }
+    let snap = telemetry.snapshot().expect("telemetry was enabled");
+    let batches = (N_PAIRS as u64).div_ceil(64);
+    assert_eq!(
+        snap.histogram("gx_map_batch_ns").map(|h| h.count),
+        Some(batches),
+        "every batch must land in the map-latency histogram"
+    );
+    assert_eq!(
+        snap.histogram("gx_emit_wait_ns").map(|h| h.count),
+        Some(batches)
+    );
+    assert!(snap
+        .histogram("gx_lane_drain_ns")
+        .is_some_and(|h| h.count > 0));
+    // And the exposition endpoint renders it all.
+    let text = snap.to_prometheus();
+    assert!(text.contains("gx_map_batch_ns_count"));
+    assert!(text.contains("gx_nmsl_lane_occupancy"));
 }

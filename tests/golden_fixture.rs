@@ -97,11 +97,28 @@ fn golden_fastq_maps_to_golden_sam_on_both_backends() {
          `cargo test --release regenerate_golden_fixture -- --ignored`)"
     );
 
-    let nmsl = map_to_sam(&genome, NmslBackend::new(&mapper), pairs);
+    let nmsl = map_to_sam(&genome, NmslBackend::new(&mapper), pairs.clone());
     assert!(
         nmsl == golden_sam,
         "NMSL backend SAM drifted from the checked-in golden"
     );
+
+    // Telemetry is accounting-inert all the way down to the durable
+    // artifact: a fully traced NMSL run must still hit the golden bytes.
+    let telemetry = genpairx::telemetry::Telemetry::enabled();
+    let engine = PipelineBuilder::new()
+        .threads(2)
+        .batch_size(16)
+        .telemetry(telemetry.clone())
+        .backend(NmslBackend::new(&mapper).telemetry(telemetry.clone()));
+    let mut sink = SamTextSink::with_header(&genome, Vec::new()).unwrap();
+    engine.run(pairs, &mut sink).unwrap();
+    let traced = sink.into_inner().unwrap();
+    assert!(
+        traced == golden_sam,
+        "tracing changed the NMSL backend's SAM bytes"
+    );
+    assert!(telemetry.chrome_trace().unwrap().contains("map_batch"));
 }
 
 #[test]
