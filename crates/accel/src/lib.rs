@@ -36,7 +36,10 @@ pub use area_power::{CostItem, DesignCost, TechScaling};
 pub use gendp::{fallback_cells, FallbackCells, FallbackCost, GenDpInstance, GenDpModel};
 pub use host::HostTraffic;
 pub use modules::{ModuleSpec, ACCEL_CLOCK_GHZ};
-pub use nmsl::{shard_for_workload, LaneDelta, NmslConfig, NmslLane, NmslResult, NmslSim};
+pub use nmsl::{
+    shard_for_workload, CycleBreakdown, LaneCounters, LaneDelta, NmslConfig, NmslLane, NmslResult,
+    NmslSim,
+};
 pub use sizing::{PipelineSizing, WorkloadProfile};
 pub use systems::{SystemPerf, SystemSet};
 pub use workload::{PairWorkload, SeedFetch};

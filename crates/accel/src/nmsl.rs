@@ -111,6 +111,75 @@ pub struct NmslResult {
     pub dram_power_mw: f64,
 }
 
+/// Where an NMSL memory cycle went: every simulator step attributes its
+/// cycle to exactly one bucket, so `total()` always equals the simulator's
+/// cycle count — the buckets *partition* time, they never overlap.
+///
+/// Attribution is a pure function of simulator state (admission progress,
+/// software-FIFO occupancy, DRAM queue occupancy), so the breakdown is as
+/// schedule-invariant as the cycle count itself: a lane fed the same pair
+/// sequence produces a bit-identical breakdown for any caller grouping or
+/// thread count. Priority when several conditions hold in one cycle:
+/// issue > dram_stall > drain > idle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Cycles that made forward progress on the front end: at least one
+    /// pair was admitted to the window or one request moved from a software
+    /// FIFO into a DRAM queue.
+    pub issue: u64,
+    /// Cycles where queued work could not move: every software FIFO with
+    /// work was backpressured by a full DRAM channel queue.
+    pub dram_stall: u64,
+    /// Cycles with nothing left to issue but reads still in flight in the
+    /// DRAM (the pipeline draining its tail).
+    pub drain: u64,
+    /// Cycles with no work anywhere (structurally rare: the simulator only
+    /// steps while pairs are outstanding).
+    pub idle: u64,
+}
+
+impl CycleBreakdown {
+    /// All attributed cycles; equals the cycles stepped over the interval.
+    pub fn total(&self) -> u64 {
+        self.issue + self.dram_stall + self.drain + self.idle
+    }
+
+    /// Cycles the lane was doing or waiting on modeled work
+    /// (everything but `idle`).
+    pub fn busy(&self) -> u64 {
+        self.issue + self.dram_stall + self.drain
+    }
+
+    /// The attribution since an `earlier` snapshot of the same counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not a prefix of `self`.
+    pub fn since(&self, earlier: &CycleBreakdown) -> CycleBreakdown {
+        debug_assert!(
+            self.issue >= earlier.issue
+                && self.dram_stall >= earlier.dram_stall
+                && self.drain >= earlier.drain
+                && self.idle >= earlier.idle,
+            "snapshot is not an earlier prefix of this breakdown"
+        );
+        CycleBreakdown {
+            issue: self.issue - earlier.issue,
+            dram_stall: self.dram_stall - earlier.dram_stall,
+            drain: self.drain - earlier.drain,
+            idle: self.idle - earlier.idle,
+        }
+    }
+
+    /// Component-wise accumulation (inverse of [`since`](Self::since)).
+    pub fn accumulate(&mut self, other: &CycleBreakdown) {
+        self.issue += other.issue;
+        self.dram_stall += other.dram_stall;
+        self.drain += other.drain;
+        self.idle += other.idle;
+    }
+}
+
 /// Tag layout: pair id << 4 | seed index << 1 | phase.
 fn tag(pair: u64, seed: usize, phase: u8) -> u64 {
     (pair << 4) | ((seed as u64) << 1) | phase as u64
@@ -165,6 +234,7 @@ pub struct NmslSim {
     completed: u64,
     inflight: usize,
     max_inflight: usize,
+    breakdown: CycleBreakdown,
     scratch: Vec<Completion>,
 }
 
@@ -185,6 +255,7 @@ impl NmslSim {
             completed: 0,
             inflight: 0,
             max_inflight: 0,
+            breakdown: CycleBreakdown::default(),
             scratch: Vec::new(),
         }
     }
@@ -198,6 +269,13 @@ impl NmslSim {
     /// [`DramStats::since`] for per-dispatch attribution).
     pub fn dram_stats(&self) -> DramStats {
         *self.dram.stats()
+    }
+
+    /// Cumulative cycle attribution (snapshot; pair with
+    /// [`CycleBreakdown::since`] for per-dispatch attribution). Its
+    /// `total()` always equals [`cycle()`](NmslSim::cycle).
+    pub fn cycle_breakdown(&self) -> CycleBreakdown {
+        self.breakdown
     }
 
     /// The DRAM technology being simulated.
@@ -223,6 +301,18 @@ impl NmslSim {
     /// Pairs pushed but not yet complete.
     pub fn pending(&self) -> u64 {
         self.submitted - self.completed
+    }
+
+    /// Performance-counter snapshot of the simulator's cumulative state.
+    pub fn counters(&self) -> LaneCounters {
+        LaneCounters {
+            pairs: self.submitted,
+            cycles: self.dram.cycle(),
+            breakdown: self.breakdown,
+            dram: *self.dram.stats(),
+            max_inflight: self.max_inflight as u64,
+            max_channel_fifo: self.max_fifo as u64,
+        }
     }
 
     /// Submits one pair's workload to the stream (by value: the seeds move
@@ -286,6 +376,7 @@ impl NmslSim {
     fn step(&mut self) {
         let channels = self.dram.config().channels;
         let window = self.cfg.window.unwrap_or(usize::MAX) as u64;
+        let admit_start = self.next_admit;
 
         // Admit pairs inside the window.
         while self.next_admit < self.submitted && self.next_admit < self.head.saturating_add(window)
@@ -318,15 +409,33 @@ impl NmslSim {
         }
 
         // Drain software FIFOs into the DRAM queues.
+        let mut submitted_any = false;
         for ch in 0..channels as usize {
             self.max_fifo = self.max_fifo.max(self.fifos[ch].len());
             while let Some(&req) = self.fifos[ch].front() {
                 if self.dram.try_submit(req) {
                     self.fifos[ch].pop_front();
+                    submitted_any = true;
                 } else {
                     break;
                 }
             }
+        }
+
+        // Attribute this cycle before the DRAM advances: the categories are
+        // read off the pre-tick state (admission progress, leftover FIFO
+        // work, in-flight DRAM reads), all deterministic simulator state.
+        // A non-empty software FIFO here means its front request was just
+        // bounced by a full DRAM queue — backpressure, not a scheduling
+        // choice.
+        if self.next_admit > admit_start || submitted_any {
+            self.breakdown.issue += 1;
+        } else if self.fifos.iter().any(|f| !f.is_empty()) {
+            self.breakdown.dram_stall += 1;
+        } else if !self.dram.idle() {
+            self.breakdown.drain += 1;
+        } else {
+            self.breakdown.idle += 1;
         }
 
         // One memory cycle.
@@ -462,6 +571,8 @@ pub struct LaneDelta {
     pub seconds: f64,
     /// DRAM statistics delta over the interval.
     pub dram: DramStats,
+    /// Cycle attribution over the interval; `breakdown.total() == cycles`.
+    pub breakdown: CycleBreakdown,
 }
 
 impl LaneDelta {
@@ -470,7 +581,29 @@ impl LaneDelta {
         self.cycles += other.cycles;
         self.seconds += other.seconds;
         self.dram.accumulate(&other.dram);
+        self.breakdown.accumulate(&other.breakdown);
     }
+}
+
+/// Point-in-time performance-counter snapshot of one lane: everything the
+/// device report needs, all integer cycle-domain values (plus the DRAM
+/// stats, which are integers too), so snapshots taken at the same logical
+/// point are bit-comparable across runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LaneCounters {
+    /// Pairs admitted to the lane.
+    pub pairs: u64,
+    /// Lane-local memory cycles elapsed.
+    pub cycles: u64,
+    /// Where those cycles went; `breakdown.total() == cycles`.
+    pub breakdown: CycleBreakdown,
+    /// The lane's cumulative DRAM statistics (row conflicts, busy/idle
+    /// channel-cycles, rejections, traffic).
+    pub dram: DramStats,
+    /// Peak concurrently in-flight pairs in the sliding window.
+    pub max_inflight: u64,
+    /// Peak occupancy on any channel input FIFO.
+    pub max_channel_fifo: u64,
 }
 
 /// One lane of a channel-sharded NMSL device: a persistent [`NmslSim`]
@@ -497,6 +630,7 @@ pub struct NmslLane {
     ran_to: u64,
     last_cycle: u64,
     last_dram: DramStats,
+    last_breakdown: CycleBreakdown,
 }
 
 impl NmslLane {
@@ -509,12 +643,20 @@ impl NmslLane {
             ran_to: 0,
             last_cycle: 0,
             last_dram: DramStats::default(),
+            last_breakdown: CycleBreakdown::default(),
         }
     }
 
     /// The wrapped simulator (read-only).
     pub fn sim(&self) -> &NmslSim {
         &self.sim
+    }
+
+    /// Performance-counter snapshot of the lane's cumulative state (see
+    /// [`NmslSim::counters`]). Taken after [`drain`](NmslLane::drain), the
+    /// snapshot is a pure function of the admitted pair sequence.
+    pub fn counters(&self) -> LaneCounters {
+        self.sim.counters()
     }
 
     /// Pairs admitted to this lane so far.
@@ -539,13 +681,16 @@ impl NmslLane {
     fn take_delta(&mut self) -> LaneDelta {
         let cycle = self.sim.cycle();
         let dram = self.sim.dram_stats();
+        let breakdown = self.sim.cycle_breakdown();
         let delta = LaneDelta {
             cycles: cycle - self.last_cycle,
             seconds: (cycle - self.last_cycle) as f64 / (self.sim.dram_config().clock_ghz * 1e9),
             dram: dram.since(&self.last_dram),
+            breakdown: breakdown.since(&self.last_breakdown),
         };
         self.last_cycle = cycle;
         self.last_dram = dram;
+        self.last_breakdown = breakdown;
         delta
     }
 
@@ -679,7 +824,19 @@ mod tests {
                 }
             }
             total.accumulate(&lane.drain());
-            (total.cycles, total.dram.completed, total.dram.activations)
+            let counters = lane.counters();
+            assert_eq!(
+                counters.breakdown.total(),
+                counters.cycles,
+                "breakdown must partition the lane's cycles"
+            );
+            (
+                total.cycles,
+                total.dram.completed,
+                total.dram.activations,
+                total.breakdown,
+                counters,
+            )
         };
         let a = run(&[150]);
         let b = run(&[1; 150]);
@@ -687,6 +844,27 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a, c);
         assert!(a.0 > 0);
+        // The accumulated deltas and the final snapshot agree: nothing is
+        // lost between attribution points.
+        assert_eq!(a.3, a.4.breakdown);
+        assert!(a.3.issue > 0, "no cycles attributed to issue");
+    }
+
+    #[test]
+    fn breakdown_partitions_cycles_and_sees_stall_pressure() {
+        // A tiny DRAM queue against a wide-open window forces backpressure:
+        // the lane must book dram_stall cycles, and issue+stall+drain+idle
+        // must still account for every cycle.
+        let ws = workloads(200);
+        let mut cfg = DramConfig::hbm2e_32ch();
+        cfg.queue_depth = 2;
+        let mut sim = NmslSim::new(cfg, NmslConfig::default());
+        sim.run(&ws);
+        let bd = sim.cycle_breakdown();
+        assert_eq!(bd.total(), sim.cycle());
+        assert_eq!(bd.busy() + bd.idle, sim.cycle());
+        assert!(bd.dram_stall > 0, "queue_depth=2 never stalled: {bd:?}");
+        assert!(sim.dram_stats().rejections > 0);
     }
 
     #[test]

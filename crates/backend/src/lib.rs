@@ -67,7 +67,10 @@ mod software;
 mod traits;
 
 pub use nmsl::{
-    DispatchMode, NmslBackend, NmslSession, DEFAULT_CHANNELS, DEFAULT_DISPATCH_QUANTUM,
+    DeviceCounters, DispatchMode, NmslBackend, NmslSession, DEFAULT_CHANNELS,
+    DEFAULT_DISPATCH_QUANTUM, QUANTUM_OCC_BUCKETS,
 };
 pub use software::{SoftwareBackend, SoftwareSession};
+// The per-lane counter types the device report is built from.
+pub use gx_accel::{CycleBreakdown, LaneCounters};
 pub use traits::{BackendStats, BatchResult, MapBackend, MapSession};

@@ -16,8 +16,8 @@
 use crate::{BackendStats, BatchResult, MapBackend, MapSession};
 use gx_accel::workload::pair_workload;
 use gx_accel::{
-    fallback_cells, shard_for_workload, FallbackCells, GenDpInstance, HostTraffic, LaneDelta,
-    NmslConfig, NmslLane, NmslSim, PairWorkload, ACCEL_CLOCK_GHZ,
+    fallback_cells, shard_for_workload, FallbackCells, GenDpInstance, HostTraffic, LaneCounters,
+    LaneDelta, NmslConfig, NmslLane, NmslSim, PairWorkload, ACCEL_CLOCK_GHZ,
 };
 use gx_core::{FallbackStage, GenPairMapper, ReadPair};
 use gx_memsim::{DramConfig, DramPowerModel};
@@ -38,6 +38,101 @@ pub const DEFAULT_CHANNELS: usize = 4;
 /// Default dispatch quantum of the shared warm device in pairs (see
 /// [`NmslBackend::dispatch_quantum`]).
 pub const DEFAULT_DISPATCH_QUANTUM: usize = 64;
+
+/// Buckets of the [`DeviceCounters::quantum_occupancy`] histogram: bucket
+/// `i > 0` counts quantum boundaries where a lane's pending-pair count had
+/// bit length `i` (i.e. occupancy in `[2^(i-1), 2^i)`), bucket 0 counts
+/// empty lanes, and the last bucket absorbs everything ≥ 2^15.
+pub const QUANTUM_OCC_BUCKETS: usize = 17;
+
+/// Bucket index of one occupancy sample (its bit length, clamped).
+fn occ_bucket(pending: u64) -> usize {
+    ((u64::BITS - pending.leading_zeros()) as usize).min(QUANTUM_OCC_BUCKETS - 1)
+}
+
+/// Per-lane performance counters of one warm run, captured by the shared
+/// device at [`MapBackend::flush`] next to the run's [`BackendStats`].
+///
+/// Everything here lives in the **cycle domain** (integer simulator state),
+/// with one deliberate exception: `frontier_peak_depth` and
+/// `quantum_occupancy` are *schedule-domain* — the peak depth depends on how
+/// far work stealing reordered batches, so it is excluded from the
+/// sharding-invariance fingerprint, while the per-lane cycle breakdowns,
+/// row conflicts and busy/idle splits are bit-identical across thread
+/// counts and batch sizes (see `tests/e2e_warm_invariance.rs`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DeviceCounters {
+    /// One counter snapshot per simulator lane, in lane order.
+    pub lanes: Vec<LaneCounters>,
+    /// Most batches ever buffered ahead of the contiguity frontier
+    /// (schedule-dependent: a measure of steal-induced reordering).
+    pub frontier_peak_depth: u64,
+    /// Histogram of lane occupancy (pending pairs) sampled at every
+    /// quantum boundary, log2 buckets (see [`QUANTUM_OCC_BUCKETS`]).
+    pub quantum_occupancy: [u64; QUANTUM_OCC_BUCKETS],
+}
+
+impl DeviceCounters {
+    /// Device cycles: the slowest lane's cycle count. Lanes model disjoint
+    /// channel shards of one package running concurrently, so the device's
+    /// clock is the max, not the sum (ROADMAP "Lane fidelity").
+    pub fn device_cycles(&self) -> u64 {
+        self.lanes.iter().map(|l| l.cycles).max().unwrap_or(0)
+    }
+
+    /// Cycles lane `idx` spent on modeled work (issue + DRAM stall + drain).
+    pub fn lane_busy_cycles(&self, idx: usize) -> u64 {
+        self.lanes[idx].breakdown.busy()
+    }
+
+    /// Cycles lane `idx` sat idle against the device clock: its own idle
+    /// attribution plus the cycles it finished ahead of the slowest lane.
+    /// By construction `lane_busy_cycles + lane_idle_cycles ==
+    /// device_cycles` for every lane.
+    pub fn lane_idle_cycles(&self, idx: usize) -> u64 {
+        let l = &self.lanes[idx];
+        l.breakdown.idle + (self.device_cycles() - l.cycles)
+    }
+
+    /// Busy fraction of lane `idx` against the device clock, in `[0, 1]`.
+    pub fn lane_utilization(&self, idx: usize) -> f64 {
+        let device = self.device_cycles();
+        if device == 0 {
+            0.0
+        } else {
+            self.lane_busy_cycles(idx) as f64 / device as f64
+        }
+    }
+
+    /// Mean lane utilization, in `[0, 1]` (0 for an empty device).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.lanes.is_empty() {
+            0.0
+        } else {
+            (0..self.lanes.len())
+                .map(|i| self.lane_utilization(i))
+                .sum::<f64>()
+                / self.lanes.len() as f64
+        }
+    }
+
+    /// DRAM-backpressure stall cycles summed over lanes.
+    pub fn dram_stall_cycles(&self) -> u64 {
+        self.lanes.iter().map(|l| l.breakdown.dram_stall).sum()
+    }
+
+    /// Device-wide row-conflict rate: conflicts over activations across all
+    /// lanes, in `[0, 1]`.
+    pub fn row_conflict_rate(&self) -> f64 {
+        let activations: u64 = self.lanes.iter().map(|l| l.dram.activations).sum();
+        if activations == 0 {
+            0.0
+        } else {
+            let conflicts: u64 = self.lanes.iter().map(|l| l.dram.row_conflicts).sum();
+            conflicts as f64 / activations as f64
+        }
+    }
+}
 
 /// How an [`NmslSession`] drives the simulator across batches.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -83,6 +178,10 @@ struct Frontier {
     pending: BTreeMap<u64, Vec<AdmittedPair>>,
     /// Pairs released to lanes so far (the seedless-pair routing key).
     pairs_released: u64,
+    /// Most batches ever buffered ahead of the frontier (schedule-domain:
+    /// reported in [`DeviceCounters`], excluded from the invariance
+    /// fingerprint).
+    peak_depth: u64,
     /// Per-lane staging queues in release order; consumed under the lane
     /// lock (see the locking note on [`SharedNmslDevice`]).
     staged: Vec<VecDeque<AdmittedPair>>,
@@ -104,6 +203,7 @@ impl Frontier {
             auto_next: 0,
             pending: BTreeMap::new(),
             pairs_released: 0,
+            peak_depth: 0,
             staged: (0..lanes).map(|_| VecDeque::new()).collect(),
             fallback_seconds_total: 0.0,
             fallback_cycles_emitted: 0,
@@ -125,6 +225,10 @@ struct LaneState {
     energy_pj: f64,
     transfer_seconds: f64,
     exposed_seconds: f64,
+    /// Occupancy histogram sampled at every quantum boundary (log2 buckets;
+    /// deterministic: the sample points and values are functions of the
+    /// lane's released pair sequence alone).
+    occupancy: [u64; QUANTUM_OCC_BUCKETS],
     /// Telemetry shard + span ring for this lane (track
     /// `LANE_TRACK_BASE + idx`); a no-op handle when telemetry is
     /// disabled. Observational only — nothing recorded here is ever read
@@ -142,6 +246,7 @@ impl LaneState {
             energy_pj: 0.0,
             transfer_seconds: 0.0,
             exposed_seconds: 0.0,
+            occupancy: [0; QUANTUM_OCC_BUCKETS],
             rec,
         }
     }
@@ -179,6 +284,18 @@ struct DeviceMetrics {
     /// `gx_frontier_depth`: batches buffered ahead of the contiguity
     /// frontier.
     frontier_g: GaugeId,
+    /// `gx_quantum_occupancy`: lane occupancy sampled per quantum boundary.
+    occupancy_h: HistogramId,
+    /// `gx_device_issue_cycles_total`: cycle-breakdown issue cycles.
+    issue_c: CounterId,
+    /// `gx_device_dram_stall_cycles_total`: cycle-breakdown stall cycles.
+    stall_c: CounterId,
+    /// `gx_device_drain_cycles_total`: cycle-breakdown drain cycles.
+    drain_c: CounterId,
+    /// `gx_dram_row_conflicts_total`: row-conflict activations.
+    conflicts_c: CounterId,
+    /// `gx_dram_rejections_total`: queue-full submissions bounced.
+    rejections_c: CounterId,
 }
 
 struct SharedNmslDevice {
@@ -187,6 +304,10 @@ struct SharedNmslDevice {
     power: DramPowerModel,
     telemetry: Telemetry,
     metrics: DeviceMetrics,
+    /// Counters of the most recent [`flush`](SharedNmslDevice::flush),
+    /// captured before the lanes reset (queried through
+    /// [`NmslBackend::device_counters`]).
+    last_counters: Mutex<Option<DeviceCounters>>,
 }
 
 impl SharedNmslDevice {
@@ -215,6 +336,30 @@ impl SharedNmslDevice {
                 "gx_frontier_depth",
                 "batches buffered ahead of the shared device's contiguity frontier",
             ),
+            occupancy_h: telemetry.histogram(
+                "gx_quantum_occupancy",
+                "lane occupancy (pending pairs) sampled at each dispatch-quantum boundary",
+            ),
+            issue_c: telemetry.counter(
+                "gx_device_issue_cycles_total",
+                "device cycles that admitted pairs or moved requests into DRAM queues",
+            ),
+            stall_c: telemetry.counter(
+                "gx_device_dram_stall_cycles_total",
+                "device cycles where queued work was backpressured by full DRAM queues",
+            ),
+            drain_c: telemetry.counter(
+                "gx_device_drain_cycles_total",
+                "device cycles with nothing to issue but DRAM reads still in flight",
+            ),
+            conflicts_c: telemetry.counter(
+                "gx_dram_row_conflicts_total",
+                "row activations that had to close a live row first",
+            ),
+            rejections_c: telemetry.counter(
+                "gx_dram_rejections_total",
+                "DRAM submissions bounced by a full channel queue",
+            ),
         };
         for idx in 0..channels {
             telemetry.label_track(LANE_TRACK_BASE + idx as u32, &format!("nmsl lane {idx}"));
@@ -234,6 +379,7 @@ impl SharedNmslDevice {
             power: DramPowerModel::for_config(&dram),
             telemetry,
             metrics,
+            last_counters: Mutex::new(None),
         }
     }
 
@@ -286,11 +432,17 @@ impl SharedNmslDevice {
             transfer
         };
         l.exposed_seconds += exposed;
+        // Quantum-boundary occupancy sample: into the deterministic device
+        // counter histogram, and (telemetry only) as a Chrome-trace counter
+        // track sample plus a Prometheus histogram/gauge.
+        let pending = l.lane.sim().pending();
+        l.occupancy[occ_bucket(pending)] += 1;
         // Telemetry taps the already-computed modeled values (converted to
         // integer ns); the accumulators above never read telemetry back.
         l.rec.record(self.metrics.exposed_h, (exposed * 1e9) as u64);
-        l.rec
-            .gauge_set(self.metrics.occupancy_g, l.lane.sim().pending());
+        l.rec.record(self.metrics.occupancy_h, pending);
+        l.rec.gauge_set(self.metrics.occupancy_g, pending);
+        l.rec.counter_sample("lane_occupancy", pending);
     }
 
     /// Streams every staged pair of lane `idx` through its simulator,
@@ -369,7 +521,9 @@ impl SharedNmslDevice {
             // Peak depth (before the frontier releases what it now covers);
             // the gauge's high-water mark records the worst reordering.
             let depth = f.pending.len() as u64;
+            f.peak_depth = f.peak_depth.max(depth);
             f.rec.gauge_set(self.metrics.frontier_g, depth);
+            f.rec.counter_sample("frontier_depth", depth);
             while let Some(batch) = {
                 let next = f.next_batch;
                 f.pending.remove(&next)
@@ -394,6 +548,10 @@ impl SharedNmslDevice {
     /// and the frontier for the next run.
     fn flush(&self, backend: &NmslBackend<'_, '_>) -> BackendStats {
         let mut stats = BackendStats::new();
+        let mut device = DeviceCounters {
+            lanes: Vec::with_capacity(self.lanes.len()),
+            ..DeviceCounters::default()
+        };
         {
             // Release anything still pending. On a normal run the frontier
             // has released everything; after an aborted run (sink error)
@@ -439,6 +597,24 @@ impl SharedNmslDevice {
             stats.seed_energy_pj += l.energy_pj;
             stats.transfer_seconds += l.transfer_seconds;
             stats.exposed_transfer_seconds += l.exposed_seconds;
+            // Capture the lane's performance counters before the reset, and
+            // expose the cycle-domain totals as Prometheus counters (an
+            // observational tap of already-final integers).
+            let counters = l.lane.counters();
+            l.rec
+                .counter_add(self.metrics.issue_c, counters.breakdown.issue);
+            l.rec
+                .counter_add(self.metrics.stall_c, counters.breakdown.dram_stall);
+            l.rec
+                .counter_add(self.metrics.drain_c, counters.breakdown.drain);
+            l.rec
+                .counter_add(self.metrics.conflicts_c, counters.dram.row_conflicts);
+            l.rec
+                .counter_add(self.metrics.rejections_c, counters.dram.rejections);
+            for (sum, bucket) in device.quantum_occupancy.iter_mut().zip(l.occupancy) {
+                *sum += bucket;
+            }
+            device.lanes.push(counters);
             // Replacing the lane state drops (and thereby flushes) its
             // telemetry recorder; the fresh one starts with an empty ring.
             *l = LaneState::new(
@@ -449,8 +625,10 @@ impl SharedNmslDevice {
             );
         }
         let mut f = self.frontier.lock().expect("frontier lock poisoned");
+        device.frontier_peak_depth = f.peak_depth;
         *f = Frontier::new(self.lanes.len(), self.telemetry.recorder(LANE_TRACK_BASE));
         drop(f);
+        *self.last_counters.lock().expect("counters lock poisoned") = Some(device);
         stats.sim_cycles = stats.seed_cycles + stats.fallback_cycles;
         stats.energy_pj = stats.seed_energy_pj + stats.fallback_energy_pj;
         stats
@@ -664,6 +842,20 @@ impl<'m, 'g> NmslBackend<'m, 'g> {
     /// only; see [`overlap`](NmslBackend::overlap)).
     pub fn overlap_enabled(&self) -> bool {
         self.overlap
+    }
+
+    /// Per-lane performance counters of the most recent warm
+    /// [`flush`](MapBackend::flush); `None` before the first flush (and
+    /// always in [`DispatchMode::Cold`], which never drives the shared
+    /// device). The cycle-domain fields are bit-identical across thread
+    /// counts and batch sizes at a fixed channel count, like the warm
+    /// [`BackendStats`] totals they sit next to.
+    pub fn device_counters(&self) -> Option<DeviceCounters> {
+        self.device
+            .last_counters
+            .lock()
+            .expect("counters lock poisoned")
+            .clone()
     }
 }
 
@@ -1226,6 +1418,67 @@ mod tests {
             );
             assert!(on.system_reads_per_sec() >= off.system_reads_per_sec());
         }
+    }
+
+    #[test]
+    fn device_counters_partition_device_cycles() {
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let backend = NmslBackend::new(&mapper).channels(2).dispatch_quantum(3);
+        assert!(
+            backend.device_counters().is_none(),
+            "no counters before the first flush"
+        );
+        let stats = run_session(&backend, &pairs, 4);
+        let dc = backend.device_counters().expect("warm flush ran");
+        assert_eq!(dc.lanes.len(), 2);
+        let device = dc.device_cycles();
+        assert!(device > 0);
+        let mut cycles_sum = 0;
+        for (i, lane) in dc.lanes.iter().enumerate() {
+            assert_eq!(
+                lane.breakdown.total(),
+                lane.cycles,
+                "lane {i} breakdown must partition its cycles"
+            );
+            assert_eq!(
+                dc.lane_busy_cycles(i) + dc.lane_idle_cycles(i),
+                device,
+                "lane {i} busy+idle must sum to device cycles"
+            );
+            let util = dc.lane_utilization(i);
+            assert!((0.0..=1.0).contains(&util), "lane {i} utilization {util}");
+            cycles_sum += lane.cycles;
+        }
+        // The lanes' summed cycles are exactly what the run charged to
+        // seeding: the counters describe the same simulation the stats do.
+        assert_eq!(cycles_sum, stats.seed_cycles);
+        assert!((0.0..=1.0).contains(&dc.row_conflict_rate()));
+        assert!((0.0..=1.0).contains(&dc.mean_utilization()));
+        // Every quantum boundary sampled occupancy at least once per lane
+        // with work (12 pairs over 2 lanes, quantum 3).
+        assert!(dc.quantum_occupancy.iter().sum::<u64>() > 0);
+        // In-order single-threaded admission: the frontier never buffers
+        // more than one batch.
+        assert!(dc.frontier_peak_depth <= 1);
+        // A second flush resets: new runs overwrite, empty run is empty.
+        let _ = backend.flush();
+        let dc2 = backend.device_counters().expect("flush captured");
+        assert_eq!(dc2.device_cycles(), 0);
+    }
+
+    #[test]
+    fn device_counters_are_batching_invariant() {
+        // The cycle-domain counters obey the same invariance contract as
+        // the warm BackendStats: identical whatever the client batch size.
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let backend = NmslBackend::new(&mapper).channels(2).dispatch_quantum(3);
+        let _ = run_session(&backend, &pairs, pairs.len());
+        let one = backend.device_counters().unwrap();
+        let _ = run_session(&backend, &pairs, 2);
+        let many = backend.device_counters().unwrap();
+        assert_eq!(one, many, "device counters diverged across batchings");
     }
 
     #[test]

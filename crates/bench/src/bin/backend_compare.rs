@@ -50,13 +50,29 @@
 //! accounting (`exposed == transfer`) as the baseline, `--channels N` to
 //! size the shared warm device's lane partition, and `--trace out.json`
 //! (or `GX_TRACE=out.json`) to attach a [`Telemetry`] handle to the warm
-//! NMSL runs and export the last one's span timeline — pipeline stages
-//! plus per-lane `lane_drain` spans — as Chrome trace-event JSON.
-//! Telemetry is accounting-inert, so traced runs still satisfy every
-//! invariant above, including byte-identical SAM and the warm sharding
-//! fingerprint.
+//! NMSL runs and export the last one's span timeline — pipeline stages,
+//! per-lane `lane_drain` spans, plus `"ph":"C"` counter tracks (frontier
+//! depth, per-lane quantum occupancy) — as Chrome trace-event JSON.
+//! `--metrics out.prom` (or `GX_METRICS=...`) writes the last warm run's
+//! full metrics registry in Prometheus text exposition format. Telemetry
+//! is accounting-inert, so traced runs still satisfy every invariant
+//! above, including byte-identical SAM and the warm sharding fingerprint.
+//!
+//! Every warm line also reports the device performance counters the shared
+//! device aggregates at flush ([`gx_backend::DeviceCounters`]):
+//! `lane_utilization` (mean busy fraction against the device clock),
+//! `row_conflict_rate`, `dram_stall_cycles` and `frontier_peak_depth` —
+//! zeros on software and cold lines, which never drive the shared device.
+//! The cycle-domain counters (stall breakdown, row conflicts, busy/idle
+//! partition) join the warm sharding fingerprint; `frontier_peak_depth` is
+//! schedule-domain and deliberately does not (see ARCHITECTURE.md
+//! "Observability"). Pass `--device-report` for a per-lane utilization and
+//! stall-breakdown table on stderr; the harness always asserts each lane's
+//! `busy + idle == device_cycles` partition on warm runs.
 
-use gx_backend::{DispatchMode, MapBackend, NmslBackend, SoftwareBackend, DEFAULT_CHANNELS};
+use gx_backend::{
+    DeviceCounters, DispatchMode, MapBackend, NmslBackend, SoftwareBackend, DEFAULT_CHANNELS,
+};
 use gx_bench::env_usize;
 use gx_core::{GenPairConfig, GenPairMapper};
 use gx_genome::ReferenceGenome;
@@ -77,13 +93,79 @@ fn run<B: MapBackend>(
 }
 
 /// The warm fields the sharded device promises are thread-count-invariant,
-/// floats as bits so the check means "identical", not "close".
+/// floats as bits so the check means "identical", not "close". The second
+/// block is the cycle-domain device counters — the stall breakdown and
+/// DRAM accounting summed over lanes — which make the same promise.
+/// `frontier_peak_depth` is deliberately absent: it is schedule-domain
+/// (how deep the admission frontier backs up depends on worker timing),
+/// the one device counter that is *not* invariant.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 struct WarmFingerprint {
     sim_cycles: u64,
     seed_cycles: u64,
     energy_pj_bits: u64,
     exposed_transfer_bits: u64,
+    device_cycles: u64,
+    issue_cycles: u64,
+    dram_stall_cycles: u64,
+    drain_cycles: u64,
+    idle_cycles: u64,
+    row_conflicts: u64,
+    dram_rejections: u64,
+}
+
+impl WarmFingerprint {
+    fn new(b: &gx_backend::BackendStats, d: &DeviceCounters) -> WarmFingerprint {
+        WarmFingerprint {
+            sim_cycles: b.sim_cycles,
+            seed_cycles: b.seed_cycles,
+            energy_pj_bits: b.energy_pj.to_bits(),
+            exposed_transfer_bits: b.exposed_transfer_seconds.to_bits(),
+            device_cycles: d.device_cycles(),
+            issue_cycles: d.lanes.iter().map(|l| l.breakdown.issue).sum(),
+            dram_stall_cycles: d.dram_stall_cycles(),
+            drain_cycles: d.lanes.iter().map(|l| l.breakdown.drain).sum(),
+            idle_cycles: d.lanes.iter().map(|l| l.breakdown.idle).sum(),
+            row_conflicts: d.lanes.iter().map(|l| l.dram.row_conflicts).sum(),
+            dram_rejections: d.lanes.iter().map(|l| l.dram.rejections).sum(),
+        }
+    }
+}
+
+/// Per-lane utilization/stall table on stderr (`--device-report`), after
+/// asserting the per-lane cycle partition `busy + idle == device_cycles`.
+fn device_report(d: &DeviceCounters, threads: usize) {
+    let device = d.device_cycles();
+    eprintln!(
+        "# device report ({} lanes, {} device cycles, {} threads, mean utilization {:.1}%)",
+        d.lanes.len(),
+        device,
+        threads,
+        d.mean_utilization() * 100.0
+    );
+    eprintln!(
+        "# lane     util%      busy     issue     stall     drain      idle  row_conf   rejects"
+    );
+    for (i, l) in d.lanes.iter().enumerate() {
+        eprintln!(
+            "# {:>4} {:>8.1} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            i,
+            d.lane_utilization(i) * 100.0,
+            d.lane_busy_cycles(i),
+            l.breakdown.issue,
+            l.breakdown.dram_stall,
+            l.breakdown.drain,
+            d.lane_idle_cycles(i),
+            l.dram.row_conflicts,
+            l.dram.rejections,
+        );
+    }
+    eprintln!(
+        "# frontier_peak_depth={} row_conflict_rate={:.4} (schedule-domain peak \
+         excluded from the sharding fingerprint)",
+        d.frontier_peak_depth,
+        d.row_conflict_rate()
+    );
 }
 
 fn json_line(
@@ -92,6 +174,7 @@ fn json_line(
     overlap: bool,
     channels: usize,
     sw_reads_per_sec: f64,
+    device: Option<&DeviceCounters>,
 ) -> String {
     let b = &report.backend;
     // Software lines compare wall clock to wall clock (1.0 at its own
@@ -115,6 +198,8 @@ fn json_line(
             "\"input_bytes\":{},\"output_bytes\":{},",
             "\"modeled_reads_per_sec\":{:.1},\"system_reads_per_sec\":{:.1},",
             "\"energy_pj\":{:.1},\"dram_bytes\":{},",
+            "\"lane_utilization\":{:.4},\"row_conflict_rate\":{:.4},",
+            "\"dram_stall_cycles\":{},\"frontier_peak_depth\":{},",
             "\"speedup_vs_software\":{:.3},\"sam_identical\":true}}"
         ),
         report.backend_name,
@@ -140,6 +225,10 @@ fn json_line(
         b.system_reads_per_sec(),
         b.energy_pj,
         b.dram_bytes,
+        device.map_or(0.0, DeviceCounters::mean_utilization),
+        device.map_or(0.0, DeviceCounters::row_conflict_rate),
+        device.map_or(0, DeviceCounters::dram_stall_cycles),
+        device.map_or(0, |d| d.frontier_peak_depth),
         effective_rps / sw_reads_per_sec,
     )
 }
@@ -155,17 +244,18 @@ fn flag_value(args: &[String], flag: &str) -> Option<usize> {
     })
 }
 
-/// Resolves the Chrome-trace output path: `--trace PATH` wins, then the
-/// `GX_TRACE` env var, else tracing stays off.
-fn trace_path(args: &[String]) -> Option<String> {
+/// Resolves an output path: `<flag> PATH` wins, then the `<env>` env var,
+/// else the export stays off. Shared by `--trace`/`GX_TRACE` (Chrome
+/// trace JSON) and `--metrics`/`GX_METRICS` (Prometheus exposition).
+fn path_flag(args: &[String], flag: &str, env: &str) -> Option<String> {
     args.iter()
-        .position(|a| a == "--trace")
+        .position(|a| a == flag)
         .map(|i| {
             args.get(i + 1)
                 .cloned()
-                .unwrap_or_else(|| panic!("--trace requires an output path argument"))
+                .unwrap_or_else(|| panic!("{flag} requires an output path argument"))
         })
-        .or_else(|| std::env::var("GX_TRACE").ok())
+        .or_else(|| std::env::var(env).ok())
 }
 
 fn main() {
@@ -175,7 +265,9 @@ fn main() {
     let cold_only = args.iter().any(|a| a == "--cold");
     let no_overlap = args.iter().any(|a| a == "--no-overlap");
     let channels = flag_value(&args, "--channels").unwrap_or(DEFAULT_CHANNELS);
-    let trace = trace_path(&args);
+    let report_device = args.iter().any(|a| a == "--device-report");
+    let trace = path_flag(&args, "--trace", "GX_TRACE");
+    let metrics = path_flag(&args, "--metrics", "GX_METRICS");
     let modes: &[DispatchMode] = match (warm_only, cold_only) {
         (true, false) => &[DispatchMode::Warm],
         (false, true) => &[DispatchMode::Cold],
@@ -204,6 +296,7 @@ fn main() {
     let thread_counts = [1usize, 2, 4];
     let mut warm_fingerprints: Vec<(usize, WarmFingerprint)> = Vec::new();
     let mut last_trace: Option<String> = None;
+    let mut last_metrics: Option<String> = None;
     for threads in thread_counts {
         let sw_engine = PipelineBuilder::new()
             .threads(threads)
@@ -211,17 +304,22 @@ fn main() {
             .backend(SoftwareBackend::new(&mapper));
         let (sw_bytes, sw_report) = run(&sw_engine, &genome, &pairs);
         let sw_rps = sw_report.reads_per_sec();
-        println!("{}", json_line(&sw_report, "wall", false, channels, sw_rps));
+        println!(
+            "{}",
+            json_line(&sw_report, "wall", false, channels, sw_rps, None)
+        );
 
         let mut warm_seed_cycles = None;
         let mut cold_seed_cycles = None;
         for &mode in modes {
             let overlap = mode == DispatchMode::Warm && !no_overlap;
-            // Trace the warm runs only: they exercise the shared device, so
-            // the export carries both the pipeline tracks and the per-lane
-            // `lane_drain` spans. Telemetry is accounting-inert, so the
-            // traced run still feeds the sharding-invariance fingerprint.
-            let telemetry = if trace.is_some() && mode == DispatchMode::Warm {
+            // Trace/meter the warm runs only: they exercise the shared
+            // device, so the export carries the pipeline tracks, the
+            // per-lane `lane_drain` spans and the counter tracks. Telemetry
+            // is accounting-inert, so an instrumented run still feeds the
+            // sharding-invariance fingerprint.
+            let telemetry = if (trace.is_some() || metrics.is_some()) && mode == DispatchMode::Warm
+            {
                 Telemetry::enabled()
             } else {
                 Telemetry::disabled()
@@ -239,8 +337,43 @@ fn main() {
                 );
             let (hw_bytes, hw_report) = run(&hw_engine, &genome, &pairs);
             if telemetry.is_enabled() {
-                last_trace = telemetry.chrome_trace();
+                if trace.is_some() {
+                    last_trace = telemetry.chrome_trace();
+                }
+                if metrics.is_some() {
+                    last_metrics = telemetry.snapshot().map(|s| s.to_prometheus());
+                }
+                if hw_report.dropped_events > 0 {
+                    eprintln!(
+                        "# WARNING: span rings overflowed, trace is missing {} events \
+                         (raise TelemetryConfig::ring_capacity)",
+                        hw_report.dropped_events
+                    );
+                }
             }
+            // Warm runs leave the shared device's flush-time counter
+            // aggregate behind; assert the per-lane cycle partition on
+            // every warm run, report the table on request.
+            let device = if mode == DispatchMode::Warm {
+                let d = hw_engine
+                    .backend()
+                    .device_counters()
+                    .expect("warm run must leave device counters at flush");
+                let device_cycles = d.device_cycles();
+                for i in 0..d.lanes.len() {
+                    assert_eq!(
+                        d.lane_busy_cycles(i) + d.lane_idle_cycles(i),
+                        device_cycles,
+                        "lane {i} busy+idle must partition the device clock at {threads} threads"
+                    );
+                }
+                if report_device {
+                    device_report(&d, threads);
+                }
+                Some(d)
+            } else {
+                None
+            };
             // The co-design contract: both backends must emit identical SAM
             // bytes on this workload (warm or cold), or the throughput
             // comparison is meaningless.
@@ -301,21 +434,21 @@ fn main() {
             match mode {
                 DispatchMode::Warm => {
                     warm_seed_cycles = Some(hw_report.backend.seed_cycles);
-                    warm_fingerprints.push((
-                        threads,
-                        WarmFingerprint {
-                            sim_cycles: b.sim_cycles,
-                            seed_cycles: b.seed_cycles,
-                            energy_pj_bits: b.energy_pj.to_bits(),
-                            exposed_transfer_bits: b.exposed_transfer_seconds.to_bits(),
-                        },
-                    ));
+                    let d = device.as_ref().expect("warm runs always carry counters");
+                    warm_fingerprints.push((threads, WarmFingerprint::new(b, d)));
                 }
                 DispatchMode::Cold => cold_seed_cycles = Some(hw_report.backend.seed_cycles),
             }
             println!(
                 "{}",
-                json_line(&hw_report, mode_name, overlap, channels, sw_rps)
+                json_line(
+                    &hw_report,
+                    mode_name,
+                    overlap,
+                    channels,
+                    sw_rps,
+                    device.as_ref()
+                )
             );
         }
         // The warm ≤ cold seeding regression: cycle totals on both sides
@@ -372,5 +505,11 @@ fn main() {
             .expect("--trace requires at least one warm run (drop --cold, or pass --warm)");
         std::fs::write(path, json).expect("trace file must be writable");
         eprintln!("# wrote Chrome trace to {path}");
+    }
+    if let Some(path) = &metrics {
+        let prom = last_metrics
+            .expect("--metrics requires at least one warm run (drop --cold, or pass --warm)");
+        std::fs::write(path, prom).expect("metrics file must be writable");
+        eprintln!("# wrote Prometheus metrics to {path}");
     }
 }

@@ -20,6 +20,11 @@
 //! `crates/bench/README.md` — and `--trace out.json` (or `GX_TRACE=...`)
 //! to export the highest-thread-count run's span timeline as Chrome
 //! trace-event JSON (viewable in Perfetto or `chrome://tracing`).
+//! `--metrics out.prom` (or `GX_METRICS=...`) writes the same run's full
+//! metrics registry in Prometheus text exposition format at exit. When a
+//! run's span rings overflowed, a `# WARNING` line on stderr reports how
+//! many events the exported trace is missing
+//! ([`gx_pipeline::PipelineReport::dropped_events`]).
 //!
 //! The lines are machine-parsable for `BENCH_*.json` trajectory tracking.
 //! Speedups obviously depend on the host's core count: on a multi-core
@@ -111,9 +116,22 @@ fn main() {
                 .unwrap_or_else(|| panic!("--trace requires an output path argument"))
         })
         .or_else(|| std::env::var("GX_TRACE").ok());
+    let metrics_path = args
+        .iter()
+        .position(|a| a == "--metrics")
+        .map(|i| {
+            args.get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| panic!("--metrics requires an output path argument"))
+        })
+        .or_else(|| std::env::var("GX_METRICS").ok());
     assert!(
         !(no_telemetry && trace_path.is_some()),
         "--no-telemetry and --trace are mutually exclusive"
+    );
+    assert!(
+        !(no_telemetry && metrics_path.is_some()),
+        "--no-telemetry and --metrics are mutually exclusive"
     );
 
     let n_pairs = env_usize("GX_PAIRS", 20_000);
@@ -154,6 +172,7 @@ fn main() {
     );
 
     let mut last_trace: Option<String> = None;
+    let mut last_metrics: Option<String> = None;
     for threads in [1usize, 2, 4, 8] {
         // A fresh handle per run keeps each line's histograms and the
         // exported trace scoped to exactly one configuration.
@@ -190,13 +209,27 @@ fn main() {
                 snap.as_ref(),
             )
         );
+        if report.dropped_events > 0 {
+            eprintln!(
+                "# WARNING: span rings overflowed, trace is missing {} events \
+                 (raise TelemetryConfig::ring_capacity)",
+                report.dropped_events
+            );
+        }
         if trace_path.is_some() {
             last_trace = telemetry.chrome_trace();
+        }
+        if metrics_path.is_some() {
+            last_metrics = snap.as_ref().map(MetricsSnapshot::to_prometheus);
         }
     }
 
     if let (Some(path), Some(json)) = (&trace_path, last_trace) {
         std::fs::write(path, json).expect("trace file must be writable");
         eprintln!("# wrote Chrome trace to {path}");
+    }
+    if let (Some(path), Some(prom)) = (&metrics_path, last_metrics) {
+        std::fs::write(path, prom).expect("metrics file must be writable");
+        eprintln!("# wrote Prometheus metrics to {path}");
     }
 }

@@ -32,10 +32,36 @@ pub struct DramStats {
     pub activations: u64,
     /// Precharges.
     pub precharges: u64,
+    /// Row conflicts: activations that had to close a live row first (the
+    /// preceding precharge evicted an open row another access stream still
+    /// wanted). Cold activations — opening a row in an idle bank — are
+    /// `activations - row_conflicts`.
+    pub row_conflicts: u64,
+    /// Requests bounced by [`DramSim::try_submit`] because the channel
+    /// queue was full (backpressure the caller had to absorb).
+    pub rejections: u64,
+    /// Channel-cycles with work queued (summed over channels; see
+    /// [`DramSim::channel_cycles`] for the per-channel split).
+    pub busy_cycles: u64,
+    /// Channel-cycles with an empty queue. Per channel,
+    /// `busy + idle == DramSim::cycle()` exactly.
+    pub idle_cycles: u64,
     /// Bytes delivered.
     pub bytes: u64,
     /// Requests completed.
     pub completed: u64,
+}
+
+/// Busy/idle cycle split for a single channel. A cycle is *busy* when the
+/// channel entered [`DramSim::tick`] with at least one request queued
+/// (issuing, waiting on timing parameters, or retiring), *idle* otherwise —
+/// so `busy + idle` always equals the simulator's cycle count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelCycles {
+    /// Cycles with work queued.
+    pub busy: u64,
+    /// Cycles with nothing queued.
+    pub idle: u64,
 }
 
 impl DramStats {
@@ -47,6 +73,18 @@ impl DramStats {
             0.0
         } else {
             1.0 - (self.activations.min(self.bursts)) as f64 / self.bursts as f64
+        }
+    }
+
+    /// Fraction of activations that were row conflicts, in `[0, 1]`
+    /// (`0.0` when no activations happened). A conflict is only ever
+    /// counted at the activation that resolves it, so
+    /// `row_conflicts <= activations` holds unconditionally.
+    pub fn row_conflict_rate(&self) -> f64 {
+        if self.activations == 0 {
+            0.0
+        } else {
+            self.row_conflicts as f64 / self.activations as f64
         }
     }
 
@@ -68,6 +106,10 @@ impl DramStats {
             self.bursts >= earlier.bursts
                 && self.activations >= earlier.activations
                 && self.precharges >= earlier.precharges
+                && self.row_conflicts >= earlier.row_conflicts
+                && self.rejections >= earlier.rejections
+                && self.busy_cycles >= earlier.busy_cycles
+                && self.idle_cycles >= earlier.idle_cycles
                 && self.bytes >= earlier.bytes
                 && self.completed >= earlier.completed,
             "snapshot is not an earlier prefix of these stats"
@@ -76,6 +118,10 @@ impl DramStats {
             bursts: self.bursts - earlier.bursts,
             activations: self.activations - earlier.activations,
             precharges: self.precharges - earlier.precharges,
+            row_conflicts: self.row_conflicts - earlier.row_conflicts,
+            rejections: self.rejections - earlier.rejections,
+            busy_cycles: self.busy_cycles - earlier.busy_cycles,
+            idle_cycles: self.idle_cycles - earlier.idle_cycles,
             bytes: self.bytes - earlier.bytes,
             completed: self.completed - earlier.completed,
         }
@@ -88,6 +134,10 @@ impl DramStats {
         self.bursts += other.bursts;
         self.activations += other.activations;
         self.precharges += other.precharges;
+        self.row_conflicts += other.row_conflicts;
+        self.rejections += other.rejections;
+        self.busy_cycles += other.busy_cycles;
+        self.idle_cycles += other.idle_cycles;
         self.bytes += other.bytes;
         self.completed += other.completed;
     }
@@ -100,6 +150,10 @@ struct Bank {
     ready_at: u64,
     /// Cycle of the last activate (for tRAS).
     activated_at: u64,
+    /// The last precharge closed a live row; the next activate on this bank
+    /// is a row conflict. Counting at the activate (not the precharge) keeps
+    /// `row_conflicts <= activations` true at every instant.
+    conflict_pending: bool,
 }
 
 #[derive(Clone, Debug)]
@@ -141,6 +195,7 @@ struct Channel {
 pub struct DramSim {
     cfg: DramConfig,
     channels: Vec<Channel>,
+    channel_cycles: Vec<ChannelCycles>,
     cycle: u64,
     stats: DramStats,
 }
@@ -155,6 +210,7 @@ impl DramSim {
                         open_row: None,
                         ready_at: 0,
                         activated_at: 0,
+                        conflict_pending: false,
                     };
                     cfg.banks_per_channel as usize
                 ],
@@ -164,6 +220,7 @@ impl DramSim {
             .collect();
         DramSim {
             cfg,
+            channel_cycles: vec![ChannelCycles::default(); cfg.channels as usize],
             channels,
             cycle: 0,
             stats: DramStats::default(),
@@ -183,6 +240,12 @@ impl DramSim {
     /// Statistics so far.
     pub fn stats(&self) -> &DramStats {
         &self.stats
+    }
+
+    /// Per-channel busy/idle cycle split. Each entry partitions
+    /// [`cycle()`](DramSim::cycle) exactly: `busy + idle == cycle()`.
+    pub fn channel_cycles(&self) -> &[ChannelCycles] {
+        &self.channel_cycles
     }
 
     /// Whether channel `ch` has room for another request.
@@ -205,6 +268,7 @@ impl DramSim {
         assert!(req.bytes > 0, "zero-byte request");
         let ch = &mut self.channels[req.channel as usize];
         if ch.queue.len() >= self.cfg.queue_depth {
+            self.stats.rejections += 1;
             return false;
         }
         ch.queue.push_back(InFlight {
@@ -226,7 +290,16 @@ impl DramSim {
         self.cycle += 1;
         let now = self.cycle;
         let cfg = self.cfg;
-        for ch in &mut self.channels {
+        for (ch, cycles) in self.channels.iter_mut().zip(self.channel_cycles.iter_mut()) {
+            // Busy/idle attribution looks at the queue as the cycle begins:
+            // a request retiring this very cycle still occupied the channel.
+            if ch.queue.is_empty() {
+                cycles.idle += 1;
+                self.stats.idle_cycles += 1;
+            } else {
+                cycles.busy += 1;
+                self.stats.busy_cycles += 1;
+            }
             // Retire requests whose final burst has arrived.
             while let Some(front) = ch.queue.front() {
                 if front.cur_addr >= front.end_addr && front.last_data_at <= now {
@@ -294,6 +367,7 @@ impl DramSim {
                         }
                         bank.open_row = None;
                         bank.ready_at = now + cfg.t_rp as u64;
+                        bank.conflict_pending = true;
                         self.stats.precharges += 1;
                     }
                     None => {
@@ -301,6 +375,10 @@ impl DramSim {
                         bank.activated_at = now;
                         bank.ready_at = now + cfg.t_rcd as u64;
                         self.stats.activations += 1;
+                        if bank.conflict_pending {
+                            bank.conflict_pending = false;
+                            self.stats.row_conflicts += 1;
+                        }
                     }
                 }
                 break; // one command per channel per cycle
@@ -406,6 +484,54 @@ mod tests {
         sim.drain();
         assert_eq!(sim.stats().activations, 8);
         assert_eq!(sim.stats().precharges, 7);
+        // Every precharge here closed a live row for a different one, so
+        // every follow-up activate is a conflict; the first is cold.
+        assert_eq!(sim.stats().row_conflicts, 7);
+        assert!((sim.stats().row_conflict_rate() - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_reads_are_conflict_free() {
+        let mut sim = DramSim::new(cfg());
+        sim.try_submit(Request {
+            addr: 0,
+            bytes: 1024,
+            channel: 0,
+            tag: 2,
+        });
+        sim.drain();
+        assert_eq!(sim.stats().row_conflicts, 0);
+        assert_eq!(sim.stats().row_conflict_rate(), 0.0);
+    }
+
+    #[test]
+    fn busy_and_idle_partition_every_channel_cycle() {
+        let mut sim = DramSim::new(cfg());
+        sim.try_submit(Request {
+            addr: 0,
+            bytes: 256,
+            channel: 0,
+            tag: 1,
+        });
+        sim.drain();
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            sim.tick(&mut out); // trailing idle cycles on every channel
+        }
+        let cycle = sim.cycle();
+        for (i, c) in sim.channel_cycles().iter().enumerate() {
+            assert_eq!(c.busy + c.idle, cycle, "channel {i} cycles don't sum");
+        }
+        let ch0 = sim.channel_cycles()[0];
+        assert!(ch0.busy > 0, "the loaded channel never counted busy");
+        // Channel 1 never saw a request: all idle.
+        assert_eq!(sim.channel_cycles()[1].busy, 0);
+        let agg = sim.stats();
+        assert_eq!(
+            agg.busy_cycles + agg.idle_cycles,
+            cycle * sim.config().channels as u64,
+            "aggregate busy+idle must be cycle * channels"
+        );
     }
 
     #[test]
@@ -447,6 +573,7 @@ mod tests {
             }
         }
         assert_eq!(accepted, cfg().queue_depth);
+        assert_eq!(sim.stats().rejections, 100 - cfg().queue_depth as u64);
     }
 
     #[test]

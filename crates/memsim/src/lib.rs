@@ -18,5 +18,5 @@ mod dram;
 mod power;
 
 pub use config::DramConfig;
-pub use dram::{Completion, DramSim, DramStats, Request};
+pub use dram::{ChannelCycles, Completion, DramSim, DramStats, Request};
 pub use power::{DramPowerModel, SramModel};

@@ -1,7 +1,7 @@
 //! Property-based tests for the DRAM simulator: conservation, causality and
 //! bandwidth bounds under randomized workloads.
 
-use gx_memsim::{DramConfig, DramSim, Request};
+use gx_memsim::{DramConfig, DramSim, DramStats, Request};
 use proptest::prelude::*;
 
 fn configs() -> impl Strategy<Value = DramConfig> {
@@ -87,5 +87,96 @@ proptest! {
         prop_assert!(s.precharges <= s.activations);
         let r = s.row_hit_rate();
         prop_assert!((0.0..=1.0).contains(&r));
+        // Conflicts are counted at the activation that resolves them, so
+        // they can never outrun activations and the rate is a fraction.
+        prop_assert!(s.row_conflicts <= s.activations);
+        let cr = s.row_conflict_rate();
+        prop_assert!((0.0..=1.0).contains(&cr));
+    }
+
+    /// Busy and idle cycles exactly partition every channel's clock: for
+    /// each channel `busy + idle == cycle()`, at any point in a workload —
+    /// including mid-flight, not just after a drain — and the aggregate
+    /// stats are the per-channel sums.
+    #[test]
+    fn busy_idle_partition_channel_clocks(
+        cfg in configs(),
+        addrs in prop::collection::vec(0u64..(1 << 24), 1..60),
+        extra_ticks in 0u64..200,
+    ) {
+        let channels = cfg.channels;
+        let mut sim = DramSim::new(cfg);
+        let mut out = Vec::new();
+        for (i, &addr) in addrs.iter().enumerate() {
+            while !sim.try_submit(Request {
+                addr,
+                bytes: 64,
+                channel: (i as u32) % channels,
+                tag: i as u64,
+            }) {
+                sim.tick(&mut out);
+            }
+        }
+        // Stop at an arbitrary mid-flight point: the partition is a
+        // per-tick invariant, not a drain postcondition.
+        for _ in 0..extra_ticks {
+            sim.tick(&mut out);
+        }
+        let cycle = sim.cycle();
+        let mut busy_sum = 0u64;
+        let mut idle_sum = 0u64;
+        for (ch, c) in sim.channel_cycles().iter().enumerate() {
+            prop_assert_eq!(
+                c.busy + c.idle, cycle,
+                "channel {} busy+idle must equal the shared clock", ch
+            );
+            busy_sum += c.busy;
+            idle_sum += c.idle;
+        }
+        prop_assert_eq!(sim.stats().busy_cycles, busy_sum);
+        prop_assert_eq!(sim.stats().idle_cycles, idle_sum);
+    }
+
+    /// [`DramStats`] deltas form a commutative merge monoid: `accumulate`
+    /// commutes and has the default (all-zero) stats as identity, and
+    /// `since`/`accumulate` round-trip — a prefix snapshot plus the delta
+    /// since it reconstructs the later snapshot exactly. This is the
+    /// algebra that lets per-dispatch deltas merge across lanes in any
+    /// order without changing warm totals.
+    #[test]
+    fn stats_deltas_merge_as_a_commutative_monoid(
+        a in prop::collection::vec(0u64..(1 << 40), 9),
+        b in prop::collection::vec(0u64..(1 << 40), 9),
+    ) {
+        let build = |v: Vec<u64>| DramStats {
+            bursts: v[0],
+            activations: v[1],
+            precharges: v[2],
+            row_conflicts: v[3],
+            rejections: v[4],
+            busy_cycles: v[5],
+            idle_cycles: v[6],
+            bytes: v[7],
+            completed: v[8],
+        };
+        let (sa, sb) = (build(a), build(b));
+        // Commutativity: a + b == b + a.
+        let mut ab = sa;
+        ab.accumulate(&sb);
+        let mut ba = sb;
+        ba.accumulate(&sa);
+        prop_assert_eq!(ab, ba);
+        // Identity: a + 0 == a.
+        let mut with_zero = sa;
+        with_zero.accumulate(&DramStats::default());
+        prop_assert_eq!(with_zero, sa);
+        // Round trip: `sa` is a prefix of `ab` by construction, so the
+        // delta since it is exactly `sb`, and folding the delta back in
+        // reconstructs the total.
+        let delta = ab.since(&sa);
+        prop_assert_eq!(delta, sb);
+        let mut rebuilt = sa;
+        rebuilt.accumulate(&delta);
+        prop_assert_eq!(rebuilt, ab);
     }
 }

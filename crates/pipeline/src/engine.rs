@@ -107,6 +107,11 @@ pub struct PipelineReport {
     pub steals: u64,
     /// Injector→deque refill transfers (from [`WorkStealQueue::refills`]).
     pub refills: u64,
+    /// Span events overwritten before flush because a recorder's ring
+    /// filled (from [`Telemetry::dropped_events`]); a trace exported after
+    /// this run is missing exactly this many events. Always zero with
+    /// telemetry disabled and for serial runs.
+    pub dropped_events: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
@@ -308,6 +313,10 @@ impl<B: MapBackend> MappingEngine<B> {
         }
         telemetry.label_track(cfg.threads as u32, "feeder");
         telemetry.label_track(cfg.threads as u32 + 1, "emitter");
+        // Ring-overflow accounting is scoped to this run: recorders all
+        // drop inside the scope below, so by the time the report is built
+        // every ring has flushed and the delta is exact.
+        let dropped_before = telemetry.dropped_events();
 
         // Work-stealing dispatch: the injector's capacity is the old
         // channel's queue depth, so front-end backpressure is unchanged.
@@ -490,6 +499,7 @@ impl<B: MapBackend> MappingEngine<B> {
             batch_size: cfg.batch_size,
             steals: queue.steals(),
             refills: queue.refills(),
+            dropped_events: telemetry.dropped_events() - dropped_before,
             elapsed: started.elapsed(),
         })
     }
@@ -564,6 +574,7 @@ where
         batch_size: 1,
         steals: 0,
         refills: 0,
+        dropped_events: 0,
         elapsed,
     })
 }
@@ -759,6 +770,38 @@ mod tests {
         let mut sink = FailingSink(0);
         let err = engine.run(pairs, &mut sink).unwrap_err();
         assert_eq!(err.to_string(), "disk full");
+    }
+
+    #[test]
+    fn report_surfaces_span_ring_overflow() {
+        use gx_telemetry::{Telemetry, TelemetryConfig};
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+
+        // Default-sized rings hold every event of a 40-pair run: a clean
+        // run reports zero drops (and so does the disabled default).
+        let engine = PipelineBuilder::new()
+            .threads(2)
+            .batch_size(4)
+            .telemetry(Telemetry::enabled())
+            .engine(&mapper);
+        let (_, report) = engine.run_collect(pairs.clone());
+        assert_eq!(report.dropped_events, 0);
+
+        // A deliberately tiny ring overflows, and the report says by how
+        // much — the count a trace consumer needs to know its window is a
+        // tail, not the whole run.
+        let tiny = Telemetry::with_config(TelemetryConfig { ring_capacity: 2 });
+        let engine = PipelineBuilder::new()
+            .threads(2)
+            .batch_size(4)
+            .telemetry(tiny)
+            .engine(&mapper);
+        let (_, report) = engine.run_collect(pairs);
+        assert!(
+            report.dropped_events > 0,
+            "a 2-slot ring cannot hold a 10-batch run's spans"
+        );
     }
 
     #[test]

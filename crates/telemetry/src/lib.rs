@@ -67,7 +67,7 @@ pub use registry::{
     CounterId, CounterValue, GaugeId, GaugeValue, HistogramId, HistogramValue, MetricDesc,
     MetricsRegistry, MetricsSnapshot, MAX_METRICS,
 };
-pub use spans::{SpanEvent, SpanRing};
+pub use spans::{SpanEvent, SpanKind, SpanRing};
 pub use trace::chrome_trace_json;
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -304,12 +304,34 @@ impl Recorder {
             .as_nanos() as u64;
         inner.ring.push(SpanEvent {
             name,
+            kind: SpanKind::Duration,
             track: inner.track,
             start_ns,
             dur_ns,
             arg,
         });
         dur_ns
+    }
+
+    /// Records a point-in-time counter sample (`value` of series `name`,
+    /// timestamped now) into the ring. Exported as a Chrome-trace counter
+    /// event (`"ph":"C"`), so Perfetto draws the series as a value-over-time
+    /// track on this recorder's track. Allocation-free, like
+    /// [`span_arg`](Recorder::span_arg).
+    #[inline]
+    pub fn counter_sample(&mut self, name: &'static str, value: u64) {
+        let Some(inner) = self.inner.as_mut() else {
+            return;
+        };
+        let start_ns = inner.telemetry.epoch.elapsed().as_nanos() as u64;
+        inner.ring.push(SpanEvent {
+            name,
+            kind: SpanKind::Counter,
+            track: inner.track,
+            start_ns,
+            dur_ns: 0,
+            arg: value,
+        });
     }
 
     /// Adds `n` to counter `id` in this recorder's shard.
@@ -418,6 +440,21 @@ mod tests {
         assert_eq!(t.snapshot().unwrap().counter("gx_batches_total"), Some(5));
         let json = t.chrome_trace().unwrap();
         assert!(json.contains("queue_wait"));
+    }
+
+    #[test]
+    fn counter_samples_flow_to_trace() {
+        let t = Telemetry::enabled();
+        t.label_track(2001, "lane 1");
+        let mut rec = t.recorder(2001);
+        rec.counter_sample("occupancy", 17);
+        rec.counter_sample("occupancy", 9);
+        drop(rec);
+        let json = t.chrome_trace().unwrap();
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"name\":\"lane 1 occupancy\""));
+        assert!(json.contains("\"args\":{\"occupancy\":17}"));
+        assert!(json.contains("\"args\":{\"occupancy\":9}"));
     }
 
     #[test]

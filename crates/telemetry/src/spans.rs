@@ -8,8 +8,22 @@
 //! events are overwritten and counted in [`SpanRing::dropped`]; a trace is a
 //! window onto the tail of the run, never a reason to stall it.
 
+/// What a [`SpanEvent`] records: a timed region or a sampled counter value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A timed region — exported as a Chrome-trace complete duration event
+    /// (`"ph":"X"`).
+    #[default]
+    Duration,
+    /// A point-in-time counter sample (`arg` is the value, `dur_ns` is 0) —
+    /// exported as a Chrome-trace counter event (`"ph":"C"`), which
+    /// Perfetto renders as a value-over-time track.
+    Counter,
+}
+
 /// One completed span: a named region on a track (worker/lane/emitter),
-/// with start and duration in nanoseconds since the telemetry epoch.
+/// with start and duration in nanoseconds since the telemetry epoch —
+/// or, for [`SpanKind::Counter`], one sampled value at one instant.
 ///
 /// `name` is `&'static str` by design — span names are a fixed taxonomy
 /// (see the Observability section of `ARCHITECTURE.md`), and a static name
@@ -18,14 +32,17 @@
 pub struct SpanEvent {
     /// Static span name, e.g. `"map_batch"`.
     pub name: &'static str,
+    /// Duration event or counter sample.
+    pub kind: SpanKind,
     /// Track the span belongs to (rendered as a Chrome-trace thread id).
     pub track: u32,
     /// Start time in nanoseconds since the telemetry epoch.
     pub start_ns: u64,
-    /// Duration in nanoseconds.
+    /// Duration in nanoseconds (0 for counter samples).
     pub dur_ns: u64,
-    /// One free-form integer argument (batch index, lane occupancy, …),
-    /// exported as `args.v` in the Chrome trace.
+    /// One free-form integer argument (batch index, lane occupancy, …):
+    /// exported as `args.v` for durations, as the sampled series value for
+    /// counters.
     pub arg: u64,
 }
 
@@ -121,6 +138,7 @@ mod tests {
     fn ev(start_ns: u64) -> SpanEvent {
         SpanEvent {
             name: "t",
+            kind: SpanKind::Duration,
             track: 0,
             start_ns,
             dur_ns: 1,

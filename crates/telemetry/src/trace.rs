@@ -2,10 +2,15 @@
 //!
 //! Serializes collected [`SpanEvent`]s into the Chrome trace-event format
 //! (the `{"traceEvents": [...]}` object form), which both `chrome://tracing`
-//! and Perfetto load directly. Every span becomes a complete duration event
-//! (`"ph":"X"`) with microsecond `ts`/`dur`; each labelled track
-//! additionally gets a `thread_name` metadata record so lanes and pipeline
-//! roles render with human names instead of bare tids.
+//! and Perfetto load directly. Every duration span becomes a complete
+//! duration event (`"ph":"X"`) with microsecond `ts`/`dur`; every
+//! [`SpanKind::Counter`] sample becomes a counter event (`"ph":"C"`), which
+//! the viewers render as a value-over-time track. Counter tracks are keyed
+//! by `(pid, name)` in the trace format, so the sample's series name is
+//! composed with its track's label (`"lane 3 occupancy"`) to keep one
+//! counter track per lane rather than one merged track per counter name.
+//! Each labelled track additionally gets a `thread_name` metadata record so
+//! lanes and pipeline roles render with human names instead of bare tids.
 //!
 //! Serialization is hand-rolled: the format is a flat list of
 //! five-field objects, and the workspace deliberately has no JSON
@@ -13,7 +18,7 @@
 
 use std::fmt::Write as _;
 
-use crate::spans::SpanEvent;
+use crate::spans::{SpanEvent, SpanKind};
 
 /// Escapes `s` for inclusion in a JSON string literal.
 fn escape_json(s: &str, out: &mut String) {
@@ -57,16 +62,41 @@ pub fn chrome_trace_json(events: &[SpanEvent], labels: &[(u32, String)]) -> Stri
             out.push(',');
         }
         first = false;
-        out.push_str("{\"ph\":\"X\",\"name\":\"");
-        escape_json(e.name, &mut out);
-        let _ = write!(
-            out,
-            "\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"v\":{}}}}}",
-            e.track,
-            e.start_ns as f64 / 1000.0,
-            e.dur_ns as f64 / 1000.0,
-            e.arg
-        );
+        match e.kind {
+            SpanKind::Duration => {
+                out.push_str("{\"ph\":\"X\",\"name\":\"");
+                escape_json(e.name, &mut out);
+                let _ = write!(
+                    out,
+                    "\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"v\":{}}}}}",
+                    e.track,
+                    e.start_ns as f64 / 1000.0,
+                    e.dur_ns as f64 / 1000.0,
+                    e.arg
+                );
+            }
+            SpanKind::Counter => {
+                // Counter tracks are keyed by (pid, name): prefix the series
+                // with the track label so each lane keeps its own track.
+                out.push_str("{\"ph\":\"C\",\"name\":\"");
+                match labels.iter().find(|(t, _)| *t == e.track) {
+                    Some((_, label)) => escape_json(label, &mut out),
+                    None => {
+                        let _ = write!(out, "track {}", e.track);
+                    }
+                }
+                out.push(' ');
+                escape_json(e.name, &mut out);
+                let _ = write!(
+                    out,
+                    "\",\"pid\":0,\"tid\":{},\"ts\":{:.3},\"args\":{{\"",
+                    e.track,
+                    e.start_ns as f64 / 1000.0,
+                );
+                escape_json(e.name, &mut out);
+                let _ = write!(out, "\":{}}}}}", e.arg);
+            }
+        }
     }
     out.push_str("]}");
     out
@@ -80,6 +110,7 @@ mod tests {
     fn exports_duration_events_and_thread_names() {
         let events = [SpanEvent {
             name: "map_batch",
+            kind: SpanKind::Duration,
             track: 3,
             start_ns: 1_500,
             dur_ns: 2_000,
@@ -95,6 +126,39 @@ mod tests {
         assert!(json.contains("\"ts\":1.500"));
         assert!(json.contains("\"dur\":2.000"));
         assert!(json.contains("\"args\":{\"v\":7}"));
+    }
+
+    #[test]
+    fn exports_counter_samples_with_labelled_series() {
+        let events = [
+            SpanEvent {
+                name: "occupancy",
+                kind: SpanKind::Counter,
+                track: 2001,
+                start_ns: 4_000,
+                dur_ns: 0,
+                arg: 12,
+            },
+            SpanEvent {
+                name: "occupancy",
+                kind: SpanKind::Counter,
+                track: 9,
+                start_ns: 5_000,
+                dur_ns: 0,
+                arg: 3,
+            },
+        ];
+        let labels = [(2001u32, "lane 1".to_string())];
+        let json = chrome_trace_json(&events, &labels);
+        // Labelled track: series name composed with the label, keeping a
+        // separate (pid, name) counter track per lane.
+        assert!(json.contains(
+            "{\"ph\":\"C\",\"name\":\"lane 1 occupancy\",\"pid\":0,\"tid\":2001,\
+             \"ts\":4.000,\"args\":{\"occupancy\":12}}"
+        ));
+        // Unlabelled track: falls back to the track number.
+        assert!(json.contains("\"name\":\"track 9 occupancy\""));
+        assert!(json.contains("\"args\":{\"occupancy\":3}"));
     }
 
     #[test]

@@ -64,6 +64,7 @@ fn record_paths_do_not_allocate() {
             rec.record(h, dur);
             rec.counter_add(c, 1);
             rec.gauge_set(g, i);
+            rec.counter_sample("depth", i);
         }
     });
     assert_eq!(disabled, 0, "disabled recorder allocated {disabled} times");
@@ -84,6 +85,7 @@ fn record_paths_do_not_allocate() {
             rec.record(h, dur);
             rec.counter_add(c, 1);
             rec.gauge_set(g, i);
+            rec.counter_sample("depth", i);
         }
     });
     assert_eq!(enabled, 0, "enabled hot path allocated {enabled} times");

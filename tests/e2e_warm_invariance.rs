@@ -13,7 +13,7 @@
 //! PR 3/4 cannot pass this. The warm ≤ cold seeding regression rides along
 //! so the invariance never comes at the cost of the dispatch win.
 
-use genpairx::backend::{DispatchMode, NmslBackend};
+use genpairx::backend::{DeviceCounters, DispatchMode, LaneCounters, NmslBackend};
 use genpairx::core::{GenPairConfig, GenPairMapper};
 use genpairx::pipeline::{map_serial, FallbackPolicy, PipelineBuilder, ReadPair, SamTextSink};
 use genpairx::readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
@@ -62,6 +62,29 @@ impl WarmFingerprint {
     }
 }
 
+/// The cycle-domain device counters, which make the same invariance
+/// promise as the warm totals: every per-lane field (stall breakdown, DRAM
+/// stats, high-water marks) and the quantum-occupancy histogram is a
+/// function of the per-lane released-pair stream, which the contiguity
+/// frontier fixes regardless of schedule. `frontier_peak_depth` is the one
+/// deliberate omission — how deep batches pile up ahead of the frontier
+/// depends on worker timing, so it is schedule-domain and excluded from
+/// the fingerprint (see ARCHITECTURE.md "Observability").
+#[derive(Debug, PartialEq)]
+struct DeviceFingerprint {
+    lanes: Vec<LaneCounters>,
+    quantum_occupancy: [u64; genpairx::backend::QUANTUM_OCC_BUCKETS],
+}
+
+impl DeviceFingerprint {
+    fn of(d: &DeviceCounters) -> DeviceFingerprint {
+        DeviceFingerprint {
+            lanes: d.lanes.clone(),
+            quantum_occupancy: d.quantum_occupancy,
+        }
+    }
+}
+
 fn dataset() -> (genpairx::genome::ReferenceGenome, Vec<ReadPair>) {
     let genome = standard_genome(300_000, 0x51AB);
     let pairs = simulate_dataset(&genome, &DATASETS[0], N_PAIRS)
@@ -77,7 +100,7 @@ fn run_warm(
     pairs: &[ReadPair],
     threads: usize,
     batch_size: usize,
-) -> (Vec<u8>, genpairx::backend::BackendStats) {
+) -> (Vec<u8>, genpairx::backend::BackendStats, DeviceCounters) {
     run_warm_with(
         mapper,
         genome,
@@ -98,7 +121,7 @@ fn run_warm_with(
     threads: usize,
     batch_size: usize,
     telemetry: Telemetry,
-) -> (Vec<u8>, genpairx::backend::BackendStats) {
+) -> (Vec<u8>, genpairx::backend::BackendStats, DeviceCounters) {
     let engine = PipelineBuilder::new()
         .threads(threads)
         .batch_size(batch_size)
@@ -110,7 +133,11 @@ fn run_warm_with(
         );
     let mut sink = SamTextSink::with_header(genome, Vec::new()).unwrap();
     let report = engine.run(pairs.iter().cloned(), &mut sink).unwrap();
-    (sink.into_inner().unwrap(), report.backend)
+    let counters = engine
+        .backend()
+        .device_counters()
+        .expect("warm run leaves device counters at flush");
+    (sink.into_inner().unwrap(), report.backend, counters)
 }
 
 #[test]
@@ -130,9 +157,10 @@ fn warm_totals_are_bit_identical_across_threads_and_batches() {
     let expected_sam = serial_sink.into_inner().unwrap();
 
     let mut reference: Option<WarmFingerprint> = None;
+    let mut device_reference: Option<DeviceFingerprint> = None;
     for threads in THREADS {
         for batch_size in BATCH_SIZES {
-            let (sam, backend) = run_warm(&mapper, &genome, &pairs, threads, batch_size);
+            let (sam, backend, device) = run_warm(&mapper, &genome, &pairs, threads, batch_size);
             assert!(
                 sam == expected_sam,
                 "SAM bytes diverge from serial at threads={threads} batch_size={batch_size}"
@@ -145,6 +173,33 @@ fn warm_totals_are_bit_identical_across_threads_and_batches() {
                 Some(reference) => assert_eq!(
                     fp, reference,
                     "warm accounting diverged at threads={threads} batch_size={batch_size} \
+                     (channels fixed at {CHANNELS})"
+                ),
+            }
+            // The device counters make the same promise, lane by lane:
+            // the whole cycle-attributed breakdown — not just the totals —
+            // is a function of the workload. And each lane's attribution
+            // must partition its clock exactly before it can be trusted.
+            assert_eq!(device.lanes.len(), CHANNELS);
+            let device_cycles = device.device_cycles();
+            for (i, lane) in device.lanes.iter().enumerate() {
+                assert_eq!(
+                    lane.breakdown.total(),
+                    lane.cycles,
+                    "lane {i} attribution must cover every lane cycle"
+                );
+                assert_eq!(
+                    device.lane_busy_cycles(i) + device.lane_idle_cycles(i),
+                    device_cycles,
+                    "lane {i} busy+idle must partition the device clock"
+                );
+            }
+            let dfp = DeviceFingerprint::of(&device);
+            match &device_reference {
+                None => device_reference = Some(dfp),
+                Some(reference) => assert_eq!(
+                    &dfp, reference,
+                    "device counters diverged at threads={threads} batch_size={batch_size} \
                      (channels fixed at {CHANNELS})"
                 ),
             }
@@ -161,7 +216,7 @@ fn warm_seeding_still_beats_cold_at_fixed_channels() {
     // configuration of each suffices.
     let (genome, pairs) = dataset();
     let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
-    let (_, warm) = run_warm(&mapper, &genome, &pairs, 2, 64);
+    let (_, warm, _) = run_warm(&mapper, &genome, &pairs, 2, 64);
 
     let cold_engine = PipelineBuilder::new().threads(2).batch_size(64).backend(
         NmslBackend::new(&mapper)
@@ -221,16 +276,22 @@ fn tracing_is_accounting_inert() {
     let (genome, pairs) = dataset();
     let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
 
-    let (plain_sam, plain) = run_warm(&mapper, &genome, &pairs, 4, 64);
+    let (plain_sam, plain, plain_device) = run_warm(&mapper, &genome, &pairs, 4, 64);
 
     let telemetry = Telemetry::enabled();
-    let (traced_sam, traced) = run_warm_with(&mapper, &genome, &pairs, 4, 64, telemetry.clone());
+    let (traced_sam, traced, traced_device) =
+        run_warm_with(&mapper, &genome, &pairs, 4, 64, telemetry.clone());
 
     assert!(traced_sam == plain_sam, "tracing changed the SAM bytes");
     assert_eq!(
         WarmFingerprint::of(&traced),
         WarmFingerprint::of(&plain),
         "tracing changed the warm accounting"
+    );
+    assert_eq!(
+        DeviceFingerprint::of(&traced_device),
+        DeviceFingerprint::of(&plain_device),
+        "tracing changed the device counters"
     );
 
     // The traced run must really have traced: every pipeline stage span
@@ -246,6 +307,15 @@ fn tracing_is_accounting_inert() {
     ] {
         assert!(trace.contains(span), "trace is missing {span:?} spans");
     }
+    // The counter tracks ride in the same trace: quantum-boundary lane
+    // occupancy and frontier depth export as Chrome counter events
+    // (`"ph":"C"`), named per lane so Perfetto renders one track each.
+    assert!(
+        trace.contains("\"ph\":\"C\""),
+        "trace is missing counter samples"
+    );
+    assert!(trace.contains("lane_occupancy"));
+    assert!(trace.contains("frontier_depth"));
     let snap = telemetry.snapshot().expect("telemetry was enabled");
     let batches = (N_PAIRS as u64).div_ceil(64);
     assert_eq!(
@@ -260,8 +330,13 @@ fn tracing_is_accounting_inert() {
     assert!(snap
         .histogram("gx_lane_drain_ns")
         .is_some_and(|h| h.count > 0));
-    // And the exposition endpoint renders it all.
+    // And the exposition endpoint renders it all, including the device
+    // counters the flush publishes into the registry.
     let text = snap.to_prometheus();
     assert!(text.contains("gx_map_batch_ns_count"));
     assert!(text.contains("gx_nmsl_lane_occupancy"));
+    assert!(text.contains("gx_quantum_occupancy_bucket"));
+    assert!(text.contains("gx_device_dram_stall_cycles_total"));
+    assert!(text.contains("gx_dram_row_conflicts_total"));
+    assert!(text.contains("gx_frontier_depth_max"));
 }
