@@ -1,4 +1,4 @@
-use crate::dp::{AlignMode, Alignment, NEG_INF};
+use crate::dp::{AlignMode, AlignScratch, Alignment, NEG_INF};
 use crate::Scoring;
 use gx_genome::{Cigar, CigarOp, DnaSeq};
 
@@ -31,6 +31,19 @@ pub fn banded_align(
     band: usize,
     mode: AlignMode,
 ) -> Alignment {
+    banded_align_with(query, target, scoring, band, mode, &mut AlignScratch::new())
+}
+
+/// [`banded_align`] using caller-owned scratch buffers — identical result,
+/// no allocation once `scratch` has grown to the workload's high-water mark.
+pub fn banded_align_with(
+    query: &DnaSeq,
+    target: &DnaSeq,
+    scoring: &Scoring,
+    band: usize,
+    mode: AlignMode,
+    scratch: &mut AlignScratch,
+) -> Alignment {
     assert!(
         !query.is_empty() && !target.is_empty(),
         "cannot align empty sequences"
@@ -53,16 +66,28 @@ pub fn banded_align(
     let jmin = |i: usize| -> usize { (i as i64 + lo_shift).max(0) as usize };
     let jmax = |i: usize| -> usize { ((i as i64 + hi_shift) as usize).min(m) };
 
-    let mut tb = vec![H_STOP; (n + 1) * width];
+    let AlignScratch {
+        tb,
+        h_prev,
+        h_cur,
+        f_col,
+        qcodes,
+        tcodes,
+    } = scratch;
+    tb.clear();
+    tb.resize((n + 1) * width, H_STOP);
     let tb_idx = |i: usize, j: usize| -> usize {
         let off = j as i64 - (i as i64 + lo_shift);
         debug_assert!((0..width as i64).contains(&off), "traceback outside band");
         i * width + off as usize
     };
 
-    let mut h_prev = vec![NEG_INF; m + 2];
-    let mut h_cur = vec![NEG_INF; m + 2];
-    let mut f_col = vec![NEG_INF; m + 2];
+    h_prev.clear();
+    h_prev.resize(m + 2, NEG_INF);
+    h_cur.clear();
+    h_cur.resize(m + 2, NEG_INF);
+    f_col.clear();
+    f_col.resize(m + 2, NEG_INF);
 
     // Row 0.
     for j in jmin(0)..=jmax(0) {
@@ -77,8 +102,8 @@ pub fn banded_align(
         };
     }
 
-    let qcodes = query.to_codes();
-    let tcodes = target.to_codes();
+    query.codes_into(0..n, qcodes);
+    target.codes_into(0..m, tcodes);
     let mut cells = 0u64;
 
     for i in 1..=n {
@@ -146,7 +171,7 @@ pub fn banded_align(
                 NEG_INF
             };
         }
-        std::mem::swap(&mut h_prev, &mut h_cur);
+        std::mem::swap(h_prev, h_cur);
     }
 
     let (score, end_j) = match mode {
@@ -276,6 +301,39 @@ mod tests {
             band.cells,
             full.cells
         );
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        // One scratch driven across differently-shaped problems (growing,
+        // shrinking, global and fit) must reproduce the fresh-allocation
+        // result bit for bit — this is the property that lets a mapping
+        // session keep a single workspace alive across pairs.
+        let s = Scoring::short_read();
+        let mut scratch = AlignScratch::new();
+        let cases = [
+            ("ACGTACGTACGTTACG", "GGACGTACGTTACGTTACGGG", AlignMode::Fit),
+            (
+                "ACGGTTACGGTAGACCAACGGTTAC",
+                "ACGGTTACGGTATTTGACCAACGGTTAC",
+                AlignMode::Global,
+            ),
+            ("ACGT", "TACGTT", AlignMode::Fit),
+            ("ACGTACGGGTACGTTACG", "ACGTACGTACGTTACG", AlignMode::Global),
+        ];
+        for (q, t, mode) in cases {
+            let (q, t) = (seq(q), seq(t));
+            let fresh = banded_align(&q, &t, &s, 8, mode);
+            let reused = banded_align_with(&q, &t, &s, 8, mode, &mut scratch);
+            assert_eq!(fresh.score, reused.score);
+            assert_eq!(fresh.cigar, reused.cigar);
+            assert_eq!(fresh.target_start, reused.target_start);
+            assert_eq!(fresh.cells, reused.cells);
+            let full_fresh = align(&q, &t, &s, mode);
+            let full_reused = crate::align_with(&q, &t, &s, mode, &mut scratch);
+            assert_eq!(full_fresh.score, full_reused.score);
+            assert_eq!(full_fresh.cigar, full_reused.cigar);
+        }
     }
 
     #[test]

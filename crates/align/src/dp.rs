@@ -46,6 +46,29 @@ impl Alignment {
     }
 }
 
+/// Reusable DP workspace for [`align`] and
+/// [`banded_align`](crate::banded_align): traceback matrix, rolling score
+/// rows, F column and unpacked code buffers. Buffers grow to the high-water
+/// mark of the alignments they have seen and are re-filled (never
+/// reallocated) on subsequent calls, so a scratch owned per mapping session
+/// makes the DP fallback allocation-free in steady state.
+#[derive(Default, Debug)]
+pub struct AlignScratch {
+    pub(crate) tb: Vec<u8>,
+    pub(crate) h_prev: Vec<i32>,
+    pub(crate) h_cur: Vec<i32>,
+    pub(crate) f_col: Vec<i32>,
+    pub(crate) qcodes: Vec<u8>,
+    pub(crate) tcodes: Vec<u8>,
+}
+
+impl AlignScratch {
+    /// Creates an empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> AlignScratch {
+        AlignScratch::default()
+    }
+}
+
 // Traceback encoding, one byte per cell:
 //   bits 0-1: H-matrix choice: 0 = diagonal, 1 = E (deletion), 2 = F
 //             (insertion), 3 = stop (local-zero or boundary)
@@ -69,6 +92,18 @@ const F_EXT: u8 = 1 << 3;
 ///
 /// Panics if either sequence is empty.
 pub fn align(query: &DnaSeq, target: &DnaSeq, scoring: &Scoring, mode: AlignMode) -> Alignment {
+    align_with(query, target, scoring, mode, &mut AlignScratch::new())
+}
+
+/// [`align`] using caller-owned scratch buffers — identical result, no
+/// allocation once `scratch` has grown to the workload's high-water mark.
+pub fn align_with(
+    query: &DnaSeq,
+    target: &DnaSeq,
+    scoring: &Scoring,
+    mode: AlignMode,
+    scratch: &mut AlignScratch,
+) -> Alignment {
     assert!(
         !query.is_empty() && !target.is_empty(),
         "cannot align empty sequences"
@@ -78,13 +113,25 @@ pub fn align(query: &DnaSeq, target: &DnaSeq, scoring: &Scoring, mode: AlignMode
     let open = scoring.gap_open + scoring.gap_ext;
     let ext = scoring.gap_ext;
 
-    let mut tb = vec![0u8; (n + 1) * (m + 1)];
+    let AlignScratch {
+        tb,
+        h_prev,
+        h_cur,
+        f_col,
+        qcodes,
+        tcodes,
+    } = scratch;
+    tb.clear();
+    tb.resize((n + 1) * (m + 1), 0u8);
     let idx = |i: usize, j: usize| i * (m + 1) + j;
 
     // Rolling rows for H and per-row E; column array for F.
-    let mut h_prev = vec![0i32; m + 1];
-    let mut h_cur = vec![0i32; m + 1];
-    let mut f_col = vec![NEG_INF; m + 1];
+    h_prev.clear();
+    h_prev.resize(m + 1, 0i32);
+    h_cur.clear();
+    h_cur.resize(m + 1, 0i32);
+    f_col.clear();
+    f_col.resize(m + 1, NEG_INF);
 
     // Row 0 boundary.
     for j in 0..=m {
@@ -107,8 +154,8 @@ pub fn align(query: &DnaSeq, target: &DnaSeq, scoring: &Scoring, mode: AlignMode
 
     let mut best = (NEG_INF, 0usize, 0usize); // (score, i, j) for local
     let mut cells = 0u64;
-    let qcodes = query.to_codes();
-    let tcodes = target.to_codes();
+    query.codes_into(0..n, qcodes);
+    target.codes_into(0..m, tcodes);
 
     for i in 1..=n {
         // Column 0 boundary.
@@ -168,7 +215,7 @@ pub fn align(query: &DnaSeq, target: &DnaSeq, scoring: &Scoring, mode: AlignMode
                 best = (h, i, j);
             }
         }
-        std::mem::swap(&mut h_prev, &mut h_cur);
+        std::mem::swap(h_prev, h_cur);
     }
     // h_prev now holds row n.
 
@@ -188,7 +235,7 @@ pub fn align(query: &DnaSeq, target: &DnaSeq, scoring: &Scoring, mode: AlignMode
         AlignMode::Local => (best.0.max(0), best.1, best.2),
     };
 
-    let (cigar, start_i, start_j) = traceback(&tb, m, end_i, end_j, &qcodes, &tcodes);
+    let (cigar, start_i, start_j) = traceback(tb, m, end_i, end_j, qcodes, tcodes);
     Alignment {
         score,
         cigar,

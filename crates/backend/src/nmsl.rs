@@ -19,8 +19,9 @@ use gx_accel::{
     fallback_cells, shard_for_workload, FallbackCells, GenDpInstance, HostTraffic, LaneCounters,
     LaneDelta, NmslConfig, NmslLane, NmslSim, PairWorkload, ACCEL_CLOCK_GHZ,
 };
-use gx_core::{FallbackStage, GenPairMapper, ReadPair};
+use gx_core::{FallbackStage, GenPairMapper, MapScratch, ReadPair};
 use gx_memsim::{DramConfig, DramPowerModel};
+use gx_seedmap::{SeedHasher, Xxh32Builder};
 use gx_telemetry::{CounterId, GaugeId, HistogramId, Recorder, Telemetry};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
@@ -386,10 +387,10 @@ impl SharedNmslDevice {
     /// Releases one pair past the frontier: price its GenDP work (emitting
     /// integer cycle deltas to `stats`) and stage it on its lane, returning
     /// the lane index. Caller holds the frontier lock.
-    fn release_pair(
+    fn release_pair<H: SeedHasher>(
         &self,
         f: &mut Frontier,
-        backend: &NmslBackend<'_, '_>,
+        backend: &NmslBackend<'_, '_, H>,
         pair: AdmittedPair,
         stats: &mut BackendStats,
     ) -> usize {
@@ -409,9 +410,9 @@ impl SharedNmslDevice {
     /// `stats` (addition is exact, so totals are schedule-independent);
     /// floats accumulate on the lane in op order and surface at
     /// [`flush`](SharedNmslDevice::flush).
-    fn account_run(
+    fn account_run<H: SeedHasher>(
         &self,
-        backend: &NmslBackend<'_, '_>,
+        backend: &NmslBackend<'_, '_, H>,
         l: &mut LaneState,
         transfer: f64,
         delta: &LaneDelta,
@@ -455,9 +456,9 @@ impl SharedNmslDevice {
     /// (which pumps blocking) drains any residue — deferring *when* staged
     /// pairs stream never changes the per-lane op order, so totals are
     /// unaffected.
-    fn pump_lane(
+    fn pump_lane<H: SeedHasher>(
         &self,
-        backend: &NmslBackend<'_, '_>,
+        backend: &NmslBackend<'_, '_, H>,
         idx: usize,
         blocking: bool,
         stats: &mut BackendStats,
@@ -501,9 +502,9 @@ impl SharedNmslDevice {
     /// everything the contiguity frontier now covers, then pump the lanes
     /// this admission staged work onto (skipping lanes another worker is
     /// already streaming — see [`pump_lane`](SharedNmslDevice::pump_lane)).
-    fn admit(
+    fn admit<H: SeedHasher>(
         &self,
-        backend: &NmslBackend<'_, '_>,
+        backend: &NmslBackend<'_, '_, H>,
         index: Option<u64>,
         pairs: Vec<AdmittedPair>,
         stats: &mut BackendStats,
@@ -546,7 +547,7 @@ impl SharedNmslDevice {
     /// Drains the whole device in deterministic order, returns the float
     /// stage totals plus the residual integer deltas, and resets every lane
     /// and the frontier for the next run.
-    fn flush(&self, backend: &NmslBackend<'_, '_>) -> BackendStats {
+    fn flush<H: SeedHasher>(&self, backend: &NmslBackend<'_, '_, H>) -> BackendStats {
         let mut stats = BackendStats::new();
         let mut device = DeviceCounters {
             lanes: Vec::with_capacity(self.lanes.len()),
@@ -677,8 +678,8 @@ impl SharedNmslDevice {
 /// accumulated inside the device in input/lane-op order. Consecutive runs
 /// on one backend are independent — `flush` resets the device — but must
 /// not overlap in time.
-pub struct NmslBackend<'m, 'g> {
-    mapper: &'m GenPairMapper<'g>,
+pub struct NmslBackend<'m, 'g, H: SeedHasher = Xxh32Builder> {
+    mapper: &'m GenPairMapper<'g, H>,
     dram: DramConfig,
     nmsl: NmslConfig,
     mode: DispatchMode,
@@ -691,23 +692,23 @@ pub struct NmslBackend<'m, 'g> {
     device: SharedNmslDevice,
 }
 
-impl<'m, 'g> NmslBackend<'m, 'g> {
+impl<'m, 'g, H: SeedHasher> NmslBackend<'m, 'g, H> {
     /// An NMSL backend over the paper's default configuration: HBM2e with 32
     /// memory channels, 1024-pair sliding window, warm dispatch through a
     /// shared [`DEFAULT_CHANNELS`]-lane device on a
     /// [`DEFAULT_DISPATCH_QUANTUM`]-pair quantum, the Table-4 GenDP for
     /// fallbacks and a PCIe Gen4 ×16 host link.
-    pub fn new(mapper: &'m GenPairMapper<'g>) -> NmslBackend<'m, 'g> {
+    pub fn new(mapper: &'m GenPairMapper<'g, H>) -> NmslBackend<'m, 'g, H> {
         NmslBackend::with_configs(mapper, DramConfig::hbm2e_32ch(), NmslConfig::default())
     }
 
     /// An NMSL backend over explicit DRAM and NMSL configurations (DDR5 /
     /// GDDR6 scaling studies, window sweeps). Warm dispatch by default.
     pub fn with_configs(
-        mapper: &'m GenPairMapper<'g>,
+        mapper: &'m GenPairMapper<'g, H>,
         dram: DramConfig,
         nmsl: NmslConfig,
-    ) -> NmslBackend<'m, 'g> {
+    ) -> NmslBackend<'m, 'g, H> {
         let channels = DEFAULT_CHANNELS;
         let quantum = DEFAULT_DISPATCH_QUANTUM;
         NmslBackend {
@@ -726,7 +727,7 @@ impl<'m, 'g> NmslBackend<'m, 'g> {
     }
 
     /// Selects warm or cold dispatch.
-    pub fn dispatch_mode(mut self, mode: DispatchMode) -> NmslBackend<'m, 'g> {
+    pub fn dispatch_mode(mut self, mode: DispatchMode) -> NmslBackend<'m, 'g, H> {
         self.mode = mode;
         self
     }
@@ -734,7 +735,7 @@ impl<'m, 'g> NmslBackend<'m, 'g> {
     /// Sets the shared warm device's lane count (clamped to at least 1).
     /// Warm totals are comparable only at a fixed channel count — the lane
     /// partition is part of the modeled hardware, like the DRAM technology.
-    pub fn channels(mut self, channels: usize) -> NmslBackend<'m, 'g> {
+    pub fn channels(mut self, channels: usize) -> NmslBackend<'m, 'g, H> {
         self.channels = channels.max(1);
         self.device = SharedNmslDevice::new(
             self.dram,
@@ -750,7 +751,7 @@ impl<'m, 'g> NmslBackend<'m, 'g> {
     /// at least 1): how many admissions a lane groups into one device
     /// dispatch. The quantum replaces the client batch size in the warm
     /// model — that is what makes warm totals batch-size-invariant.
-    pub fn dispatch_quantum(mut self, quantum: usize) -> NmslBackend<'m, 'g> {
+    pub fn dispatch_quantum(mut self, quantum: usize) -> NmslBackend<'m, 'g, H> {
         self.quantum = quantum.max(1);
         self.device = SharedNmslDevice::new(
             self.dram,
@@ -771,7 +772,7 @@ impl<'m, 'g> NmslBackend<'m, 'g> {
     /// **accounting-inert**: it taps already-computed modeled values and
     /// wall-clock reads, and nothing it records feeds back into
     /// [`BackendStats`] — warm totals stay bit-identical with tracing on.
-    pub fn telemetry(mut self, telemetry: Telemetry) -> NmslBackend<'m, 'g> {
+    pub fn telemetry(mut self, telemetry: Telemetry) -> NmslBackend<'m, 'g, H> {
         self.telemetry = telemetry;
         self.device = SharedNmslDevice::new(
             self.dram,
@@ -790,26 +791,26 @@ impl<'m, 'g> NmslBackend<'m, 'g> {
     /// (`exposed_transfer_seconds == transfer_seconds`), reproducing the
     /// conservative serialized accounting as the A/B baseline for
     /// `backend_compare --no-overlap`.
-    pub fn overlap(mut self, enabled: bool) -> NmslBackend<'m, 'g> {
+    pub fn overlap(mut self, enabled: bool) -> NmslBackend<'m, 'g, H> {
         self.overlap = enabled;
         self
     }
 
     /// Overrides the host-link bandwidth in GB/s (0 disables transfer
     /// accounting).
-    pub fn link_gbs(mut self, gbs: f64) -> NmslBackend<'m, 'g> {
+    pub fn link_gbs(mut self, gbs: f64) -> NmslBackend<'m, 'g, H> {
         self.link_gbs = gbs;
         self
     }
 
     /// Overrides the GenDP instance pricing fallback work.
-    pub fn gendp(mut self, gendp: GenDpInstance) -> NmslBackend<'m, 'g> {
+    pub fn gendp(mut self, gendp: GenDpInstance) -> NmslBackend<'m, 'g, H> {
         self.gendp = gendp;
         self
     }
 
     /// The wrapped mapper.
-    pub fn mapper(&self) -> &'m GenPairMapper<'g> {
+    pub fn mapper(&self) -> &'m GenPairMapper<'g, H> {
         self.mapper
     }
 
@@ -859,9 +860,9 @@ impl<'m, 'g> NmslBackend<'m, 'g> {
     }
 }
 
-impl MapBackend for NmslBackend<'_, '_> {
+impl<H: SeedHasher> MapBackend for NmslBackend<'_, '_, H> {
     type Session<'s>
-        = NmslSession<'s>
+        = NmslSession<'s, H>
     where
         Self: 's;
 
@@ -869,9 +870,10 @@ impl MapBackend for NmslBackend<'_, '_> {
         "nmsl"
     }
 
-    fn session(&self, worker_id: usize) -> NmslSession<'_> {
+    fn session(&self, worker_id: usize) -> NmslSession<'_, H> {
         NmslSession {
             backend: self,
+            scratch: MapScratch::new(),
             fallback_seconds_total: 0.0,
             fallback_cycles_emitted: 0,
             rec: self.telemetry.recorder(1000 + worker_id as u32),
@@ -920,8 +922,10 @@ impl MapBackend for NmslBackend<'_, '_> {
 /// it to completion (the PR 2 model), dispatches are serial so the full
 /// transfer is always exposed, and both `finish` and the backend `flush`
 /// return zero.
-pub struct NmslSession<'s> {
-    backend: &'s NmslBackend<'s, 's>,
+pub struct NmslSession<'s, H: SeedHasher = Xxh32Builder> {
+    backend: &'s NmslBackend<'s, 's, H>,
+    /// The session's reusable mapping arena (software-path hot buffers).
+    scratch: MapScratch,
     /// Cold mode: cumulative GenDP seconds this session, so
     /// `fallback_cycles` can be emitted as integer deltas of the running
     /// total (accumulated per pair, matching the warm device's frontier
@@ -940,14 +944,18 @@ pub struct NmslSession<'s> {
     lightalign_c: CounterId,
 }
 
-impl NmslSession<'_> {
+impl<H: SeedHasher> NmslSession<'_, H> {
     fn map_inner(&mut self, index: Option<u64>, pairs: &[ReadPair]) -> BatchResult {
         let started = Instant::now();
         // Results: the software path (identical bytes across backends and
         // dispatch modes).
         let results: Vec<_> = pairs
             .iter()
-            .map(|p| self.backend.mapper.map_pair(&p.r1, &p.r2))
+            .map(|p| {
+                self.backend
+                    .mapper
+                    .map_pair_with(&mut self.scratch, &p.r1, &p.r2)
+            })
             .collect();
 
         if self.rec.is_enabled() {
@@ -1059,7 +1067,7 @@ impl NmslSession<'_> {
     }
 }
 
-impl MapSession for NmslSession<'_> {
+impl<H: SeedHasher> MapSession for NmslSession<'_, H> {
     fn map_batch(&mut self, pairs: &[ReadPair]) -> BatchResult {
         self.map_inner(None, pairs)
     }

@@ -1,37 +1,42 @@
 //! The CPU reference backend.
 
 use crate::{BackendStats, BatchResult, MapBackend, MapSession};
-use gx_core::{GenPairMapper, ReadPair};
+use gx_core::{GenPairMapper, MapScratch, ReadPair};
+use gx_seedmap::{SeedHasher, Xxh32Builder};
 use std::time::Instant;
 
 /// The software baseline: maps every pair with
-/// [`GenPairMapper::map_pair`] on the calling worker thread.
+/// [`GenPairMapper::map_pair_with`] on the calling worker thread.
 ///
 /// Timing-wise it reports only wall-clock busy time — there is no hardware
 /// model behind it. Its results define the reference output every other
-/// backend must reproduce byte-for-byte. Sessions are stateless (the mapper
-/// is shared read-only), so the factory/session split costs nothing here;
-/// it exists so the same worker pool can drive stateful accelerator
-/// sessions.
-pub struct SoftwareBackend<'m, 'g> {
-    mapper: &'m GenPairMapper<'g>,
+/// backend must reproduce byte-for-byte. Each session owns a
+/// [`MapScratch`] arena, so steady-state mapping performs no per-pair heap
+/// allocation; the factory/session split is what gives every worker its own
+/// scratch without sharing.
+///
+/// Like the mapper it wraps, the backend is generic over the index's
+/// seed-hash family `H` (default xxh32), so `ablation_seedhash` can drive
+/// the full engine over a murmur3- or ntHash-backed index.
+pub struct SoftwareBackend<'m, 'g, H: SeedHasher = Xxh32Builder> {
+    mapper: &'m GenPairMapper<'g, H>,
 }
 
-impl<'m, 'g> SoftwareBackend<'m, 'g> {
+impl<'m, 'g, H: SeedHasher> SoftwareBackend<'m, 'g, H> {
     /// A backend mapping with `mapper`.
-    pub fn new(mapper: &'m GenPairMapper<'g>) -> SoftwareBackend<'m, 'g> {
+    pub fn new(mapper: &'m GenPairMapper<'g, H>) -> SoftwareBackend<'m, 'g, H> {
         SoftwareBackend { mapper }
     }
 
     /// The wrapped mapper.
-    pub fn mapper(&self) -> &'m GenPairMapper<'g> {
+    pub fn mapper(&self) -> &'m GenPairMapper<'g, H> {
         self.mapper
     }
 }
 
-impl MapBackend for SoftwareBackend<'_, '_> {
+impl<H: SeedHasher> MapBackend for SoftwareBackend<'_, '_, H> {
     type Session<'s>
-        = SoftwareSession<'s>
+        = SoftwareSession<'s, H>
     where
         Self: 's;
 
@@ -39,24 +44,27 @@ impl MapBackend for SoftwareBackend<'_, '_> {
         "software"
     }
 
-    fn session(&self, _worker_id: usize) -> SoftwareSession<'_> {
+    fn session(&self, _worker_id: usize) -> SoftwareSession<'_, H> {
         SoftwareSession {
             mapper: self.mapper,
+            scratch: MapScratch::new(),
         }
     }
 }
 
-/// A software mapping session: a borrowed mapper and no other state.
-pub struct SoftwareSession<'m> {
-    mapper: &'m GenPairMapper<'m>,
+/// A software mapping session: a borrowed mapper plus its own reusable
+/// [`MapScratch`] arena (warmed up by the first batch, then allocation-free).
+pub struct SoftwareSession<'m, H: SeedHasher = Xxh32Builder> {
+    mapper: &'m GenPairMapper<'m, H>,
+    scratch: MapScratch,
 }
 
-impl MapSession for SoftwareSession<'_> {
+impl<H: SeedHasher> MapSession for SoftwareSession<'_, H> {
     fn map_batch(&mut self, pairs: &[ReadPair]) -> BatchResult {
         let started = Instant::now();
         let results = pairs
             .iter()
-            .map(|p| self.mapper.map_pair(&p.r1, &p.r2))
+            .map(|p| self.mapper.map_pair_with(&mut self.scratch, &p.r1, &p.r2))
             .collect();
         BatchResult {
             results,
@@ -75,6 +83,7 @@ mod tests {
     use super::*;
     use gx_core::GenPairConfig;
     use gx_genome::random::RandomGenomeBuilder;
+    use gx_seedmap::Murmur3Builder;
 
     #[test]
     fn matches_direct_map_pair_calls() {
@@ -106,8 +115,30 @@ mod tests {
             assert_eq!(res.fallback, direct.fallback);
             if let (Some(a), Some(b)) = (&res.mapping, &direct.mapping) {
                 assert_eq!((a.pos1, a.pos2), (b.pos1, b.pos2));
+                assert_eq!((&a.cigar1, &a.cigar2), (&b.cigar1, &b.cigar2));
             }
         }
+    }
+
+    #[test]
+    fn murmur_backed_backend_maps_through_sessions() {
+        let genome = RandomGenomeBuilder::new(60_000).seed(19).build();
+        let mapper =
+            GenPairMapper::<Murmur3Builder>::build_with(&genome, &GenPairConfig::default());
+        let seq = genome.chromosome(0).seq();
+        let pairs: Vec<ReadPair> = (0..4)
+            .map(|i| {
+                let s = 3_000 + i * 9_000;
+                ReadPair::new(
+                    format!("m{i}"),
+                    seq.subseq(s..s + 150),
+                    seq.subseq(s + 250..s + 400).revcomp(),
+                )
+            })
+            .collect();
+        let backend = SoftwareBackend::new(&mapper);
+        let out = backend.session(0).map_batch(&pairs);
+        assert!(out.results.iter().all(|r| r.is_mapped()));
     }
 
     #[test]

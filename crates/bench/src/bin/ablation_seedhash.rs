@@ -25,7 +25,14 @@
 //! ```text
 //! {"harness":"ablation_seedhash","section":"index","hasher":"xxh32",...}
 //! {"harness":"ablation_seedhash","section":"end_to_end","hasher":"xxh32",...}
+//! {"harness":"ablation_seedhash","section":"engine","hasher":"xxh32",...}
 //! ```
+//!
+//! The `engine` section drives the **full mapping engine** — batching,
+//! worker sessions, scratch arenas, SAM emission — over each hash family
+//! (the backends are generic over `H: SeedHasher`), and asserts the
+//! engine's pipeline stats match the direct `map_pair` loop, so the whole
+//! stack is exercised per family, not just the mapper.
 //!
 //! Knobs: `GX_GENOME_SIZE`, `GX_PAIRS`.
 
@@ -33,8 +40,9 @@ use gx_bench::{bench_genome, env_usize};
 use gx_core::seeding::query_read;
 use gx_core::{GenPairConfig, GenPairMapper, PipelineStats};
 use gx_genome::DnaSeq;
+use gx_pipeline::{PipelineBuilder, ReadPair};
 use gx_readsim::SimulatedPair;
-use gx_seedmap::{Murmur3Builder, SeedHasher, SeedMap, SeedMapConfig, Xxh32Builder};
+use gx_seedmap::{Murmur3Builder, NtHashBuilder, SeedHasher, SeedMap, SeedMapConfig, Xxh32Builder};
 
 /// Counts reads' partitioned seeds that hit at least one location in the
 /// real index, via the mapper's own query path.
@@ -116,6 +124,40 @@ fn report_end_to_end<H: SeedHasher>(
     stats
 }
 
+/// Maps the dataset through the **engine** (SoftwareBackend sessions with
+/// their scratch arenas, batching, SAM emission) on hash family `H` and
+/// checks the engine reproduces the direct `map_pair` loop's stats.
+fn report_engine<H: SeedHasher>(
+    genome: &gx_genome::ReferenceGenome,
+    pairs: &[SimulatedPair],
+    direct: &PipelineStats,
+) {
+    let mapper = GenPairMapper::<H>::build_with(genome, &GenPairConfig::default());
+    let engine = PipelineBuilder::new().threads(1).engine(&mapper);
+    let input = pairs
+        .iter()
+        .map(|p| ReadPair::new(p.id.clone(), p.r1.seq.clone(), p.r2.seq.clone()));
+    let (records, report) = engine.run_collect(input);
+    assert_eq!(
+        &report.stats,
+        direct,
+        "{} engine run must reproduce direct map_pair stats",
+        H::NAME
+    );
+    println!(
+        concat!(
+            "{{\"harness\":\"ablation_seedhash\",\"section\":\"engine\",\"hasher\":\"{}\",",
+            "\"pairs\":{},\"records\":{},\"mapped_pct\":{:.2},",
+            "\"reads_per_sec\":{:.1}}}"
+        ),
+        H::NAME,
+        report.stats.pairs,
+        records.len(),
+        report.stats.mapped_pct(),
+        report.stats.pairs as f64 * 2.0 / report.elapsed.as_secs_f64(),
+    );
+}
+
 fn main() {
     use gx_readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
 
@@ -145,29 +187,47 @@ fn main() {
     report(&xx, &native, &foreign);
     let mm = SeedMap::<Murmur3Builder>::build_with(&genome, &cfg);
     report(&mm, &native, &foreign);
+    let nt = SeedMap::<NtHashBuilder>::build_with(&genome, &cfg);
+    report(&nt, &native, &foreign);
 
     // Same geometry, same seeds stored: anything that differs below is the
     // hash family, not the table.
     assert_eq!(xx.num_buckets(), mm.num_buckets());
+    assert_eq!(xx.num_buckets(), nt.num_buckets());
+    let windows = |s: &gx_seedmap::SeedMapStats| s.stored_locations + s.filtered_locations;
     assert_eq!(
-        xx.stats().stored_locations + xx.stats().filtered_locations,
-        mm.stats().stored_locations + mm.stats().filtered_locations,
-        "both indexes must see every genome seed window"
+        windows(xx.stats()),
+        windows(mm.stats()),
+        "every index must see every genome seed window"
     );
+    assert_eq!(windows(xx.stats()), windows(nt.stats()));
 
     // End-to-end accuracy A/B: the mapper itself is generic over the hash
     // family (ROADMAP's "route GenPairMapper over SeedMap<H>" item), so
     // per-family mapping rates come from the real pipeline, not a model.
     let xx_stats = report_end_to_end::<Xxh32Builder>(&genome, &native_pairs);
     let mm_stats = report_end_to_end::<Murmur3Builder>(&genome, &native_pairs);
+    let nt_stats = report_end_to_end::<NtHashBuilder>(&genome, &native_pairs);
     assert_eq!(xx_stats.pairs, mm_stats.pairs);
-    // In-genome seeds hit under any sound hash family: both mappers must
+    assert_eq!(xx_stats.pairs, nt_stats.pairs);
+    // In-genome seeds hit under any sound hash family: all mappers must
     // resolve the overwhelming share of simulated pairs.
-    for (name, stats) in [("xxh32", &xx_stats), ("murmur3", &mm_stats)] {
+    for (name, stats) in [
+        ("xxh32", &xx_stats),
+        ("murmur3", &mm_stats),
+        ("nthash", &nt_stats),
+    ] {
         assert!(
             stats.mapped_pct() > 50.0,
             "{name} mapped only {:.1}% end to end",
             stats.mapped_pct()
         );
     }
+
+    // Full-engine runs per family: batching, sessions, scratch reuse and
+    // emission all work over a non-default index, and reproduce the direct
+    // loop exactly.
+    report_engine::<Xxh32Builder>(&genome, &native_pairs, &xx_stats);
+    report_engine::<Murmur3Builder>(&genome, &native_pairs, &mm_stats);
+    report_engine::<NtHashBuilder>(&genome, &native_pairs, &nt_stats);
 }

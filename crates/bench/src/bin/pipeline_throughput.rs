@@ -26,6 +26,19 @@
 //! many events the exported trace is missing
 //! ([`gx_pipeline::PipelineReport::dropped_events`]).
 //!
+//! `--repeat N` maps the same input N times per configuration and reports
+//! the **median** `reads_per_sec` (plus `reads_per_sec_min`), so
+//! single-run scheduler noise does not pollute trajectory tracking.
+//! `--smoke` shrinks the workload (2 000 pairs, threads 1–2) for CI
+//! perf-smoke gating. Every line also carries `allocs_per_pair`: global
+//! allocation count during the run divided by pairs mapped. This is a
+//! whole-run estimate — it includes the harness cloning each input pair
+//! and the engine materializing SAM records, which together cost a
+//! handful of allocations per pair. The mapping core itself contributes
+//! ≈0 thanks to the session scratch arenas (the precise per-stage gate is
+//! `crates/backend/tests/alloc_budget.rs`), so a regression to per-pair
+//! allocation in the mapper shows up as a clear jump in this figure.
+//!
 //! The lines are machine-parsable for `BENCH_*.json` trajectory tracking.
 //! Speedups obviously depend on the host's core count: on a multi-core
 //! machine the 8-thread row is expected to clear 3× over serial; on a
@@ -36,7 +49,48 @@ use gx_core::{GenPairConfig, GenPairMapper};
 use gx_pipeline::{map_serial, FallbackPolicy, PipelineBuilder, ReadPair, RecordSink, Telemetry};
 use gx_readsim::dataset::{simulate_dataset, DATASETS};
 use gx_telemetry::MetricsSnapshot;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide allocation counter behind the `allocs_per_pair` estimate.
+/// One relaxed atomic increment per allocation — cheap enough for a
+/// harness, and the hot path it measures is allocation-free anyway.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Allocations observed while running `f` (process-wide, all threads).
+fn allocations(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::SeqCst);
+    f();
+    ALLOCS.load(Ordering::SeqCst) - before
+}
+
+/// Median of an unsorted sample (mean of the two middles for even sizes).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
 
 /// Counts records without storing them (keeps the harness allocation-flat).
 #[derive(Default)]
@@ -60,11 +114,28 @@ fn quantiles(snap: Option<&MetricsSnapshot>, name: &str) -> (u64, u64, u64) {
     }
 }
 
+/// One configuration's timing sample: per-run seconds plus the run-averaged
+/// allocation estimate.
+struct Timing {
+    secs: Vec<f64>,
+    allocs_per_pair: f64,
+}
+
+impl Timing {
+    fn median_secs(&mut self) -> f64 {
+        median(&mut self.secs)
+    }
+
+    fn max_secs(&self) -> f64 {
+        self.secs.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn json_line(
     threads: usize,
     pairs: u64,
-    secs: f64,
+    timing: &mut Timing,
     records: u64,
     mapped_pct: f64,
     serial_secs: f64,
@@ -72,13 +143,18 @@ fn json_line(
     refills: u64,
     snap: Option<&MetricsSnapshot>,
 ) -> String {
+    let repeats = timing.secs.len();
+    let secs = timing.median_secs();
     let reads_per_sec = pairs as f64 * 2.0 / secs;
+    let reads_per_sec_min = pairs as f64 * 2.0 / timing.max_secs();
     let (qw50, qw90, qw99) = quantiles(snap, "gx_queue_wait_ns");
     let (mb50, mb90, mb99) = quantiles(snap, "gx_map_batch_ns");
     format!(
         concat!(
             "{{\"harness\":\"pipeline_throughput\",\"threads\":{},\"pairs\":{},",
-            "\"seconds\":{:.4},\"reads_per_sec\":{:.1},\"records\":{},",
+            "\"repeats\":{},\"seconds\":{:.4},\"reads_per_sec\":{:.1},",
+            "\"reads_per_sec_min\":{:.1},\"allocs_per_pair\":{:.4},",
+            "\"records\":{},",
             "\"mapped_pct\":{:.2},\"speedup_vs_serial\":{:.3},",
             "\"telemetry\":{},\"steals\":{},\"refills\":{},",
             "\"queue_wait_p50_ns\":{},\"queue_wait_p90_ns\":{},",
@@ -87,8 +163,11 @@ fn json_line(
         ),
         threads,
         pairs,
+        repeats,
         secs,
         reads_per_sec,
+        reads_per_sec_min,
+        timing.allocs_per_pair,
         records,
         mapped_pct,
         serial_secs / secs,
@@ -107,6 +186,17 @@ fn json_line(
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let no_telemetry = args.iter().any(|a| a == "--no-telemetry");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let repeat: usize = args
+        .iter()
+        .position(|a| a == "--repeat")
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("--repeat requires a positive integer argument"))
+        })
+        .unwrap_or(1)
+        .max(1);
     let trace_path = args
         .iter()
         .position(|a| a == "--trace")
@@ -134,11 +224,13 @@ fn main() {
         "--no-telemetry and --metrics are mutually exclusive"
     );
 
-    let n_pairs = env_usize("GX_PAIRS", 20_000);
+    let n_pairs = env_usize("GX_PAIRS", if smoke { 2_000 } else { 20_000 });
+    let thread_configs: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
     let genome = bench_genome();
     eprintln!(
-        "# genome: {} bp, simulating {n_pairs} pairs...",
-        genome.total_len()
+        "# genome: {} bp, simulating {n_pairs} pairs ({repeat} repeat(s){})...",
+        genome.total_len(),
+        if smoke { ", smoke" } else { "" },
     );
     let pairs: Vec<ReadPair> = simulate_dataset(&genome, &DATASETS[0], n_pairs)
         .into_iter()
@@ -146,24 +238,47 @@ fn main() {
         .collect();
     let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
 
-    // Serial reference.
-    let mut sink = CountSink::default();
-    let serial = map_serial(
-        &mapper,
-        FallbackPolicy::EmitUnmapped,
-        pairs.iter().cloned(),
-        &mut sink,
-    )
-    .expect("counting sink is infallible");
-    let serial_secs = serial.elapsed.as_secs_f64();
+    // Serial reference, `repeat` times; every repeat must reproduce the
+    // same mapping stats (the whole path is deterministic).
+    let mut serial_timing = Timing {
+        secs: Vec::with_capacity(repeat),
+        allocs_per_pair: 0.0,
+    };
+    let mut serial_stats = None;
+    let mut serial_records = 0;
+    for _ in 0..repeat {
+        let mut sink = CountSink::default();
+        let mut report = None;
+        let allocs = allocations(|| {
+            report = Some(
+                map_serial(
+                    &mapper,
+                    FallbackPolicy::EmitUnmapped,
+                    pairs.iter().cloned(),
+                    &mut sink,
+                )
+                .expect("counting sink is infallible"),
+            );
+        });
+        let report = report.expect("serial run completed");
+        serial_timing.secs.push(report.elapsed.as_secs_f64());
+        serial_timing.allocs_per_pair += allocs as f64 / (pairs.len() * repeat) as f64;
+        serial_records = sink.records;
+        if let Some(prev) = &serial_stats {
+            assert_eq!(&report.stats, prev, "serial repeats must agree");
+        }
+        serial_stats = Some(report.stats);
+    }
+    let serial_stats = serial_stats.expect("at least one serial run");
+    let serial_secs = serial_timing.median_secs();
     println!(
         "{}",
         json_line(
             0,
-            serial.stats.pairs,
-            serial_secs,
-            sink.records,
-            serial.stats.mapped_pct(),
+            serial_stats.pairs,
+            &mut serial_timing,
+            serial_records,
+            serial_stats.mapped_pct(),
             serial_secs,
             0,
             0,
@@ -173,35 +288,70 @@ fn main() {
 
     let mut last_trace: Option<String> = None;
     let mut last_metrics: Option<String> = None;
-    for threads in [1usize, 2, 4, 8] {
-        // A fresh handle per run keeps each line's histograms and the
-        // exported trace scoped to exactly one configuration.
-        let telemetry = if no_telemetry {
-            Telemetry::disabled()
-        } else {
-            Telemetry::enabled()
+    for &threads in thread_configs {
+        let mut timing = Timing {
+            secs: Vec::with_capacity(repeat),
+            allocs_per_pair: 0.0,
         };
-        let engine = PipelineBuilder::new()
-            .threads(threads)
-            .batch_size(env_usize("GX_BATCH", 256))
-            .telemetry(telemetry.clone())
-            .engine(&mapper);
-        let mut sink = CountSink::default();
-        let report = engine
-            .run(pairs.iter().cloned(), &mut sink)
-            .expect("counting sink is infallible");
-        assert_eq!(
-            report.stats, serial.stats,
-            "parallel stats must match serial"
-        );
+        let mut last_report = None;
+        let mut records = 0;
+        for _ in 0..repeat {
+            // A fresh handle per run keeps each line's histograms and the
+            // exported trace scoped to exactly one configuration.
+            let telemetry = if no_telemetry {
+                Telemetry::disabled()
+            } else {
+                Telemetry::enabled()
+            };
+            let engine = PipelineBuilder::new()
+                .threads(threads)
+                .batch_size(env_usize("GX_BATCH", 256))
+                .telemetry(telemetry.clone())
+                .engine(&mapper);
+            let mut sink = CountSink::default();
+            let mut report = None;
+            let allocs = allocations(|| {
+                report = Some(
+                    engine
+                        .run(pairs.iter().cloned(), &mut sink)
+                        .expect("counting sink is infallible"),
+                );
+            });
+            let report = report.expect("parallel run completed");
+            assert_eq!(
+                report.stats, serial_stats,
+                "parallel stats must match serial"
+            );
+            timing.secs.push(report.elapsed.as_secs_f64());
+            timing.allocs_per_pair += allocs as f64 / (pairs.len() * repeat) as f64;
+            records = sink.records;
+            if report.dropped_events > 0 {
+                eprintln!(
+                    "# WARNING: span rings overflowed, trace is missing {} events \
+                     (raise TelemetryConfig::ring_capacity)",
+                    report.dropped_events
+                );
+            }
+            if trace_path.is_some() {
+                last_trace = telemetry.chrome_trace();
+            }
+            if metrics_path.is_some() {
+                last_metrics = telemetry
+                    .snapshot()
+                    .as_ref()
+                    .map(MetricsSnapshot::to_prometheus);
+            }
+            last_report = Some((report, telemetry));
+        }
+        let (report, telemetry) = last_report.expect("at least one run");
         let snap = telemetry.snapshot();
         println!(
             "{}",
             json_line(
                 threads,
                 report.stats.pairs,
-                report.elapsed.as_secs_f64(),
-                sink.records,
+                &mut timing,
+                records,
                 report.stats.mapped_pct(),
                 serial_secs,
                 report.steals,
@@ -209,19 +359,6 @@ fn main() {
                 snap.as_ref(),
             )
         );
-        if report.dropped_events > 0 {
-            eprintln!(
-                "# WARNING: span rings overflowed, trace is missing {} events \
-                 (raise TelemetryConfig::ring_capacity)",
-                report.dropped_events
-            );
-        }
-        if trace_path.is_some() {
-            last_trace = telemetry.chrome_trace();
-        }
-        if metrics_path.is_some() {
-            last_metrics = snap.as_ref().map(MetricsSnapshot::to_prometheus);
-        }
     }
 
     if let (Some(path), Some(json)) = (&trace_path, last_trace) {

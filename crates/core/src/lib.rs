@@ -41,15 +41,19 @@ mod mapper;
 pub mod pafilter;
 pub mod prefilter;
 mod readpair;
+mod scratch;
 pub mod seeding;
 mod stats;
 pub mod voting;
 
 pub use config::GenPairConfig;
-pub use light::{light_align, light_align_cycles, LightAlignment, LightConfig};
+pub use light::{
+    light_align, light_align_cycles, light_align_with, LightAlignment, LightConfig, LightScratch,
+};
 pub use longread::{LongReadMapping, LongReadWork};
 pub use mapper::{
     pair_mapping_to_sam, FallbackStage, GenPairMapper, PairMapResult, PairMapping, PairWork,
 };
 pub use readpair::ReadPair;
+pub use scratch::MapScratch;
 pub use stats::PipelineStats;

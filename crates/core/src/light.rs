@@ -14,6 +14,12 @@
 //! mask's Hamming distance. The best-scoring feasible pattern is returned —
 //! within the single-edit-type class this is provably the optimal alignment,
 //! which the hardware module exploits to skip DP entirely.
+//!
+//! The software masks are computed the way the hardware would: straight from
+//! the 2-bit-packed sequence words ([`DnaSeq::words`]), 32 base lanes per
+//! XOR, never unpacking to one byte per base. Combined with the reusable
+//! [`LightScratch`] arena and winner-only CIGAR construction this makes the
+//! mask stage allocation-free and word-parallel in steady state.
 
 use gx_align::Scoring;
 use gx_genome::{Cigar, CigarOp, DnaSeq};
@@ -56,7 +62,24 @@ pub struct LightAlignment {
     pub del_run: u32,
 }
 
+/// Reusable buffers for [`light_align_with`]: the `2e+1` Hamming masks,
+/// each keeping its word vector across calls. After the first few calls at a
+/// given read length the aligner performs no heap allocation.
+#[derive(Default)]
+pub struct LightScratch {
+    masks: Vec<Mask>,
+}
+
+impl LightScratch {
+    /// An empty scratch; buffers grow to their steady-state size on first
+    /// use.
+    pub fn new() -> LightScratch {
+        LightScratch::default()
+    }
+}
+
 /// One Hamming mask: match bits of the read against a shifted window copy.
+#[derive(Default)]
 struct Mask {
     words: Vec<u64>,
     len: usize,
@@ -65,28 +88,106 @@ struct Mask {
     hamming: u32,
 }
 
-impl Mask {
-    fn compute(read: &[u8], window: &[u8], start: i64) -> Mask {
-        let len = read.len();
-        let mut words = vec![0u64; len.div_ceil(64)];
-        for (i, &rc) in read.iter().enumerate() {
-            let w = start + i as i64;
-            let matched = w >= 0 && (w as usize) < window.len() && window[w as usize] == rc;
-            if matched {
-                words[i / 64] |= 1u64 << (i % 64);
-            }
+/// The packed word containing lane `idx`, or an all-zero word out of range
+/// (callers mask away the resulting junk lanes via the validity range).
+#[inline]
+fn word_at(words: &[u64], idx: i64) -> u64 {
+    if idx < 0 || idx as usize >= words.len() {
+        0
+    } else {
+        words[idx as usize]
+    }
+}
+
+/// Extracts 32 consecutive 2-bit lanes starting at (possibly negative or
+/// past-the-end) base index `pos`, funnel-shifting across the word boundary.
+#[inline]
+fn extract_lanes(words: &[u64], pos: i64) -> u64 {
+    let w0 = pos.div_euclid(32);
+    let sh = (pos.rem_euclid(32) as u32) * 2;
+    let lo = word_at(words, w0);
+    if sh == 0 {
+        lo
+    } else {
+        (lo >> sh) | (word_at(words, w0 + 1) << (64 - sh))
+    }
+}
+
+/// Gathers the even-position bits of `w` into the low 32 bits (the inverse
+/// of Morton interleaving one axis).
+#[inline]
+fn even_bits(mut w: u64) -> u32 {
+    w &= 0x5555_5555_5555_5555;
+    w = (w | (w >> 1)) & 0x3333_3333_3333_3333;
+    w = (w | (w >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+    w = (w | (w >> 4)) & 0x00ff_00ff_00ff_00ff;
+    w = (w | (w >> 8)) & 0x0000_ffff_0000_ffff;
+    w = (w | (w >> 16)) & 0x0000_0000_ffff_ffff;
+    w as u32
+}
+
+/// Compares 32 packed 2-bit lanes of read vs window at once: bit `i` of the
+/// result is set iff lane `i` holds the same code in both words.
+#[inline]
+fn lane_match(r: u64, w: u64) -> u32 {
+    let x = r ^ w;
+    let mism = (x | (x >> 1)) & 0x5555_5555_5555_5555;
+    even_bits(!mism & 0x5555_5555_5555_5555)
+}
+
+/// Zeroes every bit outside `[lo, hi)` across the mask words.
+fn keep_range(words: &mut [u64], lo: usize, hi: usize) {
+    for (wi, w) in words.iter_mut().enumerate() {
+        let wlo = wi * 64;
+        let whi = wlo + 64;
+        if hi <= wlo || lo >= whi {
+            *w = 0;
+            continue;
         }
-        let mut m = Mask {
-            words,
-            len,
-            prefix_ones: 0,
-            suffix_ones: 0,
-            hamming: 0,
-        };
-        m.prefix_ones = m.count_prefix();
-        m.suffix_ones = m.count_suffix();
-        m.hamming = len as u32 - m.words.iter().map(|w| w.count_ones()).sum::<u32>();
-        m
+        let mut m = u64::MAX;
+        if lo > wlo {
+            m &= u64::MAX << (lo - wlo);
+        }
+        if hi < whi {
+            m &= (1u64 << (hi - wlo)) - 1;
+        }
+        *w &= m;
+    }
+}
+
+impl Mask {
+    /// Recomputes this mask in place, word-parallel over the packed
+    /// sequences: read base `i` is compared against window base `start + i`
+    /// (out-of-window comparisons count as mismatches). Reuses the word
+    /// vector across calls.
+    fn compute_packed(
+        &mut self,
+        read_words: &[u64],
+        len: usize,
+        window_words: &[u64],
+        window_len: usize,
+        start: i64,
+    ) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+        // Read positions whose window index lands inside [0, window_len).
+        let hi = (window_len as i64 - start).clamp(0, len as i64) as usize;
+        let lo = ((-start).max(0) as usize).min(hi);
+        if lo < hi {
+            for (mi, mw) in self.words.iter_mut().enumerate() {
+                let base0 = (mi as i64) * 64;
+                let w_lo = extract_lanes(window_words, start + base0);
+                let w_hi = extract_lanes(window_words, start + base0 + 32);
+                let r_lo = word_at(read_words, mi as i64 * 2);
+                let r_hi = word_at(read_words, mi as i64 * 2 + 1);
+                *mw = (lane_match(r_lo, w_lo) as u64) | ((lane_match(r_hi, w_hi) as u64) << 32);
+            }
+            keep_range(&mut self.words, lo, hi);
+        }
+        self.prefix_ones = self.count_prefix();
+        self.suffix_ones = self.count_suffix();
+        self.hamming = len as u32 - self.words.iter().map(|w| w.count_ones()).sum::<u32>();
     }
 
     fn count_prefix(&self) -> usize {
@@ -122,6 +223,15 @@ impl Mask {
     }
 }
 
+/// The best feasible single-edit-type pattern found so far; the CIGAR is
+/// only materialized for the final winner.
+#[derive(Clone, Copy)]
+enum Pattern {
+    Ungapped { shift: i64 },
+    Del { shift: i64, k: i64, p: usize },
+    Ins { shift: i64, k: i64, p: usize },
+}
+
 /// Aligns `read` inside `window` around `anchor` using Hamming masks.
 ///
 /// `anchor` is the window index where the candidate mapping places `read[0]`
@@ -138,6 +248,9 @@ impl Mask {
 /// The caller should extract `window` with `e` bases of margin on both sides
 /// of the candidate placement; truncated windows are handled (out-of-window
 /// comparisons count as mismatches).
+///
+/// Allocates a fresh [`LightScratch`] per call; hot paths use
+/// [`light_align_with`] with a session-owned scratch instead.
 pub fn light_align(
     read: &DnaSeq,
     window: &DnaSeq,
@@ -145,24 +258,55 @@ pub fn light_align(
     config: &LightConfig,
     scoring: &Scoring,
 ) -> Option<LightAlignment> {
+    light_align_with(
+        read,
+        window,
+        anchor,
+        config,
+        scoring,
+        &mut LightScratch::new(),
+    )
+}
+
+/// [`light_align`] reusing a caller-owned [`LightScratch`]: identical
+/// results, no steady-state allocation (the arena variant the mapper's
+/// [`MapScratch`](crate::MapScratch) threads through the pipeline).
+pub fn light_align_with(
+    read: &DnaSeq,
+    window: &DnaSeq,
+    anchor: usize,
+    config: &LightConfig,
+    scoring: &Scoring,
+    scratch: &mut LightScratch,
+) -> Option<LightAlignment> {
     let l = read.len();
     if l == 0 || window.is_empty() {
         return None;
     }
     let e = config.max_indel_run as i64;
-    let rcodes = read.to_codes();
-    let wcodes = window.to_codes();
 
     // Masks for shifts -e..=e; masks[k] = shift (k - e).
-    let masks: Vec<Mask> = (-e..=e)
-        .map(|s| Mask::compute(&rcodes, &wcodes, anchor as i64 + s))
-        .collect();
+    let n_masks = (2 * e + 1) as usize;
+    if scratch.masks.len() != n_masks {
+        scratch.masks.resize_with(n_masks, Mask::default);
+    }
+    for (i, m) in scratch.masks.iter_mut().enumerate() {
+        let s = i as i64 - e;
+        m.compute_packed(
+            read.words(),
+            l,
+            window.words(),
+            window.len(),
+            anchor as i64 + s,
+        );
+    }
+    let masks = &scratch.masks;
     let mask_at = |s: i64| -> &Mask { &masks[(s + e) as usize] };
 
-    let mut best: Option<LightAlignment> = None;
-    let mut consider = |cand: LightAlignment| {
-        if best.as_ref().is_none_or(|b| cand.score > b.score) {
-            best = Some(cand);
+    let mut best: Option<(i32, Pattern)> = None;
+    let mut consider = |score: i32, pattern: Pattern| {
+        if best.as_ref().is_none_or(|(bs, _)| score > *bs) {
+            best = Some((score, pattern));
         }
     };
 
@@ -171,14 +315,7 @@ pub fn light_align(
         let m = mask_at(s);
         if m.hamming <= config.max_mismatches {
             let score = scoring.ungapped(l, m.hamming as usize);
-            consider(LightAlignment {
-                score,
-                cigar: mask_to_cigar(m),
-                shift: s as i32,
-                mismatches: m.hamming,
-                ins_run: 0,
-                del_run: 0,
-            });
+            consider(score, Pattern::Ungapped { shift: s });
         }
     }
 
@@ -197,18 +334,7 @@ pub fn light_align(
                     // p bases, k deleted, l-p bases; ensure suffix covers.
                     let p = p.min(l).max(l - suffix);
                     let score = scoring.perfect(l) - scoring.gap_cost(k as u32);
-                    let mut cigar = Cigar::new();
-                    cigar.push(CigarOp::Equal, p as u32);
-                    cigar.push(CigarOp::Del, k as u32);
-                    cigar.push(CigarOp::Equal, (l - p) as u32);
-                    consider(LightAlignment {
-                        score,
-                        cigar,
-                        shift: s as i32,
-                        mismatches: 0,
-                        ins_run: 0,
-                        del_run: k as u32,
-                    });
+                    consider(score, Pattern::Del { shift: s, k, p });
                 }
             }
             // Insertion of k: suffix mask at shift s-k, needs prefix+suffix >= L-k.
@@ -219,24 +345,56 @@ pub fn light_align(
                         .min(l - k as usize)
                         .max(l - k as usize - suffix.min(l - k as usize));
                     let score = scoring.perfect(l - k as usize) - scoring.gap_cost(k as u32);
-                    let mut cigar = Cigar::new();
-                    cigar.push(CigarOp::Equal, p as u32);
-                    cigar.push(CigarOp::Ins, k as u32);
-                    cigar.push(CigarOp::Equal, (l - p - k as usize) as u32);
-                    consider(LightAlignment {
-                        score,
-                        cigar,
-                        shift: s as i32,
-                        mismatches: 0,
-                        ins_run: k as u32,
-                        del_run: 0,
-                    });
+                    consider(score, Pattern::Ins { shift: s, k, p });
                 }
             }
         }
     }
 
-    best
+    // Materialize the CIGAR for the single winning pattern (its masks are
+    // still alive in the scratch).
+    let (score, pattern) = best?;
+    Some(match pattern {
+        Pattern::Ungapped { shift } => {
+            let m = mask_at(shift);
+            LightAlignment {
+                score,
+                cigar: mask_to_cigar(m),
+                shift: shift as i32,
+                mismatches: m.hamming,
+                ins_run: 0,
+                del_run: 0,
+            }
+        }
+        Pattern::Del { shift, k, p } => {
+            let mut cigar = Cigar::new();
+            cigar.push(CigarOp::Equal, p as u32);
+            cigar.push(CigarOp::Del, k as u32);
+            cigar.push(CigarOp::Equal, (l - p) as u32);
+            LightAlignment {
+                score,
+                cigar,
+                shift: shift as i32,
+                mismatches: 0,
+                ins_run: 0,
+                del_run: k as u32,
+            }
+        }
+        Pattern::Ins { shift, k, p } => {
+            let mut cigar = Cigar::new();
+            cigar.push(CigarOp::Equal, p as u32);
+            cigar.push(CigarOp::Ins, k as u32);
+            cigar.push(CigarOp::Equal, (l - p - k as usize) as u32);
+            LightAlignment {
+                score,
+                cigar,
+                shift: shift as i32,
+                mismatches: 0,
+                ins_run: k as u32,
+                del_run: 0,
+            }
+        }
+    })
 }
 
 /// Builds an `=`/`X` CIGAR from a mask's match bits.
@@ -281,6 +439,79 @@ mod tests {
     }
 
     const E: usize = 5;
+
+    /// Per-base reference for the packed mask computation.
+    fn mask_reference(read: &DnaSeq, window: &DnaSeq, start: i64) -> Vec<u64> {
+        let rcodes = read.to_codes();
+        let wcodes = window.to_codes();
+        let mut words = vec![0u64; read.len().div_ceil(64)];
+        for (i, &rc) in rcodes.iter().enumerate() {
+            let w = start + i as i64;
+            if w >= 0 && (w as usize) < wcodes.len() && wcodes[w as usize] == rc {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        words
+    }
+
+    fn arb_seq(len: usize, mut state: u64) -> DnaSeq {
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                Base::from_code((state & 3) as u8)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_mask_matches_per_base_reference() {
+        for (rlen, wlen, seed) in [
+            (150usize, 220usize, 1u64),
+            (64, 64, 2),
+            (63, 70, 3),
+            (65, 40, 4),
+            (1, 1, 5),
+            (200, 130, 6),
+        ] {
+            let read = arb_seq(rlen, seed);
+            let win = arb_seq(wlen, seed.wrapping_mul(977));
+            let mut m = Mask::default();
+            for start in [-10i64, -1, 0, 1, 5, 31, 32, 33, 63, 64, 100, 300] {
+                m.compute_packed(read.words(), rlen, win.words(), wlen, start);
+                let expect = mask_reference(&read, &win, start);
+                assert_eq!(m.words, expect, "rlen={rlen} wlen={wlen} start={start}");
+                let ones: u32 = expect.iter().map(|w| w.count_ones()).sum();
+                assert_eq!(m.hamming, rlen as u32 - ones);
+            }
+        }
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_runs() {
+        let w = window();
+        let scoring = Scoring::short_read();
+        let mut scratch = LightScratch::new();
+        for (start, mutate) in [(0usize, false), (3, true), (7, false), (1, true)] {
+            let mut read = w.subseq(E + start..E + start + 150);
+            if mutate {
+                read.set(40, read.get(40).complement());
+            }
+            let fresh = light_align(&read, &w, E, &cfg(), &scoring);
+            let reused = light_align_with(&read, &w, E, &cfg(), &scoring, &mut scratch);
+            match (fresh, reused) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.score, b.score);
+                    assert_eq!(a.shift, b.shift);
+                    assert_eq!(a.cigar, b.cigar);
+                    assert_eq!(a.mismatches, b.mismatches);
+                }
+                (None, None) => {}
+                other => panic!("fresh/reused disagree: {other:?}"),
+            }
+        }
+    }
 
     #[test]
     fn perfect_read_scores_perfect() {

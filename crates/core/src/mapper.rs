@@ -2,11 +2,12 @@
 //! Partitioned Seeding → SeedMap Query → Paired-Adjacency Filtering →
 //! Light Alignment, with the three DP fallback arrows of Fig. 10.
 
-use crate::light::{light_align, LightAlignment};
-use crate::pafilter::{paired_adjacency_filter, PairCandidate};
-use crate::seeding::query_read;
+use crate::light::{light_align_with, LightAlignment, LightScratch};
+use crate::pafilter::{paired_adjacency_filter_into, PairCandidate};
+use crate::scratch::MapScratch;
+use crate::seeding::query_read_into;
 use crate::GenPairConfig;
-use gx_align::{banded_align, AlignMode};
+use gx_align::{banded_align_with, AlignMode, AlignScratch};
 use gx_genome::{flags, Cigar, DnaSeq, GlobalPos, ReferenceGenome, SamRecord};
 use gx_seedmap::{SeedHasher, SeedMap, Xxh32Builder};
 
@@ -212,34 +213,63 @@ impl<'g, H: SeedHasher> GenPairMapper<'g, H> {
     }
 
     /// Maps one pair through the GenPair pipeline.
+    ///
+    /// Allocates a fresh [`MapScratch`] per call; batch loops (the backend
+    /// sessions) thread a session-owned scratch through
+    /// [`map_pair_with`](GenPairMapper::map_pair_with) instead.
     pub fn map_pair(&self, r1: &DnaSeq, r2: &DnaSeq) -> PairMapResult {
+        self.map_pair_with(&mut MapScratch::new(), r1, r2)
+    }
+
+    /// Maps one pair through the GenPair pipeline, reusing the buffers in
+    /// `scratch` (identical results to [`map_pair`](GenPairMapper::map_pair);
+    /// no steady-state allocation once the scratch has warmed up).
+    pub fn map_pair_with(
+        &self,
+        scratch: &mut MapScratch,
+        r1: &DnaSeq,
+        r2: &DnaSeq,
+    ) -> PairMapResult {
+        let MapScratch {
+            r1_rc,
+            r2_rc,
+            codes,
+            c1,
+            c2,
+            pa,
+            dp_cands,
+            window,
+            light,
+            align,
+        } = scratch;
         let mut work = PairWork::default();
-        let r1_rc = r1.revcomp();
-        let r2_rc = r2.revcomp();
+        r1.revcomp_into(r1_rc);
+        r2.revcomp_into(r2_rc);
+        dp_cands.clear();
 
         // Orientation A: read1 forward, read2 reverse-complemented.
         // Orientation B: the mirror (read2 forward).
-        let orientations = [(r1, &r2_rc, true), (&r1_rc, r2, false)];
+        let orientations: [(&DnaSeq, &DnaSeq, bool); 2] = [(r1, r2_rc, true), (r1_rc, r2, false)];
 
         let mut any_hits1 = false;
         let mut any_hits2 = false;
         let mut any_candidates = false;
         let mut best_light: Option<(PairMapping, i32, u32)> = None; // (mapping, score, ties)
-        let mut dp_fallback_cands: Vec<(PairCandidate, bool)> = Vec::new();
 
         for (seq1, seq2, r1_forward) in orientations {
-            let c1 = query_read(seq1, &self.seedmap);
-            let c2 = query_read(seq2, &self.seedmap);
+            query_read_into(seq1, &self.seedmap, codes, c1);
+            query_read_into(seq2, &self.seedmap, codes, c2);
             work.seed_lookups += (c1.seeds_total + c2.seeds_total) as u64;
             work.seed_locations += c1.locations_fetched + c2.locations_fetched;
             any_hits1 |= c1.seeds_hit > 0;
             any_hits2 |= c2.seeds_hit > 0;
 
-            let pa = paired_adjacency_filter(
+            paired_adjacency_filter_into(
                 &c1.starts,
                 &c2.starts,
                 self.config.delta,
                 self.config.max_candidates,
+                pa,
             );
             work.pa_iterations += pa.iterations;
             work.candidates += pa.candidates.len() as u64;
@@ -253,12 +283,12 @@ impl<'g, H: SeedHasher> GenPairMapper<'g, H> {
                 }
                 any_candidates = true;
                 work.light_attempts += 2;
-                let a1 = self.light_at(seq1, cand.start1);
-                let a2 = self.light_at(seq2, cand.start2);
+                let a1 = self.light_at(seq1, cand.start1, window, light);
+                let a2 = self.light_at(seq2, cand.start2, window, light);
                 match (a1, a2) {
                     (Some(a1), Some(a2)) => {
                         let score = a1.score + a2.score;
-                        let mapping = self.mapping_from_light(cand, &a1, &a2, r1_forward);
+                        let mapping = self.mapping_from_light(cand, a1, a2, r1_forward);
                         match &mut best_light {
                             Some((best, bs, ties)) => {
                                 if score > *bs {
@@ -275,8 +305,8 @@ impl<'g, H: SeedHasher> GenPairMapper<'g, H> {
                         }
                     }
                     _ => {
-                        if dp_fallback_cands.len() < self.config.max_dp_candidates {
-                            dp_fallback_cands.push((*cand, r1_forward));
+                        if dp_cands.len() < self.config.max_dp_candidates {
+                            dp_cands.push((*cand, r1_forward));
                         }
                     }
                 }
@@ -310,16 +340,15 @@ impl<'g, H: SeedHasher> GenPairMapper<'g, H> {
         // Light alignment failed: DP-align at the candidate locations
         // (bypassing seeding and chaining, paper Fig. 10).
         let mut best_dp: Option<(PairMapping, i32)> = None;
-        for (cand, r1_forward) in dp_fallback_cands {
-            let (seq1, seq2): (&DnaSeq, &DnaSeq) = if r1_forward {
-                (r1, &r2_rc)
-            } else {
-                (&r1_rc, r2)
-            };
-            let Some((pos1, cigar1, score1, cells1)) = self.dp_at(seq1, cand.start1) else {
+        for &(cand, r1_forward) in dp_cands.iter() {
+            let (seq1, seq2): (&DnaSeq, &DnaSeq) =
+                if r1_forward { (r1, r2_rc) } else { (r1_rc, r2) };
+            let Some((pos1, cigar1, score1, cells1)) = self.dp_at(seq1, cand.start1, window, align)
+            else {
                 continue;
             };
-            let Some((pos2, cigar2, score2, cells2)) = self.dp_at(seq2, cand.start2) else {
+            let Some((pos2, cigar2, score2, cells2)) = self.dp_at(seq2, cand.start2, window, align)
+            else {
                 continue;
             };
             work.dp_cells += cells1 + cells2;
@@ -347,47 +376,66 @@ impl<'g, H: SeedHasher> GenPairMapper<'g, H> {
         }
     }
 
-    /// Light-aligns `seq` at global candidate `start`.
-    fn light_at(&self, seq: &DnaSeq, start: GlobalPos) -> Option<LightAlignment> {
+    /// Light-aligns `seq` at global candidate `start`, borrowing the window
+    /// and mask buffers from the caller's scratch.
+    fn light_at(
+        &self,
+        seq: &DnaSeq,
+        start: GlobalPos,
+        window: &mut DnaSeq,
+        light: &mut LightScratch,
+    ) -> Option<LightAlignment> {
         let e = self.config.light.max_indel_run as i64;
         let locus = self.genome.locate(start);
-        let (win_start, window) = self.genome.clamped_window(
+        let win_start = self.genome.clamped_window_into(
             locus.chrom,
             locus.pos as i64 - e,
             seq.len() + 2 * e as usize,
+            window,
         );
         let anchor = (locus.pos - win_start) as usize;
-        light_align(
+        light_align_with(
             seq,
-            &window,
+            window,
             anchor,
             &self.config.light,
             &self.config.scoring,
+            light,
         )
     }
 
-    /// Banded-DP-aligns `seq` near global candidate `start`; returns
+    /// Banded-DP-aligns `seq` near global candidate `start`, borrowing the
+    /// window and DP-row buffers from the caller's scratch; returns
     /// (chromosome position, cigar, score, cells).
-    fn dp_at(&self, seq: &DnaSeq, start: GlobalPos) -> Option<(u64, Cigar, i32, u64)> {
+    fn dp_at(
+        &self,
+        seq: &DnaSeq,
+        start: GlobalPos,
+        window: &mut DnaSeq,
+        align: &mut AlignScratch,
+    ) -> Option<(u64, Cigar, i32, u64)> {
         let margin = 24i64;
         let locus = self.genome.locate(start);
-        let (win_start, window) = self.genome.clamped_window(
+        let win_start = self.genome.clamped_window_into(
             locus.chrom,
             locus.pos as i64 - margin,
             seq.len() + 2 * margin as usize,
+            window,
         );
         if window.len() < seq.len() / 2 {
             return None;
         }
-        let a = banded_align(seq, &window, &self.config.scoring, 16, AlignMode::Fit);
+        let a = banded_align_with(seq, window, &self.config.scoring, 16, AlignMode::Fit, align);
         Some((win_start + a.target_start as u64, a.cigar, a.score, a.cells))
     }
 
+    /// Builds the pair mapping, *moving* the light alignments' CIGARs (no
+    /// clone on the hot path).
     fn mapping_from_light(
         &self,
         cand: &PairCandidate,
-        a1: &LightAlignment,
-        a2: &LightAlignment,
+        a1: LightAlignment,
+        a2: LightAlignment,
         r1_forward: bool,
     ) -> PairMapping {
         let l1 = self.genome.locate(cand.start1);
@@ -397,8 +445,8 @@ impl<'g, H: SeedHasher> GenPairMapper<'g, H> {
             pos1: (l1.pos as i64 + a1.shift as i64).max(0) as u64,
             pos2: (l2.pos as i64 + a2.shift as i64).max(0) as u64,
             r1_forward,
-            cigar1: a1.cigar.clone(),
-            cigar2: a2.cigar.clone(),
+            cigar1: a1.cigar,
+            cigar2: a2.cigar,
             score1: a1.score,
             score2: a2.score,
             mapq: 60,
@@ -596,6 +644,58 @@ mod tests {
         let m = res.mapping.expect("DP fallback should map");
         assert_eq!(m.pos1, 50_000);
         assert!(res.work.dp_cells > 0);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch() {
+        // A shared scratch driven across pairs of every pipeline outcome
+        // (light path, DP fallback, full-pipeline fallbacks) must reproduce
+        // fresh-scratch results exactly.
+        let (genome, cfg) = setup();
+        let mapper = GenPairMapper::build(&genome, &cfg);
+        let seq = genome.chromosome(0).seq();
+        let other = RandomGenomeBuilder::new(10_000).seed(777).build();
+
+        let mut pairs: Vec<(DnaSeq, DnaSeq)> = Vec::new();
+        for pos in [10_000usize, 20_000, 30_000, 60_000] {
+            pairs.push((
+                seq.subseq(pos..pos + 150),
+                seq.subseq(pos + 250..pos + 400).revcomp(),
+            ));
+        }
+        // Mismatches on the light path.
+        let mut noisy = seq.subseq(30_000..30_150);
+        noisy.set(75, noisy.get(75).complement());
+        pairs.push((noisy, seq.subseq(30_280..30_430).revcomp()));
+        // A pair that exits at the DP fallback.
+        let mut indel = gx_genome::DnaSeq::new();
+        indel.extend_from_seq(&seq.subseq(50_000..50_040));
+        indel.extend_from_seq(&seq.subseq(50_043..50_153));
+        indel.set(10, indel.get(10).complement());
+        pairs.push((indel, seq.subseq(50_300..50_450).revcomp()));
+        // Full-pipeline fallbacks (foreign reads).
+        pairs.push((
+            other.chromosome(0).seq().subseq(100..250),
+            other.chromosome(0).seq().subseq(400..550).revcomp(),
+        ));
+
+        let mut scratch = MapScratch::new();
+        for (r1, r2) in &pairs {
+            let fresh = mapper.map_pair(r1, r2);
+            let reused = mapper.map_pair_with(&mut scratch, r1, r2);
+            assert_eq!(fresh.fallback, reused.fallback);
+            assert_eq!(fresh.mapping.is_some(), reused.mapping.is_some());
+            if let (Some(a), Some(b)) = (&fresh.mapping, &reused.mapping) {
+                assert_eq!((a.chrom, a.pos1, a.pos2), (b.chrom, b.pos1, b.pos2));
+                assert_eq!(a.cigar1, b.cigar1);
+                assert_eq!(a.cigar2, b.cigar2);
+                assert_eq!((a.score1, a.score2, a.mapq), (b.score1, b.score2, b.mapq));
+                assert_eq!(a.r1_forward, b.r1_forward);
+            }
+            assert_eq!(fresh.work.seed_lookups, reused.work.seed_lookups);
+            assert_eq!(fresh.work.candidates, reused.work.candidates);
+            assert_eq!(fresh.work.dp_cells, reused.work.dp_cells);
+        }
     }
 
     #[test]

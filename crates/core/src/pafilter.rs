@@ -38,6 +38,22 @@ pub fn paired_adjacency_filter(
     max_candidates: usize,
 ) -> PaFilterResult {
     let mut res = PaFilterResult::default();
+    paired_adjacency_filter_into(list1, list2, delta, max_candidates, &mut res);
+    res
+}
+
+/// [`paired_adjacency_filter`] writing into a caller-owned result (cleared
+/// first): the allocation-free variant the mapper's scratch arena uses.
+pub fn paired_adjacency_filter_into(
+    list1: &[GlobalPos],
+    list2: &[GlobalPos],
+    delta: u32,
+    max_candidates: usize,
+    res: &mut PaFilterResult,
+) {
+    res.candidates.clear();
+    res.iterations = 0;
+    res.truncated = false;
     let mut j0 = 0usize;
     for &a in list1 {
         // Advance j0 past candidates too far left of a.
@@ -50,7 +66,7 @@ pub fn paired_adjacency_filter(
             res.iterations += 1;
             if res.candidates.len() >= max_candidates {
                 res.truncated = true;
-                return res;
+                return;
             }
             res.candidates.push(PairCandidate {
                 start1: a,
@@ -60,7 +76,6 @@ pub fn paired_adjacency_filter(
         }
         res.iterations += 1; // the comparison that terminated the scan
     }
-    res
 }
 
 #[cfg(test)]

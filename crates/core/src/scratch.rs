@@ -1,0 +1,56 @@
+//! The per-session mapping arena: every buffer
+//! [`map_pair_with`](crate::GenPairMapper::map_pair_with) needs across the
+//! whole FASTQ→SAM hot path, owned by the caller and reused pair after pair.
+//!
+//! One `MapScratch` per worker (each backend session owns one) removes all
+//! steady-state heap traffic from the software pipeline: reverse-complement
+//! buffers, seed-code extraction, SeedMap query merges, the PA filter's
+//! candidate list, light-aligner masks, reference windows and the banded-DP
+//! rows all hit their high-water capacity within the first batch and are
+//! never reallocated again. Reuse is observable only through speed — a
+//! mapper driven through a reused scratch must produce byte-identical SAM
+//! output to fresh-scratch calls (locked down by tests here and the golden
+//! e2e fixtures).
+
+use crate::light::LightScratch;
+use crate::pafilter::{PaFilterResult, PairCandidate};
+use crate::seeding::ReadCandidates;
+use gx_align::AlignScratch;
+use gx_genome::DnaSeq;
+
+/// Reusable buffers for [`GenPairMapper::map_pair_with`](crate::GenPairMapper::map_pair_with).
+///
+/// Not `Clone`/shared: one scratch belongs to exactly one mapping loop.
+/// All fields are buffers — dropping a scratch loses only capacity, never
+/// results.
+#[derive(Default)]
+pub struct MapScratch {
+    /// Reverse complement of read 1, recomputed in place per pair.
+    pub(crate) r1_rc: DnaSeq,
+    /// Reverse complement of read 2.
+    pub(crate) r2_rc: DnaSeq,
+    /// Whole-read 2-bit codes for seed hashing (one read at a time).
+    pub(crate) codes: Vec<u8>,
+    /// SeedMap query result for the orientation's read 1.
+    pub(crate) c1: ReadCandidates,
+    /// SeedMap query result for the orientation's read 2.
+    pub(crate) c2: ReadCandidates,
+    /// Paired-adjacency filter output.
+    pub(crate) pa: PaFilterResult,
+    /// Candidates deferred to the DP fallback stage.
+    pub(crate) dp_cands: Vec<(PairCandidate, bool)>,
+    /// Reference window for light and DP alignment.
+    pub(crate) window: DnaSeq,
+    /// Hamming-mask buffers of the light aligner.
+    pub(crate) light: LightScratch,
+    /// Row/traceback buffers of the banded-DP fallback aligner.
+    pub(crate) align: AlignScratch,
+}
+
+impl MapScratch {
+    /// An empty scratch; buffers grow to their steady-state size during the
+    /// first mapped batch.
+    pub fn new() -> MapScratch {
+        MapScratch::default()
+    }
+}

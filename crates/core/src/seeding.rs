@@ -7,7 +7,7 @@
 //! positions, the input to paired-adjacency filtering.
 
 use gx_genome::{DnaSeq, GlobalPos};
-use gx_seedmap::{merge_sorted_with_offsets, SeedHasher, SeedMap};
+use gx_seedmap::{merge_sorted_with_offsets_into, SeedHasher, SeedMap};
 
 /// One extracted seed: offset within the read plus its hash.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,20 +62,51 @@ pub struct ReadCandidates {
 /// Queries SeedMap with a read's partitioned seeds and merges the location
 /// lists into candidate read starts (paper steps 1–2).
 pub fn query_read<H: SeedHasher>(read: &DnaSeq, seedmap: &SeedMap<H>) -> ReadCandidates {
-    let seeds = partitioned_seeds(read, seedmap);
-    let lists: Vec<(&[GlobalPos], u32)> = seeds
-        .iter()
-        .map(|s| (seedmap.locations_for_hash(s.hash), s.offset))
-        .collect();
-    let locations_fetched: u64 = lists.iter().map(|(l, _)| l.len() as u64).sum();
-    let seeds_hit = lists.iter().filter(|(l, _)| !l.is_empty()).count() as u32;
-    let starts = merge_sorted_with_offsets(lists);
-    ReadCandidates {
-        starts,
-        locations_fetched,
-        seeds_hit,
-        seeds_total: seeds.len() as u32,
+    let mut codes = Vec::new();
+    let mut out = ReadCandidates::default();
+    query_read_into(read, seedmap, &mut codes, &mut out);
+    out
+}
+
+/// [`query_read`] writing into caller-owned buffers: `codes` receives the
+/// whole read's 2-bit codes (seeds are hashed as subslices of it — same
+/// values as per-seed extraction) and `out` is overwritten in place. The
+/// allocation-free variant the mapper's scratch arena uses per read.
+pub fn query_read_into<H: SeedHasher>(
+    read: &DnaSeq,
+    seedmap: &SeedMap<H>,
+    codes: &mut Vec<u8>,
+    out: &mut ReadCandidates,
+) {
+    out.starts.clear();
+    out.locations_fetched = 0;
+    out.seeds_hit = 0;
+    out.seeds_total = 0;
+    let seed_len = seedmap.config().seed_len;
+    if read.len() < seed_len {
+        return;
     }
+    let last = read.len() - seed_len;
+    // First, middle, last — deduplicated like `partitioned_seeds`.
+    let mut offsets = [0usize; 3];
+    let mut n = 0usize;
+    for off in [0usize, last / 2, last] {
+        if n == 0 || offsets[n - 1] != off {
+            offsets[n] = off;
+            n += 1;
+        }
+    }
+    read.codes_into(0..read.len(), codes);
+    let mut lists: [(&[GlobalPos], u32); 3] = [(&[], 0); 3];
+    for (i, &off) in offsets[..n].iter().enumerate() {
+        let hash = seedmap.hash_seed_codes(&codes[off..off + seed_len]);
+        lists[i] = (seedmap.locations_for_hash(hash), off as u32);
+    }
+    let lists = &lists[..n];
+    out.locations_fetched = lists.iter().map(|(l, _)| l.len() as u64).sum();
+    out.seeds_hit = lists.iter().filter(|(l, _)| !l.is_empty()).count() as u32;
+    out.seeds_total = n as u32;
+    merge_sorted_with_offsets_into(lists, &mut out.starts);
 }
 
 #[cfg(test)]
@@ -134,6 +165,27 @@ mod tests {
         let read = DnaSeq::from_ascii(b"ACGT").unwrap();
         assert!(partitioned_seeds(&read, &map).is_empty());
         assert_eq!(query_read(&read, &map).seeds_total, 0);
+    }
+
+    #[test]
+    fn reused_buffers_match_fresh_query() {
+        let (genome, map) = setup();
+        let mut codes = Vec::new();
+        let mut out = ReadCandidates::default();
+        for pos in [0usize, 777, 12_345, 29_000] {
+            let read = genome.chromosome(0).seq().subseq(pos..pos + 150);
+            query_read_into(&read, &map, &mut codes, &mut out);
+            let fresh = query_read(&read, &map);
+            assert_eq!(out.starts, fresh.starts);
+            assert_eq!(out.locations_fetched, fresh.locations_fetched);
+            assert_eq!(out.seeds_hit, fresh.seeds_hit);
+            assert_eq!(out.seeds_total, fresh.seeds_total);
+        }
+        // A too-short read resets the counters of a previously-used buffer.
+        let short = DnaSeq::from_ascii(b"ACGT").unwrap();
+        query_read_into(&short, &map, &mut codes, &mut out);
+        assert!(out.starts.is_empty());
+        assert_eq!(out.seeds_total, 0);
     }
 
     #[test]

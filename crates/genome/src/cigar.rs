@@ -74,12 +74,22 @@ impl CigarOp {
 /// assert_eq!(c.query_len(), 152);
 /// assert_eq!(c.ref_len(), 150);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+#[derive(Clone)]
 pub struct Cigar {
-    runs: Vec<(u32, CigarOp)>,
+    /// Runs live inline until they outgrow the fixed buffer, then move to
+    /// `spill` for good (runs only ever grow). Steady-state mapping emits
+    /// short `=`/`X`/indel CIGARs, so the mapper hot path never touches the
+    /// allocator when building, cloning or dropping one.
+    inline: [(u32, CigarOp); Cigar::INLINE_RUNS],
+    inline_len: u8,
+    spill: Vec<(u32, CigarOp)>,
 }
 
 impl Cigar {
+    /// Runs held without a heap allocation. A read with up to three
+    /// mismatches (`=X=X=X=`) or one indel still fits inline.
+    const INLINE_RUNS: usize = 8;
+
     /// Creates an empty CIGAR.
     pub fn new() -> Cigar {
         Cigar::default()
@@ -133,28 +143,46 @@ impl Cigar {
         if n == 0 {
             return;
         }
-        if let Some(last) = self.runs.last_mut() {
-            if last.1 == op {
-                last.0 += n;
-                return;
+        if !self.spill.is_empty() {
+            if let Some(last) = self.spill.last_mut() {
+                if last.1 == op {
+                    last.0 += n;
+                    return;
+                }
             }
+            self.spill.push((n, op));
+            return;
         }
-        self.runs.push((n, op));
+        let len = self.inline_len as usize;
+        if len > 0 && self.inline[len - 1].1 == op {
+            self.inline[len - 1].0 += n;
+        } else if len < Cigar::INLINE_RUNS {
+            self.inline[len] = (n, op);
+            self.inline_len += 1;
+        } else {
+            self.spill.reserve(Cigar::INLINE_RUNS + 1);
+            self.spill.extend_from_slice(&self.inline);
+            self.spill.push((n, op));
+        }
     }
 
     /// The `(len, op)` runs.
     pub fn runs(&self) -> &[(u32, CigarOp)] {
-        &self.runs
+        if self.spill.is_empty() {
+            &self.inline[..self.inline_len as usize]
+        } else {
+            &self.spill
+        }
     }
 
     /// Whether no operations are recorded.
     pub fn is_empty(&self) -> bool {
-        self.runs.is_empty()
+        self.runs().is_empty()
     }
 
     /// Number of query (read) bases consumed.
     pub fn query_len(&self) -> u64 {
-        self.runs
+        self.runs()
             .iter()
             .filter(|(_, op)| op.consumes_query())
             .map(|&(n, _)| n as u64)
@@ -163,7 +191,7 @@ impl Cigar {
 
     /// Number of reference bases consumed.
     pub fn ref_len(&self) -> u64 {
-        self.runs
+        self.runs()
             .iter()
             .filter(|(_, op)| op.consumes_ref())
             .map(|&(n, _)| n as u64)
@@ -172,7 +200,7 @@ impl Cigar {
 
     /// Total inserted + deleted bases (gap bases).
     pub fn gap_bases(&self) -> u64 {
-        self.runs
+        self.runs()
             .iter()
             .filter(|(_, op)| matches!(op, CigarOp::Ins | CigarOp::Del))
             .map(|&(n, _)| n as u64)
@@ -183,7 +211,7 @@ impl Cigar {
     /// `M` runs are counted as matches, so callers that need exact mismatch
     /// counts should emit `=`/`X` CIGARs.
     pub fn mismatch_bases(&self) -> u64 {
-        self.runs
+        self.runs()
             .iter()
             .filter(|(_, op)| matches!(op, CigarOp::Diff))
             .map(|&(n, _)| n as u64)
@@ -193,7 +221,7 @@ impl Cigar {
     /// Collapses `=`/`X` runs into `M` runs (SAM's classic form).
     pub fn to_m_form(&self) -> Cigar {
         let mut out = Cigar::new();
-        for &(n, op) in &self.runs {
+        for &(n, op) in self.runs() {
             let op = match op {
                 CigarOp::Equal | CigarOp::Diff => CigarOp::Match,
                 other => other,
@@ -205,18 +233,51 @@ impl Cigar {
 
     /// Reverses the run order (for alignments built back-to-front).
     pub fn reversed(&self) -> Cigar {
-        Cigar {
-            runs: self.runs.iter().rev().copied().collect(),
+        let mut out = Cigar::new();
+        for &(n, op) in self.runs().iter().rev() {
+            out.push(op, n);
         }
+        out
+    }
+}
+
+impl Default for Cigar {
+    fn default() -> Cigar {
+        Cigar {
+            inline: [(0, CigarOp::Match); Cigar::INLINE_RUNS],
+            inline_len: 0,
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl PartialEq for Cigar {
+    fn eq(&self, other: &Cigar) -> bool {
+        self.runs() == other.runs()
+    }
+}
+
+impl Eq for Cigar {}
+
+impl std::hash::Hash for Cigar {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.runs().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Cigar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cigar(\"{self}\")")
     }
 }
 
 impl std::fmt::Display for Cigar {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        if self.runs.is_empty() {
+        let runs = self.runs();
+        if runs.is_empty() {
             return write!(f, "*");
         }
-        for &(n, op) in &self.runs {
+        for &(n, op) in runs {
             write!(f, "{n}{}", op.to_char())?;
         }
         Ok(())
@@ -286,5 +347,40 @@ mod tests {
     #[test]
     fn empty_displays_star() {
         assert_eq!(Cigar::new().to_string(), "*");
+    }
+
+    #[test]
+    fn spill_past_inline_capacity_preserves_runs() {
+        // 2 * INLINE_RUNS + 1 alternating runs forces the heap spill; the
+        // observable run list must be identical to a reference built the
+        // same way, and equality/hashing must not care which storage a
+        // cigar's runs live in.
+        let mut big = Cigar::new();
+        let mut expect = Vec::new();
+        for i in 0..(2 * 8 + 1) {
+            let op = if i % 2 == 0 {
+                CigarOp::Equal
+            } else {
+                CigarOp::Diff
+            };
+            big.push(op, i + 1);
+            expect.push((i + 1, op));
+        }
+        assert_eq!(big.runs(), expect.as_slice());
+        assert_eq!(
+            big.query_len(),
+            expect.iter().map(|&(n, _)| n as u64).sum::<u64>()
+        );
+        let reparsed = Cigar::parse(&big.to_string()).unwrap();
+        assert_eq!(reparsed, big);
+        assert_eq!(big.reversed().reversed(), big);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |c: &Cigar| {
+            let mut s = DefaultHasher::new();
+            c.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&reparsed), h(&big));
     }
 }

@@ -1,6 +1,7 @@
 //! Minimal FASTQ reading and writing for simulated reads.
 
-use crate::{DnaSeq, GenomeError};
+use crate::{Base, DnaSeq, GenomeError};
+use bytes::BytesMut;
 use std::io::{BufRead, Write};
 
 /// A sequencing read: identifier, bases and per-base Phred+33 qualities.
@@ -40,6 +41,13 @@ impl ReadRecord {
 /// record at a time, so arbitrarily large files never need to fit in
 /// memory. [`read_fastq`] is the collect-everything wrapper over this.
 ///
+/// Parsing is zero-copy: lines are scanned directly in the `BufRead`'s
+/// internal buffer and decoded in place (2-bit packing, quality copy)
+/// without an intermediate per-line `String`. Only a line that straddles
+/// the buffer boundary is stitched together in a reusable [`BytesMut`]
+/// spill buffer. CRLF line endings are accepted (one trailing `\r` is
+/// stripped, as with [`BufRead::lines`]).
+///
 /// Ambiguous bases (`N`) are not representable in [`DnaSeq`]; they are
 /// replaced with `A`, matching the common practice of mapping-oriented 2-bit
 /// encodings.
@@ -57,65 +65,132 @@ impl ReadRecord {
 /// assert_eq!(ids, ["r1", "r2"]);
 /// ```
 pub struct FastqReader<R: BufRead> {
-    lines: std::io::Lines<R>,
+    reader: R,
+    spill: BytesMut,
     failed: bool,
+}
+
+/// One trailing carriage return stripped, matching [`BufRead::lines`].
+fn trim_cr(line: &[u8]) -> &[u8] {
+    match line {
+        [head @ .., b'\r'] => head,
+        _ => line,
+    }
+}
+
+/// Feeds the next line (without its terminator) to `f` and returns the
+/// result, or `Ok(None)` at end of input. The line is borrowed straight
+/// from the reader's buffer when it fits; otherwise it is assembled in
+/// `spill` across refills.
+fn next_line<R: BufRead, T>(
+    reader: &mut R,
+    spill: &mut BytesMut,
+    f: impl FnOnce(&[u8]) -> T,
+) -> Result<Option<T>, GenomeError> {
+    let mut f = Some(f);
+    let mut call = |line: &[u8]| (f.take().expect("one line per next_line call"))(trim_cr(line));
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) => return Err(GenomeError::ParseFormat(format!("io error: {e}"))),
+        };
+        if buf.is_empty() {
+            if spill.is_empty() {
+                return Ok(None);
+            }
+            let out = call(spill);
+            spill.clear();
+            return Ok(Some(out));
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                let out = if spill.is_empty() {
+                    call(&buf[..nl])
+                } else {
+                    spill.extend_from_slice(&buf[..nl]);
+                    let out = call(spill);
+                    spill.clear();
+                    out
+                };
+                reader.consume(nl + 1);
+                return Ok(Some(out));
+            }
+            None => {
+                let n = buf.len();
+                spill.extend_from_slice(buf);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Header-line classification (owned, so the borrow of the reader's buffer
+/// can end before the next line is pulled).
+enum Header {
+    Blank,
+    Id(String),
+    Bad(String),
 }
 
 impl<R: BufRead> FastqReader<R> {
     /// A streaming parser over `reader`.
     pub fn new(reader: R) -> FastqReader<R> {
         FastqReader {
-            lines: reader.lines(),
+            reader,
+            spill: BytesMut::new(),
             failed: false,
         }
     }
 
     fn parse_next(&mut self) -> Option<Result<ReadRecord, GenomeError>> {
-        let header = loop {
-            match self.lines.next()? {
-                Ok(line) if line.trim().is_empty() => continue,
-                Ok(line) => break line,
-                Err(e) => return Some(Err(GenomeError::ParseFormat(format!("io error: {e}")))),
+        let id = loop {
+            let header = next_line(&mut self.reader, &mut self.spill, |line| {
+                if line.iter().all(|b| b.is_ascii_whitespace()) {
+                    Header::Blank
+                } else if let Some(rest) = line.strip_prefix(b"@") {
+                    let rest = String::from_utf8_lossy(rest);
+                    Header::Id(rest.split_whitespace().next().unwrap_or("").to_string())
+                } else {
+                    Header::Bad(String::from_utf8_lossy(line).into_owned())
+                }
+            });
+            match header {
+                Ok(None) => return None,
+                Ok(Some(Header::Blank)) => continue,
+                Ok(Some(Header::Id(id))) => break id,
+                Ok(Some(Header::Bad(header))) => {
+                    return Some(Err(GenomeError::ParseFormat(format!(
+                        "expected @header, got {header}"
+                    ))))
+                }
+                Err(e) => return Some(Err(e)),
             }
-        };
-        let id = match header.strip_prefix('@') {
-            Some(rest) => rest.split_whitespace().next().unwrap_or("").to_string(),
-            None => {
-                return Some(Err(GenomeError::ParseFormat(format!(
-                    "expected @header, got {header}"
-                ))))
-            }
-        };
-        let next = |lines: &mut std::io::Lines<R>| -> Result<String, GenomeError> {
-            lines
-                .next()
-                .ok_or_else(|| GenomeError::ParseFormat("truncated FASTQ record".into()))?
-                .map_err(|e| GenomeError::ParseFormat(format!("io error: {e}")))
         };
         let record = (|| {
-            let seq_line = next(&mut self.lines)?;
-            let plus = next(&mut self.lines)?;
-            if !plus.starts_with('+') {
+            let truncated = || GenomeError::ParseFormat("truncated FASTQ record".into());
+            let seq = next_line(&mut self.reader, &mut self.spill, |line| {
+                let mut seq = DnaSeq::with_capacity(line.len());
+                for &ch in line {
+                    seq.push(Base::from_ascii(ch).unwrap_or(Base::A));
+                }
+                seq
+            })?
+            .ok_or_else(truncated)?;
+            let plus = next_line(&mut self.reader, &mut self.spill, |line| {
+                line.first() == Some(&b'+')
+            })?
+            .ok_or_else(truncated)?;
+            if !plus {
                 return Err(GenomeError::ParseFormat("missing + separator".into()));
             }
-            let qual_line = next(&mut self.lines)?;
-            if qual_line.len() != seq_line.len() {
+            let qual = next_line(&mut self.reader, &mut self.spill, <[u8]>::to_vec)?
+                .ok_or_else(truncated)?;
+            if qual.len() != seq.len() {
                 return Err(GenomeError::ParseFormat(
                     "quality length differs from sequence length".into(),
                 ));
             }
-            let mut seq = DnaSeq::with_capacity(seq_line.len());
-            for &ch in seq_line.as_bytes() {
-                match crate::Base::from_ascii(ch) {
-                    Some(b) => seq.push(b),
-                    None => seq.push(crate::Base::A),
-                }
-            }
-            Ok(ReadRecord {
-                id,
-                seq,
-                qual: qual_line.into_bytes(),
-            })
+            Ok(ReadRecord { id, seq, qual })
         })();
         Some(record)
     }
@@ -219,5 +294,69 @@ mod tests {
         let data = b"@a\nACGT\n+\nIIII\n@b\nGGCC\n+\nIIII\n@c\nTTTT\n+\nIIII\n";
         let streamed: Vec<ReadRecord> = FastqReader::new(&data[..]).map(|r| r.unwrap()).collect();
         assert_eq!(streamed, read_fastq(&data[..]).unwrap());
+    }
+
+    #[test]
+    fn crlf_line_endings_accepted() {
+        let crlf = b"@r1 extra\r\nACGT\r\n+\r\nIIII\r\n@r2\r\nTTAA\r\n+\r\nII!I\r\n";
+        let lf = b"@r1 extra\nACGT\n+\nIIII\n@r2\nTTAA\n+\nII!I\n";
+        let got = read_fastq(&crlf[..]).unwrap();
+        assert_eq!(got, read_fastq(&lf[..]).unwrap());
+        assert_eq!(got[0].id, "r1");
+        assert_eq!(got[0].qual, b"IIII");
+        assert_eq!(got[1].seq.to_string(), "TTAA");
+    }
+
+    #[test]
+    fn truncated_record_reports_each_missing_line() {
+        for data in [
+            &b"@r1\n"[..],
+            &b"@r1\nACGT\n"[..],
+            &b"@r1\nACGT\n+\n"[..],
+            &b"@r1\nACGT\n+"[..],
+        ] {
+            let err = read_fastq(data).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains("truncated FASTQ record") || msg.contains("quality length"),
+                "unexpected error for {data:?}: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_plus_separator_rejected() {
+        let err = read_fastq(&b"@r1\nACGT\nIIII\nIIII\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("missing + separator"));
+    }
+
+    #[test]
+    fn non_header_line_rejected() {
+        let err = read_fastq(&b"xr1\nACGT\n+\nIIII\n"[..]).unwrap_err();
+        assert!(err.to_string().contains("expected @header"));
+    }
+
+    #[test]
+    fn lines_spanning_refill_boundaries_are_stitched() {
+        // A 3-byte BufRead buffer forces every line through the spill path.
+        let data = b"@read-with-a-long-name descr\nACGTACGTACGTACGT\n+\nIIIIIIIIIIIIIIII\n";
+        let tiny = std::io::BufReader::with_capacity(3, &data[..]);
+        let recs: Vec<ReadRecord> = FastqReader::new(tiny).map(|r| r.unwrap()).collect();
+        assert_eq!(recs, read_fastq(&data[..]).unwrap());
+        assert_eq!(recs[0].id, "read-with-a-long-name");
+        assert_eq!(recs[0].seq.to_string(), "ACGTACGTACGTACGT");
+    }
+
+    #[test]
+    fn final_record_without_trailing_newline() {
+        let recs = read_fastq(&b"@r1\nACGT\n+\nIIII"[..]).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].qual, b"IIII");
+    }
+
+    #[test]
+    fn id_is_first_whitespace_token() {
+        let recs = read_fastq(&b"@  spaced id here\nAC\n+\nII\n"[..]).unwrap();
+        assert_eq!(recs[0].id, "spaced");
     }
 }

@@ -237,11 +237,21 @@ impl ReferenceGenome {
     /// start used. Useful for extracting reference context around a candidate
     /// mapping with margins.
     pub fn clamped_window(&self, chrom: u32, start: i64, len: usize) -> (u64, DnaSeq) {
+        let mut out = DnaSeq::new();
+        let s = self.clamped_window_into(chrom, start, len, &mut out);
+        (s, out)
+    }
+
+    /// [`Self::clamped_window`] into a caller-owned buffer (cleared first):
+    /// the allocation-free variant the mapper's scratch arena uses when
+    /// extracting one reference window per candidate.
+    pub fn clamped_window_into(&self, chrom: u32, start: i64, len: usize, out: &mut DnaSeq) -> u64 {
         let c = &self.chroms[chrom as usize];
         let s = start.max(0) as u64;
         let s = s.min(c.len() as u64);
         let e = (s + len as u64).min(c.len() as u64);
-        (s, c.seq().subseq(s as usize..e as usize))
+        c.seq().copy_range_into(s as usize..e as usize, out);
+        s
     }
 }
 

@@ -68,6 +68,15 @@ impl DnaSeq {
         self.len
     }
 
+    /// Removes all bases, keeping the allocated capacity. This is what makes
+    /// a `DnaSeq` reusable as scratch: `clear` + `extend`/`revcomp_into`
+    /// cycles stop allocating once the buffer has seen its high-water mark.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
     /// Whether the sequence has no bases.
     #[inline]
     pub fn is_empty(&self) -> bool {
@@ -136,12 +145,42 @@ impl DnaSeq {
     ///
     /// Panics if the range is out of bounds.
     pub fn subseq(&self, range: std::ops::Range<usize>) -> DnaSeq {
-        assert!(range.end <= self.len, "subseq range out of bounds");
-        let mut out = DnaSeq::with_capacity(range.len());
-        for pos in range {
-            out.push(Base::from_code_unchecked(self.code_at(pos)));
-        }
+        let mut out = DnaSeq::new();
+        self.copy_range_into(range, &mut out);
         out
+    }
+
+    /// Copies `range` into `out` (cleared first), word-at-a-time. The
+    /// allocation-free counterpart of [`DnaSeq::subseq`] for scratch reuse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn copy_range_into(&self, range: std::ops::Range<usize>, out: &mut DnaSeq) {
+        assert!(range.end <= self.len, "subseq range out of bounds");
+        out.clear();
+        let n = range.end.saturating_sub(range.start);
+        if n == 0 {
+            return;
+        }
+        let n_words = n.div_ceil(32);
+        let w0 = range.start / 32;
+        let sh = (range.start % 32) * 2;
+        out.words.reserve(n_words);
+        if sh == 0 {
+            out.words.extend_from_slice(&self.words[w0..w0 + n_words]);
+        } else {
+            for k in 0..n_words {
+                let lo = self.words[w0 + k] >> sh;
+                let hi = self.words.get(w0 + k + 1).copied().unwrap_or(0) << (64 - sh);
+                out.words.push(lo | hi);
+            }
+        }
+        out.len = n;
+        let used = n % 32;
+        if used != 0 {
+            *out.words.last_mut().unwrap() &= (1u64 << (used * 2)) - 1;
+        }
     }
 
     /// Appends all bases of `other`.
@@ -153,11 +192,41 @@ impl DnaSeq {
 
     /// Reverse complement of the sequence.
     pub fn revcomp(&self) -> DnaSeq {
-        let mut out = DnaSeq::with_capacity(self.len);
-        for pos in (0..self.len).rev() {
-            out.push(Base::from_code_unchecked(self.code_at(pos) ^ 3));
-        }
+        let mut out = DnaSeq::new();
+        self.revcomp_into(&mut out);
         out
+    }
+
+    /// Writes the reverse complement into `out` (cleared first), operating a
+    /// packed word at a time: complement every 2-bit lane (`code ^ 3` is a
+    /// bitwise NOT of the lane), reverse the lane order within each word,
+    /// read the words back-to-front, then funnel-shift away the junk lanes
+    /// that came from the final input word's unused high bits.
+    pub fn revcomp_into(&self, out: &mut DnaSeq) {
+        out.clear();
+        out.len = self.len;
+        if self.len == 0 {
+            return;
+        }
+        let nw = self.words.len();
+        out.words.reserve(nw);
+        let sh = ((32 - self.len % 32) % 32) * 2;
+        let rc = |j: usize| rev2_word(!self.words[nw - 1 - j]);
+        let mut cur = rc(0);
+        for j in 0..nw {
+            let next = if j + 1 < nw { rc(j + 1) } else { 0 };
+            let w = if sh == 0 {
+                cur
+            } else {
+                (cur >> sh) | (next << (64 - sh))
+            };
+            out.words.push(w);
+            cur = next;
+        }
+        let used = self.len % 32;
+        if used != 0 {
+            *out.words.last_mut().unwrap() &= (1u64 << (used * 2)) - 1;
+        }
     }
 
     /// Packs bases `[pos, pos + k)` into the low `2k` bits of a `u64`
@@ -185,14 +254,27 @@ impl DnaSeq {
     /// Raw 2-bit codes of the whole sequence, one per byte. This is the byte
     /// stream the SeedMap hashes (xxh32 over codes).
     pub fn to_codes(&self) -> Vec<u8> {
-        (0..self.len).map(|i| self.code_at(i)).collect()
+        let mut buf = Vec::new();
+        self.codes_into(0..self.len, &mut buf);
+        buf
     }
 
-    /// Copies the 2-bit codes of `range` into `buf` (resizing it).
+    /// Copies the 2-bit codes of `range` into `buf` (resizing it). Each
+    /// packed word is read once; the unpack loop is branch-free per base.
     pub fn codes_into(&self, range: std::ops::Range<usize>, buf: &mut Vec<u8>) {
         assert!(range.end <= self.len, "range out of bounds");
         buf.clear();
-        buf.extend(range.map(|i| self.code_at(i)));
+        let (mut pos, end) = (range.start, range.end);
+        buf.reserve(end.saturating_sub(pos));
+        while pos < end {
+            let take = (32 - pos % 32).min(end - pos);
+            let mut w = self.words[pos / 32] >> ((pos % 32) * 2);
+            for _ in 0..take {
+                buf.push((w & 3) as u8);
+                w >>= 2;
+            }
+            pos += take;
+        }
     }
 
     /// The packed 2-bit words backing the sequence (32 bases per word,
@@ -201,6 +283,17 @@ impl DnaSeq {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+}
+
+/// Reverses the order of the 32 two-bit lanes in a word (byte swap, then
+/// swap the four lane pairs within each byte).
+#[inline]
+fn rev2_word(w: u64) -> u64 {
+    let w = w.swap_bytes();
+    ((w & 0x0303_0303_0303_0303) << 6)
+        | ((w & 0x0c0c_0c0c_0c0c_0c0c) << 2)
+        | ((w & 0x3030_3030_3030_3030) >> 2)
+        | ((w & 0xc0c0_c0c0_c0c0_c0c0) >> 6)
 }
 
 impl std::fmt::Display for DnaSeq {
@@ -364,5 +457,79 @@ mod tests {
     fn get_out_of_bounds_panics() {
         let s = DnaSeq::from_ascii(b"ACGT").unwrap();
         let _ = s.get(4);
+    }
+
+    /// Deterministic pseudo-random sequence for the word-level equivalence
+    /// tests (xorshift so no RNG dependency).
+    fn arb_seq(len: usize, mut state: u64) -> DnaSeq {
+        let mut s = DnaSeq::with_capacity(len);
+        for _ in 0..len {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            s.push(Base::from_code((state & 3) as u8));
+        }
+        s
+    }
+
+    #[test]
+    fn revcomp_into_matches_per_base_reference() {
+        for len in [0, 1, 5, 31, 32, 33, 63, 64, 65, 100, 150, 257] {
+            let s = arb_seq(len, 0x9E37_79B9_7F4A_7C15 ^ len as u64);
+            let reference: DnaSeq = (0..len)
+                .rev()
+                .map(|i| Base::from_code_unchecked(s.code_at(i) ^ 3))
+                .collect();
+            let mut out = DnaSeq::from_ascii(b"TTTT").unwrap(); // dirty buffer
+            s.revcomp_into(&mut out);
+            assert_eq!(out, reference, "len {len}");
+            assert_eq!(out.words().len(), reference.words().len(), "len {len}");
+            assert_eq!(s.revcomp(), reference, "len {len}");
+        }
+    }
+
+    #[test]
+    fn copy_range_into_matches_per_base_reference() {
+        let s = arb_seq(200, 42);
+        let mut out = DnaSeq::new();
+        for (start, end) in [
+            (0, 0),
+            (0, 200),
+            (1, 33),
+            (31, 32),
+            (32, 96),
+            (7, 199),
+            (64, 64),
+        ] {
+            let reference: DnaSeq = (start..end)
+                .map(|i| Base::from_code_unchecked(s.code_at(i)))
+                .collect();
+            s.copy_range_into(start..end, &mut out);
+            assert_eq!(out, reference, "range {start}..{end}");
+            assert_eq!(s.subseq(start..end), reference, "range {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn codes_into_word_path_matches_per_base() {
+        let s = arb_seq(150, 7);
+        let mut buf = vec![9u8; 4]; // dirty buffer
+        for (start, end) in [(0, 150), (0, 50), (50, 100), (100, 150), (3, 137), (10, 10)] {
+            s.codes_into(start..end, &mut buf);
+            let reference: Vec<u8> = (start..end).map(|i| s.code_at(i)).collect();
+            assert_eq!(buf, reference, "range {start}..{end}");
+        }
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets() {
+        let mut s = arb_seq(100, 3);
+        let cap_words = s.words().len();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        s.extend(arb_seq(100, 3).iter());
+        assert_eq!(s, arb_seq(100, 3));
+        assert_eq!(s.words().len(), cap_words);
     }
 }

@@ -46,8 +46,11 @@ use crate::config::{FallbackPolicy, PipelineConfig};
 use crate::sink::{RecordSink, VecSink};
 use crate::steal::WorkStealQueue;
 use gx_backend::{BackendStats, MapBackend, MapSession};
-use gx_core::{pair_mapping_to_sam, GenPairMapper, PairMapResult, PipelineStats, ReadPair};
+use gx_core::{
+    pair_mapping_to_sam, GenPairMapper, MapScratch, PairMapResult, PipelineStats, ReadPair,
+};
 use gx_genome::{flags, SamRecord};
+use gx_seedmap::SeedHasher;
 use gx_telemetry::Telemetry;
 use std::collections::HashMap;
 use std::io;
@@ -526,8 +529,8 @@ impl<B: MapBackend> MappingEngine<B> {
 /// # Errors
 ///
 /// Returns the first sink I/O error.
-pub fn map_serial<I, S>(
-    mapper: &GenPairMapper<'_>,
+pub fn map_serial<I, S, H>(
+    mapper: &GenPairMapper<'_, H>,
     policy: FallbackPolicy,
     input: I,
     sink: &mut S,
@@ -535,9 +538,11 @@ pub fn map_serial<I, S>(
 where
     I: IntoIterator<Item = ReadPair>,
     S: RecordSink,
+    H: SeedHasher,
 {
     let started = Instant::now();
     let mut stats = PipelineStats::new();
+    let mut scratch = MapScratch::new();
     let mut records = Vec::with_capacity(2);
     let mut written = 0u64;
     let mut pairs = 0u64;
@@ -548,7 +553,7 @@ where
         // semantics (emission and sink I/O are engine cost, not backend
         // cost).
         let map_started = Instant::now();
-        let res = mapper.map_pair(&pair.r1, &pair.r2);
+        let res = mapper.map_pair_with(&mut scratch, &pair.r1, &pair.r2);
         mapping_ns += map_started.elapsed().as_nanos() as u64;
         stats.record(&res);
         records.clear();

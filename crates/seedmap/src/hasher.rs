@@ -37,6 +37,24 @@ pub trait SeedHasher:
     /// One-shot hash of a seed's 2-bit base codes — the hot path used by
     /// SeedMap construction and queries.
     fn hash_codes(&self, codes: &[u8]) -> u32;
+
+    /// Hashes every `k`-length window of `codes` in ascending start order,
+    /// invoking `emit(window_start, hash)` for each.
+    ///
+    /// The provided implementation rehashes each window with
+    /// [`hash_codes`](SeedHasher::hash_codes); rolling families (ntHash)
+    /// override it to extend the previous window's state in O(1) per
+    /// window. The contract every override must uphold: for each window,
+    /// the emitted hash equals `hash_codes(&codes[start..start + k])` —
+    /// otherwise index construction and query hashing disagree.
+    fn hash_windows(&self, codes: &[u8], k: usize, emit: &mut impl FnMut(usize, u32)) {
+        if k == 0 || codes.len() < k {
+            return;
+        }
+        for start in 0..=codes.len() - k {
+            emit(start, self.hash_codes(&codes[start..start + k]));
+        }
+    }
 }
 
 /// A `BuildHasher` producing seeded XXH32 hashers.

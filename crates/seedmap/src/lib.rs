@@ -31,13 +31,17 @@
 mod hasher;
 mod merge;
 mod murmur;
+mod nthash;
 mod seedmap;
 mod serialize;
 mod xxhash;
 
 pub use hasher::{SeedHasher, Xxh32Builder, Xxh32Hasher};
-pub use merge::{merge_sorted, merge_sorted_with_offsets};
+pub use merge::{
+    merge_sorted, merge_sorted_with_offsets, merge_sorted_with_offsets_into, MAX_MERGE_LISTS,
+};
 pub use murmur::{murmur3_32, Murmur3Builder, Murmur3Hasher};
+pub use nthash::{NtHashBuilder, NtHashHasher};
 pub use seedmap::{default_bucket_bits, SeedMap, SeedMapConfig, SeedMapStats};
 pub use serialize::{read_seedmap, read_seedmap_as, write_seedmap, SerializeError};
 pub use xxhash::xxh32;

@@ -24,9 +24,32 @@ where
     I: IntoIterator<Item = (&'a [GlobalPos], u32)>,
 {
     let lists: Vec<(&[GlobalPos], u32)> = lists.into_iter().collect();
+    let mut out = Vec::new();
+    merge_sorted_with_offsets_into(&lists, &mut out);
+    out
+}
+
+/// How many input lists [`merge_sorted_with_offsets_into`] accepts — the
+/// cursor array lives on the stack so the merge itself never allocates.
+/// Partitioned seeding produces at most 3 lists per read.
+pub const MAX_MERGE_LISTS: usize = 8;
+
+/// [`merge_sorted_with_offsets`] writing into a caller-owned vector
+/// (cleared first): the allocation-free variant the mapper's scratch arena
+/// uses per read.
+///
+/// # Panics
+///
+/// Panics if `lists.len() > MAX_MERGE_LISTS`.
+pub fn merge_sorted_with_offsets_into(lists: &[(&[GlobalPos], u32)], out: &mut Vec<GlobalPos>) {
+    assert!(
+        lists.len() <= MAX_MERGE_LISTS,
+        "merge supports at most {MAX_MERGE_LISTS} lists"
+    );
     let total: usize = lists.iter().map(|(l, _)| l.len()).sum();
-    let mut out = Vec::with_capacity(total);
-    let mut cursors = vec![0usize; lists.len()];
+    out.clear();
+    out.reserve(total);
+    let mut cursors = [0usize; MAX_MERGE_LISTS];
     // Skip leading locations that would place the read before position 0.
     for (i, (list, off)) in lists.iter().enumerate() {
         while cursors[i] < list.len() && list[cursors[i]] < *off {
@@ -53,7 +76,6 @@ where
             None => break,
         }
     }
-    out
 }
 
 #[cfg(test)]

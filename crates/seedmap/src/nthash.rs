@@ -1,0 +1,236 @@
+//! ntHash-style rolling seed hashing: the third [`SeedHasher`] family, and
+//! the only one whose [`hash_windows`](SeedHasher::hash_windows) extends the
+//! previous window's state in O(1) per position instead of rehashing `k`
+//! bytes (the recursive scheme of ntHash, and the iterator idiom mapquik
+//! builds its minimizer scan on).
+//!
+//! The hash of a window is the XOR of a per-base constant rotated by the
+//! base's distance from the window end:
+//!
+//! ```text
+//! H(s[i..i+k]) = XOR_j rol^(k-1-j)( f(s[i+j]) )
+//! ```
+//!
+//! which rolls: `H(i+1) = rol1(H(i)) ^ rol^k(f(s[i])) ^ f(s[i+k])`. Any
+//! per-base constant table satisfies the recurrence, so seeding remixes the
+//! classic ntHash base constants through SplitMix64 and the 64-bit state is
+//! folded to the `u32` digest the SeedMap needs with a murmur-style
+//! finalizer. One-shot [`hash_codes`](NtHashBuilder::hash_codes) and rolling
+//! [`hash_windows`](SeedHasher::hash_windows) agree bit for bit — the
+//! contract the SeedMap relies on to query with one-shot hashes an index
+//! built with rolling ones.
+
+use crate::hasher::SeedHasher;
+use std::hash::{BuildHasher, Hasher};
+
+/// Classic ntHash per-base constants (A, C, G, T order).
+const NT_BASE: [u64; 4] = [
+    0x3c8b_fbb3_95c6_0474,
+    0x3193_c185_62a0_2b4c,
+    0x2032_3ed0_8257_2324,
+    0x2955_49f5_4be2_4456,
+];
+
+/// SplitMix64 finalizer: remixes the base constants with the seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Folds the 64-bit rolling state to the 32-bit digest (murmur fmix32 over
+/// the xor-folded halves). Applied identically by the one-shot and rolling
+/// paths.
+#[inline]
+fn fold32(h: u64) -> u32 {
+    let mut x = (h ^ (h >> 32)) as u32;
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x85EB_CA6B);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xC2B2_AE35);
+    x ^ (x >> 16)
+}
+
+/// A `BuildHasher` producing seeded ntHash hashers — the rolling-hash
+/// alternative to [`Xxh32Builder`](crate::Xxh32Builder) /
+/// [`Murmur3Builder`](crate::Murmur3Builder).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NtHashBuilder {
+    /// The seed every produced hasher starts from.
+    pub seed: u32,
+    /// Seed-remixed per-base constants (derived from `seed`, cached so the
+    /// hot paths never recompute the SplitMix64 remix).
+    table: [u64; 4],
+}
+
+impl Default for NtHashBuilder {
+    fn default() -> NtHashBuilder {
+        NtHashBuilder::with_seed(0)
+    }
+}
+
+impl NtHashBuilder {
+    /// A builder hashing with `seed`.
+    pub fn with_seed(seed: u32) -> NtHashBuilder {
+        let mut table = [0u64; 4];
+        for (c, slot) in table.iter_mut().enumerate() {
+            *slot = splitmix64(NT_BASE[c] ^ u64::from(seed));
+        }
+        NtHashBuilder { seed, table }
+    }
+
+    /// One-shot hash of a seed's 2-bit base codes — same surface as
+    /// [`Xxh32Builder::hash_codes`](crate::Xxh32Builder::hash_codes). Bytes
+    /// are interpreted as 2-bit codes (masked with `& 3`).
+    #[inline]
+    pub fn hash_codes(&self, codes: &[u8]) -> u32 {
+        let mut h = 0u64;
+        for &c in codes {
+            h = h.rotate_left(1) ^ self.table[(c & 3) as usize];
+        }
+        fold32(h)
+    }
+}
+
+impl BuildHasher for NtHashBuilder {
+    type Hasher = NtHashHasher;
+
+    fn build_hasher(&self) -> NtHashHasher {
+        NtHashHasher {
+            builder: *self,
+            buf: Vec::new(),
+        }
+    }
+}
+
+impl SeedHasher for NtHashBuilder {
+    const ID: u32 = 3;
+    const NAME: &'static str = "nthash";
+
+    fn with_seed(seed: u32) -> NtHashBuilder {
+        NtHashBuilder::with_seed(seed)
+    }
+
+    fn hash_codes(&self, codes: &[u8]) -> u32 {
+        NtHashBuilder::hash_codes(self, codes)
+    }
+
+    /// True rolling scan: the first window is hashed once, every later
+    /// window is one rotate + two table XORs, independent of `k`.
+    fn hash_windows(&self, codes: &[u8], k: usize, emit: &mut impl FnMut(usize, u32)) {
+        if k == 0 || codes.len() < k {
+            return;
+        }
+        let mut h = 0u64;
+        for &c in &codes[..k] {
+            h = h.rotate_left(1) ^ self.table[(c & 3) as usize];
+        }
+        emit(0, fold32(h));
+        let kr = (k % 64) as u32;
+        for i in 1..=codes.len() - k {
+            let outgoing = self.table[(codes[i - 1] & 3) as usize];
+            let incoming = self.table[(codes[i + k - 1] & 3) as usize];
+            h = h.rotate_left(1) ^ outgoing.rotate_left(kr) ^ incoming;
+            emit(i, fold32(h));
+        }
+    }
+}
+
+/// Streaming ntHash hasher (buffers input; the 32-bit digest is widened to
+/// `u64` for the `Hasher` contract).
+#[derive(Clone, Debug)]
+pub struct NtHashHasher {
+    builder: NtHashBuilder,
+    buf: Vec<u8>,
+}
+
+impl NtHashHasher {
+    /// The 32-bit digest of everything written so far.
+    pub fn digest32(&self) -> u32 {
+        self.builder.hash_codes(&self.buf)
+    }
+}
+
+impl Hasher for NtHashHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn finish(&self) -> u64 {
+        self.digest32() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arb_codes(len: usize, mut state: u64) -> Vec<u8> {
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state & 3) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rolling_matches_one_shot_for_every_window() {
+        let b = NtHashBuilder::with_seed(0xDEAD_BEEF);
+        let codes = arb_codes(300, 11);
+        for k in [1usize, 2, 31, 32, 50, 63, 64, 65, 100, 256] {
+            let mut rolled: Vec<(usize, u32)> = Vec::new();
+            b.hash_windows(&codes, k, &mut |pos, h| rolled.push((pos, h)));
+            assert_eq!(rolled.len(), codes.len() - k + 1, "k={k}");
+            for &(pos, h) in &rolled {
+                assert_eq!(h, b.hash_codes(&codes[pos..pos + k]), "k={k} pos={pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_hash_windows_agrees_with_rolling_override() {
+        // The provided (rehash-per-window) implementation and the rolling
+        // override are two routes to the same values.
+        let b = NtHashBuilder::with_seed(7);
+        let codes = arb_codes(120, 3);
+        let k = 50;
+        let mut by_default: Vec<u32> = Vec::new();
+        for s in 0..=codes.len() - k {
+            by_default.push(SeedHasher::hash_codes(&b, &codes[s..s + k]));
+        }
+        let mut by_rolling: Vec<u32> = Vec::new();
+        b.hash_windows(&codes, k, &mut |_, h| by_rolling.push(h));
+        assert_eq!(by_default, by_rolling);
+    }
+
+    #[test]
+    fn seed_changes_digest() {
+        let codes = [1u8, 2, 3, 0, 1, 2];
+        assert_ne!(
+            NtHashBuilder::with_seed(0).hash_codes(&codes),
+            NtHashBuilder::with_seed(0xBEEF).hash_codes(&codes),
+        );
+    }
+
+    #[test]
+    fn one_shot_matches_streaming() {
+        let builder = NtHashBuilder::with_seed(7);
+        let codes = [0u8, 1, 2, 3, 2, 1, 0, 3, 1, 1, 2, 0, 3, 3, 0, 2, 1];
+        let mut h = builder.build_hasher();
+        h.write(&codes[..5]);
+        h.write(&codes[5..]);
+        assert_eq!(h.digest32(), builder.hash_codes(&codes));
+        assert_eq!(h.finish(), builder.hash_codes(&codes) as u64);
+    }
+
+    #[test]
+    fn usable_as_map_hasher() {
+        let mut map = std::collections::HashMap::with_hasher(NtHashBuilder::with_seed(1));
+        map.insert([0u8, 1, 2, 3], 50u32);
+        assert_eq!(map.get(&[0u8, 1, 2, 3]), Some(&50));
+    }
+}

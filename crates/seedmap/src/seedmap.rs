@@ -147,24 +147,28 @@ impl<H: SeedHasher> SeedMap<H> {
         let mut window_pos: Vec<GlobalPos> = Vec::new();
         let mut counts = vec![0u32; buckets];
         let mut skipped_n = 0u64;
-        let mut codes = Vec::with_capacity(config.seed_len);
+        let mut codes: Vec<u8> = Vec::new();
         for (ci, chrom) in genome.chromosomes().iter().enumerate() {
             if chrom.len() < config.seed_len {
                 continue;
             }
             let start_gpos = genome.chrom_start(ci as u32);
-            let seq = chrom.seq();
-            for pos in 0..=chrom.len() - config.seed_len {
+            // One code extraction per chromosome, then the hash family
+            // slides a k-window over it: rolling families extend the
+            // previous window's state in O(1) instead of rehashing k bytes
+            // (one-shot families recompute, producing identical values to
+            // the historical per-window path).
+            chrom.seq().codes_into(0..chrom.len(), &mut codes);
+            hasher.hash_windows(&codes, config.seed_len, &mut |pos, hash| {
                 if chrom.has_n_in(pos, pos + config.seed_len) {
                     skipped_n += 1;
-                    continue;
+                    return;
                 }
-                seq.codes_into(pos..pos + config.seed_len, &mut codes);
-                let bucket = hasher.hash_codes(&codes) & mask;
+                let bucket = hash & mask;
                 bucket_of.push(bucket);
                 window_pos.push((start_gpos + pos as u64) as GlobalPos);
                 counts[bucket as usize] += 1;
-            }
+            });
         }
 
         // Filter oversized buckets.
@@ -358,6 +362,24 @@ mod tests {
         let map = SeedMap::build(&genome, &small_config());
         let seq = genome.chromosome(0).seq();
         for pos in (0..seq.len() - 8).step_by(97) {
+            let codes = seq.subseq(pos..pos + 8).to_codes();
+            let hits = map.query(&codes);
+            assert!(
+                hits.contains(&(pos as u32)),
+                "position {pos} missing from bucket {hits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nthash_backed_index_finds_every_position() {
+        // The rolling family validated *in-index*: construction hashes
+        // windows by extending the previous state, queries hash one-shot —
+        // the two must land in the same buckets for every position.
+        let genome = RandomGenomeBuilder::new(5_000).seed(1).build();
+        let map: SeedMap<crate::NtHashBuilder> = SeedMap::build_with(&genome, &small_config());
+        let seq = genome.chromosome(0).seq();
+        for pos in (0..seq.len() - 8).step_by(61) {
             let codes = seq.subseq(pos..pos + 8).to_codes();
             let hits = map.query(&codes);
             assert!(

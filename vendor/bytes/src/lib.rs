@@ -1,10 +1,11 @@
 //! Minimal offline stand-in for the `bytes` crate.
 //!
 //! The build environment has no access to crates.io, so this vendored crate
-//! provides exactly the [`Buf`]/[`BufMut`] subset the workspace uses
-//! (little-endian u32/u64 cursor reads over `&[u8]` and appends to
-//! `Vec<u8>`). The API signatures match the real crate so it can be swapped
-//! back in without call-site changes.
+//! provides exactly the [`Buf`]/[`BufMut`]/[`BytesMut`] subset the
+//! workspace uses (little-endian u32/u64 cursor reads over `&[u8]`, appends
+//! to `Vec<u8>`, and a front-consumable byte buffer). The API signatures
+//! match the real crate so it can be swapped back in without call-site
+//! changes.
 
 /// Cursor-style reads over a shrinking byte slice.
 pub trait Buf {
@@ -54,6 +55,95 @@ impl BufMut for Vec<u8> {
     }
 }
 
+/// A growable byte buffer that can also be consumed from the front without
+/// shifting the tail on every advance (the read-out prefix is reclaimed
+/// lazily, when the buffer next empties or reallocates).
+///
+/// This is the subset of the real crate's `BytesMut` that streaming parsers
+/// need: append with [`extend_from_slice`](BytesMut::extend_from_slice),
+/// view the unread remainder through `Deref<Target = [u8]>`, drop the front
+/// with [`advance`](BytesMut::advance), and recycle the allocation with
+/// [`clear`](BytesMut::clear).
+#[derive(Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer (no allocation until the first append).
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    /// Unread bytes remaining.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all content, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+
+    /// Appends `src` after the unread remainder. Compacts the read-out
+    /// prefix first when the append would otherwise force a reallocation.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        if self.head > 0 && self.buf.len() + src.len() > self.buf.capacity() {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Consumes `cnt` bytes from the front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cnt` exceeds [`len`](BytesMut::len).
+    pub fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of BytesMut");
+        self.head += cnt;
+        if self.head == self.buf.len() {
+            self.clear();
+        }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("BytesMut").field(&&self[..]).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,5 +165,30 @@ mod tests {
     fn short_read_panics() {
         let mut r: &[u8] = &[1, 2];
         let _ = r.get_u32_le();
+    }
+
+    #[test]
+    fn bytes_mut_append_advance() {
+        let mut b = BytesMut::with_capacity(4);
+        assert!(b.is_empty());
+        b.extend_from_slice(b"hello");
+        b.advance(2);
+        assert_eq!(&b[..], b"llo");
+        b.extend_from_slice(b" world");
+        assert_eq!(&b[..], b"llo world");
+        b.advance(b.len());
+        assert!(b.is_empty());
+        b.extend_from_slice(b"x");
+        assert_eq!(&b[..], b"x");
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bytes_mut_advance_past_end_panics() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"ab");
+        b.advance(3);
     }
 }
