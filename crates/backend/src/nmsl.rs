@@ -164,19 +164,45 @@ struct AdmittedPair {
     cells: FallbackCells,
 }
 
-/// The sequencing front half of the shared device, guarded by one lock.
-///
-/// Admissions arrive as engine batches in arbitrary order (work stealing);
-/// the frontier releases them to the lanes strictly by batch index, pricing
-/// GenDP fallback work per pair along the way — so every float it
-/// accumulates is summed in input order regardless of scheduling.
-struct Frontier {
-    /// Next batch index the contiguity frontier will release.
+/// Per-job sequencing state inside the [`Frontier`].
+#[derive(Clone, Copy, Debug, Default)]
+struct JobSeq {
+    /// Next batch index of this job the canonical order will release.
     next_batch: u64,
     /// Self-assigned index for unsequenced (`map_batch`) admissions.
     auto_next: u64,
-    /// Batches admitted ahead of the frontier, keyed by index.
-    pending: BTreeMap<u64, Vec<AdmittedPair>>,
+    /// Total batch count, once the job is sealed
+    /// ([`MapBackend::seal_job`]): the canonical order advances past the
+    /// job when `next_batch` reaches this.
+    sealed_at: Option<u64>,
+    /// Discarded ([`MapBackend::discard_job`]): buffered admissions are
+    /// dropped and stragglers admitted under this id are ignored.
+    discarded: bool,
+}
+
+/// The sequencing front half of the shared device, guarded by one lock.
+///
+/// Admissions arrive as engine batches in arbitrary order (work stealing,
+/// and — since the service front-end — arbitrarily interleaved *jobs*); the
+/// frontier releases them to the lanes strictly in **canonical order**: jobs
+/// in registration order ([`MapBackend::open_job`], or first admission for
+/// jobs never opened explicitly, e.g. the classic engine's implicit job 0),
+/// and batch index order within each job. GenDP fallback work is priced per
+/// pair along the way — so every float it accumulates is summed in
+/// canonical order regardless of scheduling, which is what makes warm
+/// totals for completed jobs bit-identical to mapping the jobs' streams
+/// back to back.
+struct Frontier {
+    /// Job ids in registration order — the outer key of the canonical
+    /// release order.
+    jobs: Vec<u64>,
+    /// Index into [`jobs`](Frontier::jobs) of the job currently at the
+    /// release head; everything before it is fully released (or discarded).
+    head: usize,
+    /// Per-job sequencing state.
+    seqs: BTreeMap<u64, JobSeq>,
+    /// Batches admitted ahead of the canonical order, keyed `(job, batch)`.
+    pending: BTreeMap<(u64, u64), Vec<AdmittedPair>>,
     /// Pairs released to lanes so far (the seedless-pair routing key).
     pairs_released: u64,
     /// Most batches ever buffered ahead of the frontier (schedule-domain:
@@ -200,8 +226,9 @@ struct Frontier {
 impl Frontier {
     fn new(lanes: usize, rec: Recorder) -> Frontier {
         Frontier {
-            next_batch: 0,
-            auto_next: 0,
+            jobs: Vec::new(),
+            head: 0,
+            seqs: BTreeMap::new(),
             pending: BTreeMap::new(),
             pairs_released: 0,
             peak_depth: 0,
@@ -210,6 +237,26 @@ impl Frontier {
             fallback_cycles_emitted: 0,
             fallback_energy_pj: 0.0,
             rec,
+        }
+    }
+
+    /// Registers `job` at the tail of the canonical order if it is new.
+    fn ensure_job(&mut self, job: u64) {
+        if let std::collections::btree_map::Entry::Vacant(e) = self.seqs.entry(job) {
+            e.insert(JobSeq::default());
+            self.jobs.push(job);
+        }
+    }
+
+    /// Drops every still-buffered admission of `job`.
+    fn drop_pending(&mut self, job: u64) {
+        let keys: Vec<(u64, u64)> = self
+            .pending
+            .range((job, 0)..=(job, u64::MAX))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in keys {
+            self.pending.remove(&k);
         }
     }
 }
@@ -498,13 +545,49 @@ impl SharedNmslDevice {
         }
     }
 
-    /// Admits one batch: sequence it at `index` (or self-assign), release
-    /// everything the contiguity frontier now covers, then pump the lanes
-    /// this admission staged work onto (skipping lanes another worker is
-    /// already streaming — see [`pump_lane`](SharedNmslDevice::pump_lane)).
+    /// Releases everything the canonical order now covers: batches of the
+    /// head job in index order, advancing the head past jobs that are
+    /// sealed-and-done or discarded. Caller holds the frontier lock;
+    /// touched lanes are flagged for the caller to pump after dropping it.
+    fn drain_ready<H: SeedHasher>(
+        &self,
+        f: &mut Frontier,
+        backend: &NmslBackend<'_, '_, H>,
+        stats: &mut BackendStats,
+        touched: &mut [bool],
+    ) {
+        while let Some(&job) = f.jobs.get(f.head) {
+            let seq = f.seqs[&job];
+            if seq.discarded {
+                f.drop_pending(job);
+                f.head += 1;
+                continue;
+            }
+            if let Some(batch) = f.pending.remove(&(job, seq.next_batch)) {
+                for pair in batch {
+                    touched[self.release_pair(f, backend, pair, stats)] = true;
+                }
+                f.seqs.get_mut(&job).expect("registered job").next_batch += 1;
+                continue;
+            }
+            if seq.sealed_at == Some(seq.next_batch) {
+                f.head += 1;
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Admits one batch of `job`: sequence it at `index` (or self-assign
+    /// within the job), release everything the canonical order now covers,
+    /// then pump the lanes this admission staged work onto (skipping lanes
+    /// another worker is already streaming — see
+    /// [`pump_lane`](SharedNmslDevice::pump_lane)). Admissions for a
+    /// discarded job are dropped whole.
     fn admit<H: SeedHasher>(
         &self,
         backend: &NmslBackend<'_, '_, H>,
+        job: u64,
         index: Option<u64>,
         pairs: Vec<AdmittedPair>,
         stats: &mut BackendStats,
@@ -512,28 +595,25 @@ impl SharedNmslDevice {
         let mut touched = vec![false; self.lanes.len()];
         {
             let mut f = self.frontier.lock().expect("frontier lock poisoned");
+            f.ensure_job(job);
+            let seq = f.seqs.get_mut(&job).expect("registered job");
+            if seq.discarded {
+                return;
+            }
             let index = index.unwrap_or_else(|| {
-                let i = f.auto_next;
-                f.auto_next += 1;
+                let i = seq.auto_next;
+                seq.auto_next += 1;
                 i
             });
-            f.auto_next = f.auto_next.max(index + 1);
-            f.pending.insert(index, pairs);
+            seq.auto_next = seq.auto_next.max(index + 1);
+            f.pending.insert((job, index), pairs);
             // Peak depth (before the frontier releases what it now covers);
             // the gauge's high-water mark records the worst reordering.
             let depth = f.pending.len() as u64;
             f.peak_depth = f.peak_depth.max(depth);
             f.rec.gauge_set(self.metrics.frontier_g, depth);
             f.rec.counter_sample("frontier_depth", depth);
-            while let Some(batch) = {
-                let next = f.next_batch;
-                f.pending.remove(&next)
-            } {
-                for pair in batch {
-                    touched[self.release_pair(&mut f, backend, pair, stats)] = true;
-                }
-                f.next_batch += 1;
-            }
+            self.drain_ready(&mut f, backend, stats, &mut touched);
             let depth = f.pending.len() as u64;
             f.rec.gauge_set(self.metrics.frontier_g, depth);
         }
@@ -542,6 +622,70 @@ impl SharedNmslDevice {
                 self.pump_lane(backend, idx, false, stats);
             }
         }
+    }
+
+    /// Registers `job` in the canonical release order (see
+    /// [`MapBackend::open_job`]).
+    fn open_job(&self, job: u64) {
+        let mut f = self.frontier.lock().expect("frontier lock poisoned");
+        f.ensure_job(job);
+    }
+
+    /// Seals `job` at `batches` batches, releasing whatever the canonical
+    /// order was holding behind the job boundary (the same lock discipline
+    /// as [`admit`](SharedNmslDevice::admit): frontier alone, then pump the
+    /// touched lanes without it).
+    fn seal_job<H: SeedHasher>(
+        &self,
+        backend: &NmslBackend<'_, '_, H>,
+        job: u64,
+        batches: u64,
+    ) -> BackendStats {
+        let mut stats = BackendStats::new();
+        let mut touched = vec![false; self.lanes.len()];
+        {
+            let mut f = self.frontier.lock().expect("frontier lock poisoned");
+            f.ensure_job(job);
+            let seq = f.seqs.get_mut(&job).expect("registered job");
+            seq.sealed_at = Some(batches);
+            self.drain_ready(&mut f, backend, &mut stats, &mut touched);
+            let depth = f.pending.len() as u64;
+            f.rec.gauge_set(self.metrics.frontier_g, depth);
+        }
+        for (idx, touched) in touched.into_iter().enumerate() {
+            if touched {
+                self.pump_lane(backend, idx, false, &mut stats);
+            }
+        }
+        stats.sim_cycles = stats.seed_cycles + stats.fallback_cycles;
+        stats
+    }
+
+    /// Discards `job`: drops its buffered admissions immediately and lets
+    /// the canonical order skip it (see [`MapBackend::discard_job`]).
+    fn discard_job<H: SeedHasher>(
+        &self,
+        backend: &NmslBackend<'_, '_, H>,
+        job: u64,
+    ) -> BackendStats {
+        let mut stats = BackendStats::new();
+        let mut touched = vec![false; self.lanes.len()];
+        {
+            let mut f = self.frontier.lock().expect("frontier lock poisoned");
+            f.ensure_job(job);
+            f.seqs.get_mut(&job).expect("registered job").discarded = true;
+            f.drop_pending(job);
+            self.drain_ready(&mut f, backend, &mut stats, &mut touched);
+            let depth = f.pending.len() as u64;
+            f.rec.gauge_set(self.metrics.frontier_g, depth);
+        }
+        for (idx, touched) in touched.into_iter().enumerate() {
+            if touched {
+                self.pump_lane(backend, idx, false, &mut stats);
+            }
+        }
+        stats.sim_cycles = stats.seed_cycles + stats.fallback_cycles;
+        stats
     }
 
     /// Drains the whole device in deterministic order, returns the float
@@ -554,11 +698,16 @@ impl SharedNmslDevice {
             ..DeviceCounters::default()
         };
         {
-            // Release anything still pending. On a normal run the frontier
-            // has released everything; after an aborted run (sink error)
-            // indices may have gaps — release in index order regardless,
-            // so the device always resets clean.
+            // Release anything still pending: first whatever the canonical
+            // order covers (flush pumps every lane blocking below, so the
+            // touched flags are moot), then stragglers. On a normal run the
+            // frontier has released everything; after an aborted run (sink
+            // error) or with jobs never sealed, indices may have gaps —
+            // release leftovers in `(job, batch)` key order regardless, so
+            // the device always resets clean.
             let mut f = self.frontier.lock().expect("frontier lock poisoned");
+            let mut touched = vec![false; self.lanes.len()];
+            self.drain_ready(&mut f, backend, &mut stats, &mut touched);
             let leftover: Vec<Vec<AdmittedPair>> =
                 std::mem::take(&mut f.pending).into_values().collect();
             for batch in leftover {
@@ -898,6 +1047,26 @@ impl<H: SeedHasher> MapBackend for NmslBackend<'_, '_, H> {
             DispatchMode::Cold => BackendStats::new(),
         }
     }
+
+    fn open_job(&self, job: u64) {
+        if self.mode == DispatchMode::Warm {
+            self.device.open_job(job);
+        }
+    }
+
+    fn seal_job(&self, job: u64, batches: u64) -> BackendStats {
+        match self.mode {
+            DispatchMode::Warm => self.device.seal_job(self, job, batches),
+            DispatchMode::Cold => BackendStats::new(),
+        }
+    }
+
+    fn discard_job(&self, job: u64) -> BackendStats {
+        match self.mode {
+            DispatchMode::Warm => self.device.discard_job(self, job),
+            DispatchMode::Cold => BackendStats::new(),
+        }
+    }
 }
 
 /// A per-worker NMSL mapping session (see [`NmslBackend`]).
@@ -945,7 +1114,7 @@ pub struct NmslSession<'s, H: SeedHasher = Xxh32Builder> {
 }
 
 impl<H: SeedHasher> NmslSession<'_, H> {
-    fn map_inner(&mut self, index: Option<u64>, pairs: &[ReadPair]) -> BatchResult {
+    fn map_inner(&mut self, job: u64, index: Option<u64>, pairs: &[ReadPair]) -> BatchResult {
         let started = Instant::now();
         // Results: the software path (identical bytes across backends and
         // dispatch modes).
@@ -995,7 +1164,7 @@ impl<H: SeedHasher> NmslSession<'_, H> {
                 }
                 self.backend
                     .device
-                    .admit(self.backend, index, admissions, &mut stats);
+                    .admit(self.backend, job, index, admissions, &mut stats);
             }
             DispatchMode::Cold => self.map_cold(pairs, &results, &mut stats),
         }
@@ -1069,11 +1238,15 @@ impl<H: SeedHasher> NmslSession<'_, H> {
 
 impl<H: SeedHasher> MapSession for NmslSession<'_, H> {
     fn map_batch(&mut self, pairs: &[ReadPair]) -> BatchResult {
-        self.map_inner(None, pairs)
+        self.map_inner(0, None, pairs)
     }
 
     fn map_sequenced_batch(&mut self, batch_index: u64, pairs: &[ReadPair]) -> BatchResult {
-        self.map_inner(Some(batch_index), pairs)
+        self.map_inner(0, Some(batch_index), pairs)
+    }
+
+    fn map_job_batch(&mut self, job: u64, batch_index: u64, pairs: &[ReadPair]) -> BatchResult {
+        self.map_inner(job, Some(batch_index), pairs)
     }
 
     fn finish(&mut self) -> BackendStats {
@@ -1266,6 +1439,157 @@ mod tests {
             in_order.exposed_transfer_seconds.to_bits(),
             shuffled.exposed_transfer_seconds.to_bits()
         );
+    }
+
+    /// Full warm fingerprint of a [`BackendStats`] total: integers plus the
+    /// device-accumulated floats compared by bit pattern.
+    fn fingerprint(s: &BackendStats) -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            s.pairs,
+            s.seed_cycles,
+            s.sim_cycles,
+            s.fallback_cycles,
+            s.dram_bytes,
+            s.energy_pj.to_bits(),
+            s.exposed_transfer_seconds.to_bits(),
+        )
+    }
+
+    #[test]
+    fn interleaved_jobs_match_concatenated_stream() {
+        // Two jobs admitted through two sessions, batches interleaved and
+        // out of order, with job 1's work arriving *before* job 0 is done:
+        // the canonical release order (job registration order × batch
+        // index) must make the warm totals bit-identical to mapping job
+        // 0's stream then job 1's through the classic single-job path.
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let backend = NmslBackend::new(&mapper).dispatch_quantum(4);
+        let (job0, job1) = pairs.split_at(7);
+
+        // Reference: one stream, concatenated in job order.
+        let mut reference = BackendStats::new();
+        let mut session = backend.session(0);
+        for (i, chunk) in job0.chunks(2).chain(job1.chunks(2)).enumerate() {
+            reference.merge(&session.map_sequenced_batch(i as u64, chunk).stats);
+        }
+        reference.merge(&session.finish());
+        reference.merge(&backend.flush());
+
+        // Interleaved: job 1 first on the wire, out of order within jobs.
+        backend.open_job(0);
+        backend.open_job(1);
+        let b0: Vec<&[ReadPair]> = job0.chunks(2).collect();
+        let b1: Vec<&[ReadPair]> = job1.chunks(2).collect();
+        let mut interleaved = BackendStats::new();
+        let mut a = backend.session(0);
+        let mut b = backend.session(1);
+        interleaved.merge(&b.map_job_batch(1, 2, b1[2]).stats);
+        interleaved.merge(&a.map_job_batch(0, 1, b0[1]).stats);
+        interleaved.merge(&b.map_job_batch(1, 0, b1[0]).stats);
+        interleaved.merge(&a.map_job_batch(0, 3, b0[3]).stats);
+        interleaved.merge(&b.map_job_batch(0, 0, b0[0]).stats);
+        interleaved.merge(&a.map_job_batch(1, 1, b1[1]).stats);
+        interleaved.merge(&b.map_job_batch(0, 2, b0[2]).stats);
+        interleaved.merge(&backend.seal_job(0, b0.len() as u64));
+        interleaved.merge(&backend.seal_job(1, b1.len() as u64));
+        interleaved.merge(&a.finish());
+        interleaved.merge(&b.finish());
+        interleaved.merge(&backend.flush());
+
+        assert_eq!(fingerprint(&reference), fingerprint(&interleaved));
+    }
+
+    #[test]
+    fn seal_releases_the_parked_next_job() {
+        // Job 1's batches all arrive while job 0 is still open: they must
+        // park behind the job boundary, and the seal of job 0 (not any
+        // worker call) carries the accounting of their release.
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        // One lane: every release lands on it, so the seal-triggered
+        // releases are guaranteed to fill a quantum and drive the simulator
+        // (with many lanes a 6-pair tail can sit below every quantum
+        // boundary until flush).
+        let backend = NmslBackend::new(&mapper).channels(1).dispatch_quantum(4);
+        let (job0, job1) = pairs.split_at(6);
+        backend.open_job(0);
+        backend.open_job(1);
+
+        let mut total = BackendStats::new();
+        let mut session = backend.session(0);
+        // Job 1 fully admitted and sealed first — nothing may release yet.
+        let parked = session.map_job_batch(1, 0, job1).stats;
+        assert_eq!(
+            parked.seed_cycles, 0,
+            "job 1 released before job 0 completed"
+        );
+        total.merge(&parked);
+        total.merge(&backend.seal_job(1, 1));
+        // Job 0 arrives and seals: its own admission releases immediately,
+        // and sealing it unparks job 1's tail.
+        total.merge(&session.map_job_batch(0, 0, job0).stats);
+        let seal = backend.seal_job(0, 1);
+        assert!(
+            seal.seed_cycles > 0,
+            "sealing job 0 must drive job 1's parked release"
+        );
+        total.merge(&seal);
+        total.merge(&session.finish());
+        total.merge(&backend.flush());
+
+        // And the grand total still matches the concatenated reference.
+        let mut reference = BackendStats::new();
+        let mut refsess = backend.session(0);
+        reference.merge(&refsess.map_sequenced_batch(0, job0).stats);
+        reference.merge(&refsess.map_sequenced_batch(1, job1).stats);
+        reference.merge(&refsess.finish());
+        reference.merge(&backend.flush());
+        assert_eq!(fingerprint(&reference), fingerprint(&total));
+    }
+
+    #[test]
+    fn discarded_job_is_skipped_and_stragglers_are_dropped() {
+        let (genome, pairs) = setup();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let backend = NmslBackend::new(&mapper).dispatch_quantum(4);
+        let (doomed, kept) = pairs.split_at(5);
+
+        // Reference: the surviving job alone on a fresh device.
+        let mut reference = BackendStats::new();
+        let mut refsess = backend.session(0);
+        reference.merge(&refsess.map_sequenced_batch(0, kept).stats);
+        reference.merge(&refsess.finish());
+        reference.merge(&backend.flush());
+
+        // Job 0 is discarded before any of its work released (its only
+        // admission is parked behind the missing batch 0); job 1 completes.
+        backend.open_job(0);
+        backend.open_job(1);
+        let mut total = BackendStats::new();
+        let mut session = backend.session(0);
+        total.merge(&session.map_job_batch(0, 1, &doomed[..2]).stats);
+        total.merge(&backend.discard_job(0));
+        // A straggler admission racing past the cancel is ignored too.
+        total.merge(&session.map_job_batch(0, 0, &doomed[2..]).stats);
+        total.merge(&session.map_job_batch(1, 0, kept).stats);
+        total.merge(&backend.seal_job(1, 1));
+        total.merge(&session.finish());
+        total.merge(&backend.flush());
+        // The discarded job still mapped its pairs (results-side), but the
+        // device priced only the surviving job's stream.
+        assert_eq!(total.pairs, pairs.len() as u64);
+        let mut surviving = total;
+        surviving.pairs = reference.pairs;
+        surviving.batches = reference.batches;
+        surviving.busy_ns = reference.busy_ns;
+        surviving.input_bytes = reference.input_bytes;
+        surviving.output_bytes = reference.output_bytes;
+        assert_eq!(fingerprint(&reference), fingerprint(&surviving));
+        // The device is clean for the next run: a fresh job maps normally.
+        let after = run_session(&backend, kept, 3);
+        assert_eq!(after.pairs, kept.len() as u64);
+        assert!(after.seed_cycles > 0);
     }
 
     #[test]

@@ -321,6 +321,47 @@ pub trait MapBackend: Sync {
     fn flush(&self) -> BackendStats {
         BackendStats::new()
     }
+
+    /// Declares job `job` to sequencing backends, fixing its position in
+    /// the **canonical release order**: jobs are accounted in `open_job`
+    /// order, and within a job in batch-index order, no matter how the
+    /// scheduler interleaves their admissions. A multi-tenant front-end
+    /// (the `gx-pipeline` service) opens each job once at submission,
+    /// before any [`MapSession::map_job_batch`] call carries its id; a
+    /// backend that never sequences (the software backend) keeps the
+    /// default no-op. Jobs admitted without an explicit `open_job` are
+    /// registered lazily in first-admission order — which is what keeps the
+    /// classic single-run engine path (one implicit job `0`) working
+    /// unchanged.
+    fn open_job(&self, job: u64) {
+        let _ = job;
+    }
+
+    /// Marks job `job` complete at exactly `batches` batches (indices
+    /// `0..batches` all admitted or in flight). A sequencing backend uses
+    /// this to know when the job's tail has fully released so the canonical
+    /// order can advance to the next job; any accounting the seal itself
+    /// triggers (releases that were parked behind the job boundary) is
+    /// returned for the caller to merge — there is no worker call to
+    /// attribute it to. Called once per job, after its last admission.
+    fn seal_job(&self, job: u64, batches: u64) -> BackendStats {
+        let _ = (job, batches);
+        BackendStats::new()
+    }
+
+    /// Abandons job `job` (cancellation or a per-job ingestion failure):
+    /// a sequencing backend drops the job's still-buffered admissions,
+    /// stops waiting for its missing batches, and ignores any stragglers
+    /// admitted under this id afterwards. Accounting already attributed for
+    /// the job's released pairs stands — a cancelled job's device cost is
+    /// inherently schedule-dependent (how far it got before the cancel),
+    /// which is why determinism claims quantify over *completed* jobs only.
+    /// Returns accounting freed by the discard, like
+    /// [`seal_job`](MapBackend::seal_job).
+    fn discard_job(&self, job: u64) -> BackendStats {
+        let _ = job;
+        BackendStats::new()
+    }
 }
 
 /// A per-worker mapping session: owns whatever mutable state mapping
@@ -358,6 +399,28 @@ pub trait MapSession {
     fn map_sequenced_batch(&mut self, batch_index: u64, pairs: &[ReadPair]) -> BatchResult {
         let _ = batch_index;
         self.map_batch(pairs)
+    }
+
+    /// Maps one batch of job `job` at position `batch_index` *within that
+    /// job's* input stream (0-based, contiguous per job). The multi-tenant
+    /// service front-end uses this to interleave many jobs through one
+    /// shared device: a sequencing backend buffers admissions until the
+    /// canonical release order (job registration order × per-job batch
+    /// index — see [`MapBackend::open_job`]) covers them, so warm totals
+    /// for a set of completed jobs are bit-identical to mapping the jobs'
+    /// streams back to back, regardless of interleaving, thread count or
+    /// batch size. Results are returned immediately either way — only the
+    /// *accounting* is re-sequenced. The default ignores the job id and
+    /// defers to [`map_sequenced_batch`](MapSession::map_sequenced_batch)
+    /// (correct for backends without cross-worker shared state).
+    ///
+    /// Every job must be sealed ([`MapBackend::seal_job`]) or discarded
+    /// ([`MapBackend::discard_job`]) before [`MapBackend::flush`], or the
+    /// sequencer will release its parked tail in flush order instead of
+    /// canonical order.
+    fn map_job_batch(&mut self, job: u64, batch_index: u64, pairs: &[ReadPair]) -> BatchResult {
+        let _ = job;
+        self.map_sequenced_batch(batch_index, pairs)
     }
 
     /// Flushes the session, returning any accounting not yet attributed to

@@ -1,0 +1,277 @@
+//! Multi-job service throughput and determinism harness — the
+//! mapping-as-a-service counterpart to `backend_compare`.
+//!
+//! Runs N concurrent jobs (mixed batch sizes and priorities) through one
+//! [`MappingService`](gx_pipeline::MappingService) over a shared warm NMSL
+//! device, once per thread count, and prints one JSON line per
+//! (threads, job):
+//!
+//! ```text
+//! {"harness":"service_throughput","threads":2,"job":1,"priority":"high",
+//!  "batch_size":96,"pairs":800,"records_written":1600,"outcome":"completed",
+//!  "elapsed_ms":12.3,"reads_per_sec":65000.0,"sam_identical":true}
+//! ```
+//!
+//! `sam_identical` is the per-job determinism check: the job's SAM bytes
+//! (its own headered sink) compared against that job's **solo**
+//! [`map_serial`] run. A service-level line per
+//! thread count reports aggregate throughput and the service totals, and
+//! a final summary line reports `sharding_invariant` — true iff the warm
+//! device fingerprint (modeled cycles/energy/transfer/DRAM, floats as
+//! bits) is **bit-identical across every thread count** *and* equal to a
+//! plain single-engine run over the concatenated job streams: the
+//! multi-tenant service must be invisible to the accounting model. CI
+//! greps for `"sharding_invariant":true` and `"sam_identical":true`.
+//!
+//! Knobs: `GX_PAIRS` (total across jobs), `GX_GENOME_SIZE`; flags:
+//! `--smoke` for a seconds-scale CI run (2 jobs), `--jobs N`,
+//! `--channels N`. Exits nonzero if any determinism check fails, so the
+//! grep and the exit status agree.
+
+use gx_backend::{BackendStats, NmslBackend, DEFAULT_CHANNELS};
+use gx_bench::env_usize;
+use gx_core::{GenPairConfig, GenPairMapper};
+use gx_genome::ReferenceGenome;
+use gx_pipeline::{
+    map_serial, FallbackPolicy, JobOutcome, JobSpec, PipelineBuilder, Priority, ReadPair,
+    SamTextSink, ServiceBuilder,
+};
+use gx_readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
+use std::time::Instant;
+
+/// The warm fields the service promises are thread-count- and
+/// tenancy-invariant, floats as bits so the check means "identical".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct WarmFingerprint {
+    sim_cycles: u64,
+    seed_cycles: u64,
+    fallback_cycles: u64,
+    energy_pj_bits: u64,
+    exposed_transfer_bits: u64,
+    transfer_bits: u64,
+    dram_bytes: u64,
+    dram_requests: u64,
+    pairs: u64,
+}
+
+impl WarmFingerprint {
+    fn of(b: &BackendStats) -> WarmFingerprint {
+        WarmFingerprint {
+            sim_cycles: b.sim_cycles,
+            seed_cycles: b.seed_cycles,
+            fallback_cycles: b.fallback_cycles,
+            energy_pj_bits: b.energy_pj.to_bits(),
+            exposed_transfer_bits: b.exposed_transfer_seconds.to_bits(),
+            transfer_bits: b.transfer_seconds.to_bits(),
+            dram_bytes: b.dram_bytes,
+            dram_requests: b.dram_requests,
+            pairs: b.pairs,
+        }
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} requires a positive integer argument"))
+        })
+        .filter(|&v| v > 0)
+}
+
+fn priority_name(p: Priority) -> &'static str {
+    match p {
+        Priority::Low => "low",
+        Priority::Normal => "normal",
+        Priority::High => "high",
+    }
+}
+
+/// The deliberately non-uniform per-job traffic mix.
+const BATCH_SIZES: [usize; 4] = [32, 96, 17, 128];
+const PRIORITIES: [Priority; 4] = [
+    Priority::Normal,
+    Priority::High,
+    Priority::Low,
+    Priority::Normal,
+];
+
+fn solo_sam(mapper: &GenPairMapper<'_>, genome: &ReferenceGenome, pairs: &[ReadPair]) -> Vec<u8> {
+    let mut sink = SamTextSink::with_header(genome, Vec::new()).expect("Vec write cannot fail");
+    map_serial(
+        mapper,
+        FallbackPolicy::EmitUnmapped,
+        pairs.to_vec(),
+        &mut sink,
+    )
+    .expect("Vec sink is infallible");
+    sink.into_inner().expect("Vec flush cannot fail")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let n_jobs = flag_value(&args, "--jobs").unwrap_or(if smoke { 2 } else { 4 });
+    let channels = flag_value(&args, "--channels").unwrap_or(DEFAULT_CHANNELS);
+    let (default_pairs, default_genome) = if smoke {
+        (300, 250_000)
+    } else {
+        (3_000, 800_000)
+    };
+    let n_pairs = env_usize("GX_PAIRS", default_pairs);
+    let genome_size = env_usize("GX_GENOME_SIZE", default_genome) as u64;
+
+    let genome = standard_genome(genome_size, 0xC0FFEE);
+    eprintln!(
+        "# genome: {} bp, simulating {n_pairs} pairs across {n_jobs} jobs...",
+        genome.total_len()
+    );
+    let pairs: Vec<ReadPair> = simulate_dataset(&genome, &DATASETS[0], n_pairs)
+        .into_iter()
+        .map(|p| ReadPair::new(p.id, p.r1.seq, p.r2.seq))
+        .collect();
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+
+    // Contiguous uneven split: job 0 takes the remainder.
+    let base = pairs.len() / n_jobs;
+    let mut jobs: Vec<Vec<ReadPair>> = Vec::with_capacity(n_jobs);
+    let mut at = 0;
+    for i in 0..n_jobs {
+        let take = if i == 0 {
+            base + pairs.len() % n_jobs
+        } else {
+            base
+        };
+        jobs.push(pairs[at..at + take].to_vec());
+        at += take;
+    }
+    let solos: Vec<Vec<u8>> = jobs.iter().map(|j| solo_sam(&mapper, &genome, j)).collect();
+
+    // The aggregate oracle: one single-tenant engine run over the
+    // concatenated job streams on the same device configuration.
+    let engine = PipelineBuilder::new()
+        .threads(2)
+        .batch_size(64)
+        .backend(NmslBackend::new(&mapper).channels(channels));
+    let (_, engine_report) = engine.run_collect(pairs.clone());
+    let engine_fp = WarmFingerprint::of(&engine_report.backend);
+
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
+    let mut all_sam_identical = true;
+    let mut fingerprints: Vec<(usize, WarmFingerprint)> = Vec::new();
+    for &threads in thread_counts {
+        let started = Instant::now();
+        let backend = NmslBackend::new(&mapper).channels(channels);
+        let (job_lines, service) = ServiceBuilder::new()
+            .threads(threads)
+            .queue_depth(2 * threads)
+            .serve(backend, |svc| {
+                let handles: Vec<_> = jobs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, job)| {
+                        let spec = JobSpec::new()
+                            .batch_size(BATCH_SIZES[i % BATCH_SIZES.len()])
+                            .priority(PRIORITIES[i % PRIORITIES.len()]);
+                        let sink = SamTextSink::with_header(&genome, Vec::new())
+                            .expect("Vec write cannot fail");
+                        svc.submit_pairs(spec, job.clone(), sink)
+                            .expect("park admission never rejects")
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        let (report, sink) = h.join();
+                        (report, sink.into_inner().expect("Vec flush cannot fail"))
+                    })
+                    .collect::<Vec<_>>()
+            });
+        let wall = started.elapsed().as_secs_f64();
+
+        for (i, (report, sam)) in job_lines.iter().enumerate() {
+            let identical = sam == &solos[i];
+            all_sam_identical &= identical;
+            let outcome = match report.outcome {
+                JobOutcome::Completed => "completed",
+                JobOutcome::Cancelled => "cancelled",
+                JobOutcome::Failed => "failed",
+            };
+            let elapsed = report.report.elapsed.as_secs_f64();
+            let rps = if elapsed > 0.0 {
+                report.report.stats.pairs as f64 / elapsed
+            } else {
+                0.0
+            };
+            println!(
+                "{{\"harness\":\"service_throughput\",\"threads\":{threads},\
+                 \"job\":{},\"priority\":\"{}\",\"batch_size\":{},\
+                 \"pairs\":{},\"records_written\":{},\"outcome\":\"{outcome}\",\
+                 \"elapsed_ms\":{:.3},\"reads_per_sec\":{:.1},\
+                 \"sam_identical\":{identical}}}",
+                report.job,
+                priority_name(PRIORITIES[i % PRIORITIES.len()]),
+                BATCH_SIZES[i % BATCH_SIZES.len()],
+                report.report.stats.pairs,
+                report.report.records_written,
+                elapsed * 1e3,
+                rps,
+            );
+        }
+        let rps = if wall > 0.0 {
+            n_pairs as f64 / wall
+        } else {
+            0.0
+        };
+        println!(
+            "{{\"harness\":\"service_throughput\",\"threads\":{threads},\
+             \"jobs_submitted\":{},\"jobs_completed\":{},\"records_written\":{},\
+             \"steals\":{},\"refills\":{},\"wall_ms\":{:.3},\
+             \"service_reads_per_sec\":{:.1},\"sim_cycles\":{},\
+             \"seed_cycles\":{},\"energy_pj\":{:.1}}}",
+            service.jobs_submitted,
+            service.jobs_completed,
+            service.records_written,
+            service.steals,
+            service.refills,
+            wall * 1e3,
+            rps,
+            service.backend.sim_cycles,
+            service.backend.seed_cycles,
+            service.backend.energy_pj,
+        );
+        fingerprints.push((threads, WarmFingerprint::of(&service.backend)));
+    }
+
+    let thread_invariant = fingerprints.windows(2).all(|w| w[0].1 == w[1].1);
+    let matches_engine = fingerprints.iter().all(|(_, fp)| *fp == engine_fp);
+    let sharding_invariant = thread_invariant && matches_engine;
+    if !thread_invariant {
+        eprintln!("# DIVERGENCE across thread counts: {fingerprints:#?}");
+    }
+    if !matches_engine {
+        eprintln!(
+            "# DIVERGENCE from the single-engine concatenated run:\n\
+             # engine: {engine_fp:#?}\n# service: {fingerprints:#?}"
+        );
+    }
+    println!(
+        "{{\"harness\":\"service_throughput\",\"check\":\"sharding_invariant\",\
+         \"channels\":{},\"jobs\":{},\"threads\":[{}],\
+         \"matches_single_engine\":{},\"sharding_invariant\":{}}}",
+        channels,
+        n_jobs,
+        thread_counts
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+        matches_engine,
+        sharding_invariant,
+    );
+    if !(sharding_invariant && all_sam_identical) {
+        std::process::exit(1);
+    }
+}

@@ -250,4 +250,42 @@ mod tests {
         );
         assert!(stream.next().is_none(), "stream must fuse after an error");
     }
+
+    #[test]
+    fn stream_reports_r2_longer_than_r1() {
+        // The opposite direction from `stream_fuses_after_length_mismatch`:
+        // R2 has the surplus record. The error text carries the pair count
+        // so a failed job's abort reason pinpoints where the streams
+        // diverged.
+        let r1 = b"@a/1\nACGT\n+\nIIII\n";
+        let r2 = b"@a/2\nTTTT\n+\nIIII\n@b/2\nGGGG\n+\nIIII\n";
+        let mut stream = ReadPairStream::new(&r1[..], &r2[..]);
+        assert!(stream.next().unwrap().is_ok());
+        let err = stream.next().unwrap().unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("differ in length"),
+            "unexpected error: {text}"
+        );
+        assert!(
+            text.contains("after 1 pairs"),
+            "error should say how many pairs paired cleanly: {text}"
+        );
+        assert!(stream.next().is_none(), "stream must fuse after an error");
+    }
+
+    #[test]
+    fn stream_reports_id_mismatch_and_fuses() {
+        let r1 = b"@a/1\nACGT\n+\nIIII\n@x/1\nGGGG\n+\nIIII\n";
+        let r2 = b"@a/2\nTTTT\n+\nIIII\n@y/2\nCCCC\n+\nIIII\n";
+        let mut stream = ReadPairStream::new(&r1[..], &r2[..]);
+        assert!(stream.next().unwrap().is_ok());
+        let err = stream.next().unwrap().unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("mate id mismatch") && text.contains("x/1") && text.contains("y/2"),
+            "error should name both offending ids: {text}"
+        );
+        assert!(stream.next().is_none(), "stream must fuse after an error");
+    }
 }

@@ -117,6 +117,14 @@ pub struct PipelineReport {
     pub dropped_events: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Why the run was aborted, when a report describes a stream that did
+    /// not finish cleanly. [`MappingEngine::run`] and [`map_serial`] return
+    /// the sink's `io::Error` directly instead of a report, so this is
+    /// always `None` on their success path; the service layer
+    /// ([`crate::MappingService`]) sets it on per-job reports whose emitter
+    /// failed or whose job was cancelled, preserving the originating error
+    /// text alongside the partial statistics.
+    pub abort_reason: Option<String>,
 }
 
 impl PipelineReport {
@@ -137,9 +145,10 @@ impl PipelineReport {
 }
 
 /// Converts one pair's mapping result into SAM records, honouring the
-/// fallback policy. Shared by the parallel workers and [`map_serial`] so
-/// both paths emit identical bytes.
-fn emit_pair_records(
+/// fallback policy. Shared by the parallel workers, [`map_serial`] and the
+/// service workers ([`crate::MappingService`]) so every path emits
+/// identical bytes.
+pub(crate) fn emit_pair_records(
     result: &PairMapResult,
     pair: &ReadPair,
     policy: FallbackPolicy,
@@ -504,6 +513,7 @@ impl<B: MapBackend> MappingEngine<B> {
             refills: queue.refills(),
             dropped_events: telemetry.dropped_events() - dropped_before,
             elapsed: started.elapsed(),
+            abort_reason: None,
         })
     }
 
@@ -581,6 +591,7 @@ where
         refills: 0,
         dropped_events: 0,
         elapsed,
+        abort_reason: None,
     })
 }
 

@@ -33,7 +33,14 @@
 //!   map-latency histograms, reorder-depth gauges, steal/refill counters
 //!   and batch-lifecycle spans — zero-cost when left disabled, and
 //!   accounting-inert by construction (wall-clock reads never feed modeled
-//!   stats, so warm totals and SAM bytes are unchanged by tracing).
+//!   stats, so warm totals and SAM bytes are unchanged by tracing);
+//! * a **multi-job service layer** ([`MappingService`], [`ServiceBuilder`])
+//!   that keeps one worker pool and one warm device serving many
+//!   concurrent jobs — admission control and backpressure, per-job
+//!   ordered emitters whose output stays byte-identical to each job's
+//!   solo run, live [`JobSnapshot`]s, graceful [`ServiceHandle::drain`]
+//!   and per-job [`JobHandle::cancel`] built on the device abort path; see the
+//!   [`MappingService`] docs for the architecture.
 //!
 //! ```
 //! use gx_genome::random::RandomGenomeBuilder;
@@ -72,6 +79,7 @@
 mod batch;
 mod config;
 mod engine;
+pub mod service;
 mod sink;
 mod steal;
 
@@ -83,5 +91,9 @@ pub use gx_backend::{
 };
 pub use gx_core::ReadPair;
 pub use gx_telemetry::{Telemetry, TelemetryConfig};
+pub use service::{
+    AdmissionPolicy, JobHandle, JobOutcome, JobReport, JobSnapshot, JobSpec, MappingService,
+    Priority, ServiceBuilder, ServiceConfig, ServiceHandle, ServiceReport, SubmitError,
+};
 pub use sink::{RecordSink, SamTextSink, VecSink};
 pub use steal::WorkStealQueue;

@@ -1,0 +1,1636 @@
+//! Mapping-as-a-service: many concurrent jobs over one shared engine.
+//!
+//! [`MappingEngine::run`](crate::MappingEngine::run) is one-shot: one input
+//! stream, one sink, one report. The ROADMAP north-star — heavy traffic
+//! from many users — needs a long-running front-end instead, and this
+//! module provides it: [`MappingService::serve`] owns **one worker pool
+//! and one shared [`MapBackend`] device** and admits many concurrent jobs
+//! through a [`ServiceHandle`]:
+//!
+//! ```text
+//! submit(job A) ──┐                 ┌─ worker 0 ─ map_job_batch ─┐ per-job
+//! submit(job B) ──┤ ingest thread   │  worker 1 ─ ...            ├─ ordered
+//! submit(job C) ──┘ (multiplexes,   │  worker N ─ ...            │ emitters
+//!                    priorities,    └────────── shared device ───┘ (A,B,C)
+//!                    windows)  ──► WorkStealQueue<JobBatch> ──►
+//! ```
+//!
+//! * **Job lifecycle** — [`ServiceHandle::submit`] registers the job with
+//!   the backend ([`MapBackend::open_job`], fixing its slot in the device's
+//!   canonical release order), hands its input iterator to the ingest
+//!   thread, and returns a [`JobHandle`]. The ingest thread chunks each
+//!   job's input into job-tagged batches and pushes them through the same
+//!   bounded [`WorkStealQueue`] the one-shot engine
+//!   uses; workers map them via [`MapSession::map_job_batch`] and append
+//!   the records to the job's own ordered emitter (a per-job reorder
+//!   buffer draining straight into the job's sink). When a job's input
+//!   ends the ingest thread seals it ([`MapBackend::seal_job`]); when its
+//!   last batch has been mapped and emitted, the job finalizes and
+//!   [`JobHandle::join`] returns its [`JobReport`] and sink.
+//! * **Admission control** — at most
+//!   [`max_active_jobs`](ServiceConfig::max_active_jobs) jobs are in
+//!   flight; over budget, [`AdmissionPolicy::Park`] blocks the submitter
+//!   until a slot frees while [`AdmissionPolicy::Reject`] returns
+//!   [`SubmitError::Busy`]. **Backpressure** inside an admitted job is the
+//!   engine's own: the injector is bounded
+//!   ([`queue_depth`](ServiceConfig::queue_depth)) and each job gets the
+//!   classic in-flight window (`queue_depth + 2 × threads` batches past
+//!   its last processed one), so one fast producer can neither flood the
+//!   queue nor grow its reorder buffer without limit.
+//! * **Determinism** — per-job SAM output is byte-identical to that job's
+//!   solo [`map_serial`](crate::map_serial) run, for any thread count,
+//!   batch size, priority mix or interleaving: mapping results are
+//!   schedule-independent and each job's emitter orders by batch index.
+//!   Warm-device accounting stays bit-identical too, because the backend
+//!   releases admitted pairs in a canonical order — jobs in submission
+//!   order, batches in index order within each job — no matter how worker
+//!   threads interleave (`MapBackend::open_job` docs); completed-job
+//!   totals therefore match a single engine run over the concatenated
+//!   streams, which `tests/e2e_service.rs` pins bit-for-bit.
+//! * **Cancellation** — [`JobHandle::cancel`] acquires the job's emitter
+//!   lock, so by the time it returns no further record of that job will
+//!   ever reach its sink (the ack is a barrier, which
+//!   `service_props.rs` verifies under random schedules). The ingest
+//!   thread then discards the job from the device
+//!   ([`MapBackend::discard_job`], the PR 4 abort path generalized):
+//!   batches already admitted drain without emission, stragglers are
+//!   ignored, and the service keeps accepting new jobs. A failing sink or
+//!   a malformed input stream fails *only its own job* the same way, and
+//!   the originating error text is preserved in
+//!   [`PipelineReport::abort_reason`].
+//! * **Observability** — with a [`Telemetry`] handle attached, each job
+//!   registers labeled series (`gx_job_pairs_total{job="N"}`,
+//!   `gx_job_records_total{job="N"}`) via the registry's graceful
+//!   `try_*` path (jobs beyond the metric-table budget simply go
+//!   unlabeled instead of panicking), plus a named trace track; live
+//!   per-job progress is available lock-cheaply via
+//!   [`JobHandle::snapshot`].
+//!
+//! Known limitations (see `ARCHITECTURE.md` for the full discussion): all
+//! job inputs are polled cooperatively on one ingest thread, so an input
+//! iterator that blocks stalls ingestion (not mapping) for every job; and
+//! a job cancelled *after* its input was fully ingested is already sealed
+//! into the device's canonical order, so its pairs still appear in device
+//! totals even though emission stops at the ack.
+
+use crate::batch::ReadPairStream;
+use crate::config::FallbackPolicy;
+use crate::engine::{emit_pair_records, PipelineReport};
+use crate::sink::RecordSink;
+use crate::steal::WorkStealQueue;
+use gx_backend::{BackendStats, MapBackend, MapSession};
+use gx_core::{PipelineStats, ReadPair};
+use gx_genome::GenomeError;
+use gx_genome::SamRecord;
+use gx_telemetry::{labeled, CounterId, Telemetry};
+use std::any::Any;
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::marker::PhantomData;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Injector→deque refill chunk, matching the one-shot engine's.
+const REFILL_CHUNK: usize = 4;
+
+/// Trace-track ids for per-job tracks (workers sit at `0..threads`, the
+/// ingest thread at `threads`, NMSL lanes at 2000+).
+const JOB_TRACK_BASE: u32 = 3000;
+
+/// What the service does with a submission that exceeds the
+/// [`max_active_jobs`](ServiceConfig::max_active_jobs) budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Block the submitting thread until an active job finalizes.
+    #[default]
+    Park,
+    /// Fail the submission immediately with [`SubmitError::Busy`].
+    Reject,
+}
+
+/// Relative ingestion weight of a job: per multiplexer round, the ingest
+/// thread feeds up to `weight()` batches of a job before moving on, so a
+/// high-priority job's batches reach the workers (and the shared device)
+/// sooner. Priorities never change a job's *output*: per-job SAM bytes
+/// and completed-job device totals are interleaving-invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Priority {
+    /// One batch per round.
+    Low,
+    /// Two batches per round (the default).
+    #[default]
+    Normal,
+    /// Four batches per round.
+    High,
+}
+
+impl Priority {
+    /// Batches the ingest thread feeds per multiplexer round.
+    pub fn weight(self) -> usize {
+        match self {
+            Priority::Low => 1,
+            Priority::Normal => 2,
+            Priority::High => 4,
+        }
+    }
+}
+
+/// Per-job submission parameters.
+///
+/// ```
+/// use gx_pipeline::{JobSpec, Priority};
+/// let spec = JobSpec::new().priority(Priority::High).batch_size(64);
+/// assert_eq!(spec.priority, Priority::High);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Pairs per batch for this job; `None` uses the service default.
+    pub batch_size: Option<usize>,
+    /// Ingestion priority.
+    pub priority: Priority,
+}
+
+impl JobSpec {
+    /// The defaults: service-wide batch size, [`Priority::Normal`].
+    pub fn new() -> JobSpec {
+        JobSpec::default()
+    }
+
+    /// Overrides the batch size for this job (clamped to at least 1).
+    pub fn batch_size(mut self, batch_size: usize) -> JobSpec {
+        self.batch_size = Some(batch_size.max(1));
+        self
+    }
+
+    /// Sets the ingestion priority.
+    pub fn priority(mut self, priority: Priority) -> JobSpec {
+        self.priority = priority;
+        self
+    }
+}
+
+/// Validated service configuration (see [`ServiceBuilder`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads mapping batches (shared by all jobs).
+    pub threads: usize,
+    /// Default pairs per batch for jobs that don't override it.
+    pub batch_size: usize,
+    /// Bounded injector depth in batches — the backpressure budget shared
+    /// by every job's ingestion.
+    pub queue_depth: usize,
+    /// Jobs admitted concurrently before [`AdmissionPolicy`] kicks in.
+    pub max_active_jobs: usize,
+    /// What to do with submissions over the budget.
+    pub admission: AdmissionPolicy,
+    /// Unmapped-pair handling (service-wide).
+    pub fallback: FallbackPolicy,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ServiceConfig {
+            threads,
+            batch_size: 256,
+            queue_depth: 2 * threads.max(1),
+            max_active_jobs: 8,
+            admission: AdmissionPolicy::default(),
+            fallback: FallbackPolicy::default(),
+        }
+    }
+}
+
+/// Fluent configuration of a [`MappingService`], mirroring
+/// [`PipelineBuilder`](crate::PipelineBuilder).
+///
+/// ```
+/// use gx_pipeline::{AdmissionPolicy, ServiceBuilder};
+/// let b = ServiceBuilder::new()
+///     .threads(4)
+///     .queue_depth(8)
+///     .max_active_jobs(2)
+///     .admission(AdmissionPolicy::Reject);
+/// assert_eq!(b.config().threads, 4);
+/// assert_eq!(b.config().max_active_jobs, 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ServiceBuilder {
+    cfg: ServiceConfig,
+    telemetry: Telemetry,
+}
+
+impl ServiceBuilder {
+    /// Starts from the defaults: one worker per core, 256-pair batches,
+    /// 2×threads queue depth, 8 concurrent jobs, parking admission.
+    pub fn new() -> ServiceBuilder {
+        ServiceBuilder::default()
+    }
+
+    /// Sets the worker thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> ServiceBuilder {
+        self.cfg.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the default batch size in pairs (clamped to at least 1).
+    pub fn batch_size(mut self, batch_size: usize) -> ServiceBuilder {
+        self.cfg.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Sets the bounded injector depth in batches (clamped to at least 1).
+    pub fn queue_depth(mut self, queue_depth: usize) -> ServiceBuilder {
+        self.cfg.queue_depth = queue_depth.max(1);
+        self
+    }
+
+    /// Sets the concurrent-job budget (clamped to at least 1).
+    pub fn max_active_jobs(mut self, max_active_jobs: usize) -> ServiceBuilder {
+        self.cfg.max_active_jobs = max_active_jobs.max(1);
+        self
+    }
+
+    /// Sets the over-budget admission policy.
+    pub fn admission(mut self, admission: AdmissionPolicy) -> ServiceBuilder {
+        self.cfg.admission = admission;
+        self
+    }
+
+    /// Sets the unmapped-pair policy.
+    pub fn fallback_policy(mut self, fallback: FallbackPolicy) -> ServiceBuilder {
+        self.cfg.fallback = fallback;
+        self
+    }
+
+    /// Attaches a telemetry handle: the service then records per-job
+    /// labeled counters and trace tracks in addition to the engine-level
+    /// series. Observational only, exactly as for the one-shot engine.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> ServiceBuilder {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The configuration built so far.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Runs a service over `backend` for the duration of `f` — shorthand
+    /// for [`MappingService::serve`].
+    pub fn serve<B, F, R>(self, backend: B, f: F) -> (R, ServiceReport)
+    where
+        B: MapBackend + Sync,
+        F: FnOnce(&ServiceHandle<'_, B>) -> R,
+    {
+        MappingService::serve(backend, self, f)
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// [`AdmissionPolicy::Reject`] and the active-job budget is full.
+    Busy,
+    /// [`ServiceHandle::drain`] has begun: no new jobs are accepted.
+    Draining,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy => write!(f, "service busy: active-job budget exhausted"),
+            SubmitError::Draining => write!(f, "service draining: no new jobs accepted"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// How a job ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Input fully mapped, every record delivered to the sink.
+    Completed,
+    /// Cancelled by the client; emission stopped at the cancel ack.
+    Cancelled,
+    /// The job's sink or input stream failed; the reason is in
+    /// [`PipelineReport::abort_reason`].
+    Failed,
+}
+
+/// Outcome of one job, returned by [`JobHandle::join`].
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// The job's service-assigned id (submission order).
+    pub job: u64,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// The per-job run report: statistics over the batches this job
+    /// actually mapped, its share of backend accounting (plus the
+    /// releases its seal or discard triggered), and — for cancelled or
+    /// failed jobs — the abort reason. `steals`/`refills` are
+    /// service-wide and reported as zero here (see
+    /// [`ServiceReport`]).
+    pub report: PipelineReport,
+}
+
+/// Live progress of one job (see [`JobHandle::snapshot`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobSnapshot {
+    /// Pairs mapped so far.
+    pub pairs: u64,
+    /// Records delivered to the sink so far.
+    pub records_written: u64,
+    /// Batches handed to the worker pool so far.
+    pub batches_admitted: u64,
+    /// Batches mapped (and, unless suppressed, emitted) so far.
+    pub batches_processed: u64,
+    /// The job has finalized ([`JobHandle::join`] will not block).
+    pub finished: bool,
+    /// A cancel has been acknowledged.
+    pub cancelled: bool,
+}
+
+/// Service-wide totals, returned by [`MappingService::serve`] after the
+/// final drain.
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Jobs admitted over the service's lifetime.
+    pub jobs_submitted: u64,
+    /// Jobs that completed normally.
+    pub jobs_completed: u64,
+    /// Jobs cancelled by clients.
+    pub jobs_cancelled: u64,
+    /// Jobs failed by their own sink or input stream.
+    pub jobs_failed: u64,
+    /// Records delivered across all sinks.
+    pub records_written: u64,
+    /// Device-wide backend accounting: every job's share plus the
+    /// session tails and the final flush. For a warm device over
+    /// completed jobs this is bit-identical to one engine run over the
+    /// concatenated job streams (`tests/e2e_service.rs`).
+    pub backend: BackendStats,
+    /// The backend that served this run ("software", "nmsl", ...).
+    pub backend_name: &'static str,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Batches taken from another worker's deque.
+    pub steals: u64,
+    /// Injector→deque refill transfers.
+    pub refills: u64,
+    /// Wall-clock duration of the whole service scope.
+    pub elapsed: std::time::Duration,
+}
+
+/// A sink that can be moved across the service's threads and handed back
+/// to the typed [`JobHandle::join`] afterwards.
+trait ServiceSink: RecordSink + Send {
+    /// Type-erases the sink for the return trip.
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send>;
+}
+
+impl<S: RecordSink + Send + 'static> ServiceSink for S {
+    fn into_any(self: Box<Self>) -> Box<dyn Any + Send> {
+        self
+    }
+}
+
+/// A job's input stream as the ingest thread sees it.
+type JobInput = Box<dyn Iterator<Item = Result<ReadPair, GenomeError>> + Send>;
+
+/// One job-tagged batch travelling through the work-steal queue.
+struct JobBatch {
+    job: Arc<JobState>,
+    index: u64,
+    pairs: Vec<ReadPair>,
+}
+
+/// Everything about one job that workers, the ingest thread and client
+/// handles share. One mutex (`core`) guards emission *and* bookkeeping:
+/// holding it while writing to the sink is what makes a cancel ack a
+/// barrier — cancel takes the same lock, so after it returns no record
+/// can reach the sink.
+struct JobState {
+    id: u64,
+    priority: Priority,
+    batch_size: usize,
+    submitted: Instant,
+    core: Mutex<JobCore>,
+    done: Condvar,
+    pairs_c: Option<CounterId>,
+    records_c: Option<CounterId>,
+}
+
+/// The mutable core of a job (see [`JobState`]).
+struct JobCore {
+    /// Batches handed to the worker pool.
+    admitted: u64,
+    /// Batches mapped (emitted or suppressed).
+    processed: u64,
+    /// Total batch count, set when the input stream ended cleanly.
+    sealed: Option<u64>,
+    /// The backend was told to discard this job.
+    discarded: bool,
+    /// The client cancelled; emission is suppressed from the ack on.
+    cancelled: bool,
+    /// Sink or ingestion failure text; emission is suppressed.
+    abort_reason: Option<String>,
+    /// Next batch index the emitter owes the sink.
+    next_emit: u64,
+    /// Mapped-but-not-yet-ordered batches (per-job reorder buffer).
+    pending: HashMap<u64, Vec<SamRecord>>,
+    /// The job's sink, present until `join` reclaims it.
+    sink: Option<Box<dyn ServiceSink>>,
+    /// Records delivered so far.
+    written: u64,
+    /// Per-job mapping statistics.
+    stats: PipelineStats,
+    /// Per-job backend accounting (this job's map calls + its
+    /// seal/discard releases; attribution of shared-device quanta is
+    /// schedule-dependent, only the service-wide sum is invariant).
+    backend: BackendStats,
+    /// The final report, parked here until `join`.
+    finished: Option<JobReport>,
+}
+
+impl JobCore {
+    fn new(sink: Box<dyn ServiceSink>) -> JobCore {
+        JobCore {
+            admitted: 0,
+            processed: 0,
+            sealed: None,
+            discarded: false,
+            cancelled: false,
+            abort_reason: None,
+            next_emit: 0,
+            pending: HashMap::new(),
+            sink: Some(sink),
+            written: 0,
+            stats: PipelineStats::new(),
+            backend: BackendStats::new(),
+            finished: None,
+        }
+    }
+
+    /// No more batches will ever be admitted for this job.
+    fn closed(&self) -> bool {
+        self.sealed.is_some() || self.discarded
+    }
+
+    /// Emission is suppressed (cancelled or failed).
+    fn suppressed(&self) -> bool {
+        self.cancelled || self.abort_reason.is_some()
+    }
+}
+
+/// A job the ingest thread is actively multiplexing.
+struct FeederJob {
+    state: Arc<JobState>,
+    input: JobInput,
+    next_index: u64,
+}
+
+impl FeederJob {
+    /// Pulls the next batch: `Some(Ok(pairs))`, `Some(Err(_))` on a
+    /// malformed input record (pairs collected before the error in the
+    /// same batch are dropped), `None` at clean end of input.
+    fn pull(&mut self) -> Option<Result<Vec<ReadPair>, GenomeError>> {
+        let mut pairs = Vec::with_capacity(self.state.batch_size);
+        while pairs.len() < self.state.batch_size {
+            match self.input.next() {
+                Some(Ok(p)) => pairs.push(p),
+                Some(Err(e)) => return Some(Err(e)),
+                None => break,
+            }
+        }
+        if pairs.is_empty() {
+            None
+        } else {
+            Some(Ok(pairs))
+        }
+    }
+}
+
+/// Scheduler state shared by submitters, the ingest thread and finalizers.
+#[derive(Default)]
+struct Sched {
+    next_id: u64,
+    active: usize,
+    draining: bool,
+    shutdown: bool,
+    aborting: bool,
+    incoming: Vec<FeederJob>,
+    registry: HashMap<u64, Arc<JobState>>,
+    jobs_submitted: u64,
+    jobs_completed: u64,
+    jobs_cancelled: u64,
+    jobs_failed: u64,
+    records_written: u64,
+    job_backend: BackendStats,
+}
+
+/// Everything the service's threads share by reference.
+struct Shared {
+    queue: WorkStealQueue<JobBatch>,
+    sched: Mutex<Sched>,
+    /// Wakes the ingest thread (new job, cancel, window progress) and
+    /// parked submitters / drainers (job finalized).
+    wake: Condvar,
+    cfg: ServiceConfig,
+    telemetry: Telemetry,
+    backend_name: &'static str,
+    /// Per-job in-flight window in batches.
+    window: u64,
+}
+
+impl Shared {
+    fn sched(&self) -> MutexGuard<'_, Sched> {
+        self.sched.lock().expect("scheduler poisoned")
+    }
+}
+
+/// Tears the dispatch queue down if the owning thread unwinds — the same
+/// guard discipline as the one-shot engine, extended to the service's
+/// ingest thread and the `serve` scope itself.
+struct AbortOnPanic<'a>(&'a Shared);
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Ok(mut sched) = self.0.sched.lock() {
+                sched.shutdown = true;
+                sched.draining = true;
+                sched.aborting = true;
+            }
+            self.0.queue.abort();
+            self.0.wake.notify_all();
+        }
+    }
+}
+
+/// The multi-job mapping front-end. See the [module docs](self) for the
+/// architecture; [`serve`](MappingService::serve) is the only entry
+/// point, because the backend borrows the mapper and the worker pool is
+/// scoped to the call.
+pub struct MappingService;
+
+impl MappingService {
+    /// Runs a mapping service over `backend` for the duration of `f`:
+    /// spawns the worker pool and the ingest thread, hands `f` a
+    /// [`ServiceHandle`] to submit jobs through, then drains every
+    /// remaining job, flushes the device and returns `f`'s result with
+    /// the service-wide [`ServiceReport`].
+    ///
+    /// ```
+    /// use gx_genome::random::RandomGenomeBuilder;
+    /// use gx_core::{GenPairConfig, GenPairMapper};
+    /// use gx_pipeline::{JobSpec, ReadPair, ServiceBuilder, SoftwareBackend, VecSink};
+    ///
+    /// let genome = RandomGenomeBuilder::new(60_000).seed(3).build();
+    /// let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+    /// let seq = genome.chromosome(0).seq();
+    /// let pairs = vec![ReadPair::new(
+    ///     "p0",
+    ///     seq.subseq(1_000..1_150),
+    ///     seq.subseq(1_300..1_450).revcomp(),
+    /// )];
+    ///
+    /// let (report, svc) = ServiceBuilder::new().threads(2).serve(
+    ///     SoftwareBackend::new(&mapper),
+    ///     |svc| {
+    ///         let job = svc
+    ///             .submit_pairs(JobSpec::new(), pairs.clone(), VecSink::new())
+    ///             .unwrap();
+    ///         let (report, sink) = job.join();
+    ///         assert_eq!(sink.records.len(), 2);
+    ///         report
+    ///     },
+    /// );
+    /// assert_eq!(report.report.stats.pairs, 1);
+    /// assert_eq!(svc.jobs_completed, 1);
+    /// ```
+    pub fn serve<B, F, R>(backend: B, builder: ServiceBuilder, f: F) -> (R, ServiceReport)
+    where
+        B: MapBackend + Sync,
+        F: FnOnce(&ServiceHandle<'_, B>) -> R,
+    {
+        let ServiceBuilder { cfg, telemetry } = builder;
+        let started = Instant::now();
+        let shared = Shared {
+            queue: WorkStealQueue::new(cfg.threads, cfg.queue_depth, REFILL_CHUNK),
+            sched: Mutex::new(Sched::default()),
+            wake: Condvar::new(),
+            window: (cfg.queue_depth + 2 * cfg.threads) as u64,
+            backend_name: backend.name(),
+            cfg,
+            telemetry,
+        };
+        for w in 0..cfg.threads {
+            shared
+                .telemetry
+                .label_track(w as u32, &format!("worker {w}"));
+        }
+        shared.telemetry.label_track(cfg.threads as u32, "ingest");
+
+        let shared = &shared;
+        let backend_ref = &backend;
+        let (out, tails) = std::thread::scope(|scope| {
+            // If `f` (or anything else on this thread) unwinds, tear the
+            // queue down and flag the ingest thread, or the scope's
+            // implicit join would deadlock on threads waiting for a
+            // shutdown that never comes.
+            let _teardown = AbortOnPanic(shared);
+            let mut workers = Vec::with_capacity(cfg.threads);
+            for worker_id in 0..cfg.threads {
+                workers.push(scope.spawn(move || run_worker(shared, backend_ref, worker_id)));
+            }
+            let feeder = scope.spawn(move || run_feeder(shared, backend_ref));
+
+            let handle = ServiceHandle {
+                shared,
+                backend: backend_ref,
+            };
+            let out = f(&handle);
+
+            // Graceful teardown: finish every admitted job, then stop.
+            handle.drain();
+            shared.sched().shutdown = true;
+            shared.wake.notify_all();
+            feeder.join().expect("service ingest thread panicked");
+            let tails: Vec<BackendStats> = workers
+                .into_iter()
+                .map(|w| w.join().expect("mapping worker panicked"))
+                .collect();
+            (out, tails)
+        });
+
+        let mut backend_total = BackendStats::new();
+        let (jobs_submitted, jobs_completed, jobs_cancelled, jobs_failed, records_written) = {
+            let sched = shared.sched();
+            backend_total.merge(&sched.job_backend);
+            (
+                sched.jobs_submitted,
+                sched.jobs_completed,
+                sched.jobs_cancelled,
+                sched.jobs_failed,
+                sched.records_written,
+            )
+        };
+        for tail in &tails {
+            backend_total.merge(tail);
+        }
+        // Strictly after every session finished: the warm device drains
+        // its lanes here and resets for the next serve.
+        backend_total.merge(&backend.flush());
+
+        let report = ServiceReport {
+            jobs_submitted,
+            jobs_completed,
+            jobs_cancelled,
+            jobs_failed,
+            records_written,
+            backend: backend_total,
+            backend_name: shared.backend_name,
+            threads: cfg.threads,
+            steals: shared.queue.steals(),
+            refills: shared.queue.refills(),
+            elapsed: started.elapsed(),
+        };
+        (out, report)
+    }
+}
+
+/// The client surface of a running service: submit, cancel, drain.
+/// Shareable across threads (`&ServiceHandle` is all any method needs).
+pub struct ServiceHandle<'s, B: MapBackend> {
+    shared: &'s Shared,
+    backend: &'s B,
+}
+
+impl<'s, B: MapBackend> ServiceHandle<'s, B> {
+    /// Submits a job: a stream of read pairs (errors in-stream, as
+    /// [`ReadPairStream`] yields them) and the sink its ordered SAM
+    /// records go to. Registers the job with the backend in submission
+    /// order (fixing its slot in the canonical release order) and hands
+    /// the input to the ingest thread.
+    ///
+    /// The input iterator is polled cooperatively on the shared ingest
+    /// thread — it should not block indefinitely. The sink is moved into
+    /// the service and handed back by [`JobHandle::join`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Busy`] over budget under
+    /// [`AdmissionPolicy::Reject`]; [`SubmitError::Draining`] once
+    /// [`drain`](ServiceHandle::drain) has begun (under
+    /// [`AdmissionPolicy::Park`] the call instead blocks until a slot
+    /// frees).
+    pub fn submit<I, S>(
+        &self,
+        spec: JobSpec,
+        input: I,
+        sink: S,
+    ) -> Result<JobHandle<'s, S>, SubmitError>
+    where
+        I: IntoIterator<Item = Result<ReadPair, GenomeError>>,
+        I::IntoIter: Send + 'static,
+        S: RecordSink + Send + 'static,
+    {
+        let mut sched = self.shared.sched();
+        loop {
+            if sched.draining {
+                return Err(SubmitError::Draining);
+            }
+            if sched.active < self.shared.cfg.max_active_jobs {
+                break;
+            }
+            match self.shared.cfg.admission {
+                AdmissionPolicy::Reject => return Err(SubmitError::Busy),
+                AdmissionPolicy::Park => {
+                    sched = self.shared.wake.wait(sched).expect("scheduler poisoned");
+                }
+            }
+        }
+        let id = sched.next_id;
+        sched.next_id += 1;
+        sched.active += 1;
+        sched.jobs_submitted += 1;
+        // Under the scheduler lock, so device registration order is
+        // exactly submission order — the canonical release order every
+        // determinism claim quantifies over.
+        self.backend.open_job(id);
+
+        let t = &self.shared.telemetry;
+        let pairs_c = t.try_counter(
+            &labeled("gx_job_pairs_total", "job", id),
+            "read pairs mapped for this job",
+        );
+        let records_c = t.try_counter(
+            &labeled("gx_job_records_total", "job", id),
+            "SAM records delivered to this job's sink",
+        );
+        t.label_track(JOB_TRACK_BASE.wrapping_add(id as u32), &format!("job {id}"));
+
+        let state = Arc::new(JobState {
+            id,
+            priority: spec.priority,
+            batch_size: spec.batch_size.unwrap_or(self.shared.cfg.batch_size).max(1),
+            submitted: Instant::now(),
+            core: Mutex::new(JobCore::new(Box::new(sink))),
+            done: Condvar::new(),
+            pairs_c,
+            records_c,
+        });
+        sched.registry.insert(id, Arc::clone(&state));
+        sched.incoming.push(FeederJob {
+            state: Arc::clone(&state),
+            input: Box::new(input.into_iter()),
+            next_index: 0,
+        });
+        drop(sched);
+        self.shared.wake.notify_all();
+        Ok(JobHandle {
+            shared: self.shared,
+            job: state,
+            _sink: PhantomData,
+        })
+    }
+
+    /// Submits an in-memory job — shorthand for [`submit`](Self::submit)
+    /// over an error-free pair list.
+    ///
+    /// # Errors
+    ///
+    /// As for [`submit`](Self::submit).
+    pub fn submit_pairs<S>(
+        &self,
+        spec: JobSpec,
+        pairs: Vec<ReadPair>,
+        sink: S,
+    ) -> Result<JobHandle<'s, S>, SubmitError>
+    where
+        S: RecordSink + Send + 'static,
+    {
+        self.submit(spec, pairs.into_iter().map(Ok), sink)
+    }
+
+    /// Submits a job reading mate-paired FASTQ streams — shorthand for
+    /// [`submit`](Self::submit) over a [`ReadPairStream`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`submit`](Self::submit).
+    pub fn submit_fastq<R1, R2, S>(
+        &self,
+        spec: JobSpec,
+        r1: R1,
+        r2: R2,
+        sink: S,
+    ) -> Result<JobHandle<'s, S>, SubmitError>
+    where
+        R1: BufRead + Send + 'static,
+        R2: BufRead + Send + 'static,
+        S: RecordSink + Send + 'static,
+    {
+        self.submit(spec, ReadPairStream::new(r1, r2), sink)
+    }
+
+    /// Cancels a job by id. Returns `false` if the job is unknown or
+    /// already finalized. On `true`, the ack guarantee holds: no record
+    /// of that job reaches its sink after this returns.
+    pub fn cancel(&self, job: u64) -> bool {
+        let state = {
+            let sched = self.shared.sched();
+            sched.registry.get(&job).cloned()
+        };
+        match state {
+            Some(state) => cancel_job(self.shared, &state),
+            None => false,
+        }
+    }
+
+    /// Jobs admitted and not yet finalized.
+    pub fn active_jobs(&self) -> usize {
+        self.shared.sched().active
+    }
+
+    /// Stops admitting new jobs and blocks until every active job has
+    /// finalized. Idempotent; [`MappingService::serve`] calls it on exit,
+    /// so drain always terminates before the service scope closes.
+    pub fn drain(&self) {
+        let mut sched = self.shared.sched();
+        sched.draining = true;
+        while sched.active > 0 {
+            let (guard, _) = self
+                .shared
+                .wake
+                .wait_timeout(sched, Duration::from_millis(20))
+                .expect("scheduler poisoned");
+            sched = guard;
+        }
+    }
+}
+
+/// A client's handle to one submitted job. `S` is the sink type handed to
+/// [`ServiceHandle::submit`]; [`join`](JobHandle::join) gives it back.
+pub struct JobHandle<'s, S> {
+    shared: &'s Shared,
+    job: Arc<JobState>,
+    _sink: PhantomData<fn() -> S>,
+}
+
+impl<S> std::fmt::Debug for JobHandle<'_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("job", &self.job.id)
+            .finish()
+    }
+}
+
+impl<S> JobHandle<'_, S> {
+    /// The job's service-assigned id (submission order).
+    pub fn id(&self) -> u64 {
+        self.job.id
+    }
+
+    /// Cancels this job. Returns `false` if it already finalized. On
+    /// `true`, no further record of this job will reach its sink: the
+    /// cancel takes the job's emitter lock, so the ack is a barrier.
+    pub fn cancel(&self) -> bool {
+        cancel_job(self.shared, &self.job)
+    }
+
+    /// A live progress snapshot (one short lock, no blocking on I/O
+    /// other than a record write already in flight).
+    pub fn snapshot(&self) -> JobSnapshot {
+        let core = self.job.core.lock().expect("job core poisoned");
+        JobSnapshot {
+            pairs: core.stats.pairs,
+            records_written: core.written,
+            batches_admitted: core.admitted,
+            batches_processed: core.processed,
+            finished: core.finished.is_some(),
+            cancelled: core.cancelled,
+        }
+    }
+
+    /// Whether [`join`](JobHandle::join) would return immediately.
+    pub fn is_finished(&self) -> bool {
+        self.job
+            .core
+            .lock()
+            .expect("job core poisoned")
+            .finished
+            .is_some()
+    }
+
+    /// Blocks until the job finalizes, then returns its report and the
+    /// sink (with every record the job delivered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job's sink was already reclaimed (a second handle
+    /// joined it).
+    pub fn join(self) -> (JobReport, S)
+    where
+        S: 'static,
+    {
+        let mut core = self.job.core.lock().expect("job core poisoned");
+        while core.finished.is_none() {
+            core = self.job.done.wait(core).expect("job core poisoned");
+        }
+        let report = core.finished.clone().expect("checked above");
+        let sink = core.sink.take().expect("job sink already reclaimed");
+        drop(core);
+        let sink = *sink
+            .into_any()
+            .downcast::<S>()
+            .expect("job sink type mismatch");
+        (report, sink)
+    }
+}
+
+/// Marks a job cancelled under its emitter lock (the ack barrier) and
+/// nudges the ingest thread to discard it from the device.
+fn cancel_job(shared: &Shared, job: &Arc<JobState>) -> bool {
+    let mut core = job.core.lock().expect("job core poisoned");
+    if core.finished.is_some() {
+        return false;
+    }
+    if !core.cancelled {
+        core.cancelled = true;
+        // Reordered batches will never be emitted: free them now.
+        core.pending.clear();
+    }
+    drop(core);
+    shared.wake.notify_all();
+    true
+}
+
+/// Builds the job's final report once its last batch has drained, and
+/// rolls its totals into the service-wide accumulators. Safe to call from
+/// any thread at any time; only the transition runs once.
+fn try_finalize(shared: &Shared, job: &Arc<JobState>) {
+    // Scheduler lock first, then the job core (the one nesting the
+    // service ever uses): the finished flag and the freed admission slot
+    // become visible atomically, so a client that returns from `join`
+    // can immediately resubmit without racing the slot release.
+    let mut sched = shared.sched();
+    {
+        let mut guard = job.core.lock().expect("job core poisoned");
+        let core = &mut *guard;
+        if core.finished.is_some() || !core.closed() || core.processed != core.admitted {
+            return;
+        }
+        let outcome = if core.cancelled {
+            JobOutcome::Cancelled
+        } else if core.abort_reason.is_some() {
+            JobOutcome::Failed
+        } else {
+            JobOutcome::Completed
+        };
+        let abort_reason = match (&core.abort_reason, outcome) {
+            (Some(reason), _) => Some(reason.clone()),
+            (None, JobOutcome::Cancelled) => Some("cancelled by client".to_string()),
+            (None, _) => None,
+        };
+        core.finished = Some(JobReport {
+            job: job.id,
+            outcome,
+            report: PipelineReport {
+                stats: core.stats,
+                backend: core.backend,
+                backend_name: shared.backend_name,
+                records_written: core.written,
+                batches: core.admitted,
+                threads: shared.cfg.threads,
+                batch_size: job.batch_size,
+                steals: 0,
+                refills: 0,
+                dropped_events: 0,
+                elapsed: job.submitted.elapsed(),
+                abort_reason,
+            },
+        });
+        sched.active -= 1;
+        match outcome {
+            JobOutcome::Completed => sched.jobs_completed += 1,
+            JobOutcome::Cancelled => sched.jobs_cancelled += 1,
+            JobOutcome::Failed => sched.jobs_failed += 1,
+        }
+        sched.records_written += core.written;
+        sched.job_backend.merge(&core.backend);
+        sched.registry.remove(&job.id);
+    }
+    drop(sched);
+    job.done.notify_all();
+    shared.wake.notify_all();
+}
+
+/// Outcome of one multiplexer visit to one job.
+enum FeedOutcome {
+    /// The job left the ingest rotation (sealed or discarded).
+    Closed,
+    /// At least one batch was pushed.
+    Progressed,
+    /// Nothing to do right now (in-flight window full).
+    Parked,
+    /// The dispatch queue was torn down: stop the ingest thread.
+    QueueGone,
+}
+
+/// One multiplexer visit: feed up to `priority.weight()` batches of this
+/// job, honouring its in-flight window; seal at end of input; discard on
+/// cancel or input error.
+fn feed_one<B: MapBackend>(shared: &Shared, backend: &B, fj: &mut FeederJob) -> FeedOutcome {
+    let job = Arc::clone(&fj.state);
+    let job = &job;
+    let suppressed = job.core.lock().expect("job core poisoned").suppressed();
+    if suppressed {
+        // Cancelled (or its sink failed): release the device's canonical
+        // order — pending releases are dropped, stragglers ignored — and
+        // leave the rotation. In-flight batches drain without emission.
+        let stats = backend.discard_job(job.id);
+        {
+            let mut core = job.core.lock().expect("job core poisoned");
+            core.discarded = true;
+            core.backend.merge(&stats);
+        }
+        try_finalize(shared, job);
+        return FeedOutcome::Closed;
+    }
+    let mut fed = false;
+    for _ in 0..job.priority.weight() {
+        {
+            let core = job.core.lock().expect("job core poisoned");
+            if core.suppressed() {
+                break; // discard on the next visit
+            }
+            if core.admitted - core.processed >= shared.window {
+                return if fed {
+                    FeedOutcome::Progressed
+                } else {
+                    FeedOutcome::Parked
+                };
+            }
+        }
+        match fj.pull() {
+            Some(Ok(pairs)) => {
+                let index = fj.next_index;
+                fj.next_index += 1;
+                job.core.lock().expect("job core poisoned").admitted += 1;
+                let batch = JobBatch {
+                    job: Arc::clone(job),
+                    index,
+                    pairs,
+                };
+                if !shared.queue.push(batch) {
+                    return FeedOutcome::QueueGone;
+                }
+                fed = true;
+            }
+            None => {
+                // Clean end of input: declare the total so the device can
+                // advance past this job once its last batch is admitted.
+                let stats = backend.seal_job(job.id, fj.next_index);
+                {
+                    let mut core = job.core.lock().expect("job core poisoned");
+                    core.sealed = Some(fj.next_index);
+                    core.backend.merge(&stats);
+                }
+                try_finalize(shared, job);
+                return FeedOutcome::Closed;
+            }
+            Some(Err(e)) => {
+                // Malformed input fails only this job: discard it from
+                // the device and record the reason; siblings are
+                // untouched.
+                let stats = backend.discard_job(job.id);
+                {
+                    let mut core = job.core.lock().expect("job core poisoned");
+                    core.abort_reason = Some(e.to_string());
+                    core.discarded = true;
+                    core.pending.clear();
+                    core.backend.merge(&stats);
+                }
+                try_finalize(shared, job);
+                return FeedOutcome::Closed;
+            }
+        }
+    }
+    if fed {
+        FeedOutcome::Progressed
+    } else {
+        FeedOutcome::Parked
+    }
+}
+
+/// The ingest thread: multiplexes every active job's input into the
+/// shared dispatch queue, weighted by priority, bounded per job by the
+/// in-flight window and globally by the injector.
+fn run_feeder<B: MapBackend>(shared: &Shared, backend: &B) {
+    let _teardown = AbortOnPanic(shared);
+    let mut rec = shared.telemetry.recorder(shared.cfg.threads as u32);
+    let mut active: Vec<FeederJob> = Vec::new();
+    loop {
+        {
+            let mut sched = shared.sched();
+            if sched.aborting {
+                return; // queue already torn down
+            }
+            active.append(&mut sched.incoming);
+            if active.is_empty() {
+                if sched.shutdown {
+                    break;
+                }
+                let (guard, _) = shared
+                    .wake
+                    .wait_timeout(sched, Duration::from_millis(20))
+                    .expect("scheduler poisoned");
+                drop(guard);
+                continue;
+            }
+        }
+        let mut progressed = false;
+        let mut i = 0;
+        while i < active.len() {
+            let t = rec.start();
+            match feed_one(shared, backend, &mut active[i]) {
+                FeedOutcome::Closed => {
+                    rec.span_arg("ingest_close", t, active[i].state.id);
+                    active.swap_remove(i);
+                    progressed = true;
+                }
+                FeedOutcome::Progressed => {
+                    rec.span_arg("ingest_feed", t, active[i].state.id);
+                    progressed = true;
+                    i += 1;
+                }
+                FeedOutcome::Parked => i += 1,
+                FeedOutcome::QueueGone => return,
+            }
+        }
+        if !progressed {
+            // Every active job is window-parked: wait for worker progress
+            // (they notify after each batch) with a timeout backstop.
+            let sched = shared.sched();
+            let _ = shared
+                .wake
+                .wait_timeout(sched, Duration::from_millis(2))
+                .expect("scheduler poisoned");
+        }
+    }
+    shared.queue.close();
+}
+
+/// One service worker: pops job-tagged batches, maps them through its
+/// stateful session, and drives the owning job's ordered emitter. Returns
+/// the session's flush tail (in-flight warm accounting not attributable
+/// to any one job).
+fn run_worker<B: MapBackend>(shared: &Shared, backend: &B, worker_id: usize) -> BackendStats {
+    let _teardown = AbortOnPanic(shared);
+    let mut session = backend.session(worker_id);
+    let mut rec = shared.telemetry.recorder(worker_id as u32);
+    while let Some(jb) = shared.queue.pop(worker_id) {
+        let t_map = rec.start();
+        let out = session.map_job_batch(jb.job.id, jb.index, &jb.pairs);
+        rec.span_arg("job_map_batch", t_map, jb.index);
+        assert_eq!(
+            out.results.len(),
+            jb.pairs.len(),
+            "backend returned a result count different from the batch size"
+        );
+        if let Some(c) = jb.job.pairs_c {
+            rec.counter_add(c, jb.pairs.len() as u64);
+        }
+        // Render records outside the job lock; suppression is re-checked
+        // under it, so a cancel ack can never race a write.
+        let mut records = Vec::with_capacity(jb.pairs.len() * 2);
+        for (pair, res) in jb.pairs.iter().zip(&out.results) {
+            emit_pair_records(res, pair, shared.cfg.fallback, &mut records);
+        }
+
+        let mut guard = jb.job.core.lock().expect("job core poisoned");
+        let core = &mut *guard;
+        core.backend.merge(&out.stats);
+        for res in &out.results {
+            core.stats.record(res);
+        }
+        let written_before = core.written;
+        if !core.suppressed() {
+            core.pending.insert(jb.index, records);
+            while let Some(batch_records) = core.pending.remove(&core.next_emit) {
+                let sink = core.sink.as_mut().expect("sink present until join");
+                let mut failed = None;
+                for record in &batch_records {
+                    if let Err(e) = sink.write_record(record) {
+                        failed = Some(e);
+                        break;
+                    }
+                    core.written += 1;
+                }
+                if let Some(e) = failed {
+                    // This job's sink is gone: keep the reason, stop its
+                    // emission, let the ingest thread discard it. Other
+                    // jobs are untouched.
+                    core.abort_reason = Some(e.to_string());
+                    core.pending.clear();
+                    break;
+                }
+                core.next_emit += 1;
+            }
+        }
+        core.processed += 1;
+        let written_delta = core.written - written_before;
+        drop(guard);
+        if written_delta > 0 {
+            if let Some(c) = jb.job.records_c {
+                rec.counter_add(c, written_delta);
+            }
+        }
+        try_finalize(shared, &jb.job);
+        // Window progress: a parked ingest thread may now have room.
+        shared.wake.notify_all();
+    }
+    session.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::map_serial;
+    use crate::sink::VecSink;
+    use gx_backend::SoftwareBackend;
+    use gx_core::{GenPairConfig, GenPairMapper};
+    use gx_genome::random::RandomGenomeBuilder;
+    use gx_genome::ReferenceGenome;
+    use std::io;
+    use std::sync::mpsc;
+
+    fn setup(n: usize) -> (ReferenceGenome, Vec<ReadPair>) {
+        let genome = RandomGenomeBuilder::new(150_000).seed(33).build();
+        let seq = genome.chromosome(0).seq();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            let start = 1_000 + (i % 60) * 2_000;
+            pairs.push(ReadPair::new(
+                format!("p{i}"),
+                seq.subseq(start..start + 150),
+                seq.subseq(start + 250..start + 400).revcomp(),
+            ));
+        }
+        (genome, pairs)
+    }
+
+    fn serial_reference(genome: &ReferenceGenome, pairs: &[ReadPair]) -> Vec<SamRecord> {
+        let mapper = GenPairMapper::build(genome, &GenPairConfig::default());
+        let mut sink = VecSink::new();
+        map_serial(
+            &mapper,
+            FallbackPolicy::EmitUnmapped,
+            pairs.to_vec(),
+            &mut sink,
+        )
+        .unwrap();
+        sink.records
+    }
+
+    fn assert_same_records(a: &[SamRecord], b: &[SamRecord], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: record count");
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.qname, y.qname, "{what}: order");
+            assert_eq!(x.pos, y.pos, "{what}: pos");
+            assert_eq!(x.flags, y.flags, "{what}: flags");
+        }
+    }
+
+    #[test]
+    fn concurrent_jobs_match_their_solo_serial_runs() {
+        let (genome, pairs) = setup(60);
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let job_a = pairs[..25].to_vec();
+        let job_b = pairs[25..].to_vec();
+        let ref_a = serial_reference(&genome, &job_a);
+        let ref_b = serial_reference(&genome, &job_b);
+
+        let (sinks, report) = ServiceBuilder::new().threads(3).queue_depth(4).serve(
+            SoftwareBackend::new(&mapper),
+            |svc| {
+                let ha = svc
+                    .submit_pairs(JobSpec::new().batch_size(4), job_a.clone(), VecSink::new())
+                    .unwrap();
+                let hb = svc
+                    .submit_pairs(
+                        JobSpec::new().batch_size(7).priority(Priority::High),
+                        job_b.clone(),
+                        VecSink::new(),
+                    )
+                    .unwrap();
+                let (ra, sa) = ha.join();
+                let (rb, sb) = hb.join();
+                assert_eq!(ra.outcome, JobOutcome::Completed);
+                assert_eq!(rb.outcome, JobOutcome::Completed);
+                assert_eq!(ra.report.abort_reason, None);
+                assert_eq!(ra.report.stats.pairs, 25);
+                assert_eq!(rb.report.stats.pairs, 35);
+                (sa, sb)
+            },
+        );
+        assert_same_records(&sinks.0.records, &ref_a, "job A");
+        assert_same_records(&sinks.1.records, &ref_b, "job B");
+        assert_eq!(report.jobs_submitted, 2);
+        assert_eq!(report.jobs_completed, 2);
+        assert_eq!(report.jobs_failed, 0);
+        assert_eq!(report.records_written, (ref_a.len() + ref_b.len()) as u64);
+        assert_eq!(report.backend_name, "software");
+    }
+
+    /// An input that parks until the test releases it, keeping its job
+    /// active for as long as an admission-control assertion needs.
+    struct GatedInput {
+        gate: mpsc::Receiver<()>,
+        pairs: std::vec::IntoIter<ReadPair>,
+        waited: bool,
+    }
+
+    impl Iterator for GatedInput {
+        type Item = Result<ReadPair, GenomeError>;
+        fn next(&mut self) -> Option<Self::Item> {
+            if !self.waited {
+                self.gate.recv().expect("gate sender dropped");
+                self.waited = true;
+            }
+            self.pairs.next().map(Ok)
+        }
+    }
+
+    #[test]
+    fn reject_policy_rejects_at_budget_then_recovers() {
+        let (genome, pairs) = setup(8);
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let (tx, rx) = mpsc::channel();
+        ServiceBuilder::new()
+            .threads(2)
+            .max_active_jobs(1)
+            .admission(AdmissionPolicy::Reject)
+            .serve(SoftwareBackend::new(&mapper), |svc| {
+                let gated = GatedInput {
+                    gate: rx,
+                    pairs: pairs.clone().into_iter(),
+                    waited: false,
+                };
+                let ha = svc.submit(JobSpec::new(), gated, VecSink::new()).unwrap();
+                // Budget is 1 and job A is parked on its gate: reject.
+                let err = svc
+                    .submit_pairs(JobSpec::new(), pairs.clone(), VecSink::new())
+                    .unwrap_err();
+                assert_eq!(err, SubmitError::Busy);
+                tx.send(()).unwrap();
+                let (ra, _) = ha.join();
+                assert_eq!(ra.outcome, JobOutcome::Completed);
+                // The slot freed: the next submission is admitted.
+                let hb = svc
+                    .submit_pairs(JobSpec::new(), pairs.clone(), VecSink::new())
+                    .unwrap();
+                let (rb, sb) = hb.join();
+                assert_eq!(rb.outcome, JobOutcome::Completed);
+                assert_eq!(sb.records.len(), 2 * pairs.len());
+            });
+    }
+
+    #[test]
+    fn park_policy_blocks_until_a_slot_frees() {
+        let (genome, pairs) = setup(8);
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let (tx, rx) = mpsc::channel();
+        // Release job A's gate from outside the service after a beat, so
+        // the parked submission below can only succeed by actually
+        // waiting for A to finalize.
+        let opener = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            tx.send(()).unwrap();
+        });
+        ServiceBuilder::new()
+            .threads(2)
+            .max_active_jobs(1)
+            .admission(AdmissionPolicy::Park)
+            .serve(SoftwareBackend::new(&mapper), |svc| {
+                let gated = GatedInput {
+                    gate: rx,
+                    pairs: pairs.clone().into_iter(),
+                    waited: false,
+                };
+                let ha = svc.submit(JobSpec::new(), gated, VecSink::new()).unwrap();
+                let a_id = ha.id();
+                // Parks until job A completes, then is admitted.
+                let hb = svc
+                    .submit_pairs(JobSpec::new(), pairs.clone(), VecSink::new())
+                    .unwrap();
+                assert!(hb.id() > a_id);
+                let (rb, _) = hb.join();
+                assert_eq!(rb.outcome, JobOutcome::Completed);
+                let (ra, _) = ha.join();
+                assert_eq!(ra.outcome, JobOutcome::Completed);
+            });
+        opener.join().unwrap();
+    }
+
+    struct FailingSink {
+        writes: u32,
+        limit: u32,
+    }
+
+    impl RecordSink for FailingSink {
+        fn write_record(&mut self, _rec: &SamRecord) -> io::Result<()> {
+            self.writes += 1;
+            if self.writes > self.limit {
+                Err(io::Error::other("disk full"))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    #[test]
+    fn failing_sink_fails_only_its_job_and_surfaces_the_reason() {
+        let (genome, pairs) = setup(40);
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let job_b = pairs[20..].to_vec();
+        let ref_b = serial_reference(&genome, &job_b);
+
+        let (outcome, report) = ServiceBuilder::new()
+            .threads(2)
+            .serve(SoftwareBackend::new(&mapper), |svc| {
+                let ha = svc
+                    .submit_pairs(
+                        JobSpec::new().batch_size(2),
+                        pairs[..20].to_vec(),
+                        FailingSink {
+                            writes: 0,
+                            limit: 4,
+                        },
+                    )
+                    .unwrap();
+                let hb = svc
+                    .submit_pairs(JobSpec::new().batch_size(5), job_b.clone(), VecSink::new())
+                    .unwrap();
+                let (ra, _) = ha.join();
+                let (rb, sb) = hb.join();
+                assert_same_records(&sb.records, &ref_b, "sibling job");
+                (ra, rb)
+            })
+            .0;
+        // The regression the satellite demands: the abort path keeps the
+        // originating error text.
+        assert_eq!(outcome.outcome, JobOutcome::Failed);
+        let reason = outcome.report.abort_reason.as_deref().unwrap();
+        assert!(reason.contains("disk full"), "lost the reason: {reason}");
+        assert!(outcome.report.records_written <= 4);
+        assert_eq!(report.outcome, JobOutcome::Completed);
+    }
+
+    #[test]
+    fn ingestion_error_fails_only_its_job() {
+        let (genome, pairs) = setup(20);
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let ref_b = serial_reference(&genome, &pairs);
+
+        // R1 has two records, R2 one: the stream errors mid-job.
+        let r1: &[u8] = b"@a/1\nACGT\n+\nIIII\n@b/1\nGGGG\n+\nIIII\n";
+        let r2: &[u8] = b"@a/2\nTTTT\n+\nIIII\n";
+        ServiceBuilder::new()
+            .threads(2)
+            .serve(SoftwareBackend::new(&mapper), |svc| {
+                let ha = svc
+                    .submit_fastq(JobSpec::new().batch_size(1), r1, r2, VecSink::new())
+                    .unwrap();
+                let hb = svc
+                    .submit_pairs(JobSpec::new().batch_size(3), pairs.clone(), VecSink::new())
+                    .unwrap();
+                let (ra, _) = ha.join();
+                assert_eq!(ra.outcome, JobOutcome::Failed);
+                let reason = ra.report.abort_reason.as_deref().unwrap();
+                assert!(
+                    reason.contains("differ in length"),
+                    "unexpected reason: {reason}"
+                );
+                let (rb, sb) = hb.join();
+                assert_eq!(rb.outcome, JobOutcome::Completed);
+                assert_same_records(&sb.records, &ref_b, "sibling job");
+            });
+    }
+
+    #[test]
+    fn cancel_mid_stream_then_the_service_accepts_a_new_job() {
+        let (genome, pairs) = setup(12);
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let reference = serial_reference(&genome, &pairs);
+
+        let (_, report) = ServiceBuilder::new().threads(2).queue_depth(2).serve(
+            SoftwareBackend::new(&mapper),
+            |svc| {
+                // An endless stream: only cancellation can end this job.
+                let endless = std::iter::repeat_with({
+                    let p = pairs[0].clone();
+                    move || Ok(p.clone())
+                });
+                let ha = svc
+                    .submit(JobSpec::new().batch_size(2), endless, VecSink::new())
+                    .unwrap();
+                // Let it make real progress first.
+                while ha.snapshot().batches_processed < 3 {
+                    std::thread::yield_now();
+                }
+                assert!(ha.cancel());
+                let (ra, sa) = ha.join();
+                assert_eq!(ra.outcome, JobOutcome::Cancelled);
+                assert_eq!(
+                    ra.report.abort_reason.as_deref(),
+                    Some("cancelled by client")
+                );
+                // Emission stopped at the ack: the sink holds a prefix.
+                assert_eq!(sa.records.len() as u64, ra.report.records_written);
+
+                // The acceptance criterion: the service still admits and
+                // completes a subsequent job.
+                let hb = svc
+                    .submit_pairs(JobSpec::new().batch_size(5), pairs.clone(), VecSink::new())
+                    .unwrap();
+                let (rb, sb) = hb.join();
+                assert_eq!(rb.outcome, JobOutcome::Completed);
+                assert_same_records(&sb.records, &reference, "post-cancel job");
+            },
+        );
+        assert_eq!(report.jobs_cancelled, 1);
+        assert_eq!(report.jobs_completed, 1);
+    }
+
+    #[test]
+    fn drain_terminates_and_rejects_later_submits() {
+        let (genome, pairs) = setup(10);
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        ServiceBuilder::new()
+            .threads(2)
+            .serve(SoftwareBackend::new(&mapper), |svc| {
+                let h = svc
+                    .submit_pairs(JobSpec::new(), pairs.clone(), VecSink::new())
+                    .unwrap();
+                svc.drain();
+                assert!(h.is_finished(), "drain returned with a job still live");
+                assert_eq!(
+                    svc.submit_pairs(JobSpec::new(), pairs.clone(), VecSink::new())
+                        .unwrap_err(),
+                    SubmitError::Draining
+                );
+                let (r, _) = h.join();
+                assert_eq!(r.outcome, JobOutcome::Completed);
+            });
+    }
+
+    #[test]
+    fn per_job_labeled_metrics_are_registered() {
+        let (genome, pairs) = setup(6);
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let telemetry = Telemetry::enabled();
+        ServiceBuilder::new()
+            .threads(1)
+            .telemetry(telemetry.clone())
+            .serve(SoftwareBackend::new(&mapper), |svc| {
+                let h = svc
+                    .submit_pairs(JobSpec::new().batch_size(2), pairs.clone(), VecSink::new())
+                    .unwrap();
+                let (r, _) = h.join();
+                assert_eq!(r.outcome, JobOutcome::Completed);
+            });
+        let prom = telemetry
+            .snapshot()
+            .expect("telemetry enabled")
+            .to_prometheus();
+        assert!(
+            prom.contains("gx_job_pairs_total{job=\"0\"} 6"),
+            "missing per-job pairs series:\n{prom}"
+        );
+        assert!(
+            prom.contains("gx_job_records_total{job=\"0\"} 12"),
+            "missing per-job records series:\n{prom}"
+        );
+    }
+
+    #[test]
+    fn empty_job_completes_immediately() {
+        let (genome, _) = setup(1);
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        ServiceBuilder::new()
+            .threads(2)
+            .serve(SoftwareBackend::new(&mapper), |svc| {
+                let h = svc
+                    .submit_pairs(JobSpec::new(), Vec::new(), VecSink::new())
+                    .unwrap();
+                let (r, sink) = h.join();
+                assert_eq!(r.outcome, JobOutcome::Completed);
+                assert_eq!(r.report.batches, 0);
+                assert!(sink.records.is_empty());
+            });
+    }
+}

@@ -1,0 +1,204 @@
+//! Property tests for the service layer: job lifecycle safety under
+//! randomized admit/progress/cancel/drain schedules.
+//!
+//! The example-based tests in `service.rs` and `tests/e2e_service.rs` pin
+//! specific schedules; these properties cover the space between them. For
+//! random job counts, job sizes, batch sizes, priorities, thread counts
+//! and cancellation points —
+//!
+//! * **no pair is lost or duplicated**: a completed job's sink holds
+//!   exactly its input's records (two per pair under
+//!   [`FallbackPolicy::EmitUnmapped`]) in input order;
+//! * **a cancel ack is a barrier**: once [`JobHandle::cancel`] returns
+//!   `true`, not one further record reaches that job's sink (checked with
+//!   a sink that flags any write arriving after the ack);
+//! * **drain terminates**: every generated schedule ends in a clean
+//!   [`ServiceHandle::drain`] (run implicitly by `serve`'s teardown), so
+//!   the property suite doubles as a liveness test — a lost wakeup or a
+//!   stuck window would hang the case and fail the run.
+
+use gx_core::ReadPair;
+use gx_core::{GenPairConfig, GenPairMapper};
+use gx_genome::random::RandomGenomeBuilder;
+use gx_genome::{DnaSeq, SamRecord};
+use gx_pipeline::{
+    JobHandle, JobOutcome, JobSpec, Priority, RecordSink, ServiceBuilder, ServiceHandle,
+    SoftwareBackend,
+};
+use proptest::prelude::*;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Records every qname it sees and flags any write that arrives after the
+/// owning job's cancel acknowledged (the barrier the service promises).
+struct TrackingSink {
+    qnames: Vec<String>,
+    cancelled: Arc<AtomicBool>,
+    violated: Arc<AtomicBool>,
+}
+
+impl RecordSink for TrackingSink {
+    fn write_record(&mut self, rec: &SamRecord) -> io::Result<()> {
+        if self.cancelled.load(Ordering::SeqCst) {
+            self.violated.store(true, Ordering::SeqCst);
+        }
+        self.qnames.push(rec.qname.clone());
+        Ok(())
+    }
+}
+
+/// One generated job: its pairs plus schedule knobs.
+#[derive(Clone, Debug)]
+struct JobPlan {
+    n_pairs: usize,
+    batch_size: usize,
+    priority: Priority,
+    /// Cancel this job once at least this many batches processed (capped
+    /// by what the job actually has); `None` lets it run to completion.
+    cancel_after: Option<u64>,
+}
+
+fn job_plan() -> impl Strategy<Value = JobPlan> {
+    (
+        0usize..30,
+        1usize..9,
+        prop::sample::select(vec![Priority::Low, Priority::Normal, Priority::High]),
+        prop::sample::select(vec![None, Some(0u64), Some(1), Some(2), Some(3)]),
+    )
+        .prop_map(|(n_pairs, batch_size, priority, cancel_after)| JobPlan {
+            n_pairs,
+            batch_size,
+            priority,
+            cancel_after,
+        })
+}
+
+/// Distinct, self-describing pairs: the qname encodes (job, pair index),
+/// so order and multiplicity checks are loss- and duplication-sensitive.
+fn job_pairs(job: usize, n: usize, seq: &DnaSeq) -> Vec<ReadPair> {
+    (0..n)
+        .map(|i| ReadPair::new(format!("j{job}p{i}"), seq.clone(), seq.revcomp()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_schedules_lose_nothing_and_respect_cancel_acks(
+        plans in prop::collection::vec(job_plan(), 1..4),
+        threads in 1usize..4,
+        queue_depth in 1usize..5,
+    ) {
+        let genome = RandomGenomeBuilder::new(40_000).seed(7).build();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let seq = genome.chromosome(0).seq().subseq(500..650);
+
+        let violations: Vec<Arc<AtomicBool>> = plans
+            .iter()
+            .map(|_| Arc::new(AtomicBool::new(false)))
+            .collect();
+        let outcomes = ServiceBuilder::new()
+            .threads(threads)
+            .queue_depth(queue_depth)
+            .serve(SoftwareBackend::new(&mapper), |svc: &ServiceHandle<'_, _>| {
+                let jobs: Vec<(JobHandle<'_, TrackingSink>, &JobPlan, Arc<AtomicBool>)> = plans
+                    .iter()
+                    .zip(&violations)
+                    .enumerate()
+                    .map(|(i, (plan, violated))| {
+                        let cancelled = Arc::new(AtomicBool::new(false));
+                        let sink = TrackingSink {
+                            qnames: Vec::new(),
+                            cancelled: Arc::clone(&cancelled),
+                            violated: Arc::clone(violated),
+                        };
+                        let handle = svc
+                            .submit_pairs(
+                                JobSpec::new()
+                                    .batch_size(plan.batch_size)
+                                    .priority(plan.priority),
+                                job_pairs(i, plan.n_pairs, &seq),
+                                sink,
+                            )
+                            .expect("park admission never rejects");
+                        (handle, plan, cancelled)
+                    })
+                    .collect();
+
+                jobs.into_iter()
+                    .enumerate()
+                    .map(|(i, (handle, plan, cancelled))| {
+                        if let Some(after) = plan.cancel_after {
+                            // Let the job make some progress first, bounded
+                            // by what it actually has, then cancel. The ack
+                            // flag is raised only *after* cancel returns —
+                            // exactly the barrier the service promises.
+                            let total_batches =
+                                (plan.n_pairs as u64).div_ceil(plan.batch_size as u64);
+                            let wait_for = after.min(total_batches);
+                            while handle.snapshot().batches_processed < wait_for
+                                && !handle.is_finished()
+                            {
+                                std::thread::yield_now();
+                            }
+                            if handle.cancel() {
+                                cancelled.store(true, Ordering::SeqCst);
+                            }
+                        }
+                        let (report, sink) = handle.join();
+                        (i, report, sink)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .0;
+
+        for (i, report, sink) in outcomes {
+            let plan = &plans[i];
+            prop_assert!(
+                !violations[i].load(Ordering::SeqCst),
+                "job {i}: a record reached the sink after its cancel ack"
+            );
+            match report.outcome {
+                JobOutcome::Completed => {
+                    // Exactly the input, twice per pair, in input order.
+                    let expect: Vec<String> = (0..plan.n_pairs)
+                        .flat_map(|p| [format!("j{i}p{p}/1"), format!("j{i}p{p}/2")])
+                        .collect();
+                    prop_assert_eq!(
+                        &sink.qnames,
+                        &expect,
+                        "job {} lost, duplicated or reordered records",
+                        i
+                    );
+                    prop_assert_eq!(report.report.records_written, expect.len() as u64);
+                }
+                JobOutcome::Cancelled => {
+                    // A clean prefix: records come in whole pair-batches,
+                    // in order, never exceeding the input.
+                    prop_assert!(sink.qnames.len() <= 2 * plan.n_pairs);
+                    prop_assert_eq!(sink.qnames.len() as u64, report.report.records_written);
+                    for (k, q) in sink.qnames.iter().enumerate() {
+                        let expect = format!("j{i}p{}/{}", k / 2, k % 2 + 1);
+                        prop_assert_eq!(
+                            q,
+                            &expect,
+                            "job {} emitted out of order before its cancel",
+                            i
+                        );
+                    }
+                    prop_assert_eq!(
+                        report.report.abort_reason.as_deref(),
+                        Some("cancelled by client")
+                    );
+                }
+                JobOutcome::Failed => {
+                    prop_assert!(false, "no job in this schedule can fail: {:?}", report);
+                }
+            }
+        }
+        // Reaching this point at all is the drain-terminates property:
+        // `serve` drained every job before returning.
+    }
+}

@@ -64,7 +64,7 @@ pub use histogram::{
     bucket_index, bucket_upper_bound, AtomicHistogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
 };
 pub use registry::{
-    CounterId, CounterValue, GaugeId, GaugeValue, HistogramId, HistogramValue, MetricDesc,
+    labeled, CounterId, CounterValue, GaugeId, GaugeValue, HistogramId, HistogramValue, MetricDesc,
     MetricsRegistry, MetricsSnapshot, MAX_METRICS,
 };
 pub use spans::{SpanEvent, SpanKind, SpanRing};
@@ -169,6 +169,35 @@ impl Telemetry {
         match &self.inner {
             Some(inner) => inner.registry.histogram(name, help),
             None => HistogramId(0),
+        }
+    }
+
+    /// Registers a counter without panicking at the [`MAX_METRICS`] cap:
+    /// `None` means the table is full and the caller should fall back to an
+    /// aggregate series. For dynamically [`labeled`] per-job metrics, where
+    /// a long-running service cannot bound the label cardinality up front.
+    /// A disabled handle returns a dummy id (recording is a no-op anyway),
+    /// so degrade behaviour is exercised only when telemetry is live.
+    pub fn try_counter(&self, name: &str, help: &str) -> Option<CounterId> {
+        match &self.inner {
+            Some(inner) => inner.registry.try_counter(name, help),
+            None => Some(CounterId(0)),
+        }
+    }
+
+    /// Like [`try_counter`](Telemetry::try_counter), for gauges.
+    pub fn try_gauge(&self, name: &str, help: &str) -> Option<GaugeId> {
+        match &self.inner {
+            Some(inner) => inner.registry.try_gauge(name, help),
+            None => Some(GaugeId(0)),
+        }
+    }
+
+    /// Like [`try_counter`](Telemetry::try_counter), for histograms.
+    pub fn try_histogram(&self, name: &str, help: &str) -> Option<HistogramId> {
+        match &self.inner {
+            Some(inner) => inner.registry.try_histogram(name, help),
+            None => Some(HistogramId(0)),
         }
     }
 

@@ -93,21 +93,69 @@ pub struct MetricsRegistry {
     shards: RwLock<Vec<Arc<Shard>>>,
 }
 
-/// Get-or-register `name` in `descs`, enforcing [`MAX_METRICS`].
-fn register(descs: &RwLock<Vec<MetricDesc>>, name: &str, help: &str, kind: &str) -> u16 {
+/// Get-or-register `name` in `descs`; `None` once [`MAX_METRICS`] distinct
+/// names exist (the caller decides whether that is a panic or a graceful
+/// degrade).
+fn register_opt(descs: &RwLock<Vec<MetricDesc>>, name: &str, help: &str) -> Option<u16> {
     let mut descs = descs.write().unwrap();
     if let Some(i) = descs.iter().position(|d| d.name == name) {
-        return i as u16;
+        return Some(i as u16);
     }
-    assert!(
-        descs.len() < MAX_METRICS,
-        "too many {kind} metrics (max {MAX_METRICS}); registering {name:?}"
-    );
+    if descs.len() >= MAX_METRICS {
+        return None;
+    }
     descs.push(MetricDesc {
         name: name.to_string(),
         help: help.to_string(),
     });
-    (descs.len() - 1) as u16
+    Some((descs.len() - 1) as u16)
+}
+
+/// Get-or-register `name` in `descs`, enforcing [`MAX_METRICS`].
+fn register(descs: &RwLock<Vec<MetricDesc>>, name: &str, help: &str, kind: &str) -> u16 {
+    register_opt(descs, name, help).unwrap_or_else(|| {
+        panic!("too many {kind} metrics (max {MAX_METRICS}); registering {name:?}")
+    })
+}
+
+/// Renders a labeled metric name, `labeled("gx_job_pairs_total", "job", 3)`
+/// → `gx_job_pairs_total{job="3"}`. The Prometheus exposition understands
+/// the brace syntax: `# HELP`/`# TYPE` lines use the base name (emitted
+/// once per base), sample suffixes (`_max`, `_bucket`, ...) are inserted
+/// *before* the label set, and a histogram's `le` label merges into it.
+pub fn labeled(name: &str, key: &str, value: impl std::fmt::Display) -> String {
+    format!("{name}{{{key}=\"{value}\"}}")
+}
+
+/// Splits a possibly labeled metric name into `(base, labels)` where
+/// `labels` excludes the braces (`""` when unlabeled).
+fn split_labels(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(i) => (&name[..i], name[i + 1..].trim_end_matches('}')),
+        None => (name, ""),
+    }
+}
+
+/// One sample line's series name: `base` + `suffix`, with `labels` (and an
+/// optional extra `le` pair) re-attached after the suffix.
+fn series(base: &str, suffix: &str, labels: &str, le: Option<&str>) -> String {
+    let mut all = String::new();
+    if !labels.is_empty() {
+        all.push_str(labels);
+    }
+    if let Some(le) = le {
+        if !all.is_empty() {
+            all.push(',');
+        }
+        all.push_str("le=\"");
+        all.push_str(le);
+        all.push('"');
+    }
+    if all.is_empty() {
+        format!("{base}{suffix}")
+    } else {
+        format!("{base}{suffix}{{{all}}}")
+    }
 }
 
 impl MetricsRegistry {
@@ -129,6 +177,24 @@ impl MetricsRegistry {
     /// Registers (or looks up) a log2 latency histogram. Idempotent by name.
     pub fn histogram(&self, name: &str, help: &str) -> HistogramId {
         HistogramId(register(&self.histograms, name, help, "histogram"))
+    }
+
+    /// Like [`counter`](MetricsRegistry::counter) but returns `None` instead
+    /// of panicking once [`MAX_METRICS`] names exist — for dynamically
+    /// labeled series (per-job metrics) that should degrade to an aggregate
+    /// rather than crash a long-running service.
+    pub fn try_counter(&self, name: &str, help: &str) -> Option<CounterId> {
+        register_opt(&self.counters, name, help).map(CounterId)
+    }
+
+    /// Like [`gauge`](MetricsRegistry::gauge) but `None` when full.
+    pub fn try_gauge(&self, name: &str, help: &str) -> Option<GaugeId> {
+        register_opt(&self.gauges, name, help).map(GaugeId)
+    }
+
+    /// Like [`histogram`](MetricsRegistry::histogram) but `None` when full.
+    pub fn try_histogram(&self, name: &str, help: &str) -> Option<HistogramId> {
+        register_opt(&self.histograms, name, help).map(HistogramId)
     }
 
     /// Creates a fresh shard for one recording thread and enrolls it for
@@ -271,44 +337,61 @@ impl MetricsSnapshot {
     /// Renders the snapshot in the Prometheus text exposition format
     /// (`# HELP`/`# TYPE` preambles; histograms as cumulative `le` buckets
     /// plus `_sum`/`_count`). Empty histogram buckets are elided to keep
-    /// the page readable; the `+Inf` bucket is always present.
+    /// the page readable; the `+Inf` bucket is always present. Metrics
+    /// registered with a [`labeled`] name render as one series per label
+    /// set under a shared base name — the `# HELP`/`# TYPE` preamble is
+    /// emitted once per base.
     pub fn to_prometheus(&self) -> String {
+        use std::collections::HashSet;
         use std::fmt::Write as _;
         let mut out = String::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut preamble = |out: &mut String, base: &str, help: &str, kind: &str| {
+            if seen.insert(format!("{kind}/{base}")) {
+                let _ = writeln!(out, "# HELP {base} {help}");
+                let _ = writeln!(out, "# TYPE {base} {kind}");
+            }
+        };
         for c in &self.counters {
-            let _ = writeln!(out, "# HELP {} {}", c.desc.name, c.desc.help);
-            let _ = writeln!(out, "# TYPE {} counter", c.desc.name);
-            let _ = writeln!(out, "{} {}", c.desc.name, c.value);
+            let (base, labels) = split_labels(&c.desc.name);
+            preamble(&mut out, base, &c.desc.help, "counter");
+            let _ = writeln!(out, "{} {}", series(base, "", labels, None), c.value);
         }
         for g in &self.gauges {
-            let _ = writeln!(out, "# HELP {} {}", g.desc.name, g.desc.help);
-            let _ = writeln!(out, "# TYPE {} gauge", g.desc.name);
-            let _ = writeln!(out, "{} {}", g.desc.name, g.last);
-            let _ = writeln!(out, "{}_max {}", g.desc.name, g.max);
+            let (base, labels) = split_labels(&g.desc.name);
+            preamble(&mut out, base, &g.desc.help, "gauge");
+            let _ = writeln!(out, "{} {}", series(base, "", labels, None), g.last);
+            let _ = writeln!(out, "{} {}", series(base, "_max", labels, None), g.max);
         }
         for h in &self.histograms {
-            let _ = writeln!(out, "# HELP {} {}", h.desc.name, h.desc.help);
-            let _ = writeln!(out, "# TYPE {} histogram", h.desc.name);
+            let (base, labels) = split_labels(&h.desc.name);
+            preamble(&mut out, base, &h.desc.help, "histogram");
             let mut cumulative = 0u64;
             for (i, &count) in h.hist.counts.iter().enumerate() {
                 cumulative += count;
                 if count > 0 && i < crate::histogram::HISTOGRAM_BUCKETS - 1 {
+                    let le = crate::histogram::bucket_upper_bound(i).to_string();
                     let _ = writeln!(
                         out,
-                        "{}_bucket{{le=\"{}\"}} {}",
-                        h.desc.name,
-                        crate::histogram::bucket_upper_bound(i),
+                        "{} {}",
+                        series(base, "_bucket", labels, Some(&le)),
                         cumulative
                     );
                 }
             }
             let _ = writeln!(
                 out,
-                "{}_bucket{{le=\"+Inf\"}} {}",
-                h.desc.name, h.hist.count
+                "{} {}",
+                series(base, "_bucket", labels, Some("+Inf")),
+                h.hist.count
             );
-            let _ = writeln!(out, "{}_sum {}", h.desc.name, h.hist.sum);
-            let _ = writeln!(out, "{}_count {}", h.desc.name, h.hist.count);
+            let _ = writeln!(out, "{} {}", series(base, "_sum", labels, None), h.hist.sum);
+            let _ = writeln!(
+                out,
+                "{} {}",
+                series(base, "_count", labels, None),
+                h.hist.count
+            );
         }
         out
     }
@@ -344,6 +427,55 @@ mod tests {
         assert_eq!(hist.count, 2);
         assert_eq!(hist.sum, 300);
         assert!(snap.counter("missing").is_none());
+    }
+
+    #[test]
+    fn try_register_degrades_instead_of_panicking() {
+        let reg = MetricsRegistry::new();
+        for i in 0..MAX_METRICS {
+            assert!(reg.try_counter(&format!("gx_c{i}_total"), "c").is_some());
+        }
+        // The table is full: a fresh name degrades to None...
+        assert!(reg.try_counter("gx_overflow_total", "c").is_none());
+        // ...but an existing name still resolves (idempotent lookup).
+        assert_eq!(
+            reg.try_counter("gx_c0_total", "c"),
+            Some(reg.counter("gx_c0_total", "c"))
+        );
+        // Kinds have independent tables.
+        assert!(reg.try_gauge("gx_depth", "g").is_some());
+        assert!(reg.try_histogram("gx_lat_ns", "h").is_some());
+    }
+
+    #[test]
+    fn labeled_series_share_one_preamble() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter(&labeled("gx_job_pairs_total", "job", 0), "pairs per job");
+        let b = reg.counter(&labeled("gx_job_pairs_total", "job", 1), "pairs per job");
+        assert_ne!(a, b, "distinct label sets are distinct series");
+        let g = reg.gauge(&labeled("gx_job_depth", "job", 7), "reorder depth");
+        let h = reg.histogram(&labeled("gx_job_wait_ns", "job", 7), "wait");
+        let shard = reg.new_shard();
+        shard.counter_add(a, 2);
+        shard.counter_add(b, 5);
+        shard.gauge_set(g, 3);
+        shard.histogram_record(h, 100);
+
+        let text = reg.snapshot().to_prometheus();
+        // One HELP/TYPE preamble for the shared base name...
+        assert_eq!(text.matches("# TYPE gx_job_pairs_total counter").count(), 1);
+        assert_eq!(text.matches("# HELP gx_job_pairs_total ").count(), 1);
+        // ...one sample line per label set...
+        assert!(text.contains("gx_job_pairs_total{job=\"0\"} 2"));
+        assert!(text.contains("gx_job_pairs_total{job=\"1\"} 5"));
+        // ...and suffixes are inserted before the labels, not after.
+        assert!(text.contains("gx_job_depth{job=\"7\"} 3"));
+        assert!(text.contains("gx_job_depth_max{job=\"7\"} 3"));
+        assert!(text.contains("gx_job_wait_ns_count{job=\"7\"} 1"));
+        assert!(text.contains("gx_job_wait_ns_sum{job=\"7\"} 100"));
+        // Histogram buckets merge `le` into the label set.
+        assert!(text.contains("gx_job_wait_ns_bucket{job=\"7\",le=\"+Inf\"} 1"));
+        assert!(!text.contains("}{"), "malformed series name:\n{text}");
     }
 
     #[test]

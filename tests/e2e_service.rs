@@ -1,0 +1,255 @@
+//! Service-layer determinism suite: many concurrent jobs over one warm
+//! device behave, per job and in aggregate, exactly like their solo runs.
+//!
+//! The service tentpole makes two hard promises, and this suite pins both
+//! the way `e2e_warm_invariance.rs` pins the engine's:
+//!
+//! 1. **Per-job SAM byte-identity** — every job's SAM output (header and
+//!    records, as emitted by its own [`SamTextSink`]) is byte-identical
+//!    to that job's solo [`map_serial`] run, for every combination of
+//!    concurrent-job count {2, 4} and worker-thread count {1, 2, 4},
+//!    with per-job batch sizes and priorities deliberately mixed.
+//! 2. **Bit-identical warm accounting** — the service-wide warm
+//!    fingerprint (modeled cycles, energy, transfer, DRAM traffic; floats
+//!    compared as bits) is the same for every thread count *and* equal to
+//!    one plain [`MappingEngine`](genpairx::pipeline::MappingEngine) run
+//!    over the concatenated job streams: the shared device's canonical
+//!    release order (jobs in submission order, batches in index order)
+//!    makes multi-tenancy invisible to the accounting model.
+//!
+//! Cancellation rides along: cancelling a job mid-stream must leave the
+//! warm device and the scheduler healthy enough to admit and complete a
+//! subsequent job whose bytes still match its solo reference.
+
+use genpairx::backend::{BackendStats, NmslBackend};
+use genpairx::core::{GenPairConfig, GenPairMapper};
+use genpairx::genome::ReferenceGenome;
+use genpairx::pipeline::{
+    map_serial, FallbackPolicy, JobOutcome, JobSpec, PipelineBuilder, Priority, ReadPair,
+    SamTextSink, ServiceBuilder,
+};
+use genpairx::readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
+
+/// Fixed device sharding, matching the engine invariance suite.
+const CHANNELS: usize = 4;
+
+/// Total pairs across all jobs; debug builds step down so tier-1
+/// `cargo test -q` stays minutes-scale (the properties are
+/// size-independent — CI runs the full suite in release).
+const N_PAIRS: usize = if cfg!(debug_assertions) { 400 } else { 1600 };
+
+const JOB_COUNTS: [usize; 2] = [2, 4];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Per-job batch sizes and priorities are deliberately non-uniform: the
+/// determinism claims must hold under mixed traffic, not just twins.
+const BATCH_SIZES: [usize; 4] = [3, 64, 17, 128];
+const PRIORITIES: [Priority; 4] = [
+    Priority::Normal,
+    Priority::High,
+    Priority::Low,
+    Priority::Normal,
+];
+
+/// The warm accounting fields the service promises are schedule- and
+/// tenancy-invariant, floats captured as bits so "identical" means
+/// identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct WarmFingerprint {
+    sim_cycles: u64,
+    seed_cycles: u64,
+    fallback_cycles: u64,
+    energy_pj_bits: u64,
+    exposed_transfer_bits: u64,
+    transfer_bits: u64,
+    dram_bytes: u64,
+    dram_requests: u64,
+    pairs: u64,
+}
+
+impl WarmFingerprint {
+    fn of(b: &BackendStats) -> WarmFingerprint {
+        WarmFingerprint {
+            sim_cycles: b.sim_cycles,
+            seed_cycles: b.seed_cycles,
+            fallback_cycles: b.fallback_cycles,
+            energy_pj_bits: b.energy_pj.to_bits(),
+            exposed_transfer_bits: b.exposed_transfer_seconds.to_bits(),
+            transfer_bits: b.transfer_seconds.to_bits(),
+            dram_bytes: b.dram_bytes,
+            dram_requests: b.dram_requests,
+            pairs: b.pairs,
+        }
+    }
+}
+
+fn dataset() -> (ReferenceGenome, Vec<ReadPair>) {
+    let genome = standard_genome(300_000, 0x9E57);
+    let pairs = simulate_dataset(&genome, &DATASETS[0], N_PAIRS)
+        .into_iter()
+        .map(|p| ReadPair::new(p.id, p.r1.seq, p.r2.seq))
+        .collect();
+    (genome, pairs)
+}
+
+/// Splits the dataset into `n` contiguous job streams (uneven on purpose:
+/// the first job gets the remainder).
+fn split_jobs(pairs: &[ReadPair], n: usize) -> Vec<Vec<ReadPair>> {
+    let base = pairs.len() / n;
+    let mut jobs = Vec::with_capacity(n);
+    let mut at = 0;
+    for i in 0..n {
+        let take = if i == 0 { base + pairs.len() % n } else { base };
+        jobs.push(pairs[at..at + take].to_vec());
+        at += take;
+    }
+    jobs
+}
+
+/// Each job's solo oracle: serial software mapping into a headered sink.
+fn solo_sam(mapper: &GenPairMapper<'_>, genome: &ReferenceGenome, pairs: &[ReadPair]) -> Vec<u8> {
+    let mut sink = SamTextSink::with_header(genome, Vec::new()).unwrap();
+    map_serial(
+        mapper,
+        FallbackPolicy::EmitUnmapped,
+        pairs.to_vec(),
+        &mut sink,
+    )
+    .unwrap();
+    sink.into_inner().unwrap()
+}
+
+/// Runs all `jobs` concurrently through a service over a warm NMSL device
+/// and returns each job's SAM bytes plus the service-wide warm totals.
+fn run_service(
+    mapper: &GenPairMapper<'_>,
+    genome: &ReferenceGenome,
+    jobs: &[Vec<ReadPair>],
+    threads: usize,
+) -> (Vec<Vec<u8>>, BackendStats) {
+    let backend = NmslBackend::new(mapper).channels(CHANNELS);
+    let (sams, report) =
+        ServiceBuilder::new()
+            .threads(threads)
+            .queue_depth(4)
+            .serve(backend, |svc| {
+                let handles: Vec<_> = jobs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, job)| {
+                        let spec = JobSpec::new()
+                            .batch_size(BATCH_SIZES[i % BATCH_SIZES.len()])
+                            .priority(PRIORITIES[i % PRIORITIES.len()]);
+                        let sink = SamTextSink::with_header(genome, Vec::new()).unwrap();
+                        svc.submit_pairs(spec, job.clone(), sink).unwrap()
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        let (report, sink) = h.join();
+                        assert_eq!(report.outcome, JobOutcome::Completed);
+                        assert_eq!(report.report.abort_reason, None);
+                        sink.into_inner().unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            });
+    assert_eq!(report.jobs_completed, jobs.len() as u64);
+    assert_eq!(report.jobs_failed, 0);
+    (sams, report.backend)
+}
+
+#[test]
+fn concurrent_jobs_emit_their_solo_bytes_and_warm_totals_are_invariant() {
+    let (genome, pairs) = dataset();
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+
+    for n_jobs in JOB_COUNTS {
+        let jobs = split_jobs(&pairs, n_jobs);
+        let solos: Vec<Vec<u8>> = jobs.iter().map(|j| solo_sam(&mapper, &genome, j)).collect();
+
+        // The aggregate oracle: one plain engine run over the concatenated
+        // job streams on the same device configuration. The service's
+        // canonical release order makes its warm totals indistinguishable
+        // from this single-tenant run.
+        let concat: Vec<ReadPair> = jobs.iter().flatten().cloned().collect();
+        let engine = PipelineBuilder::new()
+            .threads(2)
+            .batch_size(64)
+            .backend(NmslBackend::new(&mapper).channels(CHANNELS));
+        let (_, engine_report) = engine.run_collect(concat);
+        let engine_fp = WarmFingerprint::of(&engine_report.backend);
+
+        for threads in THREADS {
+            let (sams, backend) = run_service(&mapper, &genome, &jobs, threads);
+            for (i, (sam, solo)) in sams.iter().zip(&solos).enumerate() {
+                assert!(
+                    sam == solo,
+                    "job {i} SAM bytes diverge from its solo run at \
+                     n_jobs={n_jobs} threads={threads}"
+                );
+            }
+            let fp = WarmFingerprint::of(&backend);
+            assert_eq!(fp.pairs, N_PAIRS as u64);
+            assert!(fp.seed_cycles > 0, "warm service modeled no seeding work");
+            assert_eq!(
+                fp, engine_fp,
+                "service warm totals diverged from the single-engine \
+                 concatenated run at n_jobs={n_jobs} threads={threads} \
+                 (channels fixed at {CHANNELS})"
+            );
+        }
+    }
+}
+
+#[test]
+fn cancellation_mid_stream_leaves_the_device_serving() {
+    let (genome, pairs) = dataset();
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+    let follow_up = &pairs[..pairs.len() / 4];
+    let solo = solo_sam(&mapper, &genome, follow_up);
+
+    let backend = NmslBackend::new(&mapper).channels(CHANNELS);
+    let (_, report) = ServiceBuilder::new()
+        .threads(2)
+        .queue_depth(2)
+        .serve(backend, |svc| {
+            // An endless job: only cancellation ends it.
+            let seed_pair = pairs[0].clone();
+            let endless = std::iter::repeat_with(move || Ok(seed_pair.clone()));
+            let victim = svc
+                .submit(
+                    JobSpec::new().batch_size(8),
+                    endless,
+                    SamTextSink::with_header(&genome, Vec::new()).unwrap(),
+                )
+                .unwrap();
+            while victim.snapshot().batches_processed < 3 {
+                std::thread::yield_now();
+            }
+            assert!(victim.cancel());
+            let (vr, vsink) = victim.join();
+            assert_eq!(vr.outcome, JobOutcome::Cancelled);
+            // Emission stopped at the ack: a clean prefix, nothing after.
+            let bytes = vsink.into_inner().unwrap();
+            assert!(!bytes.is_empty(), "header at minimum");
+
+            // The acceptance criterion: the warm device takes the next
+            // job and its bytes still match the solo oracle.
+            let next = svc
+                .submit_pairs(
+                    JobSpec::new().batch_size(32),
+                    follow_up.to_vec(),
+                    SamTextSink::with_header(&genome, Vec::new()).unwrap(),
+                )
+                .unwrap();
+            let (nr, nsink) = next.join();
+            assert_eq!(nr.outcome, JobOutcome::Completed);
+            assert!(
+                nsink.into_inner().unwrap() == solo,
+                "post-cancel job bytes diverge from its solo run"
+            );
+        });
+    assert_eq!(report.jobs_cancelled, 1);
+    assert_eq!(report.jobs_completed, 1);
+}
