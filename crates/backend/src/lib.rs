@@ -73,4 +73,7 @@ pub use nmsl::{
 pub use software::{SoftwareBackend, SoftwareSession};
 // The per-lane counter types the device report is built from.
 pub use gx_accel::{CycleBreakdown, LaneCounters};
-pub use traits::{BackendStats, BatchResult, MapBackend, MapSession};
+pub use traits::{
+    BackendStats, BatchResult, Clock, DiscardReport, ManualClock, MapBackend, MapSession,
+    SystemClock,
+};

@@ -13,7 +13,7 @@
 //! simulators of PR 3/4 are gone; `tests/e2e_warm_invariance.rs` holds the
 //! line.
 
-use crate::{BackendStats, BatchResult, MapBackend, MapSession};
+use crate::{BackendStats, BatchResult, DiscardReport, MapBackend, MapSession};
 use gx_accel::workload::pair_workload;
 use gx_accel::{
     fallback_cells, shard_for_workload, FallbackCells, GenDpInstance, HostTraffic, LaneCounters,
@@ -178,6 +178,10 @@ struct JobSeq {
     /// Discarded ([`MapBackend::discard_job`]): buffered admissions are
     /// dropped and stragglers admitted under this id are ignored.
     discarded: bool,
+    /// Pairs of this job released to lanes so far — frozen at discard, so
+    /// [`DiscardReport::pairs_accounted`] can report exactly the
+    /// already-dispatched remainder that stays in device totals.
+    released_pairs: u64,
 }
 
 /// The sequencing front half of the shared device, guarded by one lock.
@@ -564,10 +568,13 @@ impl SharedNmslDevice {
                 continue;
             }
             if let Some(batch) = f.pending.remove(&(job, seq.next_batch)) {
+                let released = batch.len() as u64;
                 for pair in batch {
                     touched[self.release_pair(f, backend, pair, stats)] = true;
                 }
-                f.seqs.get_mut(&job).expect("registered job").next_batch += 1;
+                let seq = f.seqs.get_mut(&job).expect("registered job");
+                seq.next_batch += 1;
+                seq.released_pairs += released;
                 continue;
             }
             if seq.sealed_at == Some(seq.next_batch) {
@@ -661,19 +668,25 @@ impl SharedNmslDevice {
         stats
     }
 
-    /// Discards `job`: drops its buffered admissions immediately and lets
-    /// the canonical order skip it (see [`MapBackend::discard_job`]).
+    /// Discards `job`: drops its buffered admissions immediately — sealed
+    /// or not, a batch never released to a lane is never priced — and lets
+    /// the canonical order skip it (see [`MapBackend::discard_job`]). The
+    /// report carries the job's already-released pair count, frozen here
+    /// because the discard flag stops any further release.
     fn discard_job<H: SeedHasher>(
         &self,
         backend: &NmslBackend<'_, '_, H>,
         job: u64,
-    ) -> BackendStats {
+    ) -> DiscardReport {
         let mut stats = BackendStats::new();
         let mut touched = vec![false; self.lanes.len()];
+        let pairs_accounted;
         {
             let mut f = self.frontier.lock().expect("frontier lock poisoned");
             f.ensure_job(job);
-            f.seqs.get_mut(&job).expect("registered job").discarded = true;
+            let seq = f.seqs.get_mut(&job).expect("registered job");
+            seq.discarded = true;
+            pairs_accounted = seq.released_pairs;
             f.drop_pending(job);
             self.drain_ready(&mut f, backend, &mut stats, &mut touched);
             let depth = f.pending.len() as u64;
@@ -685,7 +698,10 @@ impl SharedNmslDevice {
             }
         }
         stats.sim_cycles = stats.seed_cycles + stats.fallback_cycles;
-        stats
+        DiscardReport {
+            stats,
+            pairs_accounted,
+        }
     }
 
     /// Drains the whole device in deterministic order, returns the float
@@ -708,11 +724,15 @@ impl SharedNmslDevice {
             let mut f = self.frontier.lock().expect("frontier lock poisoned");
             let mut touched = vec![false; self.lanes.len()];
             self.drain_ready(&mut f, backend, &mut stats, &mut touched);
-            let leftover: Vec<Vec<AdmittedPair>> =
-                std::mem::take(&mut f.pending).into_values().collect();
-            for batch in leftover {
+            let leftover: Vec<((u64, u64), Vec<AdmittedPair>)> =
+                std::mem::take(&mut f.pending).into_iter().collect();
+            for ((job, _), batch) in leftover {
+                let released = batch.len() as u64;
                 for pair in batch {
                     let _ = self.release_pair(&mut f, backend, pair, &mut stats);
+                }
+                if let Some(seq) = f.seqs.get_mut(&job) {
+                    seq.released_pairs += released;
                 }
             }
             stats.fallback_seconds = f.fallback_seconds_total;
@@ -1061,10 +1081,10 @@ impl<H: SeedHasher> MapBackend for NmslBackend<'_, '_, H> {
         }
     }
 
-    fn discard_job(&self, job: u64) -> BackendStats {
+    fn discard_job(&self, job: u64) -> DiscardReport {
         match self.mode {
             DispatchMode::Warm => self.device.discard_job(self, job),
-            DispatchMode::Cold => BackendStats::new(),
+            DispatchMode::Cold => DiscardReport::default(),
         }
     }
 }
@@ -1569,7 +1589,12 @@ mod tests {
         let mut total = BackendStats::new();
         let mut session = backend.session(0);
         total.merge(&session.map_job_batch(0, 1, &doomed[..2]).stats);
-        total.merge(&backend.discard_job(0));
+        let discard = backend.discard_job(0);
+        assert_eq!(
+            discard.pairs_accounted, 0,
+            "nothing of job 0 released before the discard"
+        );
+        total.merge(&discard.stats);
         // A straggler admission racing past the cancel is ignored too.
         total.merge(&session.map_job_batch(0, 0, &doomed[2..]).stats);
         total.merge(&session.map_job_batch(1, 0, kept).stats);

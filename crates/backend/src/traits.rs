@@ -1,6 +1,10 @@
-//! The [`MapBackend`]/[`MapSession`] traits and per-batch accounting types.
+//! The [`MapBackend`]/[`MapSession`] traits and per-batch accounting types,
+//! plus the monotonic [`Clock`] abstraction front-ends use for
+//! deadline/timeout decisions around the job hooks.
 
 use gx_core::{PairMapResult, ReadPair};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// Cumulative backend accounting, sharded per worker by the pipeline and
 /// merged lock-free at join time (like
@@ -218,6 +222,103 @@ pub struct BatchResult {
     pub stats: BackendStats,
 }
 
+/// What a [`MapBackend::discard_job`] call freed and what it could not:
+/// the accounting released by the discard itself, plus the count of the
+/// job's pairs that had **already been dispatched** (released past the
+/// sequencing frontier) before the discard landed. Those dispatched pairs
+/// stay in device totals — their cost was genuinely modeled — while every
+/// still-buffered admission is dropped, so a cancelled job's *undispatched*
+/// work never leaks into service-wide accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DiscardReport {
+    /// Accounting freed by the discard (releases that were parked behind
+    /// the discarded job), like [`MapBackend::seal_job`]'s return.
+    pub stats: BackendStats,
+    /// Pairs of the discarded job that were already released to the device
+    /// before the discard — the remainder that stays accounted. Backends
+    /// without a sequencing frontier (software) report 0.
+    pub pairs_accounted: u64,
+}
+
+/// A monotonic time source for deadline and admission-timeout decisions.
+///
+/// The service front-end in `gx-pipeline` threads a `Clock` through its
+/// scheduler so every "has this job exceeded its budget?" check reads the
+/// same source — [`SystemClock`] in production, [`ManualClock`] in tests,
+/// where time only moves when the test advances it, making deadline
+/// cancellation deterministic instead of wall-clock-flaky. Clock readings
+/// are *control-plane only*: they decide scheduling (cancel, time out,
+/// park), never modeled accounting, so a mock clock cannot change warm
+/// totals or SAM bytes.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's arbitrary (but fixed) origin.
+    /// Monotone non-decreasing across threads.
+    fn now(&self) -> Duration;
+}
+
+/// The production [`Clock`]: monotonic wall time via [`Instant`], measured
+/// from the clock's construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is now.
+    pub fn new() -> SystemClock {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> SystemClock {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A manually-advanced [`Clock`] for deterministic tests: time stands
+/// still until the test calls [`advance`](ManualClock::advance), so a
+/// deadline can only fire when the test says so.
+///
+/// ```
+/// use gx_backend::{Clock, ManualClock};
+/// use std::time::Duration;
+/// let clock = ManualClock::new();
+/// assert_eq!(clock.now(), Duration::ZERO);
+/// clock.advance(Duration::from_millis(250));
+/// assert_eq!(clock.now(), Duration::from_millis(250));
+/// ```
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at its origin (time zero).
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Moves the clock forward by `by`.
+    pub fn advance(&self, by: Duration) {
+        self.nanos.fetch_add(by.as_nanos() as u64, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
 /// A mapping backend: a cheap, shared factory of per-worker
 /// [`MapSession`]s.
 ///
@@ -356,11 +457,13 @@ pub trait MapBackend: Sync {
     /// the job's released pairs stands — a cancelled job's device cost is
     /// inherently schedule-dependent (how far it got before the cancel),
     /// which is why determinism claims quantify over *completed* jobs only.
-    /// Returns accounting freed by the discard, like
+    /// The [`DiscardReport`] carries both that already-dispatched remainder
+    /// (`pairs_accounted`, so a front-end can surface it instead of folding
+    /// it in silently) and accounting freed by the discard, like
     /// [`seal_job`](MapBackend::seal_job).
-    fn discard_job(&self, job: u64) -> BackendStats {
+    fn discard_job(&self, job: u64) -> DiscardReport {
         let _ = job;
-        BackendStats::new()
+        DiscardReport::default()
     }
 }
 

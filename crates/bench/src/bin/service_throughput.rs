@@ -25,8 +25,12 @@
 //!
 //! Knobs: `GX_PAIRS` (total across jobs), `GX_GENOME_SIZE`; flags:
 //! `--smoke` for a seconds-scale CI run (2 jobs), `--jobs N`,
-//! `--channels N`. Exits nonzero if any determinism check fails, so the
-//! grep and the exit status agree.
+//! `--channels N`, `--ingesters N` (ingest-pool size; default
+//! `min(2, threads)`), `--job-timeout-ms N` (default per-job deadline —
+//! the per-service JSON line then reports `"deadline_cancels"`, which a
+//! healthy run keeps at 0; CI greps `"deadline_cancels":0`). Exits
+//! nonzero if any determinism check fails, so the grep and the exit
+//! status agree.
 
 use gx_backend::{BackendStats, NmslBackend, DEFAULT_CHANNELS};
 use gx_bench::env_usize;
@@ -37,7 +41,7 @@ use gx_pipeline::{
     SamTextSink, ServiceBuilder,
 };
 use gx_readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The warm fields the service promises are thread-count- and
 /// tenancy-invariant, floats as bits so the check means "identical".
@@ -115,6 +119,8 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let n_jobs = flag_value(&args, "--jobs").unwrap_or(if smoke { 2 } else { 4 });
     let channels = flag_value(&args, "--channels").unwrap_or(DEFAULT_CHANNELS);
+    let ingesters = flag_value(&args, "--ingesters");
+    let job_timeout = flag_value(&args, "--job-timeout-ms").map(|ms| ms as u64);
     let (default_pairs, default_genome) = if smoke {
         (300, 250_000)
     } else {
@@ -160,35 +166,42 @@ fn main() {
 
     let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4] };
     let mut all_sam_identical = true;
+    let mut deadline_cancels = 0u64;
     let mut fingerprints: Vec<(usize, WarmFingerprint)> = Vec::new();
     for &threads in thread_counts {
         let started = Instant::now();
         let backend = NmslBackend::new(&mapper).channels(channels);
-        let (job_lines, service) = ServiceBuilder::new()
+        let mut builder = ServiceBuilder::new()
             .threads(threads)
-            .queue_depth(2 * threads)
-            .serve(backend, |svc| {
-                let handles: Vec<_> = jobs
-                    .iter()
-                    .enumerate()
-                    .map(|(i, job)| {
-                        let spec = JobSpec::new()
-                            .batch_size(BATCH_SIZES[i % BATCH_SIZES.len()])
-                            .priority(PRIORITIES[i % PRIORITIES.len()]);
-                        let sink = SamTextSink::with_header(&genome, Vec::new())
-                            .expect("Vec write cannot fail");
-                        svc.submit_pairs(spec, job.clone(), sink)
-                            .expect("park admission never rejects")
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        let (report, sink) = h.join();
-                        (report, sink.into_inner().expect("Vec flush cannot fail"))
-                    })
-                    .collect::<Vec<_>>()
-            });
+            .queue_depth(2 * threads);
+        if let Some(n) = ingesters {
+            builder = builder.ingesters(n);
+        }
+        if let Some(ms) = job_timeout {
+            builder = builder.default_job_timeout(Duration::from_millis(ms));
+        }
+        let (job_lines, service) = builder.serve(backend, |svc| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, job)| {
+                    let spec = JobSpec::new()
+                        .batch_size(BATCH_SIZES[i % BATCH_SIZES.len()])
+                        .priority(PRIORITIES[i % PRIORITIES.len()]);
+                    let sink = SamTextSink::with_header(&genome, Vec::new())
+                        .expect("Vec write cannot fail");
+                    svc.submit_pairs(spec, job.clone(), sink)
+                        .expect("park admission never rejects")
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    let (report, sink) = h.join();
+                    (report, sink.into_inner().expect("Vec flush cannot fail"))
+                })
+                .collect::<Vec<_>>()
+        });
         let wall = started.elapsed().as_secs_f64();
 
         for (i, (report, sam)) in job_lines.iter().enumerate() {
@@ -227,12 +240,15 @@ fn main() {
         };
         println!(
             "{{\"harness\":\"service_throughput\",\"threads\":{threads},\
-             \"jobs_submitted\":{},\"jobs_completed\":{},\"records_written\":{},\
+             \"ingesters\":{},\"jobs_submitted\":{},\"jobs_completed\":{},\
+             \"deadline_cancels\":{},\"records_written\":{},\
              \"steals\":{},\"refills\":{},\"wall_ms\":{:.3},\
              \"service_reads_per_sec\":{:.1},\"sim_cycles\":{},\
              \"seed_cycles\":{},\"energy_pj\":{:.1}}}",
+            service.ingesters,
             service.jobs_submitted,
             service.jobs_completed,
+            service.deadline_cancels,
             service.records_written,
             service.steals,
             service.refills,
@@ -242,6 +258,7 @@ fn main() {
             service.backend.seed_cycles,
             service.backend.energy_pj,
         );
+        deadline_cancels += service.deadline_cancels;
         fingerprints.push((threads, WarmFingerprint::of(&service.backend)));
     }
 
@@ -259,7 +276,8 @@ fn main() {
     }
     println!(
         "{{\"harness\":\"service_throughput\",\"check\":\"sharding_invariant\",\
-         \"channels\":{},\"jobs\":{},\"threads\":[{}],\
+         \"channels\":{},\"jobs\":{},\"deadline_cancels\":{deadline_cancels},\
+         \"threads\":[{}],\
          \"matches_single_engine\":{},\"sharding_invariant\":{}}}",
         channels,
         n_jobs,

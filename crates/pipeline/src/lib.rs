@@ -36,11 +36,14 @@
 //!   stats, so warm totals and SAM bytes are unchanged by tracing);
 //! * a **multi-job service layer** ([`MappingService`], [`ServiceBuilder`])
 //!   that keeps one worker pool and one warm device serving many
-//!   concurrent jobs — admission control and backpressure, per-job
-//!   ordered emitters whose output stays byte-identical to each job's
-//!   solo run, live [`JobSnapshot`]s, graceful [`ServiceHandle::drain`]
-//!   and per-job [`JobHandle::cancel`] built on the device abort path; see the
-//!   [`MappingService`] docs for the architecture.
+//!   concurrent jobs — a multi-threaded ingest pool (a blocking input
+//!   stalls only its own job), admission control with optional timeouts
+//!   and backpressure, per-job deadlines on an injectable monotonic
+//!   [`Clock`], per-job ordered emitters whose output stays
+//!   byte-identical to each job's solo run, live [`JobSnapshot`]s,
+//!   graceful [`ServiceHandle::drain`] and per-job [`JobHandle::cancel`]
+//!   built on the device abort path; see the [`MappingService`] docs for
+//!   the architecture.
 //!
 //! ```
 //! use gx_genome::random::RandomGenomeBuilder;
@@ -87,7 +90,8 @@ pub use batch::{read_pairs_from_fastq, ReadPairStream};
 pub use config::{FallbackPolicy, PipelineBuilder, PipelineConfig};
 pub use engine::{map_serial, MappingEngine, PipelineReport};
 pub use gx_backend::{
-    BackendStats, BatchResult, DispatchMode, MapBackend, MapSession, NmslBackend, SoftwareBackend,
+    BackendStats, BatchResult, Clock, DiscardReport, DispatchMode, ManualClock, MapBackend,
+    MapSession, NmslBackend, SoftwareBackend, SystemClock,
 };
 pub use gx_core::ReadPair;
 pub use gx_telemetry::{Telemetry, TelemetryConfig};

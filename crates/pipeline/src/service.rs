@@ -8,85 +8,119 @@
 //! through a [`ServiceHandle`]:
 //!
 //! ```text
-//! submit(job A) ──┐                 ┌─ worker 0 ─ map_job_batch ─┐ per-job
-//! submit(job B) ──┤ ingest thread   │  worker 1 ─ ...            ├─ ordered
-//! submit(job C) ──┘ (multiplexes,   │  worker N ─ ...            │ emitters
-//!                    priorities,    └────────── shared device ───┘ (A,B,C)
-//!                    windows)  ──► WorkStealQueue<JobBatch> ──►
+//! submit(job A) ──┐ ingest pool     ┌─ worker 0 ─ map_job_batch ─┐ per-job
+//! submit(job B) ──┤ (each ingester  │  worker 1 ─ ...            ├─ ordered
+//! submit(job C) ──┘ owns ≤1 job,    │  worker N ─ ...            │ emitters
+//!                   claims by       └────────── shared device ───┘ (A,B,C)
+//!                   priority)  ──► WorkStealQueue<JobBatch> ──►
+//!                                      deadline timer ─ cancels overdue jobs
 //! ```
 //!
 //! * **Job lifecycle** — [`ServiceHandle::submit`] registers the job with
 //!   the backend ([`MapBackend::open_job`], fixing its slot in the device's
-//!   canonical release order), hands its input iterator to the ingest
-//!   thread, and returns a [`JobHandle`]. The ingest thread chunks each
-//!   job's input into job-tagged batches and pushes them through the same
-//!   bounded [`WorkStealQueue`] the one-shot engine
-//!   uses; workers map them via [`MapSession::map_job_batch`] and append
-//!   the records to the job's own ordered emitter (a per-job reorder
-//!   buffer draining straight into the job's sink). When a job's input
-//!   ends the ingest thread seals it ([`MapBackend::seal_job`]); when its
-//!   last batch has been mapped and emitted, the job finalizes and
-//!   [`JobHandle::join`] returns its [`JobReport`] and sink.
+//!   canonical release order), hands its input iterator to the **ingest
+//!   pool**, and returns a [`JobHandle`]. The pool
+//!   ([`ingesters`](ServiceConfig::ingesters) threads, default
+//!   `min(2, threads)`) claims jobs one at a time — a job is owned by at
+//!   most one ingester, and claiming is priority-weighted (within a
+//!   visiting round, higher-[`Priority`] jobs are claimed first, and each
+//!   visit feeds up to [`Priority::weight`] batches) — so an input
+//!   iterator that blocks stalls **only its own job's** ingestion, not its
+//!   siblings'. The owning ingester chunks the input into job-tagged
+//!   batches and pushes them through the same bounded [`WorkStealQueue`]
+//!   the one-shot engine uses; workers map them via
+//!   [`MapSession::map_job_batch`] and append the records to the job's own
+//!   ordered emitter (a per-job reorder buffer draining straight into the
+//!   job's sink). When a job's input ends its ingester seals it
+//!   ([`MapBackend::seal_job`]); when its last batch has been mapped and
+//!   emitted, the job finalizes and [`JobHandle::join`] returns its
+//!   [`JobReport`] and sink.
+//! * **Deadlines** — [`JobSpec::deadline`] (or the service-wide
+//!   [`ServiceBuilder::default_job_timeout`]) gives a job a time budget,
+//!   measured on the service's monotonic [`Clock`] from admission. A
+//!   dedicated timer thread cancels overdue jobs through the ordinary
+//!   cancel path (outcome [`JobOutcome::Cancelled`], abort reason
+//!   `"job deadline exceeded"`, counted in
+//!   [`ServiceReport::deadline_cancels`] and the per-job
+//!   `gx_job_deadline_cancels_total{job="N"}` telemetry series) — this is
+//!   what unparks the pipeline behind a job whose input stalls forever.
+//!   Tests inject a [`ManualClock`](gx_backend::ManualClock) via
+//!   [`ServiceBuilder::clock`], so deadline behavior is deterministic:
+//!   time only moves when the test advances it. Clock readings are
+//!   control-plane only — they never feed modeled accounting.
 //! * **Admission control** — at most
 //!   [`max_active_jobs`](ServiceConfig::max_active_jobs) jobs are in
 //!   flight; over budget, [`AdmissionPolicy::Park`] blocks the submitter
-//!   until a slot frees while [`AdmissionPolicy::Reject`] returns
-//!   [`SubmitError::Busy`]. **Backpressure** inside an admitted job is the
-//!   engine's own: the injector is bounded
-//!   ([`queue_depth`](ServiceConfig::queue_depth)) and each job gets the
-//!   classic in-flight window (`queue_depth + 2 × threads` batches past
-//!   its last processed one), so one fast producer can neither flood the
-//!   queue nor grow its reorder buffer without limit.
+//!   until a slot frees (bounded by [`JobSpec::admission_timeout`], which
+//!   fails the submission with [`SubmitError::Timeout`]) while
+//!   [`AdmissionPolicy::Reject`] returns [`SubmitError::Busy`]. A parked
+//!   submitter also observes [`drain`](ServiceHandle::drain) and fails
+//!   with [`SubmitError::Draining`] instead of waiting forever.
+//!   **Backpressure** inside an admitted job is the engine's own: the
+//!   injector is bounded ([`queue_depth`](ServiceConfig::queue_depth)) and
+//!   each job gets the classic in-flight window (`queue_depth + 2 ×
+//!   threads` batches past its last processed one), so one fast producer
+//!   can neither flood the queue nor grow its reorder buffer without
+//!   limit.
 //! * **Determinism** — per-job SAM output is byte-identical to that job's
 //!   solo [`map_serial`](crate::map_serial) run, for any thread count,
-//!   batch size, priority mix or interleaving: mapping results are
-//!   schedule-independent and each job's emitter orders by batch index.
-//!   Warm-device accounting stays bit-identical too, because the backend
-//!   releases admitted pairs in a canonical order — jobs in submission
-//!   order, batches in index order within each job — no matter how worker
-//!   threads interleave (`MapBackend::open_job` docs); completed-job
-//!   totals therefore match a single engine run over the concatenated
-//!   streams, which `tests/e2e_service.rs` pins bit-for-bit.
+//!   ingester count, batch size, priority mix or interleaving: mapping
+//!   results are schedule-independent and each job's emitter orders by
+//!   batch index. Warm-device accounting stays bit-identical too, because
+//!   the backend releases admitted pairs in a canonical order — jobs in
+//!   submission order, batches in index order within each job — no matter
+//!   how ingesters or workers interleave (`MapBackend::open_job` docs);
+//!   completed-job totals therefore match a single engine run over the
+//!   concatenated streams, which `tests/e2e_service.rs` pins bit-for-bit
+//!   across thread *and* ingester counts.
 //! * **Cancellation** — [`JobHandle::cancel`] acquires the job's emitter
 //!   lock, so by the time it returns no further record of that job will
 //!   ever reach its sink (the ack is a barrier, which
-//!   `service_props.rs` verifies under random schedules). The ingest
-//!   thread then discards the job from the device
-//!   ([`MapBackend::discard_job`], the PR 4 abort path generalized):
-//!   batches already admitted drain without emission, stragglers are
-//!   ignored, and the service keeps accepting new jobs. A failing sink or
-//!   a malformed input stream fails *only its own job* the same way, and
-//!   the originating error text is preserved in
+//!   `service_props.rs` verifies under random schedules). The cancel
+//!   path itself then discards the job from the device
+//!   ([`MapBackend::discard_job`], the PR 4 abort path generalized) —
+//!   *sealed or not*, so a cancel landing after the input was fully
+//!   ingested no longer leaks the job's undispatched pairs into
+//!   service-wide warm totals. Batches already released to a lane stay
+//!   accounted (their cost was genuinely modeled) and are reported
+//!   explicitly in [`JobReport::pairs_accounted_after_cancel`];
+//!   still-buffered batches are dropped, stragglers are ignored, and the
+//!   service keeps accepting new jobs. A failing sink or a malformed
+//!   input stream fails *only its own job* the same way, and the
+//!   originating error text is preserved in
 //!   [`PipelineReport::abort_reason`].
 //! * **Observability** — with a [`Telemetry`] handle attached, each job
 //!   registers labeled series (`gx_job_pairs_total{job="N"}`,
-//!   `gx_job_records_total{job="N"}`) via the registry's graceful
+//!   `gx_job_records_total{job="N"}`,
+//!   `gx_job_deadline_cancels_total{job="N"}`) via the registry's graceful
 //!   `try_*` path (jobs beyond the metric-table budget simply go
 //!   unlabeled instead of panicking), plus a named trace track; live
 //!   per-job progress is available lock-cheaply via
 //!   [`JobHandle::snapshot`].
 //!
-//! Known limitations (see `ARCHITECTURE.md` for the full discussion): all
-//! job inputs are polled cooperatively on one ingest thread, so an input
-//! iterator that blocks stalls ingestion (not mapping) for every job; and
-//! a job cancelled *after* its input was fully ingested is already sealed
-//! into the device's canonical order, so its pairs still appear in device
-//! totals even though emission stops at the ack.
+//! Known limitations (see `ARCHITECTURE.md` for the full discussion): a
+//! permanently blocking input iterator still occupies its owning ingester
+//! thread until the iterator yields or its job is torn down at scope exit
+//! — a deadline cancel frees the job's *pipeline* resources (device slot,
+//! admission slot, successors' frontier batches) immediately, but the
+//! ingester itself unblocks only when the iterator returns.
 
 use crate::batch::ReadPairStream;
 use crate::config::FallbackPolicy;
 use crate::engine::{emit_pair_records, PipelineReport};
 use crate::sink::RecordSink;
 use crate::steal::WorkStealQueue;
-use gx_backend::{BackendStats, MapBackend, MapSession};
+use gx_backend::{BackendStats, Clock, DiscardReport, MapBackend, MapSession, SystemClock};
 use gx_core::{PipelineStats, ReadPair};
 use gx_genome::GenomeError;
 use gx_genome::SamRecord;
 use gx_telemetry::{labeled, CounterId, Telemetry};
 use std::any::Any;
+use std::cmp::Reverse;
 use std::collections::HashMap;
 use std::io::BufRead;
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -94,8 +128,13 @@ use std::time::{Duration, Instant};
 const REFILL_CHUNK: usize = 4;
 
 /// Trace-track ids for per-job tracks (workers sit at `0..threads`, the
-/// ingest thread at `threads`, NMSL lanes at 2000+).
+/// ingest pool at `threads..threads+ingesters`, the deadline timer right
+/// after it, NMSL lanes at 2000+).
 const JOB_TRACK_BASE: u32 = 3000;
+
+/// How often the deadline timer re-checks the clock while at least one
+/// active job has a deadline (it sleeps much longer otherwise).
+const DEADLINE_POLL: Duration = Duration::from_millis(5);
 
 /// What the service does with a submission that exceeds the
 /// [`max_active_jobs`](ServiceConfig::max_active_jobs) budget.
@@ -148,10 +187,20 @@ pub struct JobSpec {
     pub batch_size: Option<usize>,
     /// Ingestion priority.
     pub priority: Priority,
+    /// Time budget measured on the service clock from admission; `None`
+    /// falls back to [`ServiceBuilder::default_job_timeout`] (itself
+    /// `None` = no deadline). The deadline timer cancels an overdue job
+    /// through the ordinary cancel/ack path.
+    pub deadline: Option<Duration>,
+    /// Under [`AdmissionPolicy::Park`], how long the submitter may stay
+    /// parked before the submission fails with [`SubmitError::Timeout`];
+    /// `None` parks until a slot frees or the service drains.
+    pub admission_timeout: Option<Duration>,
 }
 
 impl JobSpec {
-    /// The defaults: service-wide batch size, [`Priority::Normal`].
+    /// The defaults: service-wide batch size, [`Priority::Normal`], no
+    /// per-job deadline, unbounded admission parking.
     pub fn new() -> JobSpec {
         JobSpec::default()
     }
@@ -165,6 +214,21 @@ impl JobSpec {
     /// Sets the ingestion priority.
     pub fn priority(mut self, priority: Priority) -> JobSpec {
         self.priority = priority;
+        self
+    }
+
+    /// Gives the job a time budget: if it has not finalized `deadline`
+    /// after admission (service clock), the deadline timer cancels it.
+    pub fn deadline(mut self, deadline: Duration) -> JobSpec {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Bounds how long this submission may stay parked under
+    /// [`AdmissionPolicy::Park`] before failing with
+    /// [`SubmitError::Timeout`].
+    pub fn admission_timeout(mut self, timeout: Duration) -> JobSpec {
+        self.admission_timeout = Some(timeout);
         self
     }
 }
@@ -185,6 +249,26 @@ pub struct ServiceConfig {
     pub admission: AdmissionPolicy,
     /// Unmapped-pair handling (service-wide).
     pub fallback: FallbackPolicy,
+    /// Ingest-pool threads claiming job inputs. `0` — the default —
+    /// resolves to `min(2, threads)` when the service starts (see
+    /// [`resolved_ingesters`](ServiceConfig::resolved_ingesters)).
+    pub ingesters: usize,
+    /// Deadline applied to jobs whose [`JobSpec::deadline`] is `None`;
+    /// `None` leaves such jobs without a deadline.
+    pub default_job_timeout: Option<Duration>,
+}
+
+impl ServiceConfig {
+    /// The ingest-pool size this configuration resolves to:
+    /// [`ingesters`](ServiceConfig::ingesters) if set, else
+    /// `min(2, threads)`.
+    pub fn resolved_ingesters(&self) -> usize {
+        if self.ingesters == 0 {
+            self.threads.clamp(1, 2)
+        } else {
+            self.ingesters
+        }
+    }
 }
 
 impl Default for ServiceConfig {
@@ -197,6 +281,8 @@ impl Default for ServiceConfig {
             max_active_jobs: 8,
             admission: AdmissionPolicy::default(),
             fallback: FallbackPolicy::default(),
+            ingesters: 0,
+            default_job_timeout: None,
         }
     }
 }
@@ -214,15 +300,27 @@ impl Default for ServiceConfig {
 /// assert_eq!(b.config().threads, 4);
 /// assert_eq!(b.config().max_active_jobs, 2);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct ServiceBuilder {
     cfg: ServiceConfig,
     telemetry: Telemetry,
+    clock: Option<Arc<dyn Clock>>,
+}
+
+impl std::fmt::Debug for ServiceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceBuilder")
+            .field("cfg", &self.cfg)
+            .field("telemetry", &self.telemetry)
+            .field("clock", &self.clock.as_ref().map(|_| "dyn Clock"))
+            .finish()
+    }
 }
 
 impl ServiceBuilder {
     /// Starts from the defaults: one worker per core, 256-pair batches,
-    /// 2×threads queue depth, 8 concurrent jobs, parking admission.
+    /// 2×threads queue depth, 8 concurrent jobs, parking admission,
+    /// `min(2, threads)` ingesters, no default job timeout.
     pub fn new() -> ServiceBuilder {
         ServiceBuilder::default()
     }
@@ -263,6 +361,32 @@ impl ServiceBuilder {
         self
     }
 
+    /// Sets the ingest-pool size (clamped to at least 1). The default —
+    /// `min(2, threads)` — already tolerates one blocking input without
+    /// stalling siblings; raise it for workloads with several
+    /// slow-producer jobs at once.
+    pub fn ingesters(mut self, ingesters: usize) -> ServiceBuilder {
+        self.cfg.ingesters = ingesters.max(1);
+        self
+    }
+
+    /// Deadline applied to every job that doesn't set its own
+    /// [`JobSpec::deadline`]: overdue jobs are cancelled by the deadline
+    /// timer with abort reason `"job deadline exceeded"`.
+    pub fn default_job_timeout(mut self, timeout: Duration) -> ServiceBuilder {
+        self.cfg.default_job_timeout = Some(timeout);
+        self
+    }
+
+    /// Replaces the monotonic clock deadlines are measured on (default:
+    /// [`SystemClock`]). Tests inject a
+    /// [`ManualClock`](gx_backend::ManualClock) here so deadline behavior
+    /// is deterministic — time moves only when the test advances it.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> ServiceBuilder {
+        self.clock = Some(clock);
+        self
+    }
+
     /// Attaches a telemetry handle: the service then records per-job
     /// labeled counters and trace tracks in addition to the engine-level
     /// series. Observational only, exactly as for the one-shot engine.
@@ -294,6 +418,9 @@ pub enum SubmitError {
     Busy,
     /// [`ServiceHandle::drain`] has begun: no new jobs are accepted.
     Draining,
+    /// The submitter parked longer than its
+    /// [`JobSpec::admission_timeout`] without a slot freeing.
+    Timeout,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -301,6 +428,7 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Busy => write!(f, "service busy: active-job budget exhausted"),
             SubmitError::Draining => write!(f, "service draining: no new jobs accepted"),
+            SubmitError::Timeout => write!(f, "service busy: admission timeout expired"),
         }
     }
 }
@@ -333,6 +461,13 @@ pub struct JobReport {
     /// service-wide and reported as zero here (see
     /// [`ServiceReport`]).
     pub report: PipelineReport,
+    /// Pairs of this job the device had already released to a lane — and
+    /// therefore genuinely priced into warm totals — by the time a cancel
+    /// discarded it. Always zero for completed jobs (their accounting is
+    /// simply `report.backend`); zero for a cancel that landed before any
+    /// release. Undispatched pairs of a cancelled job are *not* priced,
+    /// sealed or not.
+    pub pairs_accounted_after_cancel: u64,
 }
 
 /// Live progress of one job (see [`JobHandle::snapshot`]).
@@ -346,6 +481,9 @@ pub struct JobSnapshot {
     pub batches_admitted: u64,
     /// Batches mapped (and, unless suppressed, emitted) so far.
     pub batches_processed: u64,
+    /// The input ended cleanly and the job was sealed into the device's
+    /// canonical order (`batches_admitted` is final).
+    pub sealed: bool,
     /// The job has finalized ([`JobHandle::join`] will not block).
     pub finished: bool,
     /// A cancel has been acknowledged.
@@ -364,6 +502,9 @@ pub struct ServiceReport {
     pub jobs_cancelled: u64,
     /// Jobs failed by their own sink or input stream.
     pub jobs_failed: u64,
+    /// Jobs cancelled by the deadline timer (a subset of
+    /// `jobs_cancelled`).
+    pub deadline_cancels: u64,
     /// Records delivered across all sinks.
     pub records_written: u64,
     /// Device-wide backend accounting: every job's share plus the
@@ -375,6 +516,8 @@ pub struct ServiceReport {
     pub backend_name: &'static str,
     /// Worker threads used.
     pub threads: usize,
+    /// Ingest-pool threads used.
+    pub ingesters: usize,
     /// Batches taken from another worker's deque.
     pub steals: u64,
     /// Injector→deque refill transfers.
@@ -416,6 +559,9 @@ struct JobState {
     priority: Priority,
     batch_size: usize,
     submitted: Instant,
+    /// Service-clock instant past which the deadline timer cancels the
+    /// job; `None` = no deadline.
+    deadline_at: Option<Duration>,
     core: Mutex<JobCore>,
     done: Condvar,
     pairs_c: Option<CounterId>,
@@ -450,6 +596,9 @@ struct JobCore {
     /// seal/discard releases; attribution of shared-device quanta is
     /// schedule-dependent, only the service-wide sum is invariant).
     backend: BackendStats,
+    /// Pairs the device had already released to a lane when the job was
+    /// discarded (from [`DiscardReport::pairs_accounted`]).
+    accounted_after_cancel: u64,
     /// The final report, parked here until `join`.
     finished: Option<JobReport>,
 }
@@ -469,6 +618,7 @@ impl JobCore {
             written: 0,
             stats: PipelineStats::new(),
             backend: BackendStats::new(),
+            accounted_after_cancel: 0,
             finished: None,
         }
     }
@@ -482,13 +632,41 @@ impl JobCore {
     fn suppressed(&self) -> bool {
         self.cancelled || self.abort_reason.is_some()
     }
+
+    /// Claims the one-shot right to discard this job from the device.
+    /// The claimer performs [`MapBackend::discard_job`] and
+    /// [`apply_discard`] *while still holding the core lock*, so a
+    /// concurrent finalize can never slip between the claim and the
+    /// accounting merge (holding core while taking device locks is safe:
+    /// no service path acquires them in the other order).
+    fn claim_discard(&mut self) -> bool {
+        if self.discarded {
+            false
+        } else {
+            self.discarded = true;
+            true
+        }
+    }
 }
 
-/// A job the ingest thread is actively multiplexing.
+/// Folds a device discard's accounting into the job core — the freed
+/// releases of *other* jobs ride in `stats`, and the already-dispatched
+/// remainder of this job becomes [`JobReport::pairs_accounted_after_cancel`].
+fn apply_discard(core: &mut JobCore, report: &DiscardReport) {
+    core.backend.merge(&report.stats);
+    core.accounted_after_cancel = report.pairs_accounted;
+}
+
+/// A job in the ingest pool's rotation. At any moment a job is either in
+/// [`Sched::pool`] (claimable) or owned by exactly one ingester — never
+/// both — so its input iterator is only ever polled single-threaded.
 struct FeederJob {
     state: Arc<JobState>,
     input: JobInput,
     next_index: u64,
+    /// Ingest visits this job has received; the claim policy serves the
+    /// lowest round first so no job starves behind chatty siblings.
+    round: u64,
 }
 
 impl FeederJob {
@@ -512,7 +690,8 @@ impl FeederJob {
     }
 }
 
-/// Scheduler state shared by submitters, the ingest thread and finalizers.
+/// Scheduler state shared by submitters, the ingest pool, the deadline
+/// timer and finalizers.
 #[derive(Default)]
 struct Sched {
     next_id: u64,
@@ -520,31 +699,56 @@ struct Sched {
     draining: bool,
     shutdown: bool,
     aborting: bool,
-    incoming: Vec<FeederJob>,
+    /// Jobs claimable by any idle ingester (owned jobs are *not* here).
+    pool: Vec<FeederJob>,
     registry: HashMap<u64, Arc<JobState>>,
     jobs_submitted: u64,
     jobs_completed: u64,
     jobs_cancelled: u64,
     jobs_failed: u64,
+    deadline_cancels: u64,
     records_written: u64,
     job_backend: BackendStats,
 }
 
-/// Everything the service's threads share by reference.
-struct Shared {
+/// Backend-erased discard entry point, so client-side paths (cancel
+/// handles, the deadline timer) that don't know the backend type can
+/// still release a job from the device the moment suppression is
+/// decided.
+trait DiscardHook: Sync {
+    fn discard(&self, job: u64) -> DiscardReport;
+}
+
+impl<B: MapBackend> DiscardHook for B {
+    fn discard(&self, job: u64) -> DiscardReport {
+        self.discard_job(job)
+    }
+}
+
+/// Everything the service's threads share by reference. The `'b`
+/// lifetime borrows the backend for the type-erased discard hook.
+struct Shared<'b> {
     queue: WorkStealQueue<JobBatch>,
     sched: Mutex<Sched>,
-    /// Wakes the ingest thread (new job, cancel, window progress) and
-    /// parked submitters / drainers (job finalized).
+    /// Wakes ingesters (new job, cancel, window progress), the deadline
+    /// timer, and parked submitters / drainers (job finalized, drain).
     wake: Condvar,
     cfg: ServiceConfig,
     telemetry: Telemetry,
     backend_name: &'static str,
     /// Per-job in-flight window in batches.
     window: u64,
+    /// Monotonic clock for deadlines and admission timeouts
+    /// (control-plane only — never feeds modeled accounting).
+    clock: Arc<dyn Clock>,
+    /// Discards jobs from the device without knowing the backend type.
+    discard: &'b (dyn DiscardHook + 'b),
+    /// Ingesters still running; the last one out closes the dispatch
+    /// queue so workers drain and exit.
+    ingesters_live: AtomicUsize,
 }
 
-impl Shared {
+impl Shared<'_> {
     fn sched(&self) -> MutexGuard<'_, Sched> {
         self.sched.lock().expect("scheduler poisoned")
     }
@@ -552,10 +756,10 @@ impl Shared {
 
 /// Tears the dispatch queue down if the owning thread unwinds — the same
 /// guard discipline as the one-shot engine, extended to the service's
-/// ingest thread and the `serve` scope itself.
-struct AbortOnPanic<'a>(&'a Shared);
+/// ingest pool, deadline timer and the `serve` scope itself.
+struct AbortOnPanic<'a, 'b>(&'a Shared<'b>);
 
-impl Drop for AbortOnPanic<'_> {
+impl Drop for AbortOnPanic<'_, '_> {
     fn drop(&mut self) {
         if std::thread::panicking() {
             if let Ok(mut sched) = self.0.sched.lock() {
@@ -577,7 +781,8 @@ pub struct MappingService;
 
 impl MappingService {
     /// Runs a mapping service over `backend` for the duration of `f`:
-    /// spawns the worker pool and the ingest thread, hands `f` a
+    /// spawns the worker pool, the ingest pool and the deadline timer,
+    /// hands `f` a
     /// [`ServiceHandle`] to submit jobs through, then drains every
     /// remaining job, flushes the device and returns `f`'s result with
     /// the service-wide [`ServiceReport`].
@@ -615,7 +820,13 @@ impl MappingService {
         B: MapBackend + Sync,
         F: FnOnce(&ServiceHandle<'_, B>) -> R,
     {
-        let ServiceBuilder { cfg, telemetry } = builder;
+        let ServiceBuilder {
+            mut cfg,
+            telemetry,
+            clock,
+        } = builder;
+        cfg.ingesters = cfg.resolved_ingesters();
+        let clock = clock.unwrap_or_else(|| Arc::new(SystemClock::new()));
         let started = Instant::now();
         let shared = Shared {
             queue: WorkStealQueue::new(cfg.threads, cfg.queue_depth, REFILL_CHUNK),
@@ -625,19 +836,29 @@ impl MappingService {
             backend_name: backend.name(),
             cfg,
             telemetry,
+            clock,
+            discard: &backend,
+            ingesters_live: AtomicUsize::new(cfg.ingesters),
         };
         for w in 0..cfg.threads {
             shared
                 .telemetry
                 .label_track(w as u32, &format!("worker {w}"));
         }
-        shared.telemetry.label_track(cfg.threads as u32, "ingest");
+        for i in 0..cfg.ingesters {
+            shared
+                .telemetry
+                .label_track((cfg.threads + i) as u32, &format!("ingest {i}"));
+        }
+        shared
+            .telemetry
+            .label_track((cfg.threads + cfg.ingesters) as u32, "deadline timer");
 
         let shared = &shared;
         let backend_ref = &backend;
         let (out, tails) = std::thread::scope(|scope| {
             // If `f` (or anything else on this thread) unwinds, tear the
-            // queue down and flag the ingest thread, or the scope's
+            // queue down and flag the service threads, or the scope's
             // implicit join would deadlock on threads waiting for a
             // shutdown that never comes.
             let _teardown = AbortOnPanic(shared);
@@ -645,7 +866,11 @@ impl MappingService {
             for worker_id in 0..cfg.threads {
                 workers.push(scope.spawn(move || run_worker(shared, backend_ref, worker_id)));
             }
-            let feeder = scope.spawn(move || run_feeder(shared, backend_ref));
+            let mut ingesters = Vec::with_capacity(cfg.ingesters);
+            for ingester_id in 0..cfg.ingesters {
+                ingesters.push(scope.spawn(move || run_ingester(shared, backend_ref, ingester_id)));
+            }
+            let timer = scope.spawn(move || run_timer(shared));
 
             let handle = ServiceHandle {
                 shared,
@@ -657,7 +882,10 @@ impl MappingService {
             handle.drain();
             shared.sched().shutdown = true;
             shared.wake.notify_all();
-            feeder.join().expect("service ingest thread panicked");
+            for ingester in ingesters {
+                ingester.join().expect("service ingest thread panicked");
+            }
+            timer.join().expect("service deadline timer panicked");
             let tails: Vec<BackendStats> = workers
                 .into_iter()
                 .map(|w| w.join().expect("mapping worker panicked"))
@@ -666,7 +894,7 @@ impl MappingService {
         });
 
         let mut backend_total = BackendStats::new();
-        let (jobs_submitted, jobs_completed, jobs_cancelled, jobs_failed, records_written) = {
+        let totals = {
             let sched = shared.sched();
             backend_total.merge(&sched.job_backend);
             (
@@ -674,6 +902,7 @@ impl MappingService {
                 sched.jobs_completed,
                 sched.jobs_cancelled,
                 sched.jobs_failed,
+                sched.deadline_cancels,
                 sched.records_written,
             )
         };
@@ -685,14 +914,16 @@ impl MappingService {
         backend_total.merge(&backend.flush());
 
         let report = ServiceReport {
-            jobs_submitted,
-            jobs_completed,
-            jobs_cancelled,
-            jobs_failed,
-            records_written,
+            jobs_submitted: totals.0,
+            jobs_completed: totals.1,
+            jobs_cancelled: totals.2,
+            jobs_failed: totals.3,
+            deadline_cancels: totals.4,
+            records_written: totals.5,
             backend: backend_total,
             backend_name: shared.backend_name,
             threads: cfg.threads,
+            ingesters: cfg.ingesters,
             steals: shared.queue.steals(),
             refills: shared.queue.refills(),
             elapsed: started.elapsed(),
@@ -704,7 +935,7 @@ impl MappingService {
 /// The client surface of a running service: submit, cancel, drain.
 /// Shareable across threads (`&ServiceHandle` is all any method needs).
 pub struct ServiceHandle<'s, B: MapBackend> {
-    shared: &'s Shared,
+    shared: &'s Shared<'s>,
     backend: &'s B,
 }
 
@@ -715,17 +946,21 @@ impl<'s, B: MapBackend> ServiceHandle<'s, B> {
     /// order (fixing its slot in the canonical release order) and hands
     /// the input to the ingest thread.
     ///
-    /// The input iterator is polled cooperatively on the shared ingest
-    /// thread — it should not block indefinitely. The sink is moved into
-    /// the service and handed back by [`JobHandle::join`].
+    /// The input iterator is polled by whichever ingester claims the job
+    /// — at most one at a time, so it needs no internal synchronization.
+    /// An iterator that blocks stalls only this job's ingestion; give the
+    /// job a [`JobSpec::deadline`] if it must not hold its admission slot
+    /// forever. The sink is moved into the service and handed back by
+    /// [`JobHandle::join`].
     ///
     /// # Errors
     ///
     /// [`SubmitError::Busy`] over budget under
     /// [`AdmissionPolicy::Reject`]; [`SubmitError::Draining`] once
-    /// [`drain`](ServiceHandle::drain) has begun (under
-    /// [`AdmissionPolicy::Park`] the call instead blocks until a slot
-    /// frees).
+    /// [`drain`](ServiceHandle::drain) has begun — including for
+    /// submitters already parked when the drain starts; under
+    /// [`AdmissionPolicy::Park`] with a [`JobSpec::admission_timeout`],
+    /// [`SubmitError::Timeout`] when the timeout expires first.
     pub fn submit<I, S>(
         &self,
         spec: JobSpec,
@@ -737,6 +972,7 @@ impl<'s, B: MapBackend> ServiceHandle<'s, B> {
         I::IntoIter: Send + 'static,
         S: RecordSink + Send + 'static,
     {
+        let park_deadline = spec.admission_timeout.map(|t| self.shared.clock.now() + t);
         let mut sched = self.shared.sched();
         loop {
             if sched.draining {
@@ -747,9 +983,24 @@ impl<'s, B: MapBackend> ServiceHandle<'s, B> {
             }
             match self.shared.cfg.admission {
                 AdmissionPolicy::Reject => return Err(SubmitError::Busy),
-                AdmissionPolicy::Park => {
-                    sched = self.shared.wake.wait(sched).expect("scheduler poisoned");
-                }
+                AdmissionPolicy::Park => match park_deadline {
+                    Some(deadline) if self.shared.clock.now() >= deadline => {
+                        return Err(SubmitError::Timeout);
+                    }
+                    Some(_) => {
+                        // Short real-time ticks so a mock-clock advance
+                        // is observed promptly even without a wake.
+                        let (guard, _) = self
+                            .shared
+                            .wake
+                            .wait_timeout(sched, Duration::from_millis(5))
+                            .expect("scheduler poisoned");
+                        sched = guard;
+                    }
+                    None => {
+                        sched = self.shared.wake.wait(sched).expect("scheduler poisoned");
+                    }
+                },
             }
         }
         let id = sched.next_id;
@@ -772,21 +1023,24 @@ impl<'s, B: MapBackend> ServiceHandle<'s, B> {
         );
         t.label_track(JOB_TRACK_BASE.wrapping_add(id as u32), &format!("job {id}"));
 
+        let budget = spec.deadline.or(self.shared.cfg.default_job_timeout);
         let state = Arc::new(JobState {
             id,
             priority: spec.priority,
             batch_size: spec.batch_size.unwrap_or(self.shared.cfg.batch_size).max(1),
             submitted: Instant::now(),
+            deadline_at: budget.map(|b| self.shared.clock.now() + b),
             core: Mutex::new(JobCore::new(Box::new(sink))),
             done: Condvar::new(),
             pairs_c,
             records_c,
         });
         sched.registry.insert(id, Arc::clone(&state));
-        sched.incoming.push(FeederJob {
+        sched.pool.push(FeederJob {
             state: Arc::clone(&state),
             input: Box::new(input.into_iter()),
             next_index: 0,
+            round: 0,
         });
         drop(sched);
         self.shared.wake.notify_all();
@@ -856,11 +1110,16 @@ impl<'s, B: MapBackend> ServiceHandle<'s, B> {
     }
 
     /// Stops admitting new jobs and blocks until every active job has
-    /// finalized. Idempotent; [`MappingService::serve`] calls it on exit,
-    /// so drain always terminates before the service scope closes.
+    /// finalized. Parked submitters are woken and fail with
+    /// [`SubmitError::Draining`]. Idempotent; [`MappingService::serve`]
+    /// calls it on exit, so drain always terminates before the service
+    /// scope closes.
     pub fn drain(&self) {
         let mut sched = self.shared.sched();
         sched.draining = true;
+        // Parked submitters re-check `draining` when woken; without this
+        // they would wait for a slot that drain will never grant.
+        self.shared.wake.notify_all();
         while sched.active > 0 {
             let (guard, _) = self
                 .shared
@@ -875,7 +1134,7 @@ impl<'s, B: MapBackend> ServiceHandle<'s, B> {
 /// A client's handle to one submitted job. `S` is the sink type handed to
 /// [`ServiceHandle::submit`]; [`join`](JobHandle::join) gives it back.
 pub struct JobHandle<'s, S> {
-    shared: &'s Shared,
+    shared: &'s Shared<'s>,
     job: Arc<JobState>,
     _sink: PhantomData<fn() -> S>,
 }
@@ -910,6 +1169,7 @@ impl<S> JobHandle<'_, S> {
             records_written: core.written,
             batches_admitted: core.admitted,
             batches_processed: core.processed,
+            sealed: core.sealed.is_some(),
             finished: core.finished.is_some(),
             cancelled: core.cancelled,
         }
@@ -951,19 +1211,50 @@ impl<S> JobHandle<'_, S> {
     }
 }
 
-/// Marks a job cancelled under its emitter lock (the ack barrier) and
-/// nudges the ingest thread to discard it from the device.
-fn cancel_job(shared: &Shared, job: &Arc<JobState>) -> bool {
-    let mut core = job.core.lock().expect("job core poisoned");
-    if core.finished.is_some() {
-        return false;
+/// Marks a job cancelled under its emitter lock (the ack barrier) and —
+/// sealed or not — discards it from the device right away, so its
+/// undispatched pairs never price into warm totals and any successors
+/// parked behind it in the canonical release order are released.
+fn cancel_job(shared: &Shared<'_>, job: &Arc<JobState>) -> bool {
+    {
+        let mut guard = job.core.lock().expect("job core poisoned");
+        let core = &mut *guard;
+        if core.finished.is_some() {
+            return false;
+        }
+        if !core.cancelled {
+            core.cancelled = true;
+            // Reordered batches will never be emitted: free them now.
+            core.pending.clear();
+        }
+        if core.claim_discard() {
+            apply_discard(core, &shared.discard.discard(job.id));
+        }
     }
-    if !core.cancelled {
+    try_finalize(shared, job);
+    shared.wake.notify_all();
+    true
+}
+
+/// The deadline timer's cancel: the ordinary cancel path plus the abort
+/// reason and the deadline counters. Returns `false` if the job finalized
+/// or failed first.
+fn deadline_cancel(shared: &Shared<'_>, job: &Arc<JobState>) -> bool {
+    {
+        let mut guard = job.core.lock().expect("job core poisoned");
+        let core = &mut *guard;
+        if core.finished.is_some() || core.suppressed() {
+            return false;
+        }
         core.cancelled = true;
-        // Reordered batches will never be emitted: free them now.
+        core.abort_reason = Some("job deadline exceeded".to_string());
         core.pending.clear();
+        if core.claim_discard() {
+            apply_discard(core, &shared.discard.discard(job.id));
+        }
     }
-    drop(core);
+    shared.sched().deadline_cancels += 1;
+    try_finalize(shared, job);
     shared.wake.notify_all();
     true
 }
@@ -971,7 +1262,7 @@ fn cancel_job(shared: &Shared, job: &Arc<JobState>) -> bool {
 /// Builds the job's final report once its last batch has drained, and
 /// rolls its totals into the service-wide accumulators. Safe to call from
 /// any thread at any time; only the transition runs once.
-fn try_finalize(shared: &Shared, job: &Arc<JobState>) {
+fn try_finalize(shared: &Shared<'_>, job: &Arc<JobState>) {
     // Scheduler lock first, then the job core (the one nesting the
     // service ever uses): the finished flag and the freed admission slot
     // become visible atomically, so a client that returns from `join`
@@ -998,6 +1289,7 @@ fn try_finalize(shared: &Shared, job: &Arc<JobState>) {
         core.finished = Some(JobReport {
             job: job.id,
             outcome,
+            pairs_accounted_after_cancel: core.accounted_after_cancel,
             report: PipelineReport {
                 stats: core.stats,
                 backend: core.backend,
@@ -1040,25 +1332,28 @@ enum FeedOutcome {
     QueueGone,
 }
 
-/// One multiplexer visit: feed up to `priority.weight()` batches of this
-/// job, honouring its in-flight window; seal at end of input; discard on
-/// cancel or input error.
-fn feed_one<B: MapBackend>(shared: &Shared, backend: &B, fj: &mut FeederJob) -> FeedOutcome {
+/// One ingest visit: feed up to `priority.weight()` batches of this job,
+/// honouring its in-flight window; seal at end of input; discard on
+/// cancel or input error (the cancel paths usually discard first — the
+/// claim in [`JobCore::claim_discard`] keeps it one-shot either way).
+fn feed_one<B: MapBackend>(shared: &Shared<'_>, backend: &B, fj: &mut FeederJob) -> FeedOutcome {
     let job = Arc::clone(&fj.state);
     let job = &job;
-    let suppressed = job.core.lock().expect("job core poisoned").suppressed();
-    if suppressed {
-        // Cancelled (or its sink failed): release the device's canonical
-        // order — pending releases are dropped, stragglers ignored — and
-        // leave the rotation. In-flight batches drain without emission.
-        let stats = backend.discard_job(job.id);
-        {
-            let mut core = job.core.lock().expect("job core poisoned");
-            core.discarded = true;
-            core.backend.merge(&stats);
+    {
+        let mut guard = job.core.lock().expect("job core poisoned");
+        let core = &mut *guard;
+        if core.suppressed() {
+            // Cancelled or failed. The cancel path discards eagerly now,
+            // so this claim only wins for suppressions that didn't (and
+            // as a backstop for races); either way the job leaves the
+            // rotation and in-flight batches drain without emission.
+            if core.claim_discard() {
+                apply_discard(core, &backend.discard_job(job.id));
+            }
+            drop(guard);
+            try_finalize(shared, job);
+            return FeedOutcome::Closed;
         }
-        try_finalize(shared, job);
-        return FeedOutcome::Closed;
     }
     let mut fed = false;
     for _ in 0..job.priority.weight() {
@@ -1093,6 +1388,9 @@ fn feed_one<B: MapBackend>(shared: &Shared, backend: &B, fj: &mut FeederJob) -> 
             None => {
                 // Clean end of input: declare the total so the device can
                 // advance past this job once its last batch is admitted.
+                // A cancel may land concurrently; its discard claim wins
+                // or loses against nobody — sealing doesn't claim — and
+                // the device accepts seal and discard in either order.
                 let stats = backend.seal_job(job.id, fj.next_index);
                 {
                     let mut core = job.core.lock().expect("job core poisoned");
@@ -1106,13 +1404,14 @@ fn feed_one<B: MapBackend>(shared: &Shared, backend: &B, fj: &mut FeederJob) -> 
                 // Malformed input fails only this job: discard it from
                 // the device and record the reason; siblings are
                 // untouched.
-                let stats = backend.discard_job(job.id);
                 {
-                    let mut core = job.core.lock().expect("job core poisoned");
+                    let mut guard = job.core.lock().expect("job core poisoned");
+                    let core = &mut *guard;
                     core.abort_reason = Some(e.to_string());
-                    core.discarded = true;
                     core.pending.clear();
-                    core.backend.merge(&stats);
+                    if core.claim_discard() {
+                        apply_discard(core, &backend.discard_job(job.id));
+                    }
                 }
                 try_finalize(shared, job);
                 return FeedOutcome::Closed;
@@ -1126,73 +1425,192 @@ fn feed_one<B: MapBackend>(shared: &Shared, backend: &B, fj: &mut FeederJob) -> 
     }
 }
 
-/// The ingest thread: multiplexes every active job's input into the
-/// shared dispatch queue, weighted by priority, bounded per job by the
-/// in-flight window and globally by the injector.
-fn run_feeder<B: MapBackend>(shared: &Shared, backend: &B) {
+/// Picks the next job for an idle ingester: lowest visit round first (so
+/// no job starves), then highest priority weight within the round (so
+/// high-priority batches reach the device sooner), then submission id
+/// (stable). Owned jobs are absent from the pool, so two ingesters can
+/// never poll one input concurrently.
+fn claim_job(sched: &mut Sched) -> Option<FeederJob> {
+    let best = sched
+        .pool
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, fj)| (fj.round, Reverse(fj.state.priority.weight()), fj.state.id))
+        .map(|(i, _)| i)?;
+    Some(sched.pool.swap_remove(best))
+}
+
+/// One ingest-pool thread: claims a job, feeds it one priority-weighted
+/// visit, returns it to the pool (or drops it once closed), repeat. A
+/// blocking input iterator blocks only its owner — the rest of the pool
+/// keeps every other job flowing. The last ingester to exit closes the
+/// dispatch queue so workers drain and stop.
+fn run_ingester<B: MapBackend>(shared: &Shared<'_>, backend: &B, ingester_id: usize) {
     let _teardown = AbortOnPanic(shared);
-    let mut rec = shared.telemetry.recorder(shared.cfg.threads as u32);
-    let mut active: Vec<FeederJob> = Vec::new();
+    let mut rec = shared
+        .telemetry
+        .recorder((shared.cfg.threads + ingester_id) as u32);
+    // Consecutive visits that made no progress; once every claimable job
+    // looks parked, wait for worker progress instead of spinning.
+    let mut parked_streak: usize = 0;
     loop {
-        {
+        let mut fj = {
             let mut sched = shared.sched();
             if sched.aborting {
                 return; // queue already torn down
             }
-            active.append(&mut sched.incoming);
-            if active.is_empty() {
-                if sched.shutdown {
-                    break;
+            match claim_job(&mut sched) {
+                Some(fj) => fj,
+                None => {
+                    if sched.shutdown {
+                        break;
+                    }
+                    let (guard, _) = shared
+                        .wake
+                        .wait_timeout(sched, Duration::from_millis(20))
+                        .expect("scheduler poisoned");
+                    drop(guard);
+                    continue;
                 }
+            }
+        };
+        let t = rec.start();
+        let outcome = feed_one(shared, backend, &mut fj);
+        fj.round += 1;
+        match outcome {
+            FeedOutcome::Closed => {
+                rec.span_arg("ingest_close", t, fj.state.id);
+                parked_streak = 0;
+            }
+            FeedOutcome::Progressed => {
+                rec.span_arg("ingest_feed", t, fj.state.id);
+                parked_streak = 0;
+                let mut sched = shared.sched();
+                if sched.aborting {
+                    return;
+                }
+                sched.pool.push(fj);
+            }
+            FeedOutcome::Parked => {
+                parked_streak += 1;
+                let mut sched = shared.sched();
+                if sched.aborting {
+                    return;
+                }
+                sched.pool.push(fj);
+                if parked_streak > sched.pool.len() {
+                    // Everything claimable is window-parked: wait for
+                    // worker progress (they notify after each batch) with
+                    // a timeout backstop.
+                    let (guard, _) = shared
+                        .wake
+                        .wait_timeout(sched, Duration::from_millis(2))
+                        .expect("scheduler poisoned");
+                    drop(guard);
+                }
+            }
+            FeedOutcome::QueueGone => return,
+        }
+    }
+    if shared.ingesters_live.fetch_sub(1, Ordering::AcqRel) == 1 {
+        shared.queue.close();
+    }
+}
+
+/// The deadline timer: watches every registered job's `deadline_at`
+/// against the service clock and cancels overdue jobs through the
+/// ordinary cancel path. Polling is real-time ([`DEADLINE_POLL`] while
+/// any deadline is pending) but expiry is decided purely by the injected
+/// [`Clock`], so tests driving a `ManualClock` see deterministic
+/// behavior.
+fn run_timer(shared: &Shared<'_>) {
+    let _teardown = AbortOnPanic(shared);
+    let rec = shared
+        .telemetry
+        .recorder((shared.cfg.threads + shared.cfg.ingesters) as u32);
+    loop {
+        let expired: Vec<Arc<JobState>> = {
+            let sched = shared.sched();
+            if sched.aborting || sched.shutdown {
+                return;
+            }
+            let mut pending = false;
+            let now = shared.clock.now();
+            let expired: Vec<Arc<JobState>> = sched
+                .registry
+                .values()
+                .filter(|job| match job.deadline_at {
+                    Some(at) => {
+                        pending = true;
+                        now >= at
+                    }
+                    None => false,
+                })
+                .cloned()
+                .collect();
+            if expired.is_empty() {
+                let wait = if pending {
+                    DEADLINE_POLL
+                } else {
+                    Duration::from_millis(50)
+                };
                 let (guard, _) = shared
                     .wake
-                    .wait_timeout(sched, Duration::from_millis(20))
+                    .wait_timeout(sched, wait)
                     .expect("scheduler poisoned");
                 drop(guard);
                 continue;
             }
-        }
-        let mut progressed = false;
-        let mut i = 0;
-        while i < active.len() {
-            let t = rec.start();
-            match feed_one(shared, backend, &mut active[i]) {
-                FeedOutcome::Closed => {
-                    rec.span_arg("ingest_close", t, active[i].state.id);
-                    active.swap_remove(i);
-                    progressed = true;
+            expired
+        };
+        for job in &expired {
+            if deadline_cancel(shared, job) {
+                if let Some(c) = shared.telemetry.try_counter(
+                    &labeled("gx_job_deadline_cancels_total", "job", job.id),
+                    "jobs cancelled because their deadline expired",
+                ) {
+                    rec.counter_add(c, 1);
                 }
-                FeedOutcome::Progressed => {
-                    rec.span_arg("ingest_feed", t, active[i].state.id);
-                    progressed = true;
-                    i += 1;
-                }
-                FeedOutcome::Parked => i += 1,
-                FeedOutcome::QueueGone => return,
             }
         }
-        if !progressed {
-            // Every active job is window-parked: wait for worker progress
-            // (they notify after each batch) with a timeout backstop.
-            let sched = shared.sched();
-            let _ = shared
-                .wake
-                .wait_timeout(sched, Duration::from_millis(2))
-                .expect("scheduler poisoned");
-        }
     }
-    shared.queue.close();
 }
 
 /// One service worker: pops job-tagged batches, maps them through its
 /// stateful session, and drives the owning job's ordered emitter. Returns
 /// the session's flush tail (in-flight warm accounting not attributable
 /// to any one job).
-fn run_worker<B: MapBackend>(shared: &Shared, backend: &B, worker_id: usize) -> BackendStats {
+fn run_worker<B: MapBackend>(shared: &Shared<'_>, backend: &B, worker_id: usize) -> BackendStats {
     let _teardown = AbortOnPanic(shared);
     let mut session = backend.session(worker_id);
     let mut rec = shared.telemetry.recorder(worker_id as u32);
     while let Some(jb) = shared.queue.pop(worker_id) {
+        {
+            // Batches of a suppressed job are dropped unmapped: the
+            // device refuses them at admit anyway (its discard closed the
+            // job's sequence), so running the software path would only
+            // charge host-side work — pairs, bytes — to a job whose
+            // accounting is settled. Dropping here is what lets a
+            // deadline cancel return its queued work's worker time to
+            // live jobs immediately, and keeps a cancelled job's
+            // undispatched pairs out of the service-wide totals.
+            let mut guard = jb.job.core.lock().expect("job core poisoned");
+            let core = &mut *guard;
+            if core.finished.is_some() {
+                // A straggler past finalize: a cancel's discard raced
+                // this batch while its ingester was mid-pull. The report
+                // is already out and the device never saw the batch —
+                // nothing is owed anywhere.
+                continue;
+            }
+            if core.suppressed() {
+                core.processed += 1;
+                drop(guard);
+                try_finalize(shared, &jb.job);
+                shared.wake.notify_all();
+                continue;
+            }
+        }
         let t_map = rec.start();
         let out = session.map_job_batch(jb.job.id, jb.index, &jb.pairs);
         rec.span_arg("job_map_batch", t_map, jb.index);
@@ -1211,6 +1629,11 @@ fn run_worker<B: MapBackend>(shared: &Shared, backend: &B, worker_id: usize) -> 
             emit_pair_records(res, pair, shared.cfg.fallback, &mut records);
         }
 
+        // A job can't finalize with this batch outstanding (finalize
+        // requires processed == admitted, and this batch is admitted but
+        // not yet processed), so re-taking the core here can't find
+        // `finished` set — only suppression can change under us, and the
+        // emission check below re-reads it.
         let mut guard = jb.job.core.lock().expect("job core poisoned");
         let core = &mut *guard;
         core.backend.merge(&out.stats);
@@ -1232,10 +1655,14 @@ fn run_worker<B: MapBackend>(shared: &Shared, backend: &B, worker_id: usize) -> 
                 }
                 if let Some(e) = failed {
                     // This job's sink is gone: keep the reason, stop its
-                    // emission, let the ingest thread discard it. Other
-                    // jobs are untouched.
+                    // emission, and discard it from the device right away
+                    // (its owning ingester may be blocked in the input
+                    // iterator and unable to). Other jobs are untouched.
                     core.abort_reason = Some(e.to_string());
                     core.pending.clear();
+                    if core.claim_discard() {
+                        apply_discard(core, &backend.discard_job(jb.job.id));
+                    }
                     break;
                 }
                 core.next_emit += 1;
@@ -1586,6 +2013,139 @@ mod tests {
                 let (r, _) = h.join();
                 assert_eq!(r.outcome, JobOutcome::Completed);
             });
+    }
+
+    /// An input that blocks on a channel of pairs and ends cleanly when
+    /// the sender drops — the shape every liveness test needs, because
+    /// the service joins its ingest pool at scope exit and a
+    /// never-returning iterator would hang the test itself.
+    struct BlockingInput {
+        gate: mpsc::Receiver<ReadPair>,
+    }
+
+    impl Iterator for BlockingInput {
+        type Item = Result<ReadPair, GenomeError>;
+        fn next(&mut self) -> Option<Self::Item> {
+            self.gate.recv().ok().map(Ok)
+        }
+    }
+
+    #[test]
+    fn drain_fails_parked_submitters_instead_of_hanging() {
+        let (genome, pairs) = setup(8);
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let (tx, rx) = mpsc::channel::<ReadPair>();
+        ServiceBuilder::new()
+            .threads(2)
+            .max_active_jobs(1)
+            .admission(AdmissionPolicy::Park)
+            .serve(SoftwareBackend::new(&mapper), |svc| {
+                let ha = svc
+                    .submit(JobSpec::new(), BlockingInput { gate: rx }, VecSink::new())
+                    .unwrap();
+                let parked = std::thread::scope(|s| {
+                    let submitter = s.spawn(|| {
+                        svc.submit_pairs(JobSpec::new(), pairs.clone(), VecSink::new())
+                            .map(|h| h.id())
+                    });
+                    // Let the submitter park at the full budget, then
+                    // drain: it must error out, not wait for a slot that
+                    // drain will never grant.
+                    std::thread::sleep(Duration::from_millis(30));
+                    let drainer = s.spawn(|| svc.drain());
+                    let res = submitter.join().unwrap();
+                    // Only now end job A so the drain itself can finish.
+                    drop(tx);
+                    drainer.join().unwrap();
+                    res
+                });
+                assert_eq!(parked.unwrap_err(), SubmitError::Draining);
+                let (ra, _) = ha.join();
+                assert_eq!(ra.outcome, JobOutcome::Completed);
+            });
+    }
+
+    #[test]
+    fn admission_timeout_fails_a_parked_submitter() {
+        let (genome, pairs) = setup(8);
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let (tx, rx) = mpsc::channel::<ReadPair>();
+        ServiceBuilder::new()
+            .threads(2)
+            .max_active_jobs(1)
+            .admission(AdmissionPolicy::Park)
+            .serve(SoftwareBackend::new(&mapper), |svc| {
+                let ha = svc
+                    .submit(JobSpec::new(), BlockingInput { gate: rx }, VecSink::new())
+                    .unwrap();
+                // Job A holds the only slot and its input is blocked:
+                // the bounded park can only end in Timeout.
+                let err = svc
+                    .submit_pairs(
+                        JobSpec::new().admission_timeout(Duration::from_millis(40)),
+                        pairs.clone(),
+                        VecSink::new(),
+                    )
+                    .unwrap_err();
+                assert_eq!(err, SubmitError::Timeout);
+                drop(tx);
+                let (ra, _) = ha.join();
+                assert_eq!(ra.outcome, JobOutcome::Completed);
+            });
+    }
+
+    #[test]
+    fn deadline_cancels_a_stalled_job_deterministically() {
+        let (genome, pairs) = setup(8);
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let clock = Arc::new(gx_backend::ManualClock::new());
+        let telemetry = Telemetry::enabled();
+        let (tx, rx) = mpsc::channel::<ReadPair>();
+        let (_, report) = ServiceBuilder::new()
+            .threads(2)
+            .clock(clock.clone())
+            .telemetry(telemetry.clone())
+            .serve(SoftwareBackend::new(&mapper), |svc| {
+                let ha = svc
+                    .submit(
+                        JobSpec::new().deadline(Duration::from_secs(1)),
+                        BlockingInput { gate: rx },
+                        VecSink::new(),
+                    )
+                    .unwrap();
+                // Real time passes but the service clock hasn't moved:
+                // the deadline must not fire.
+                std::thread::sleep(Duration::from_millis(30));
+                assert!(!ha.is_finished());
+                // Move the clock past the budget: the timer cancels the
+                // job even though its input never yields.
+                clock.advance(Duration::from_secs(2));
+                let (ra, _) = ha.join();
+                assert_eq!(ra.outcome, JobOutcome::Cancelled);
+                assert_eq!(
+                    ra.report.abort_reason.as_deref(),
+                    Some("job deadline exceeded")
+                );
+                assert_eq!(ra.pairs_accounted_after_cancel, 0);
+                // The slot freed: the service keeps serving.
+                let hb = svc
+                    .submit_pairs(JobSpec::new(), pairs.clone(), VecSink::new())
+                    .unwrap();
+                let (rb, _) = hb.join();
+                assert_eq!(rb.outcome, JobOutcome::Completed);
+                drop(tx); // unblock job A's ingester for teardown
+            });
+        assert_eq!(report.deadline_cancels, 1);
+        assert_eq!(report.jobs_cancelled, 1);
+        assert_eq!(report.jobs_completed, 1);
+        let prom = telemetry
+            .snapshot()
+            .expect("telemetry enabled")
+            .to_prometheus();
+        assert!(
+            prom.contains("gx_job_deadline_cancels_total{job=\"0\"} 1"),
+            "missing deadline-cancel series:\n{prom}"
+        );
     }
 
     #[test]

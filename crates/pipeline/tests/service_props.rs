@@ -20,15 +20,16 @@
 use gx_core::ReadPair;
 use gx_core::{GenPairConfig, GenPairMapper};
 use gx_genome::random::RandomGenomeBuilder;
-use gx_genome::{DnaSeq, SamRecord};
+use gx_genome::{DnaSeq, GenomeError, SamRecord};
 use gx_pipeline::{
-    JobHandle, JobOutcome, JobSpec, Priority, RecordSink, ServiceBuilder, ServiceHandle,
-    SoftwareBackend,
+    JobHandle, JobOutcome, JobSpec, ManualClock, NmslBackend, Priority, RecordSink, ServiceBuilder,
+    ServiceHandle, SoftwareBackend,
 };
 use proptest::prelude::*;
 use std::io;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// Records every qname it sees and flags any write that arrives after the
 /// owning job's cancel acknowledged (the barrier the service promises).
@@ -200,5 +201,134 @@ proptest! {
         }
         // Reaching this point at all is the drain-terminates property:
         // `serve` drained every job before returning.
+    }
+
+    /// A job that yields a few pairs and then stalls forever — submitted
+    /// *first*, so it heads the device's canonical release order and its
+    /// unsealed frontier parks every successor's accounting release —
+    /// must not take the service down with it: successors complete with
+    /// exactly their input's records while the staller is still stuck,
+    /// and once its deadline (on the injected [`ManualClock`]) expires,
+    /// the timer cancels it with `"job deadline exceeded"` and `serve`'s
+    /// teardown terminates. Before the deadline timer existed, every one
+    /// of these schedules hung in drain.
+    #[test]
+    fn a_stalled_head_job_deadline_cancels_and_its_successors_complete(
+        yield_n in 0usize..10,
+        staller_batch in 1usize..5,
+        successors in prop::collection::vec((1usize..20, 1usize..9), 1..3),
+        threads in 1usize..4,
+    ) {
+        let genome = RandomGenomeBuilder::new(40_000).seed(7).build();
+        let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+        let seq = genome.chromosome(0).seq().subseq(500..650);
+
+        let clock = Arc::new(ManualClock::new());
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let staller_input = StallingInput {
+            yielded: 0,
+            yield_n,
+            seq: seq.clone(),
+            gate: gate_rx,
+        };
+        let ((sr, s_qnames, succ_results), report) = ServiceBuilder::new()
+            .threads(threads)
+            // Two ingesters so the staller's captive ingester leaves one
+            // free for everyone else (the documented sizing rule).
+            .ingesters(2)
+            .queue_depth(4)
+            .clock(clock.clone())
+            .serve(NmslBackend::new(&mapper).channels(2), |svc| {
+                let flags = || (Arc::new(AtomicBool::new(false)), Arc::new(AtomicBool::new(false)));
+                let (c0, v0) = flags();
+                let staller = svc
+                    .submit(
+                        JobSpec::new()
+                            .batch_size(staller_batch)
+                            .deadline(Duration::from_secs(5)),
+                        staller_input,
+                        TrackingSink { qnames: Vec::new(), cancelled: c0, violated: v0 },
+                    )
+                    .expect("park admission never rejects");
+                let handles: Vec<JobHandle<'_, TrackingSink>> = successors
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &(n, b))| {
+                        let (c, v) = flags();
+                        svc.submit_pairs(
+                            JobSpec::new().batch_size(b),
+                            job_pairs(k + 1, n, &seq),
+                            TrackingSink { qnames: Vec::new(), cancelled: c, violated: v },
+                        )
+                        .expect("park admission never rejects")
+                    })
+                    .collect();
+
+                // Successors complete while the staller is still blocked
+                // mid-input and heading the release frontier.
+                let succ_results: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+
+                // Only now does the staller's deadline expire; the timer
+                // cancels it and its join comes back.
+                clock.advance(Duration::from_secs(10));
+                let (sr, ssink) = staller.join();
+
+                // Release the captive ingester so teardown can join it.
+                drop(gate_tx);
+                (sr, ssink.qnames, succ_results)
+            });
+
+        prop_assert_eq!(sr.outcome, JobOutcome::Cancelled);
+        prop_assert_eq!(sr.report.abort_reason.as_deref(), Some("job deadline exceeded"));
+        // Whatever the staller emitted before the cancel is a clean,
+        // in-order prefix of its yielded pairs.
+        prop_assert!(s_qnames.len() <= 2 * yield_n);
+        for (k, q) in s_qnames.iter().enumerate() {
+            prop_assert_eq!(q, &format!("j0p{}/{}", k / 2, k % 2 + 1));
+        }
+        for (k, (succ_report, sink)) in succ_results.iter().enumerate() {
+            let (n, _) = successors[k];
+            prop_assert_eq!(succ_report.outcome, JobOutcome::Completed);
+            let expect: Vec<String> = (0..n)
+                .flat_map(|p| [format!("j{}p{p}/1", k + 1), format!("j{}p{p}/2", k + 1)])
+                .collect();
+            prop_assert_eq!(
+                &sink.qnames,
+                &expect,
+                "successor {} lost records behind the staller",
+                k
+            );
+        }
+        prop_assert_eq!(report.deadline_cancels, 1);
+        prop_assert_eq!(report.jobs_cancelled, 1);
+        prop_assert_eq!(report.jobs_completed, successors.len() as u64);
+    }
+}
+
+/// Yields `yield_n` self-describing pairs (job index 0), then blocks
+/// inside `next()` until the test drops the gate sender — after which it
+/// reports a clean end of input so service teardown can join the
+/// ingester that owns it.
+struct StallingInput {
+    yielded: usize,
+    yield_n: usize,
+    seq: DnaSeq,
+    gate: mpsc::Receiver<()>,
+}
+
+impl Iterator for StallingInput {
+    type Item = Result<ReadPair, GenomeError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.yielded < self.yield_n {
+            let i = self.yielded;
+            self.yielded += 1;
+            return Some(Ok(ReadPair::new(
+                format!("j0p{i}"),
+                self.seq.clone(),
+                self.seq.revcomp(),
+            )));
+        }
+        let _ = self.gate.recv();
+        None
     }
 }

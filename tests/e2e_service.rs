@@ -20,15 +20,31 @@
 //! Cancellation rides along: cancelling a job mid-stream must leave the
 //! warm device and the scheduler healthy enough to admit and complete a
 //! subsequent job whose bytes still match its solo reference.
+//!
+//! The service-liveness PR adds two more end-to-end proofs:
+//!
+//! 3. **Ingest-pool isolation** — a job whose input iterator blocks
+//!    indefinitely must not delay a sibling's completion: the sibling
+//!    joins in bounded time with its solo bytes, and the service's warm
+//!    fingerprint equals an engine run over the sibling's pairs alone.
+//! 4. **Deadline cancel after seal** — a sealed job cancelled by the
+//!    deadline timer (on an injected [`ManualClock`], so the expiry is
+//!    deterministic) before any of its batches reached the device must
+//!    leave *zero* trace in warm accounting: the service fingerprint
+//!    equals a single-engine run over the surviving jobs' pairs, and the
+//!    cancelled job reports `pairs_accounted_after_cancel == 0`.
 
-use genpairx::backend::{BackendStats, NmslBackend};
+use genpairx::backend::{BackendStats, ManualClock, NmslBackend};
 use genpairx::core::{GenPairConfig, GenPairMapper};
-use genpairx::genome::ReferenceGenome;
+use genpairx::genome::{GenomeError, ReferenceGenome, SamRecord};
 use genpairx::pipeline::{
-    map_serial, FallbackPolicy, JobOutcome, JobSpec, PipelineBuilder, Priority, ReadPair,
-    SamTextSink, ServiceBuilder,
+    map_serial, FallbackPolicy, JobHandle, JobOutcome, JobReport, JobSpec, PipelineBuilder,
+    Priority, ReadPair, RecordSink, SamTextSink, ServiceBuilder,
 };
 use genpairx::readsim::dataset::{simulate_dataset, standard_genome, DATASETS};
+use std::io;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// Fixed device sharding, matching the engine invariance suite.
 const CHANNELS: usize = 4;
@@ -40,6 +56,9 @@ const N_PAIRS: usize = if cfg!(debug_assertions) { 400 } else { 1600 };
 
 const JOB_COUNTS: [usize; 2] = [2, 4];
 const THREADS: [usize; 3] = [1, 2, 4];
+/// Ingest-pool sizes the determinism and liveness claims are checked at:
+/// warm totals and per-job bytes must be ingester-count-invariant.
+const INGESTERS: [usize; 2] = [1, 2];
 
 /// Per-job batch sizes and priorities are deliberately non-uniform: the
 /// determinism claims must hold under mixed traffic, not just twins.
@@ -119,6 +138,40 @@ fn solo_sam(mapper: &GenPairMapper<'_>, genome: &ReferenceGenome, pairs: &[ReadP
     sink.into_inner().unwrap()
 }
 
+/// Polls a job handle to completion with a wall-clock bound: the liveness
+/// tests must prove a join *returns*, so an unconditional blocking
+/// [`JobHandle::join`] would turn a regression into a hang instead of a
+/// failure.
+fn join_within<S: 'static>(
+    handle: JobHandle<'_, S>,
+    timeout: Duration,
+    what: &str,
+) -> (JobReport, S) {
+    let deadline = Instant::now() + timeout;
+    while !handle.is_finished() {
+        assert!(
+            Instant::now() < deadline,
+            "{what} did not finish within {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    handle.join()
+}
+
+/// Polls `cond` until it holds, panicking after `timeout`.
+fn wait_until(timeout: Duration, what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(Instant::now() < deadline, "{what} within {timeout:?}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Generous bound for "this join must come back": minutes-scale headroom
+/// for loaded CI machines while still converting a liveness bug into a
+/// test failure rather than a suite timeout.
+const JOIN_BOUND: Duration = Duration::from_secs(120);
+
 /// Runs all `jobs` concurrently through a service over a warm NMSL device
 /// and returns each job's SAM bytes plus the service-wide warm totals.
 fn run_service(
@@ -126,36 +179,38 @@ fn run_service(
     genome: &ReferenceGenome,
     jobs: &[Vec<ReadPair>],
     threads: usize,
+    ingesters: usize,
 ) -> (Vec<Vec<u8>>, BackendStats) {
     let backend = NmslBackend::new(mapper).channels(CHANNELS);
-    let (sams, report) =
-        ServiceBuilder::new()
-            .threads(threads)
-            .queue_depth(4)
-            .serve(backend, |svc| {
-                let handles: Vec<_> = jobs
-                    .iter()
-                    .enumerate()
-                    .map(|(i, job)| {
-                        let spec = JobSpec::new()
-                            .batch_size(BATCH_SIZES[i % BATCH_SIZES.len()])
-                            .priority(PRIORITIES[i % PRIORITIES.len()]);
-                        let sink = SamTextSink::with_header(genome, Vec::new()).unwrap();
-                        svc.submit_pairs(spec, job.clone(), sink).unwrap()
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        let (report, sink) = h.join();
-                        assert_eq!(report.outcome, JobOutcome::Completed);
-                        assert_eq!(report.report.abort_reason, None);
-                        sink.into_inner().unwrap()
-                    })
-                    .collect::<Vec<_>>()
-            });
+    let (sams, report) = ServiceBuilder::new()
+        .threads(threads)
+        .ingesters(ingesters)
+        .queue_depth(4)
+        .serve(backend, |svc| {
+            let handles: Vec<_> = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, job)| {
+                    let spec = JobSpec::new()
+                        .batch_size(BATCH_SIZES[i % BATCH_SIZES.len()])
+                        .priority(PRIORITIES[i % PRIORITIES.len()]);
+                    let sink = SamTextSink::with_header(genome, Vec::new()).unwrap();
+                    svc.submit_pairs(spec, job.clone(), sink).unwrap()
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    let (report, sink) = h.join();
+                    assert_eq!(report.outcome, JobOutcome::Completed);
+                    assert_eq!(report.report.abort_reason, None);
+                    sink.into_inner().unwrap()
+                })
+                .collect::<Vec<_>>()
+        });
     assert_eq!(report.jobs_completed, jobs.len() as u64);
     assert_eq!(report.jobs_failed, 0);
+    assert_eq!(report.ingesters, ingesters);
     (sams, report.backend)
 }
 
@@ -181,23 +236,25 @@ fn concurrent_jobs_emit_their_solo_bytes_and_warm_totals_are_invariant() {
         let engine_fp = WarmFingerprint::of(&engine_report.backend);
 
         for threads in THREADS {
-            let (sams, backend) = run_service(&mapper, &genome, &jobs, threads);
-            for (i, (sam, solo)) in sams.iter().zip(&solos).enumerate() {
-                assert!(
-                    sam == solo,
-                    "job {i} SAM bytes diverge from its solo run at \
-                     n_jobs={n_jobs} threads={threads}"
+            for ingesters in INGESTERS {
+                let (sams, backend) = run_service(&mapper, &genome, &jobs, threads, ingesters);
+                for (i, (sam, solo)) in sams.iter().zip(&solos).enumerate() {
+                    assert!(
+                        sam == solo,
+                        "job {i} SAM bytes diverge from its solo run at \
+                         n_jobs={n_jobs} threads={threads} ingesters={ingesters}"
+                    );
+                }
+                let fp = WarmFingerprint::of(&backend);
+                assert_eq!(fp.pairs, N_PAIRS as u64);
+                assert!(fp.seed_cycles > 0, "warm service modeled no seeding work");
+                assert_eq!(
+                    fp, engine_fp,
+                    "service warm totals diverged from the single-engine \
+                     concatenated run at n_jobs={n_jobs} threads={threads} \
+                     ingesters={ingesters} (channels fixed at {CHANNELS})"
                 );
             }
-            let fp = WarmFingerprint::of(&backend);
-            assert_eq!(fp.pairs, N_PAIRS as u64);
-            assert!(fp.seed_cycles > 0, "warm service modeled no seeding work");
-            assert_eq!(
-                fp, engine_fp,
-                "service warm totals diverged from the single-engine \
-                 concatenated run at n_jobs={n_jobs} threads={threads} \
-                 (channels fixed at {CHANNELS})"
-            );
         }
     }
 }
@@ -252,4 +309,244 @@ fn cancellation_mid_stream_leaves_the_device_serving() {
         });
     assert_eq!(report.jobs_cancelled, 1);
     assert_eq!(report.jobs_completed, 1);
+}
+
+/// An input iterator that blocks inside `next()` until the test drops the
+/// sender — the worst-behaved producer the ingest pool must tolerate.
+/// Once the channel closes it reports a clean end of input, so the job
+/// seals (empty) and the service tears down normally.
+struct BlockingInput {
+    gate: mpsc::Receiver<ReadPair>,
+}
+
+impl Iterator for BlockingInput {
+    type Item = Result<ReadPair, GenomeError>;
+    fn next(&mut self) -> Option<Self::Item> {
+        self.gate.recv().ok().map(Ok)
+    }
+}
+
+#[test]
+fn blocking_input_stalls_only_its_own_job() {
+    let (genome, pairs) = dataset();
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+
+    // The live job: small enough (2 batches + seal at batch size 64) that
+    // one high-priority ingest visit admits and seals it, so the proof
+    // holds even with a single ingester that then parks on the blocker.
+    let live = &pairs[..128];
+    let solo = solo_sam(&mapper, &genome, live);
+    let engine = PipelineBuilder::new()
+        .threads(2)
+        .batch_size(64)
+        .backend(NmslBackend::new(&mapper).channels(CHANNELS));
+    let (_, engine_report) = engine.run_collect(live.to_vec());
+    let engine_fp = WarmFingerprint::of(&engine_report.backend);
+
+    for threads in THREADS {
+        for ingesters in INGESTERS {
+            let backend = NmslBackend::new(&mapper).channels(CHANNELS);
+            let (_, report) = ServiceBuilder::new()
+                .threads(threads)
+                .ingesters(ingesters)
+                .queue_depth(4)
+                .serve(backend, |svc| {
+                    // Submitted first and at high priority: the claimer
+                    // visits it before the blocker either way.
+                    let fast = svc
+                        .submit_pairs(
+                            JobSpec::new().batch_size(64).priority(Priority::High),
+                            live.to_vec(),
+                            SamTextSink::with_header(&genome, Vec::new()).unwrap(),
+                        )
+                        .unwrap();
+                    let (gate, rx) = mpsc::channel();
+                    let blocked = svc
+                        .submit(
+                            JobSpec::new().batch_size(8),
+                            BlockingInput { gate: rx },
+                            SamTextSink::with_header(&genome, Vec::new()).unwrap(),
+                        )
+                        .unwrap();
+
+                    // The acceptance criterion: the sibling's join comes
+                    // back in bounded time while the blocker still holds
+                    // its ingester captive inside `next()`.
+                    let (fr, fsink) = join_within(fast, JOIN_BOUND, "sibling of a blocked job");
+                    assert_eq!(fr.outcome, JobOutcome::Completed);
+                    assert!(
+                        fsink.into_inner().unwrap() == solo,
+                        "sibling bytes diverge from its solo run at \
+                         threads={threads} ingesters={ingesters}"
+                    );
+                    assert!(
+                        !blocked.is_finished(),
+                        "the blocking job cannot have finished: its input \
+                         never yielded and was never closed"
+                    );
+
+                    // Release the blocker: its iterator sees end of input,
+                    // the job seals empty and completes with no records.
+                    drop(gate);
+                    let (br, _) = join_within(blocked, JOIN_BOUND, "released blocker");
+                    assert_eq!(br.outcome, JobOutcome::Completed);
+                    assert_eq!(br.report.records_written, 0);
+                    assert_eq!(br.report.backend.pairs, 0);
+                });
+            assert_eq!(report.jobs_completed, 2);
+            // The empty blocker is accounting-invisible: warm totals equal
+            // an engine run over the live job's pairs alone.
+            assert_eq!(
+                WarmFingerprint::of(&report.backend),
+                engine_fp,
+                "warm totals diverged from the live job's solo engine run \
+                 at threads={threads} ingesters={ingesters}"
+            );
+        }
+    }
+}
+
+/// A sink that parks its worker: the first record signals the test, then
+/// blocks until the test drops the gate sender; every record (including
+/// the first, once released) flows byte-for-byte into the inner sink.
+/// Blocking *inside emission* deterministically holds a one-batch job in
+/// the window between seal and finalize — which is exactly where the
+/// cancel-after-seal accounting leak used to live.
+struct GatedSink {
+    inner: SamTextSink<Vec<u8>>,
+    signal: mpsc::Sender<()>,
+    gate: mpsc::Receiver<()>,
+    released: bool,
+}
+
+impl RecordSink for GatedSink {
+    fn write_record(&mut self, rec: &SamRecord) -> io::Result<()> {
+        if !self.released {
+            self.released = true;
+            let _ = self.signal.send(());
+            let _ = self.gate.recv();
+        }
+        self.inner.write_record(rec)
+    }
+}
+
+#[test]
+fn deadline_cancel_after_seal_leaves_no_trace_in_warm_totals() {
+    let (genome, pairs) = dataset();
+    let mapper = GenPairMapper::build(&genome, &GenPairConfig::default());
+
+    for threads in THREADS {
+        // One single-batch blocker job per worker (each worker maps the
+        // batch — admitting it to the device — then parks inside the
+        // job's sink), so the victim's batches provably never reach a
+        // worker while its deadline expires.
+        let blockers: Vec<&[ReadPair]> =
+            (0..threads).map(|i| &pairs[i * 40..(i + 1) * 40]).collect();
+        let victim_pairs = &pairs[threads * 40..threads * 40 + 80];
+        let solos: Vec<Vec<u8>> = blockers
+            .iter()
+            .map(|w| solo_sam(&mapper, &genome, w))
+            .collect();
+
+        // The oracle deliberately excludes the victim: a job deadline-
+        // cancelled before any device dispatch must not be priced at all.
+        let survivors: Vec<ReadPair> = blockers.iter().flat_map(|w| w.iter().cloned()).collect();
+        let engine = PipelineBuilder::new()
+            .threads(2)
+            .batch_size(64)
+            .backend(NmslBackend::new(&mapper).channels(CHANNELS));
+        let (_, engine_report) = engine.run_collect(survivors);
+        let engine_fp = WarmFingerprint::of(&engine_report.backend);
+
+        let clock = Arc::new(ManualClock::new());
+        let backend = NmslBackend::new(&mapper).channels(CHANNELS);
+        let (_, report) = ServiceBuilder::new()
+            .threads(threads)
+            .ingesters(2)
+            .queue_depth(8)
+            .clock(clock.clone())
+            .serve(backend, |svc| {
+                let (signal, blocked_workers) = mpsc::channel();
+                let mut gates = Vec::new();
+                let handles: Vec<_> = blockers
+                    .iter()
+                    .map(|w| {
+                        let (gate_tx, gate_rx) = mpsc::channel();
+                        gates.push(gate_tx);
+                        let sink = GatedSink {
+                            inner: SamTextSink::with_header(&genome, Vec::new()).unwrap(),
+                            signal: signal.clone(),
+                            gate: gate_rx,
+                            released: false,
+                        };
+                        svc.submit_pairs(JobSpec::new().batch_size(40), w.to_vec(), sink)
+                            .unwrap()
+                    })
+                    .collect();
+                // All workers are provably parked once every blocker's
+                // sink has signalled (their job cores are locked while
+                // parked, so snapshots of the blockers would deadlock —
+                // the signal channel is the only safe evidence).
+                for _ in 0..threads {
+                    blocked_workers
+                        .recv_timeout(JOIN_BOUND)
+                        .expect("every worker parks in a blocker's sink");
+                }
+
+                let victim = svc
+                    .submit_pairs(
+                        JobSpec::new()
+                            .batch_size(40)
+                            .priority(Priority::High)
+                            .deadline(Duration::from_secs(5)),
+                        victim_pairs.to_vec(),
+                        SamTextSink::with_header(&genome, Vec::new()).unwrap(),
+                    )
+                    .unwrap();
+                wait_until(JOIN_BOUND, "victim seals", || victim.snapshot().sealed);
+
+                // Only now does time move: the deadline expiry is decided
+                // purely on the injected clock, so the cancel lands in the
+                // [sealed, finalized) window by construction, not by luck.
+                clock.advance(Duration::from_secs(10));
+                wait_until(JOIN_BOUND, "deadline timer cancels the victim", || {
+                    victim.snapshot().cancelled
+                });
+
+                // Release the workers; the victim's queued batches are
+                // dropped undispatched and it finalizes as cancelled.
+                drop(gates);
+                let (vr, _) = join_within(victim, JOIN_BOUND, "deadline-cancelled victim");
+                assert_eq!(vr.outcome, JobOutcome::Cancelled);
+                assert_eq!(
+                    vr.report.abort_reason.as_deref(),
+                    Some("job deadline exceeded")
+                );
+                assert_eq!(
+                    vr.pairs_accounted_after_cancel, 0,
+                    "no victim batch ever reached the device, so none of \
+                     its pairs may be priced"
+                );
+                assert_eq!(vr.report.records_written, 0);
+
+                for (i, (h, solo)) in handles.into_iter().zip(&solos).enumerate() {
+                    let (wr, wsink) = join_within(h, JOIN_BOUND, "released blocker");
+                    assert_eq!(wr.outcome, JobOutcome::Completed);
+                    assert!(
+                        wsink.inner.into_inner().unwrap() == *solo,
+                        "blocker {i} bytes diverge from its solo run at \
+                         threads={threads}"
+                    );
+                }
+            });
+        assert_eq!(report.jobs_completed, threads as u64);
+        assert_eq!(report.jobs_cancelled, 1);
+        assert_eq!(report.deadline_cancels, 1);
+        assert_eq!(
+            WarmFingerprint::of(&report.backend),
+            engine_fp,
+            "a deadline-cancelled sealed job leaked into warm totals at \
+             threads={threads}"
+        );
+    }
 }
